@@ -1,0 +1,39 @@
+"""E9 — Section 6.4: Shapley values of constants (query q*), and Proposition 6.3."""
+
+import pytest
+
+from repro.core import fgmc_constants_vector, shapley_values_of_constants
+from repro.data import publication_keyword_database
+from repro.experiments import format_table, q_star_publication, run_constants_variant
+from repro.reductions import exact_svc_const_oracle, fgmc_constants_via_svc_constants
+
+QUERY = q_star_publication()
+DB = publication_keyword_database(3, 4, seed=2)
+AUTHORS = sorted(c for c in DB.constants() if c.name.startswith("author"))
+
+
+def test_print_constants_table(capsys):
+    rows = run_constants_variant(seeds=(1, 2))
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Section 6.4 — Shapley value of constants (query q*)"))
+    assert all(row["Prop 6.3 verified"] and row["counting == brute"] for row in rows)
+
+
+@pytest.mark.benchmark(group="constants")
+def test_bench_shapley_values_of_author_constants(benchmark):
+    values = benchmark(shapley_values_of_constants, QUERY, DB, AUTHORS)
+    assert len(values) == len(AUTHORS)
+
+
+@pytest.mark.benchmark(group="constants")
+def test_bench_fgmc_constants_vector(benchmark):
+    vector = benchmark(fgmc_constants_vector, QUERY, DB, AUTHORS)
+    assert len(vector) == len(AUTHORS) + 1
+
+
+@pytest.mark.benchmark(group="constants")
+def test_bench_prop_6_3_reduction(benchmark):
+    oracle = exact_svc_const_oracle("counting")
+    result = benchmark(fgmc_constants_via_svc_constants, QUERY, DB, AUTHORS, None, oracle)
+    assert result == fgmc_constants_vector(QUERY, DB, AUTHORS)

@@ -1,0 +1,48 @@
+"""E11 — ablation: lineage-based size-stratified counting vs brute-force enumeration.
+
+The design choice being ablated is the counting backend behind the "SVC is
+counting" algorithm: the component-caching monotone-DNF counter versus naive
+subset enumeration, on the bipartite worst-case instances of ``q_RST``.
+"""
+
+import pytest
+
+from repro.counting import clear_caches, fgmc_vector
+from repro.data import bipartite_rst_database, partition_by_relation
+from repro.experiments import format_table, q_rst, run_counting_ablation
+
+QUERY = q_rst()
+
+
+def _instance(size: int):
+    db = bipartite_rst_database(size, size, 0.8, seed=size)
+    return partition_by_relation(db, exogenous_relations=("R", "T"))
+
+
+def test_print_counting_ablation_table(capsys):
+    rows = run_counting_ablation(sizes=(2, 3, 4))
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Counting ablation — lineage counter vs brute force"))
+    assert all(row.get("agree", True) for row in rows)
+
+
+@pytest.mark.benchmark(group="counting-ablation")
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_bench_lineage_counter(benchmark, size):
+    pdb = _instance(size)
+
+    def run():
+        clear_caches()
+        return fgmc_vector(QUERY, pdb, "lineage")
+
+    result = benchmark(run)
+    assert len(result) == len(pdb.endogenous) + 1
+
+
+@pytest.mark.benchmark(group="counting-ablation")
+@pytest.mark.parametrize("size", [2, 3])
+def test_bench_brute_force_counter(benchmark, size):
+    pdb = _instance(size)
+    result = benchmark(fgmc_vector, QUERY, pdb, "brute")
+    assert len(result) == len(pdb.endogenous) + 1

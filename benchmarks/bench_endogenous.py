@@ -1,0 +1,42 @@
+"""E7 — Section 6.1: purely endogenous databases (Lemma 6.1, Lemma 6.2, Corollary 6.1)."""
+
+import pytest
+
+from repro.counting import fmc_vector
+from repro.data import bipartite_rst_database, partition_randomly, purely_endogenous
+from repro.experiments import format_table, q_hierarchical, q_rst, run_endogenous_variant
+from repro.reductions import exact_svc_oracle, fgmc_via_fmc, fmc_via_svcn_lemma_6_2, svcn_via_fmc
+
+PDB = partition_randomly(bipartite_rst_database(2, 2, 0.7, seed=3), 0.4, seed=4)
+ENDO = purely_endogenous(bipartite_rst_database(2, 2, 0.8, seed=5))
+
+
+def test_print_endogenous_table(capsys):
+    rows = run_endogenous_variant(seeds=(1, 2, 3))
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Section 6.1 — purely endogenous databases"))
+    assert all(row["Lemma 6.1 verified"] and row["Corollary 6.1 verified"]
+               and row["Lemma 6.2 verified"] for row in rows)
+
+
+@pytest.mark.benchmark(group="endogenous")
+def test_bench_lemma_6_1_fgmc_via_fmc(benchmark):
+    oracle = lambda q, d: fmc_vector(q, d, method="lineage")
+    result = benchmark(fgmc_via_fmc, q_rst(), PDB, oracle)
+    assert len(result) == len(PDB.endogenous) + 1
+
+
+@pytest.mark.benchmark(group="endogenous")
+def test_bench_corollary_6_1_svcn_via_fmc(benchmark):
+    oracle = lambda q, d: fmc_vector(q, d, method="lineage")
+    target = sorted(ENDO.endogenous)[0]
+    value = benchmark(svcn_via_fmc, q_rst(), ENDO, target, oracle)
+    assert 0 <= value <= 1
+
+
+@pytest.mark.benchmark(group="endogenous")
+def test_bench_lemma_6_2_fmc_via_svcn(benchmark):
+    oracle = exact_svc_oracle("counting")
+    result = benchmark(fmc_via_svcn_lemma_6_2, q_hierarchical(), ENDO, oracle)
+    assert result == fmc_vector(q_hierarchical(), ENDO, "lineage")

@@ -1,0 +1,47 @@
+"""E1 — Figure 1a: execute and time the reduction arrows.
+
+Regenerates the reduction diagram of Figure 1a as a table of verified arrows
+and benchmarks the two central reductions:
+
+* ``SVC ≤ FGMC`` (Proposition 3.3 / Claim A.1), and
+* ``FGMC ≤ SVC`` (Lemma 4.1) — the paper's main contribution.
+"""
+
+import pytest
+
+from repro.counting import fgmc_vector
+from repro.data import bipartite_rst_database, partition_randomly
+from repro.experiments import format_table, q_rst, run_figure1a
+from repro.reductions import exact_fgmc_oracle, exact_svc_oracle, fgmc_via_svc_lemma_4_1, svc_via_fgmc
+
+QUERY = q_rst()
+PDB = partition_randomly(bipartite_rst_database(2, 3, 0.6, seed=1), 0.35, seed=2)
+TARGET = sorted(PDB.endogenous)[0]
+
+
+def test_print_figure1a_table(capsys):
+    rows = run_figure1a(max_endogenous=6)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Figure 1a — reduction arrows, executed and verified"))
+    assert all(row["verified"] for row in rows)
+
+
+@pytest.mark.benchmark(group="figure1a")
+def test_bench_svc_via_fgmc(benchmark):
+    oracle = exact_fgmc_oracle("lineage")
+    result = benchmark(svc_via_fgmc, QUERY, PDB, TARGET, oracle)
+    assert 0 <= result <= 1
+
+
+@pytest.mark.benchmark(group="figure1a")
+def test_bench_fgmc_via_svc_lemma_4_1(benchmark):
+    oracle = exact_svc_oracle("counting")
+    result = benchmark(fgmc_via_svc_lemma_4_1, QUERY, PDB, oracle)
+    assert result == fgmc_vector(QUERY, PDB, "lineage")
+
+
+@pytest.mark.benchmark(group="figure1a")
+def test_bench_direct_fgmc_lineage(benchmark):
+    result = benchmark(fgmc_vector, QUERY, PDB, "lineage")
+    assert sum(result) >= 0

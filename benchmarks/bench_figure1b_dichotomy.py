@@ -1,0 +1,41 @@
+"""E2 — Figure 1b: the dichotomy map as a verified classification table."""
+
+import pytest
+
+from repro.analysis import classify_svc
+from repro.experiments import format_table, full_catalog, q_rst, rpq_star, run_figure1b
+
+
+def test_print_figure1b_table(capsys):
+    rows = run_figure1b()
+    with capsys.disabled():
+        print()
+        print(format_table(rows,
+                           columns=["query", "class", "verdict", "expected", "agrees"],
+                           title="Figure 1b — SVC dichotomy map (classifier vs paper)"))
+    assert all(row["agrees"] for row in rows)
+
+
+@pytest.mark.benchmark(group="figure1b")
+def test_bench_classify_full_catalog(benchmark):
+    entries = full_catalog()
+
+    def classify_all():
+        return [classify_svc(entry.query) for entry in entries]
+
+    verdicts = benchmark(classify_all)
+    assert len(verdicts) == len(entries)
+
+
+@pytest.mark.benchmark(group="figure1b")
+def test_bench_classify_sjf_cq(benchmark):
+    query = q_rst()
+    verdict = benchmark(classify_svc, query)
+    assert verdict.complexity.value == "#P-hard"
+
+
+@pytest.mark.benchmark(group="figure1b")
+def test_bench_classify_unbounded_rpq(benchmark):
+    query = rpq_star()
+    verdict = benchmark(classify_svc, query)
+    assert verdict.complexity.value == "#P-hard"

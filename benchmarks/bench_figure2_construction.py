@@ -1,0 +1,46 @@
+"""E3 — Figure 2: the A_i construction, measured and timed."""
+
+import pytest
+
+from repro.counting import fgmc_vector
+from repro.data import bipartite_rst_database, partition_by_relation
+from repro.experiments import format_table, q_rst, run_figure2
+from repro.reductions import IslandReductionReport, exact_svc_oracle, fgmc_via_svc_lemma_4_1
+
+QUERY = q_rst()
+
+
+def _instance(n: int):
+    db = bipartite_rst_database(n, n, 2.0 / n, seed=n)
+    return partition_by_relation(db, exogenous_relations=("R", "T"))
+
+
+def test_print_figure2_table(capsys):
+    rows = run_figure2(sizes=(2, 3, 4, 5))
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Figure 2 — the A_i construction (Lemma 4.1 reduction)"))
+    assert all(row["verified"] for row in rows)
+    assert all(row["oracle calls"] == row["endogenous facts"] + 1 for row in rows)
+
+
+@pytest.mark.benchmark(group="figure2")
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_bench_island_reduction(benchmark, size):
+    pdb = _instance(size)
+    oracle = exact_svc_oracle("counting")
+
+    def run():
+        report = IslandReductionReport()
+        return fgmc_via_svc_lemma_4_1(QUERY, pdb, oracle, report=report)
+
+    result = benchmark(run)
+    assert result == fgmc_vector(QUERY, pdb, "lineage")
+
+
+@pytest.mark.benchmark(group="figure2")
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_bench_direct_counting_baseline(benchmark, size):
+    pdb = _instance(size)
+    result = benchmark(fgmc_vector, QUERY, pdb, "lineage")
+    assert len(result) == len(pdb.endogenous) + 1

@@ -1,0 +1,39 @@
+"""E8 — Proposition 6.2: the max-SVC oracle is as useful as the SVC oracle."""
+
+import pytest
+
+from repro.core import max_shapley_value, max_shapley_value_with_shortcut
+from repro.counting import fgmc_vector
+from repro.data import bipartite_rst_database, partition_randomly
+from repro.experiments import format_table, q_rst, run_max_svc_variant
+from repro.reductions import exact_max_svc_oracle, fgmc_via_max_svc
+
+QUERY = q_rst()
+PDB = partition_randomly(bipartite_rst_database(2, 2, 0.8, seed=9), 0.3, seed=10)
+
+
+def test_print_max_svc_table(capsys):
+    rows = run_max_svc_variant(seeds=(1, 2, 3))
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Proposition 6.2 — FGMC from a max-SVC oracle"))
+    assert all(row["Prop 6.2 verified"] for row in rows)
+
+
+@pytest.mark.benchmark(group="max-svc")
+def test_bench_fgmc_via_max_svc(benchmark):
+    oracle = exact_max_svc_oracle("counting")
+    result = benchmark(fgmc_via_max_svc, QUERY, PDB, oracle)
+    assert result == fgmc_vector(QUERY, PDB, "lineage")
+
+
+@pytest.mark.benchmark(group="max-svc")
+def test_bench_max_svc_exhaustive(benchmark):
+    _, value = benchmark(max_shapley_value, QUERY, PDB, "counting")
+    assert 0 <= value <= 1
+
+
+@pytest.mark.benchmark(group="max-svc")
+def test_bench_max_svc_with_lemma_6_3_shortcut(benchmark):
+    _, value = benchmark(max_shapley_value_with_shortcut, QUERY, PDB, "counting")
+    assert 0 <= value <= 1

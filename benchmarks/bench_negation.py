@@ -1,0 +1,64 @@
+"""E10 — Section 6.2: queries with negation (Proposition 6.1, Examples D.1/D.2)."""
+
+import pytest
+
+from repro.core import shapley_value_of_fact
+from repro.data import Database, fact, partition_randomly, purely_endogenous
+from repro.experiments import (
+    format_table,
+    q_example_d1,
+    q_example_d2,
+    q_negation_hard,
+    run_negation_variant,
+)
+from repro.reductions import exact_svc_oracle, fgmc_via_svc_proposition_6_1
+
+NEGATION_QUERY = q_negation_hard()
+BASE = Database([fact("R", "l0"), fact("R", "l1"), fact("S", "l0", "r0"), fact("S", "l1", "r1"),
+                 fact("T", "r0"), fact("T", "r1"), fact("N", "l0", "r0")])
+PDB = partition_randomly(BASE, 0.3, seed=21)
+
+D2_DB = purely_endogenous(Database([
+    fact("S", "a", "b"), fact("S", "c", "d"), fact("A", "a"), fact("B", "b"), fact("A", "c"),
+]))
+
+
+def test_print_negation_table(capsys):
+    rows = run_negation_variant(seeds=(1, 2))
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Proposition 6.1 — FGMC from an SVC oracle for sjf-CQ¬"))
+    assert all(row["Prop 6.1 verified"] for row in rows)
+
+
+@pytest.mark.benchmark(group="negation")
+def test_bench_prop_6_1_reduction(benchmark):
+    oracle = exact_svc_oracle("brute")
+
+    def run():
+        return fgmc_via_svc_proposition_6_1(NEGATION_QUERY, PDB, oracle)
+
+    target, vector = benchmark(run)
+    assert len(vector) == len(PDB.endogenous) + 1
+
+
+@pytest.mark.benchmark(group="negation")
+def test_bench_svc_of_sjf_cq_negation(benchmark):
+    target = sorted(PDB.endogenous)[0]
+    value = benchmark(shapley_value_of_fact, NEGATION_QUERY, PDB, target, "brute")
+    assert 0 <= value <= 1
+
+
+@pytest.mark.benchmark(group="negation")
+def test_bench_example_d2_shapley(benchmark):
+    query = q_example_d2()
+    target = fact("S", "a", "b")
+    value = benchmark(shapley_value_of_fact, query, D2_DB, target, "brute")
+    assert 0 <= value <= 1
+
+
+@pytest.mark.benchmark(group="negation")
+def test_bench_example_d1_evaluation(benchmark):
+    query = q_example_d1()
+    db = Database([fact("D", "d"), fact("S", "d", "p"), fact("A", "p"), fact("B", "q")])
+    assert benchmark(query.evaluate, db)

@@ -1,0 +1,61 @@
+"""E6 — Proposition 3.3: SVC ≤ FGMC ≡ SPPQE and FMC ≡ SPQE, timed."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.counting import fgmc_vector
+from repro.data import bipartite_rst_database, partition_randomly, purely_endogenous
+from repro.experiments import format_table, q_rst
+from repro.reductions import (
+    CallCounter,
+    exact_fgmc_oracle,
+    exact_sppqe_oracle,
+    fgmc_via_sppqe,
+    fmc_via_spqe,
+    sppqe_via_fgmc,
+    verify_fgmc_sppqe_equivalence,
+)
+
+QUERY = q_rst()
+PDB = partition_randomly(bipartite_rst_database(2, 3, 0.6, seed=6), 0.3, seed=7)
+ENDO = purely_endogenous(bipartite_rst_database(2, 2, 0.8, seed=8))
+
+
+def test_print_prop33_table(capsys):
+    rows = []
+    counter = CallCounter(exact_sppqe_oracle("lineage"))
+    vector = fgmc_via_sppqe(QUERY, PDB, counter)
+    rows.append({"reduction": "FGMC ≤ SPPQE", "oracle calls": counter.calls,
+                 "verified": vector == fgmc_vector(QUERY, PDB, "brute")})
+    counter = CallCounter(exact_fgmc_oracle("lineage"))
+    probability = sppqe_via_fgmc(QUERY, PDB, Fraction(1, 2), counter)
+    rows.append({"reduction": "SPPQE ≤ FGMC", "oracle calls": counter.calls,
+                 "verified": 0 <= probability <= 1})
+    counter = CallCounter(exact_sppqe_oracle("lineage"))
+    vector = fmc_via_spqe(QUERY, ENDO, counter)
+    rows.append({"reduction": "FMC ≤ SPQE", "oracle calls": counter.calls,
+                 "verified": vector == fgmc_vector(QUERY, ENDO, "brute")})
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Proposition 3.3 — counting ≡ probabilistic evaluation"))
+    assert all(row["verified"] for row in rows)
+
+
+@pytest.mark.benchmark(group="prop33")
+def test_bench_fgmc_via_sppqe(benchmark):
+    oracle = exact_sppqe_oracle("lineage")
+    result = benchmark(fgmc_via_sppqe, QUERY, PDB, oracle)
+    assert result == fgmc_vector(QUERY, PDB, "lineage")
+
+
+@pytest.mark.benchmark(group="prop33")
+def test_bench_sppqe_via_fgmc(benchmark):
+    oracle = exact_fgmc_oracle("lineage")
+    result = benchmark(sppqe_via_fgmc, QUERY, PDB, Fraction(2, 5), oracle)
+    assert 0 <= result <= 1
+
+
+@pytest.mark.benchmark(group="prop33")
+def test_bench_round_trip_verification(benchmark):
+    assert benchmark(verify_fgmc_sppqe_equivalence, QUERY, PDB)

@@ -1,0 +1,55 @@
+"""E4 — Corollary 4.3: the RPQ dichotomy (longest word 2 vs 3) as scaling behaviour."""
+
+import pytest
+
+from repro.core import shapley_value_of_fact
+from repro.data import Database, fact, purely_endogenous
+from repro.experiments import format_table, rpq_length_three, rpq_length_two, run_rpq_dichotomy
+
+
+def _parallel_paths(word, n_paths):
+    facts = []
+    for k in range(n_paths):
+        previous = "a"
+        for index, label in enumerate(word):
+            nxt = "b" if index == len(word) - 1 else f"m{k}_{index}"
+            facts.append(fact(label, previous, nxt))
+            previous = nxt
+    return purely_endogenous(Database(facts))
+
+
+def test_print_rpq_dichotomy_table(capsys):
+    rows = run_rpq_dichotomy(n_middles=(1, 2, 3))
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Corollary 4.3 — RPQ dichotomy (FP vs #P-hard)"))
+    assert all(row["easy verdict"] == "FP" and row["hard verdict"] == "#P-hard" for row in rows)
+
+
+@pytest.mark.benchmark(group="rpq-dichotomy")
+@pytest.mark.parametrize("n_paths", [1, 2, 3])
+def test_bench_easy_rpq_counting(benchmark, n_paths):
+    query = rpq_length_two()
+    pdb = _parallel_paths(("A", "B"), n_paths)
+    target = sorted(pdb.endogenous)[0]
+    value = benchmark(shapley_value_of_fact, query, pdb, target, "counting")
+    assert 0 <= value <= 1
+
+
+@pytest.mark.benchmark(group="rpq-dichotomy")
+@pytest.mark.parametrize("n_paths", [1, 2, 3])
+def test_bench_hard_rpq_counting(benchmark, n_paths):
+    query = rpq_length_three()
+    pdb = _parallel_paths(("A", "B", "C"), n_paths)
+    target = sorted(pdb.endogenous)[0]
+    value = benchmark(shapley_value_of_fact, query, pdb, target, "counting")
+    assert 0 <= value <= 1
+
+
+@pytest.mark.benchmark(group="rpq-dichotomy")
+def test_bench_hard_rpq_brute_force_baseline(benchmark):
+    query = rpq_length_three()
+    pdb = _parallel_paths(("A", "B", "C"), 2)
+    target = sorted(pdb.endogenous)[0]
+    value = benchmark(shapley_value_of_fact, query, pdb, target, "brute")
+    assert 0 <= value <= 1

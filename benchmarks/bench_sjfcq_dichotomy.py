@@ -1,0 +1,56 @@
+"""E5 — the sjf-CQ dichotomy ([11], recaptured by Corollary 4.5) as scaling behaviour.
+
+The FP side (hierarchical ``R(x) ∧ S(x, y)``) is solved by the polynomial safe
+pipeline; the hard side (``q_RST``) falls back to lineage-based model counting
+whose cost grows quickly on complete bipartite instances, and to brute force
+as the exponential baseline.
+"""
+
+import pytest
+
+from repro.core import shapley_value_of_fact
+from repro.data import PartitionedDatabase, complete_bipartite_s_facts, fact
+from repro.experiments import format_table, q_hierarchical, q_rst, run_sjfcq_scaling
+
+
+def _complete_instance(size: int) -> PartitionedDatabase:
+    s_facts = complete_bipartite_s_facts(size, size)
+    r_facts = {fact("R", f"l{i}") for i in range(size)}
+    t_facts = {fact("T", f"r{j}") for j in range(size)}
+    return PartitionedDatabase(s_facts, r_facts | t_facts)
+
+
+def test_print_sjfcq_scaling_table(capsys):
+    rows = run_sjfcq_scaling(sizes=(2, 3, 4), include_brute=True)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="sjf-CQ dichotomy — safe pipeline vs counting vs brute"))
+    assert all(row["hierarchical verdict"] == "FP" and row["q_RST verdict"] == "#P-hard"
+               for row in rows)
+
+
+@pytest.mark.benchmark(group="sjfcq-dichotomy")
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_bench_hierarchical_safe_pipeline(benchmark, size):
+    pdb = _complete_instance(size)
+    target = sorted(pdb.endogenous)[0]
+    value = benchmark(shapley_value_of_fact, q_hierarchical(), pdb, target, "safe")
+    assert 0 <= value <= 1
+
+
+@pytest.mark.benchmark(group="sjfcq-dichotomy")
+@pytest.mark.parametrize("size", [2, 3, 4])
+def test_bench_qrst_lineage_counting(benchmark, size):
+    pdb = _complete_instance(size)
+    target = sorted(pdb.endogenous)[0]
+    value = benchmark(shapley_value_of_fact, q_rst(), pdb, target, "counting")
+    assert 0 <= value <= 1
+
+
+@pytest.mark.benchmark(group="sjfcq-dichotomy")
+@pytest.mark.parametrize("size", [2, 3])
+def test_bench_qrst_brute_force(benchmark, size):
+    pdb = _complete_instance(size)
+    target = sorted(pdb.endogenous)[0]
+    value = benchmark(shapley_value_of_fact, q_rst(), pdb, target, "brute")
+    assert 0 <= value <= 1

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+The benchmarks double as the harness regenerating the paper's figures: each
+module prints the corresponding table (via ``repro.experiments``) once per
+session, in addition to timing the underlying computations with
+pytest-benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Section 6.4 scenario: measuring author expertise with Shapley values of constants.
+
+The paper's example: a bibliographic database with relations
+``Publication(authorID, paperID)`` and ``Keyword(paperID, keywordStr)`` and the
+query ``q* = ∃x∃y Publication(x, y) ∧ Keyword(y, 'Shapley')``.  Treating the
+author constants as players (and everything else as exogenous) gives a
+per-author expertise score that aggregates over all of an author's papers —
+something the fact-level Shapley value cannot do directly.
+
+The script also verifies Proposition 6.3 on this instance: the Shapley values
+of constants are recovered exactly from the FGMCconst counting oracle and vice
+versa.
+
+Run with:  python examples/author_expertise_constants.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (  # noqa: E402
+    atom,
+    cq,
+    publication_keyword_database,
+    shapley_values_of_constants,
+    var,
+)
+from repro.core import fgmc_constants_vector  # noqa: E402
+from repro.experiments import format_table  # noqa: E402
+from repro.reductions import exact_svc_const_oracle, fgmc_constants_via_svc_constants  # noqa: E402
+
+
+def main() -> None:
+    x, y = var("x"), var("y")
+    q_star = cq(atom("Publication", x, y), atom("Keyword", y, "Shapley"), name="q*")
+
+    database = publication_keyword_database(n_authors=4, n_papers=6, seed=13)
+    authors = sorted(c for c in database.constants() if c.name.startswith("author"))
+    print(f"Query: {q_star}")
+    print(f"Database: {len(database)} facts, {len(authors)} authors\n")
+
+    # --- Shapley value of each author constant -----------------------------------
+    values = shapley_values_of_constants(q_star, database, authors, method="counting")
+    rows = [{"author": c.name, "Shapley value": str(v), "≈": f"{float(v):.4f}"}
+            for c, v in sorted(values.items(), key=lambda kv: -kv[1])]
+    print(format_table(rows, title="Author expertise on 'Shapley' (Shapley value of constants)"))
+    print()
+
+    # --- The counting view (FGMCconst) and Proposition 6.3 -----------------------
+    counts = fgmc_constants_vector(q_star, database, authors)
+    print(f"FGMCconst vector (coalitions of each size whose induced database satisfies q*): {counts}")
+    via_oracle = fgmc_constants_via_svc_constants(q_star, database, authors, None,
+                                                  exact_svc_const_oracle("counting"))
+    print(f"Same vector recovered from the SVCconst oracle (Proposition 6.3): {via_oracle}")
+    print(f"Match: {counts == via_oracle}")
+
+
+if __name__ == "__main__":
+    main()

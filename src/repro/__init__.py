@@ -1,0 +1,168 @@
+"""repro — Shapley value computation in databases as a matter of counting.
+
+A from-scratch reproduction of
+
+    Meghyn Bienvenu, Diego Figueira, Pierre Lafourcade.
+    *When is Shapley Value Computation a Matter of Counting?*  PODS 2024.
+
+The package is organised as follows:
+
+* :mod:`repro.data` — the relational substrate (terms, facts, databases,
+  partitioned databases, schemas, generators);
+* :mod:`repro.queries` — Boolean query languages (CQ, UCQ, RPQ, CRPQ, UCRPQ,
+  sjf-CQ¬);
+* :mod:`repro.analysis` — structural analysis (hierarchy, connectivity,
+  q-leaks, island supports, decomposability, safety, the SVC dichotomy
+  classifier of Figure 1b);
+* :mod:`repro.counting` — the model counting problems MC / GMC / FMC / FGMC and
+  the size-stratified lineage counter;
+* :mod:`repro.probability` — tuple-independent databases, PQE and its
+  restrictions, lifted inference for safe queries;
+* :mod:`repro.core` — Shapley value computation (SVC, SVCn, max-SVC, Shapley
+  value of constants);
+* :mod:`repro.reductions` — the paper's reductions (Proposition 3.3,
+  Lemmas 4.1 / 4.3 / 4.4, Section 6 variants), implemented as oracle
+  algorithms over exact rational arithmetic;
+* :mod:`repro.experiments` — drivers regenerating the paper's figures as
+  verified tables.
+
+Quick start::
+
+    from repro import *
+
+    x, y = var("x"), var("y")
+    q = cq(atom("R", x), atom("S", x, y), atom("T", y))      # q_RST
+    db = bipartite_rst_database(3, 3, 0.5, seed=0)
+    pdb = partition_by_relation(db, exogenous_relations=("R", "T"))
+    values = shapley_values_of_facts(q, pdb)                  # exact Fractions
+    print(classify_svc(q))                                    # "#P-hard: non-hierarchical ..."
+"""
+
+from .analysis import (
+    Complexity,
+    DichotomyVerdict,
+    classify_svc,
+    is_hierarchical,
+    is_pseudo_connected,
+    is_safe_ucq,
+)
+from .core import (
+    QueryGame,
+    max_shapley_value,
+    shapley_value,
+    shapley_value_of_constant,
+    shapley_value_of_fact,
+    shapley_values,
+    shapley_values_of_constants,
+    shapley_values_of_facts,
+)
+from .counting import (
+    fgmc_vector,
+    fixed_size_generalized_model_count,
+    fixed_size_model_count,
+    generalized_model_count,
+    model_count,
+)
+from .data import (
+    Atom,
+    Constant,
+    Database,
+    Fact,
+    PartitionedDatabase,
+    Schema,
+    Variable,
+    atom,
+    bipartite_rst_database,
+    const,
+    fact,
+    partition_by_relation,
+    partition_randomly,
+    partitioned,
+    publication_keyword_database,
+    purely_endogenous,
+    random_graph_database,
+    var,
+)
+from .probability import TupleIndependentDatabase, probability_of_query, spqe, sppqe
+from .queries import (
+    BooleanQuery,
+    ConjunctiveQuery,
+    ConjunctiveQueryWithNegation,
+    ConjunctiveRegularPathQuery,
+    RegularPathQuery,
+    UnionOfConjunctiveQueries,
+    cq,
+    cq_with_negation,
+    crpq,
+    path_atom,
+    rpq,
+    ucq,
+)
+from .reductions import (
+    fgmc_via_svc_lemma_4_1,
+    fgmc_via_svc_lemma_4_3,
+    fgmc_via_svc_lemma_4_4,
+    svc_via_fgmc,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "BooleanQuery",
+    "Complexity",
+    "ConjunctiveQuery",
+    "ConjunctiveQueryWithNegation",
+    "ConjunctiveRegularPathQuery",
+    "Constant",
+    "Database",
+    "DichotomyVerdict",
+    "Fact",
+    "PartitionedDatabase",
+    "QueryGame",
+    "RegularPathQuery",
+    "Schema",
+    "TupleIndependentDatabase",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "atom",
+    "bipartite_rst_database",
+    "classify_svc",
+    "const",
+    "cq",
+    "cq_with_negation",
+    "crpq",
+    "fact",
+    "fgmc_vector",
+    "fgmc_via_svc_lemma_4_1",
+    "fgmc_via_svc_lemma_4_3",
+    "fgmc_via_svc_lemma_4_4",
+    "fixed_size_generalized_model_count",
+    "fixed_size_model_count",
+    "generalized_model_count",
+    "is_hierarchical",
+    "is_pseudo_connected",
+    "is_safe_ucq",
+    "max_shapley_value",
+    "model_count",
+    "partition_by_relation",
+    "partition_randomly",
+    "partitioned",
+    "path_atom",
+    "probability_of_query",
+    "publication_keyword_database",
+    "purely_endogenous",
+    "random_graph_database",
+    "rpq",
+    "shapley_value",
+    "shapley_value_of_constant",
+    "shapley_value_of_fact",
+    "shapley_values",
+    "shapley_values_of_constants",
+    "shapley_values_of_facts",
+    "spqe",
+    "sppqe",
+    "svc_via_fgmc",
+    "ucq",
+    "var",
+]

@@ -1,0 +1,128 @@
+"""Connectivity and variable-connectivity of queries.
+
+Section 2 defines connectivity of an atom set via its incidence graph, and
+Section 4.1 introduces *variable-connectivity*: the incidence graph restricted
+to variables (constant nodes removed) must be connected.  A query is connected
+if every minimal support is connected; for hom-closed queries given as
+(unions of) CQs, this amounts to connectivity of the cores of the disjuncts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..data.atoms import Atom, Fact, atoms_constants
+from ..data.incidence import atom_components, is_connected_atom_set
+from ..data.terms import Constant
+from ..queries.base import BooleanQuery
+from ..queries.cq import ConjunctiveQuery
+from ..queries.crpq import ConjunctiveRegularPathQuery
+from ..queries.rpq import RegularPathQuery
+from ..queries.ucq import UnionOfConjunctiveQueries, as_ucq
+
+
+def is_connected_fact_set(facts: Iterable[Fact]) -> bool:
+    """Whether a set of facts is connected (in the incidence-graph sense)."""
+    return is_connected_atom_set(list(facts))
+
+
+def is_variable_connected_atom_set(atoms: Iterable[Atom],
+                                   constants: "frozenset[Constant] | None" = None) -> bool:
+    """Whether a set of atoms remains connected after removing the constant nodes."""
+    atom_list = list(atoms)
+    if constants is None:
+        constants = atoms_constants(atom_list)
+    return is_connected_atom_set(atom_list, exclude_constants=constants)
+
+
+def is_connected_cq(query: ConjunctiveQuery) -> bool:
+    """Whether the CQ's core is connected (hence every minimal support is)."""
+    return is_connected_atom_set(list(query.core().atoms))
+
+
+def is_variable_connected_cq(query: ConjunctiveQuery) -> bool:
+    """Whether the CQ is variable-connected (Section 4.1): the incidence graph of
+    its atoms remains connected after removal of the constant nodes."""
+    return is_variable_connected_atom_set(query.atoms, query.constants())
+
+
+def connected_components_of_cq(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+    """The connected components of a CQ, each as a CQ."""
+    return [ConjunctiveQuery(tuple(component))
+            for component in atom_components(query.atoms)]
+
+
+def variable_connected_components_of_cq(query: ConjunctiveQuery) -> list[ConjunctiveQuery]:
+    """The maximal variable-connected subqueries of a CQ.
+
+    Atoms that share no variable (directly or transitively) end up in different
+    components; this is the decomposition used in Corollary 4.5 and
+    Proposition 6.1.
+    """
+    return [ConjunctiveQuery(tuple(component))
+            for component in atom_components(query.atoms,
+                                             exclude_constants=query.constants())]
+
+
+def maximal_variable_connected_subquery(query: ConjunctiveQuery,
+                                        prefer_non_hierarchical: bool = True
+                                        ) -> tuple[ConjunctiveQuery, "ConjunctiveQuery | None"]:
+    """Split ``q`` as ``q_vc ∧ q_rest`` with ``q_vc`` a maximal variable-connected subquery.
+
+    When ``prefer_non_hierarchical`` is set and some component is
+    non-hierarchical, that component is chosen (this is the decomposition used
+    in the proof of Corollary 4.5).  Returns ``(q_vc, q_rest)`` where ``q_rest``
+    is ``None`` when the whole query is variable-connected.
+    """
+    from .hierarchy import is_hierarchical_atoms
+
+    components = variable_connected_components_of_cq(query)
+    if len(components) == 1:
+        return components[0], None
+    chosen_index = 0
+    if prefer_non_hierarchical:
+        for index, component in enumerate(components):
+            if not is_hierarchical_atoms(component.atoms):
+                chosen_index = index
+                break
+    chosen = components[chosen_index]
+    rest_atoms = tuple(a for i, c in enumerate(components) if i != chosen_index
+                       for a in c.atoms)
+    rest = ConjunctiveQuery(rest_atoms) if rest_atoms else None
+    return chosen, rest
+
+
+def is_connected_query(query: BooleanQuery) -> bool:
+    """Whether a (hom-closed) query is connected: every minimal support is connected.
+
+    * CQs / UCQs: every canonical minimal support must be connected (minimal
+      supports in arbitrary databases are C-homomorphic images of canonical
+      ones, and homomorphic images of connected atom sets are connected).
+    * RPQs: supports are paths between the two endpoint constants, hence always
+      connected.
+    * CRPQs and other queries: decided on the canonical minimal supports.
+    """
+    if isinstance(query, RegularPathQuery):
+        return True
+    if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+        ucq_view = as_ucq(query)
+        return all(is_connected_fact_set(support)
+                   for support in ucq_view.canonical_minimal_supports())
+    if isinstance(query, ConjunctiveRegularPathQuery):
+        return all(is_connected_fact_set(support)
+                   for support in query.canonical_minimal_supports())
+    return all(is_connected_fact_set(support)
+               for support in query.canonical_minimal_supports())
+
+
+def is_variable_connected_query(query: BooleanQuery) -> bool:
+    """Whether a constant-free hom-closed query is variable-connected.
+
+    For constant-free queries, variable-connectivity coincides with
+    connectivity (the paper observes that a hom-closed query is connected iff it
+    is variable-connected); for queries with constants, we check that every
+    canonical minimal support stays connected after removing the query constants.
+    """
+    constants = query.constants()
+    return all(is_connected_atom_set(list(support), exclude_constants=constants)
+               for support in query.canonical_minimal_supports())

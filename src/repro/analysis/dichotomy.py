@@ -1,0 +1,219 @@
+"""The SVC dichotomy classifier (Figure 1b).
+
+Given a Boolean query, this module determines — when the paper's results
+apply — whether ``SVC_q`` is in FP or #P-hard, and records which result
+justifies the verdict.  The implemented criteria are exactly the corollaries of
+Section 4 (plus the prior results they recapture):
+
+* sjf-CQ: FP iff hierarchical (Corollary 4.5, recapturing [11]),
+* constant-free CQ: #P-hard if non-hierarchical (Corollary 4.5); FP if safe,
+* connected constant-free (hom-closed) UCQ: FP iff safe (Corollary 4.2(1)),
+* RPQ: FP iff the language has no word of length ≥ 3 (Corollary 4.3, [10]),
+* constant-free cc-disjoint CRPQ: FP iff expressible as a safe UCQ
+  (Corollary 4.6); unbounded languages are #P-hard via [1],
+* connected hom-closed graph queries: FP iff bounded and safe (Corollary 4.2(2)),
+* C-hom-closed queries with a duplicable singleton support: SVC ≡ FGMC
+  (Corollary 4.4), so the verdict follows the FGMC side when it is known.
+
+Queries not covered by any criterion are classified ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..queries.base import BooleanQuery
+from ..queries.cq import ConjunctiveQuery
+from ..queries.crpq import ConjunctiveRegularPathQuery
+from ..queries.negation import ConjunctiveQueryWithNegation
+from ..queries.rpq import RegularPathQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .connectivity import is_connected_query, variable_connected_components_of_cq
+from .decomposition import is_cc_disjoint_crpq
+from .hierarchy import is_hierarchical, is_hierarchical_atoms
+from .islands import find_duplicable_singleton_support
+from .safety import is_safe_ucq
+
+
+class Complexity(Enum):
+    """Complexity verdict for ``SVC_q`` in data complexity."""
+
+    FP = "FP"
+    SHARP_P_HARD = "#P-hard"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class DichotomyVerdict:
+    """The outcome of the classifier: a verdict plus the justification."""
+
+    complexity: Complexity
+    reason: str
+    query_class: str
+
+    def __str__(self) -> str:
+        return f"[{self.query_class}] SVC is {self.complexity.value}: {self.reason}"
+
+
+def classify_svc(query: BooleanQuery) -> DichotomyVerdict:
+    """Classify the data complexity of ``SVC_q`` according to the paper's results."""
+    if isinstance(query, RegularPathQuery):
+        return _classify_rpq(query)
+    if isinstance(query, ConjunctiveQuery):
+        return _classify_cq(query)
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return _classify_ucq(query)
+    if isinstance(query, ConjunctiveRegularPathQuery):
+        return _classify_crpq(query)
+    if isinstance(query, ConjunctiveQueryWithNegation):
+        return _classify_cq_negation(query)
+    return DichotomyVerdict(Complexity.UNKNOWN,
+                            "no dichotomy criterion implemented for this query type",
+                            type(query).__name__)
+
+
+def _classify_rpq(query: RegularPathQuery) -> DichotomyVerdict:
+    """Corollary 4.3: #P-hard iff the language contains a word of length ≥ 3."""
+    if query.nfa.shortest_word_length() is None:
+        return DichotomyVerdict(Complexity.FP, "empty language: the query is unsatisfiable",
+                                "RPQ")
+    if query.nfa.has_word_of_length_at_least(3):
+        return DichotomyVerdict(
+            Complexity.SHARP_P_HARD,
+            "the language contains a word of length ≥ 3 (Corollary 4.3, [10])",
+            "RPQ")
+    return DichotomyVerdict(
+        Complexity.FP,
+        "all words have length ≤ 2: bounded and safe (Corollary 4.3, [10])",
+        "RPQ")
+
+
+def _classify_cq(query: ConjunctiveQuery) -> DichotomyVerdict:
+    if query.is_self_join_free():
+        if is_hierarchical(query):
+            return DichotomyVerdict(
+                Complexity.FP,
+                "hierarchical self-join-free CQ: safe, hence SVC in FP ([11], via SVC ≤ PQE [6])",
+                "sjf-CQ")
+        return DichotomyVerdict(
+            Complexity.SHARP_P_HARD,
+            "non-hierarchical self-join-free CQ (Corollary 4.5, recapturing [11])",
+            "sjf-CQ")
+    if query.is_constant_free():
+        core = query.core()
+        if not is_hierarchical(core):
+            # Corollary 4.5 requires a non-hierarchical variable-connected part.
+            components = variable_connected_components_of_cq(core)
+            if any(not is_hierarchical_atoms(c.atoms) for c in components):
+                return DichotomyVerdict(
+                    Complexity.SHARP_P_HARD,
+                    "constant-free CQ with a non-hierarchical variable-connected subquery "
+                    "(Corollary 4.5)",
+                    "CQ (constant-free)")
+        if is_safe_ucq(core):
+            return DichotomyVerdict(
+                Complexity.FP,
+                "safe CQ: PQE in FP [5], hence SVC in FP via SVC ≤ PQE [6]",
+                "CQ (constant-free)")
+        return DichotomyVerdict(
+            Complexity.UNKNOWN,
+            "hierarchical-but-unsafe constant-free CQ with self-joins: not covered by the paper",
+            "CQ (constant-free)")
+    if is_safe_ucq(query):
+        return DichotomyVerdict(
+            Complexity.FP,
+            "safe CQ with constants: SVC in FP via SVC ≤ PQE [6]",
+            "CQ (with constants)")
+    return DichotomyVerdict(
+        Complexity.UNKNOWN,
+        "CQ with constants and self-joins: reductions with constants are open (Section 7)",
+        "CQ (with constants)")
+
+
+def _classify_ucq(query: UnionOfConjunctiveQueries) -> DichotomyVerdict:
+    if len(query.disjuncts) == 1:
+        return _classify_cq(query.disjuncts[0])
+    if query.is_constant_free() and is_connected_query(query):
+        if is_safe_ucq(query):
+            return DichotomyVerdict(
+                Complexity.FP,
+                "safe connected constant-free UCQ (Corollary 4.2(1), FP side)",
+                "connected UCQ")
+        return DichotomyVerdict(
+            Complexity.SHARP_P_HARD,
+            "unsafe connected constant-free UCQ (Corollary 4.2(1), hardness side; "
+            "safety verdict is the conservative safe-plan test)",
+            "connected UCQ")
+    singleton = find_duplicable_singleton_support(query)
+    if singleton is not None:
+        if is_safe_ucq(query):
+            return DichotomyVerdict(
+                Complexity.FP,
+                "UCQ with a duplicable singleton support and a safe plan (Corollary 4.4 + [5])",
+                "dss UCQ")
+        return DichotomyVerdict(
+            Complexity.SHARP_P_HARD,
+            "UCQ with a duplicable singleton support and no safe plan (Corollary 4.4 + [9]; "
+            "safety verdict is the conservative safe-plan test)",
+            "dss UCQ")
+    if is_safe_ucq(query):
+        return DichotomyVerdict(
+            Complexity.FP,
+            "safe UCQ: SVC in FP via SVC ≤ PQE [6]",
+            "UCQ")
+    return DichotomyVerdict(
+        Complexity.UNKNOWN,
+        "disconnected or constant-bearing UCQ not covered by the implemented criteria",
+        "UCQ")
+
+
+def _classify_crpq(query: ConjunctiveRegularPathQuery) -> DichotomyVerdict:
+    constant_free = query.is_constant_free()
+    if constant_free and is_cc_disjoint_crpq(query):
+        if query.is_bounded():
+            ucq_view = query.to_ucq()
+            if is_safe_ucq(ucq_view):
+                return DichotomyVerdict(
+                    Complexity.FP,
+                    "constant-free cc-disjoint CRPQ expressible as a safe UCQ (Corollary 4.6)",
+                    "cc-disjoint CRPQ")
+            return DichotomyVerdict(
+                Complexity.SHARP_P_HARD,
+                "constant-free cc-disjoint CRPQ expressible only as an unsafe UCQ "
+                "(Corollary 4.6; safety verdict is the conservative safe-plan test)",
+                "cc-disjoint CRPQ")
+        return DichotomyVerdict(
+            Complexity.SHARP_P_HARD,
+            "constant-free cc-disjoint CRPQ with an unbounded path language "
+            "(Corollary 4.6 via [1])",
+            "cc-disjoint CRPQ")
+    singleton = find_duplicable_singleton_support(query)
+    if singleton is not None:
+        return DichotomyVerdict(
+            Complexity.UNKNOWN,
+            "CRPQ with a duplicable singleton support: FGMC ≡ SVC (Corollary 4.4), but the "
+            "FGMC complexity of this query is not classified by the implemented criteria",
+            "dss CRPQ")
+    return DichotomyVerdict(
+        Complexity.UNKNOWN,
+        "CRPQ outside the constant-free cc-disjoint fragment",
+        "CRPQ")
+
+
+def _classify_cq_negation(query: ConjunctiveQueryWithNegation) -> DichotomyVerdict:
+    """The sjf-CQ¬ dichotomy of [12]: FP iff hierarchical (over all atoms)."""
+    if not query.is_self_join_free():
+        return DichotomyVerdict(Complexity.UNKNOWN,
+                                "CQ with negation and self-joins is not covered",
+                                "CQ¬")
+    if is_hierarchical(query):
+        return DichotomyVerdict(
+            Complexity.FP,
+            "hierarchical sjf-CQ¬ ([12, Theorem 3.1], FP side)",
+            "sjf-CQ¬")
+    return DichotomyVerdict(
+        Complexity.SHARP_P_HARD,
+        "non-hierarchical sjf-CQ¬ ([12, Theorem 3.1]; Proposition 6.1 recaptures the "
+        "component-guarded cases)",
+        "sjf-CQ¬")

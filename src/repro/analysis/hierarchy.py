@@ -1,0 +1,100 @@
+"""Hierarchical queries.
+
+A CQ ``q`` is hierarchical iff for every pair of variables ``x, y`` the sets of
+atoms ``at(x)`` and ``at(y)`` containing them are either disjoint or comparable
+by inclusion.  Equivalently (footnote 5 of the paper), ``q`` is
+*non-hierarchical* iff there are atoms ``α1, α2, α3`` with
+``vars(α1) ∩ vars(α2) ⊄ vars(α3)`` and ``vars(α3) ∩ vars(α2) ⊄ vars(α1)`` —
+in the standard formulation, two variables ``x, y`` and atoms containing
+``x`` only, ``x`` and ``y``, and ``y`` only.
+
+The hierarchy test drives both the SVC dichotomy for sjf-CQs [11] and the
+safety of sjf-CQs for probabilistic query evaluation [4, 5].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..data.atoms import Atom
+from ..data.terms import Variable
+from ..queries.cq import ConjunctiveQuery
+from ..queries.negation import ConjunctiveQueryWithNegation
+from ..queries.ucq import UnionOfConjunctiveQueries
+
+
+@dataclass(frozen=True)
+class NonHierarchicalWitness:
+    """A witness that a query is not hierarchical.
+
+    ``x`` and ``y`` are the offending variables; ``atom_x`` contains ``x`` but
+    not ``y``, ``atom_xy`` contains both, ``atom_y`` contains ``y`` but not ``x``.
+    """
+
+    x: Variable
+    y: Variable
+    atom_x: Atom
+    atom_xy: Atom
+    atom_y: Atom
+
+    def __str__(self) -> str:
+        return (f"variables {self.x}, {self.y} with atoms "
+                f"{self.atom_x} (x only), {self.atom_xy} (both), {self.atom_y} (y only)")
+
+
+def atoms_of_variable(atoms: Sequence[Atom], variable: Variable) -> tuple[Atom, ...]:
+    """The atoms of the list in which the variable occurs (``at(x)``)."""
+    return tuple(a for a in atoms if variable in a.variables())
+
+
+def find_non_hierarchical_witness(atoms: Sequence[Atom]) -> "NonHierarchicalWitness | None":
+    """Return a witness of non-hierarchy for a set of atoms, or ``None`` if hierarchical."""
+    atom_list = list(atoms)
+    variables = sorted({v for a in atom_list for v in a.variables()})
+    for i, x in enumerate(variables):
+        at_x = set(atoms_of_variable(atom_list, x))
+        for y in variables[i + 1:]:
+            at_y = set(atoms_of_variable(atom_list, y))
+            common = at_x & at_y
+            if not common:
+                continue
+            only_x = at_x - at_y
+            only_y = at_y - at_x
+            if only_x and only_y:
+                return NonHierarchicalWitness(
+                    x=x, y=y,
+                    atom_x=sorted(only_x)[0],
+                    atom_xy=sorted(common)[0],
+                    atom_y=sorted(only_y)[0])
+    return None
+
+
+def is_hierarchical_atoms(atoms: Iterable[Atom]) -> bool:
+    """Whether a set of atoms is hierarchical."""
+    return find_non_hierarchical_witness(list(atoms)) is None
+
+
+def is_hierarchical(query: "ConjunctiveQuery | ConjunctiveQueryWithNegation | UnionOfConjunctiveQueries") -> bool:
+    """Whether a query is hierarchical.
+
+    * For a CQ, the standard definition on its atoms.
+    * For a sjf-CQ¬, the definition of [12]: the test is applied to all atoms,
+      positive and negative alike.
+    * For a UCQ, every disjunct must be hierarchical (a sufficient condition for
+      safety used only as a convenience; the dichotomy classifier uses the safe
+      plan construction instead).
+    """
+    if isinstance(query, ConjunctiveQuery):
+        return is_hierarchical_atoms(query.atoms)
+    if isinstance(query, ConjunctiveQueryWithNegation):
+        return is_hierarchical_atoms(query.atoms)
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return all(is_hierarchical_atoms(d.atoms) for d in query.disjuncts)
+    raise TypeError(f"hierarchy is not defined for {type(query).__name__}")
+
+
+def non_hierarchical_witness(query: "ConjunctiveQuery | ConjunctiveQueryWithNegation"
+                             ) -> "NonHierarchicalWitness | None":
+    """A witness of non-hierarchy for a (possibly negated) CQ, or ``None``."""
+    return find_non_hierarchical_witness(list(query.atoms))

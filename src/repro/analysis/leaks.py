@@ -1,0 +1,83 @@
+"""q-leaks (Section 4.1).
+
+A fact ``α`` is a *q-leak* if there is a fact ``α'`` of some minimal support of
+``q`` and a C-homomorphism ``h : {α'} → {α}`` such that ``h(c) ∈ C`` for some
+constant ``c ∈ const(α') \\ C``.  Intuitively, a q-leak lets a minimal support
+of a variable-connected query straddle two databases that only share constants
+of ``C``, by instantiating a variable with a constant of ``C``.
+
+These tests are used to *verify* the hypotheses of Lemma 4.3 before running the
+corresponding reduction (the reduction itself does not need them to execute,
+but its correctness does).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..data.atoms import Atom, Fact, single_atom_c_homomorphisms
+from ..data.terms import Constant
+from ..queries.base import BooleanQuery
+
+
+def support_atoms_of(query: BooleanQuery) -> frozenset[Fact]:
+    """All facts appearing in some canonical minimal support of the query."""
+    atoms: set[Fact] = set()
+    for support in query.canonical_minimal_supports():
+        atoms |= support
+    return frozenset(atoms)
+
+
+def is_q_leak(fact: Fact, query: BooleanQuery,
+              query_constants: "frozenset[Constant] | None" = None) -> bool:
+    """Whether ``fact`` is a q-leak for ``query`` (w.r.t. ``C = query.constants()``)."""
+    constants = query.constants() if query_constants is None else query_constants
+    for support_fact in support_atoms_of(query):
+        for mapping in single_atom_c_homomorphisms(support_fact, fact, constants):
+            for source, target in mapping.items():
+                if (isinstance(source, Constant) and source not in constants
+                        and isinstance(target, Constant) and target in constants):
+                    return True
+    return False
+
+
+def has_q_leak(facts: Iterable[Fact], query: BooleanQuery,
+               query_constants: "frozenset[Constant] | None" = None) -> bool:
+    """Whether some fact of the set is a q-leak for the query."""
+    return any(is_q_leak(f, query, query_constants) for f in facts)
+
+
+def find_leak_free_minimal_support(query: BooleanQuery) -> "frozenset[Fact] | None":
+    """A canonical minimal support of the query containing no q-leak, if any.
+
+    This realizes hypothesis (3) of Lemma 4.3.  Constant-free queries never have
+    leaks (there is no constant of ``C`` to map onto), so any canonical support
+    works.
+    """
+    for support in sorted(query.canonical_minimal_supports(), key=lambda s: (len(s), sorted(s))):
+        if not has_q_leak(support, query):
+            return support
+    return None
+
+
+def leak_witnesses(fact: Fact, query: BooleanQuery) -> list[tuple[Fact, dict]]:
+    """All (support fact, mapping) pairs witnessing that ``fact`` is a q-leak."""
+    constants = query.constants()
+    witnesses: list[tuple[Fact, dict]] = []
+    for support_fact in support_atoms_of(query):
+        for mapping in single_atom_c_homomorphisms(support_fact, fact, constants):
+            for source, target in mapping.items():
+                if (isinstance(source, Constant) and source not in constants
+                        and isinstance(target, Constant) and target in constants):
+                    witnesses.append((support_fact, dict(mapping)))
+                    break
+    return witnesses
+
+
+__all__ = [
+    "find_leak_free_minimal_support",
+    "has_q_leak",
+    "is_q_leak",
+    "leak_witnesses",
+    "support_atoms_of",
+]

@@ -1,0 +1,60 @@
+"""Query safety (tractability for PQE / GMC).
+
+The UCQ dichotomy of [5, 9] states that ``PQE_q`` and ``GMC_q`` are in FP for
+*safe* UCQs and #P-hard otherwise.  This module exposes the conservative
+safety test of the lifted-inference compiler
+(:mod:`repro.probability.lifted`) together with the classical syntactic
+characterization for self-join-free CQs: a sjf-CQ is safe iff it is
+hierarchical.
+"""
+
+from __future__ import annotations
+
+from ..probability.lifted import UnsafeQueryError, is_safe, plan_description, safe_plan
+from ..queries.cq import ConjunctiveQuery
+from ..queries.rpq import RegularPathQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .hierarchy import is_hierarchical
+
+__all__ = [
+    "UnsafeQueryError",
+    "is_safe",
+    "is_safe_sjf_cq",
+    "is_safe_ucq",
+    "plan_description",
+    "safe_plan",
+    "safety_verdict",
+]
+
+
+def is_safe_sjf_cq(query: ConjunctiveQuery) -> bool:
+    """Safety of a self-join-free CQ: exactly the hierarchical ones [4, 5]."""
+    if not query.is_self_join_free():
+        raise ValueError("this criterion applies to self-join-free CQs only")
+    return is_hierarchical(query)
+
+
+def is_safe_ucq(query: "ConjunctiveQuery | UnionOfConjunctiveQueries") -> bool:
+    """Safety of a (U)CQ, via the safe-plan compiler.
+
+    For self-join-free CQs the result is exact (it coincides with the
+    hierarchical test); for general UCQs a ``False`` answer is conservative
+    (no safe plan was found by the rules implemented here).
+    """
+    if isinstance(query, ConjunctiveQuery) and query.is_self_join_free():
+        return is_safe_sjf_cq(query)
+    return is_safe(query)
+
+
+def safety_verdict(query) -> str:
+    """A short human-readable safety verdict used in reports and tables."""
+    if isinstance(query, RegularPathQuery):
+        if query.is_bounded():
+            try:
+                return "safe" if is_safe_ucq(query.to_ucq()) else "unsafe (no safe plan)"
+            except ValueError:
+                return "trivial"
+        return "unbounded (hence #P-hard for MC [1])"
+    if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+        return "safe" if is_safe_ucq(query) else "unsafe (no safe plan)"
+    return "unknown"

@@ -1,0 +1,105 @@
+"""Shapley values of database constants (Section 6.4).
+
+Instead of distributing the query's "wealth" over facts, Section 6.4 treats a
+set of *endogenous constants* as the players: a coalition ``C ⊆ Cn`` is worth 1
+iff the sub-database induced by ``C ∪ Cx`` satisfies the query while the
+sub-database induced by ``Cx`` alone does not.  The counting analogues
+``FGMCconst`` / ``FMCconst`` count the coalitions of each size whose induced
+database satisfies the query; Proposition 6.3 shows ``SVCconst ≡ FGMCconst``
+for hom-closed queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Literal
+
+from ..data.database import Database
+from ..data.terms import Constant
+from ..linalg import shapley_subset_weight
+from ..queries.base import BooleanQuery
+from .games import ConstantQueryGame
+from .shapley import shapley_value as game_shapley_value
+
+ConstantSVCMethod = Literal["auto", "brute", "counting"]
+
+
+def fgmc_constants_vector(query: BooleanQuery, database: Database,
+                          endogenous_constants: Iterable[Constant],
+                          exogenous_constants: "Iterable[Constant] | None" = None
+                          ) -> list[int]:
+    """``FGMCconst`` vector: entry ``k`` counts coalitions ``C ⊆ Cn`` of size ``k``
+    with ``D|_{C ∪ Cx} |= q``."""
+    endo = sorted(frozenset(endogenous_constants))
+    if exogenous_constants is None:
+        exo = database.constants() - frozenset(endo)
+    else:
+        exo = frozenset(exogenous_constants)
+    counts = [0] * (len(endo) + 1)
+    for size in range(len(endo) + 1):
+        for chosen in itertools.combinations(endo, size):
+            restricted = database.restrict_to_constants(frozenset(chosen) | exo)
+            if query.evaluate(restricted):
+                counts[size] += 1
+    return counts
+
+
+def fmc_constants_vector(query: BooleanQuery, database: Database,
+                         endogenous_constants: "Iterable[Constant] | None" = None) -> list[int]:
+    """``FMCconst`` vector: all constants endogenous (no exogenous constants)."""
+    endo = (frozenset(endogenous_constants) if endogenous_constants is not None
+            else database.constants())
+    return fgmc_constants_vector(query, database, endo, exogenous_constants=frozenset())
+
+
+def shapley_value_of_constant(query: BooleanQuery, database: Database,
+                              constant: Constant,
+                              endogenous_constants: Iterable[Constant],
+                              exogenous_constants: "Iterable[Constant] | None" = None,
+                              method: ConstantSVCMethod = "auto") -> Fraction:
+    """``SVCconst_q``: the Shapley value of an endogenous constant.
+
+    ``method="brute"`` uses the subset formula on the constants game;
+    ``method="counting"`` (and ``"auto"``) uses the analogue of Claim A.1:
+    the value is an affine combination of two ``FGMCconst`` vectors, one with
+    the constant moved to the exogenous side and one with it removed.
+    """
+    endo = frozenset(endogenous_constants)
+    if constant not in endo:
+        raise ValueError(f"{constant} is not an endogenous constant")
+    if exogenous_constants is None:
+        exo = database.constants() - endo
+    else:
+        exo = frozenset(exogenous_constants)
+
+    if method == "brute":
+        game = ConstantQueryGame(query, database, endo, exo)
+        return game_shapley_value(game, constant, method="subsets")
+
+    # Counting route (Claim A.1 transposed to constants).
+    if query.evaluate(database.restrict_to_constants(exo)):
+        return Fraction(0)
+    n = len(endo)
+    remaining = endo - {constant}
+    vector_with = fgmc_constants_vector(query, database, remaining, exo | {constant})
+    vector_without = fgmc_constants_vector(query, database, remaining, exo)
+    total = Fraction(0)
+    for j in range(n):
+        weight = shapley_subset_weight(j, n)
+        plus = vector_with[j] if j < len(vector_with) else 0
+        minus = vector_without[j] if j < len(vector_without) else 0
+        total += weight * (plus - minus)
+    return total
+
+
+def shapley_values_of_constants(query: BooleanQuery, database: Database,
+                                endogenous_constants: Iterable[Constant],
+                                exogenous_constants: "Iterable[Constant] | None" = None,
+                                method: ConstantSVCMethod = "auto"
+                                ) -> dict[Constant, Fraction]:
+    """The Shapley value of every endogenous constant."""
+    endo = sorted(frozenset(endogenous_constants))
+    return {c: shapley_value_of_constant(query, database, c, endo,
+                                         exogenous_constants, method)
+            for c in endo}

@@ -1,0 +1,75 @@
+"""SVCn: Shapley values over purely endogenous databases (Section 6.1).
+
+``SVCn_q`` is the restriction of ``SVC_q`` to partitioned databases without
+exogenous facts.  The hardness machinery of the paper relies on exogenous
+facts, so the purely endogenous setting needs the dedicated results of
+Section 6.1; on the algorithmic side (this module), the same solvers apply and
+we additionally provide the reduction ``SVCn_q ≤ FMC_q`` of Corollary 6.1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..counting.problems import CountingMethod, fmc_vector
+from ..data.atoms import Fact
+from ..data.database import Database, PartitionedDatabase, purely_endogenous
+from ..queries.base import BooleanQuery
+from .svc import SVCMethod, shapley_value_from_fgmc_vectors, shapley_value_of_fact
+
+
+def _as_endogenous_pdb(db: "Database | PartitionedDatabase") -> PartitionedDatabase:
+    if isinstance(db, PartitionedDatabase):
+        if not db.is_purely_endogenous():
+            raise ValueError("SVCn requires a database without exogenous facts")
+        return db
+    return purely_endogenous(db)
+
+
+def shapley_value_endogenous(query: BooleanQuery, db: "Database | PartitionedDatabase",
+                             fact: Fact, method: SVCMethod = "auto") -> Fraction:
+    """``SVCn_q``: Shapley value of a fact in a purely endogenous database."""
+    return shapley_value_of_fact(query, _as_endogenous_pdb(db), fact, method)
+
+
+def shapley_value_endogenous_via_fmc(query: BooleanQuery,
+                                     db: "Database | PartitionedDatabase",
+                                     fact: Fact,
+                                     counting_method: CountingMethod = "auto") -> Fraction:
+    """Corollary 6.1: ``SVCn_q ≤poly FMC_q``.
+
+    The straightforward SVC ≤ FGMC reduction would make the distinguished fact
+    exogenous; instead, Lemma 6.1 lets us trade the single exogenous fact for
+    two FMC calls::
+
+        FGMC_j(Dn \\ {μ}, {μ}) = FMC_{j+1}(Dn) [supports containing μ]
+                               = FMC_{j+1}(Dn) - FMC_{j+1}(Dn \\ {μ})
+
+    so the Shapley value of μ is an affine combination of the FMC vectors of
+    ``Dn`` and of ``Dn \\ {μ}`` — only purely endogenous counting problems.
+    """
+    pdb = _as_endogenous_pdb(db)
+    if fact not in pdb.endogenous:
+        raise ValueError(f"{fact} is not a fact of the database")
+    n = len(pdb.endogenous)
+    full_vector = fmc_vector(query, pdb, method=counting_method)
+    reduced = purely_endogenous(pdb.endogenous - {fact})
+    reduced_vector = fmc_vector(query, reduced, method=counting_method)
+    # FGMC vector of (Dn \ {μ}, {μ}): supports of size j of the reduced database
+    # that become supports of size j+1 containing μ in the full database.  The
+    # reduced vector has no entry for size n (the reduced database only has
+    # n - 1 facts), which counts as zero.
+    def reduced_at(index: int) -> int:
+        return reduced_vector[index] if index < len(reduced_vector) else 0
+
+    with_fact_exogenous = [full_vector[j + 1] - reduced_at(j + 1) for j in range(n)]
+    without_fact = [reduced_at(j) for j in range(n)]
+    return shapley_value_from_fgmc_vectors(with_fact_exogenous, without_fact, n)
+
+
+def shapley_values_endogenous(query: BooleanQuery, db: "Database | PartitionedDatabase",
+                              method: SVCMethod = "auto") -> dict[Fact, Fraction]:
+    """Shapley values of all facts of a purely endogenous database."""
+    pdb = _as_endogenous_pdb(db)
+    return {fact: shapley_value_of_fact(query, pdb, fact, method)
+            for fact in sorted(pdb.endogenous)}

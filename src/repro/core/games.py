@@ -1,0 +1,167 @@
+"""Cooperative games (Section 3.1).
+
+A cooperative game is a finite set of players together with a wealth function
+on coalitions satisfying ``v(∅) = 0``.  The games of interest here are the
+*query games*: the players are the endogenous facts of a partitioned database
+and a coalition is worth 1 exactly when adding it to the exogenous facts makes
+the query true (and the exogenous facts alone do not).
+
+Section 6.4 additionally considers games whose players are *constants* rather
+than facts; both are provided.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, Hashable, Iterable, TypeVar
+
+from ..data.atoms import Fact
+from ..data.database import Database, PartitionedDatabase
+from ..data.terms import Constant
+from ..queries.base import BooleanQuery
+
+Player = TypeVar("Player", bound=Hashable)
+
+
+class CooperativeGame(ABC, Generic[Player]):
+    """A cooperative game: a player set and a wealth function with ``v(∅) = 0``."""
+
+    @property
+    @abstractmethod
+    def players(self) -> frozenset[Player]:
+        """The set of players."""
+
+    @abstractmethod
+    def value(self, coalition: "frozenset[Player] | Iterable[Player]") -> int:
+        """The wealth of a coalition."""
+
+    # -- generic properties --------------------------------------------------------
+    def marginal_contribution(self, coalition: "frozenset[Player] | Iterable[Player]",
+                              player: Player) -> int:
+        """``v(B ∪ {p}) - v(B)`` for a coalition ``B`` not containing the player."""
+        base = frozenset(coalition)
+        if player in base:
+            raise ValueError("the coalition must not already contain the player")
+        return self.value(base | {player}) - self.value(base)
+
+    def is_binary(self, sample: "Iterable[frozenset[Player]] | None" = None) -> bool:
+        """Whether the wealth function only takes values in {0, 1} (checked on a sample).
+
+        When ``sample`` is omitted and the game has at most 12 players, all
+        coalitions are checked; otherwise a deterministic sample of coalitions is
+        used (prefix coalitions of the sorted player list).
+        """
+        for coalition in self._coalition_sample(sample):
+            if self.value(coalition) not in (0, 1):
+                return False
+        return True
+
+    def is_monotone(self, sample: "Iterable[frozenset[Player]] | None" = None) -> bool:
+        """Whether the wealth function is monotone (checked on a sample of chains)."""
+        for coalition in self._coalition_sample(sample):
+            value = self.value(coalition)
+            for player in sorted(self.players - coalition, key=str):
+                if self.value(coalition | {player}) < value:
+                    return False
+        return True
+
+    def _coalition_sample(self, sample: "Iterable[frozenset[Player]] | None"
+                          ) -> list[frozenset[Player]]:
+        if sample is not None:
+            return [frozenset(c) for c in sample]
+        ordered = sorted(self.players, key=str)
+        if len(ordered) <= 12:
+            import itertools
+
+            return [frozenset(c) for size in range(len(ordered) + 1)
+                    for c in itertools.combinations(ordered, size)]
+        return [frozenset(ordered[:k]) for k in range(len(ordered) + 1)]
+
+
+class QueryGame(CooperativeGame[Fact]):
+    """The query game of Section 3.1: players are endogenous facts.
+
+    The wealth of a coalition ``S`` is ``v_S - v_x`` where ``v_S = 1`` iff
+    ``S ∪ Dx |= q`` and ``v_x = 1`` iff ``Dx |= q``.
+    """
+
+    def __init__(self, query: BooleanQuery, pdb: PartitionedDatabase):
+        self.query = query
+        self.pdb = pdb
+        self._exogenous_satisfies = 1 if query.evaluate(pdb.exogenous) else 0
+
+    @property
+    def players(self) -> frozenset[Fact]:
+        return self.pdb.endogenous
+
+    def value(self, coalition: "frozenset[Fact] | Iterable[Fact]") -> int:
+        chosen = frozenset(coalition)
+        unknown = chosen - self.pdb.endogenous
+        if unknown:
+            raise ValueError(f"coalition contains non-players: {sorted(unknown)}")
+        satisfied = 1 if self.query.evaluate(chosen | self.pdb.exogenous) else 0
+        return satisfied - self._exogenous_satisfies
+
+    def exogenous_already_satisfies(self) -> bool:
+        """Whether the exogenous facts alone satisfy the query (every value is then 0)."""
+        return bool(self._exogenous_satisfies)
+
+
+class ConstantQueryGame(CooperativeGame[Constant]):
+    """The constants game of Section 6.4: players are endogenous constants.
+
+    For a monotone query ``q``, a database ``D`` and a partition of its
+    constants into endogenous ``Cn`` and exogenous ``Cx``, the wealth of a
+    coalition ``C ⊆ Cn`` is 1 iff ``D|_{C ∪ Cx} |= q`` and ``D|_{Cx} ̸|= q``.
+    """
+
+    def __init__(self, query: BooleanQuery, database: Database,
+                 endogenous_constants: Iterable[Constant],
+                 exogenous_constants: "Iterable[Constant] | None" = None):
+        self.query = query
+        self.database = database
+        self.endogenous_constants = frozenset(endogenous_constants)
+        if exogenous_constants is None:
+            self.exogenous_constants = database.constants() - self.endogenous_constants
+        else:
+            self.exogenous_constants = frozenset(exogenous_constants)
+        overlap = self.endogenous_constants & self.exogenous_constants
+        if overlap:
+            raise ValueError(f"constants cannot be both endogenous and exogenous: {sorted(overlap)}")
+        self._exogenous_satisfies = 1 if query.evaluate(
+            database.restrict_to_constants(self.exogenous_constants)) else 0
+
+    @property
+    def players(self) -> frozenset[Constant]:
+        return self.endogenous_constants
+
+    def value(self, coalition: "frozenset[Constant] | Iterable[Constant]") -> int:
+        chosen = frozenset(coalition)
+        unknown = chosen - self.endogenous_constants
+        if unknown:
+            raise ValueError(f"coalition contains non-players: {sorted(unknown)}")
+        if self._exogenous_satisfies:
+            return 0
+        restricted = self.database.restrict_to_constants(chosen | self.exogenous_constants)
+        return 1 if self.query.evaluate(restricted) else 0
+
+    def exogenous_already_satisfies(self) -> bool:
+        """Whether the exogenous constants alone already satisfy the query."""
+        return bool(self._exogenous_satisfies)
+
+
+class ExplicitGame(CooperativeGame[Player]):
+    """A game given by an explicit table of coalition values (used in tests)."""
+
+    def __init__(self, players: Iterable[Player], values: dict[frozenset[Player], int]):
+        self._players = frozenset(players)
+        self._values = {frozenset(k): v for k, v in values.items()}
+        if self._values.get(frozenset(), 0) != 0:
+            raise ValueError("a cooperative game requires v(∅) = 0")
+
+    @property
+    def players(self) -> frozenset[Player]:
+        return self._players
+
+    def value(self, coalition: "frozenset[Player] | Iterable[Player]") -> int:
+        return self._values.get(frozenset(coalition), 0)

@@ -1,0 +1,80 @@
+"""Exact Shapley values of cooperative games.
+
+Two equivalent formulas are implemented (Equations (1) and (2) of the paper):
+the permutation formula, averaging marginal contributions over all arrival
+orders, and the subset formula, grouping permutations by the coalition
+preceding the player.  Both use exact rational arithmetic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Hashable, Literal, TypeVar
+
+from ..linalg import shapley_subset_weight
+from .games import CooperativeGame
+
+Player = TypeVar("Player", bound=Hashable)
+
+ShapleyMethod = Literal["subsets", "permutations"]
+
+
+def shapley_value(game: CooperativeGame[Player], player: Player,
+                  method: ShapleyMethod = "subsets") -> Fraction:
+    """The Shapley value of a player (Equations (1)/(2)), computed exactly.
+
+    Both methods enumerate exponentially many objects and are intended for
+    small games (they are the ground truth against which the counting-based
+    algorithms and the reductions are verified).
+    """
+    players = game.players
+    if player not in players:
+        raise ValueError(f"{player!r} is not a player of the game")
+    if method == "permutations":
+        return _shapley_by_permutations(game, player)
+    if method == "subsets":
+        return _shapley_by_subsets(game, player)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _shapley_by_permutations(game: CooperativeGame[Player], player: Player) -> Fraction:
+    players = sorted(game.players, key=str)
+    n = len(players)
+    total = Fraction(0)
+    count = 0
+    for order in itertools.permutations(players):
+        position = order.index(player)
+        before = frozenset(order[:position])
+        total += game.value(before | {player}) - game.value(before)
+        count += 1
+    return total / count if count else Fraction(0)
+
+
+def _shapley_by_subsets(game: CooperativeGame[Player], player: Player) -> Fraction:
+    players = sorted(game.players - {player}, key=str)
+    n = len(game.players)
+    total = Fraction(0)
+    for size in range(len(players) + 1):
+        weight = shapley_subset_weight(size, n)
+        for coalition in itertools.combinations(players, size):
+            before = frozenset(coalition)
+            total += weight * (game.value(before | {player}) - game.value(before))
+    return total
+
+
+def shapley_values(game: CooperativeGame[Player],
+                   method: ShapleyMethod = "subsets") -> dict[Player, Fraction]:
+    """The Shapley value of every player of the game."""
+    return {player: shapley_value(game, player, method)
+            for player in sorted(game.players, key=str)}
+
+
+def efficiency_total(game: CooperativeGame[Player],
+                     method: ShapleyMethod = "subsets") -> Fraction:
+    """The sum of all Shapley values.
+
+    By the efficiency axiom this equals ``v(P)``, the wealth of the grand
+    coalition; tests use this as a global sanity check.
+    """
+    return sum(shapley_values(game, method).values(), Fraction(0))

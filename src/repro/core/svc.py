@@ -1,0 +1,134 @@
+"""Shapley value computation for database facts (the SVC problem).
+
+Three algorithms are provided, corresponding to the three levels of the paper's
+story:
+
+* ``method="brute"`` — the definition (Equation (2)), exponential in the number
+  of endogenous facts; the ground truth for tests.
+* ``method="counting"`` — Claim A.1 / Proposition 3.3: the Shapley value is an
+  affine combination of two FGMC vectors (on the database with the fact made
+  exogenous and on the database with the fact removed).  With the lineage-based
+  counter this is usually exponentially faster than brute force, and it is
+  *the* sense in which "Shapley value computation is a matter of counting".
+* ``method="safe"`` — the FP side of the dichotomies: FGMC vectors are obtained
+  from ``n + 1`` lifted-inference PQE evaluations through the Vandermonde
+  bridge, giving a polynomial-time algorithm for safe (U)CQs.
+
+``method="auto"`` tries ``safe``, then ``counting``, then ``brute``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Literal
+
+from ..counting.problems import CountingMethod, fgmc_vector
+from ..data.atoms import Fact
+from ..data.database import PartitionedDatabase
+from ..linalg import shapley_subset_weight
+from ..probability.interpolation import fgmc_vector_via_pqe
+from ..probability.lifted import UnsafeQueryError, lifted_probability
+from ..queries.base import BooleanQuery
+from ..queries.cq import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .games import QueryGame
+from .shapley import shapley_value as game_shapley_value
+
+SVCMethod = Literal["auto", "brute", "counting", "safe"]
+
+
+def shapley_value_of_fact(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact,
+                          method: SVCMethod = "auto",
+                          counting_method: CountingMethod = "auto") -> Fraction:
+    """``SVC_q``: the Shapley value of an endogenous fact for the query.
+
+    ``counting_method`` selects the FGMC backend used by ``method="counting"``
+    (``"lineage"`` or ``"brute"``).
+    """
+    if fact not in pdb.endogenous:
+        raise ValueError(f"{fact} is not an endogenous fact of the database")
+    if method == "brute":
+        return _shapley_brute(query, pdb, fact)
+    if method == "counting":
+        return shapley_value_via_fgmc(query, pdb, fact, counting_method=counting_method)
+    if method == "safe":
+        return shapley_value_safe_pipeline(query, pdb, fact)
+    # auto
+    if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+        try:
+            return shapley_value_safe_pipeline(query, pdb, fact)
+        except UnsafeQueryError:
+            pass
+    if query.is_hom_closed:
+        return shapley_value_via_fgmc(query, pdb, fact, counting_method="lineage")
+    return _shapley_brute(query, pdb, fact)
+
+
+def _shapley_brute(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact) -> Fraction:
+    return game_shapley_value(QueryGame(query, pdb), fact, method="subsets")
+
+
+def shapley_value_from_fgmc_vectors(with_fact_exogenous: list[int],
+                                    without_fact: list[int],
+                                    n_endogenous: int) -> Fraction:
+    """Claim A.1: combine two FGMC vectors into a Shapley value.
+
+    ``with_fact_exogenous[j]`` counts generalized supports of size ``j`` in
+    ``(Dn \\ {μ}, Dx ∪ {μ})``; ``without_fact[j]`` in ``(Dn \\ {μ}, Dx)``;
+    ``n_endogenous`` is ``|Dn|`` (including μ)."""
+    total = Fraction(0)
+    for j in range(n_endogenous):
+        weight = shapley_subset_weight(j, n_endogenous)
+        plus = with_fact_exogenous[j] if j < len(with_fact_exogenous) else 0
+        minus = without_fact[j] if j < len(without_fact) else 0
+        total += weight * (plus - minus)
+    return total
+
+
+def shapley_value_via_fgmc(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact,
+                           counting_method: CountingMethod = "auto") -> Fraction:
+    """SVC via the FGMC oracle (the reduction ``SVC_q ≤ FGMC_q`` of Proposition 3.3)."""
+    n = len(pdb.endogenous)
+    with_fact = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous | {fact})
+    without_fact = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous)
+    vector_with = fgmc_vector(query, with_fact, method=counting_method)
+    vector_without = fgmc_vector(query, without_fact, method=counting_method)
+    return shapley_value_from_fgmc_vectors(vector_with, vector_without, n)
+
+
+def shapley_value_safe_pipeline(query: "ConjunctiveQuery | UnionOfConjunctiveQueries",
+                                pdb: PartitionedDatabase, fact: Fact) -> Fraction:
+    """The polynomial-time pipeline for safe queries.
+
+    Safe plan → lifted PQE at ``n + 1`` probabilities → Vandermonde → FGMC
+    vectors → Claim A.1.  Raises
+    :class:`repro.probability.lifted.UnsafeQueryError` when no safe plan exists.
+    """
+    if not isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+        raise UnsafeQueryError("the safe pipeline applies to CQs and UCQs only")
+    n = len(pdb.endogenous)
+    with_fact = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous | {fact})
+    without_fact = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous)
+
+    def solver(q, tid):
+        return lifted_probability(q, tid)
+
+    vector_with = fgmc_vector_via_pqe(query, with_fact, pqe_solver=solver)
+    vector_without = fgmc_vector_via_pqe(query, without_fact, pqe_solver=solver)
+    return shapley_value_from_fgmc_vectors(vector_with, vector_without, n)
+
+
+def shapley_values_of_facts(query: BooleanQuery, pdb: PartitionedDatabase,
+                            method: SVCMethod = "auto",
+                            counting_method: CountingMethod = "auto"
+                            ) -> dict[Fact, Fraction]:
+    """The Shapley value of every endogenous fact."""
+    return {fact: shapley_value_of_fact(query, pdb, fact, method, counting_method)
+            for fact in sorted(pdb.endogenous)}
+
+
+def rank_facts_by_shapley_value(query: BooleanQuery, pdb: PartitionedDatabase,
+                                method: SVCMethod = "auto") -> list[tuple[Fact, Fraction]]:
+    """Endogenous facts sorted by decreasing Shapley value (ties broken deterministically)."""
+    values = shapley_values_of_facts(query, pdb, method)
+    return sorted(values.items(), key=lambda item: (-item[1], item[0]))

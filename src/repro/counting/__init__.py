@@ -1,0 +1,31 @@
+"""Model counting: lineages, size-stratified DNF counting, MC/GMC/FMC/FGMC."""
+
+from .dnf_counter import MonotoneDNF, add_vectors, binomial_row, clear_caches, convolve, pad
+from .lineage import Lineage, build_lineage
+from .problems import (
+    complement_fgmc_vector,
+    fgmc_vector,
+    fixed_size_generalized_model_count,
+    fixed_size_model_count,
+    fmc_vector,
+    generalized_model_count,
+    model_count,
+)
+
+__all__ = [
+    "Lineage",
+    "MonotoneDNF",
+    "add_vectors",
+    "binomial_row",
+    "build_lineage",
+    "clear_caches",
+    "complement_fgmc_vector",
+    "convolve",
+    "fgmc_vector",
+    "fixed_size_generalized_model_count",
+    "fixed_size_model_count",
+    "fmc_vector",
+    "generalized_model_count",
+    "model_count",
+    "pad",
+]

@@ -1,0 +1,88 @@
+"""Boolean lineage of hom-closed queries over partitioned databases.
+
+For a (C-)hom-closed query ``q`` and a partitioned database ``D = (Dn, Dx)``,
+a subset ``S ⊆ Dn`` satisfies ``S ∪ Dx |= q`` iff it contains the endogenous
+part of some minimal support of ``q`` inside ``Dn ∪ Dx``.  The *lineage* is the
+monotone DNF over the endogenous facts whose clauses are exactly these
+endogenous parts.  All counting and probabilistic computations of the library
+funnel through this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from ..data.atoms import Fact
+from ..data.database import PartitionedDatabase
+from ..queries.base import BooleanQuery
+from .dnf_counter import MonotoneDNF
+
+
+@dataclass(frozen=True)
+class Lineage:
+    """The lineage DNF of a query over a partitioned database.
+
+    ``variables`` fixes an ordering of the endogenous facts; ``dnf`` is the
+    monotone DNF over the corresponding variable indexes.
+    """
+
+    variables: tuple[Fact, ...]
+    dnf: MonotoneDNF
+
+    @property
+    def n_variables(self) -> int:
+        """Number of endogenous facts."""
+        return len(self.variables)
+
+    def index_of(self, fact: Fact) -> int:
+        """The variable index of an endogenous fact."""
+        return self.variables.index(fact)
+
+    def count_by_size(self) -> list[int]:
+        """FGMC vector: the number of generalized supports of each size ``0..n``."""
+        return self.dnf.count_by_size()
+
+    def model_count(self) -> int:
+        """GMC value: the total number of generalized supports."""
+        return self.dnf.model_count()
+
+    def probability(self, probabilities: Mapping[Fact, Fraction]) -> Fraction:
+        """Probability of the query when each endogenous fact is kept independently."""
+        by_index = {self.variables.index(f): Fraction(p) for f, p in probabilities.items()
+                    if f in self.variables}
+        return self.dnf.probability(by_index)
+
+    def uniform_probability(self, p: Fraction) -> Fraction:
+        """Probability when every endogenous fact has the same probability ``p``."""
+        return self.dnf.probability({i: Fraction(p) for i in range(self.n_variables)})
+
+    def evaluate(self, chosen: "frozenset[Fact] | set[Fact]") -> bool:
+        """Whether the subset of endogenous facts satisfies the query (with ``Dx``)."""
+        indexes = {self.variables.index(f) for f in chosen if f in self.variables}
+        return self.dnf.evaluate(indexes)
+
+
+def build_lineage(query: BooleanQuery, pdb: PartitionedDatabase) -> Lineage:
+    """Compute the lineage of a hom-closed query over a partitioned database.
+
+    Raises ``ValueError`` for non-hom-closed queries, whose lineage would not be
+    a monotone DNF; use the brute-force counters for those.
+    """
+    if not query.is_hom_closed:
+        raise ValueError(
+            "lineage-based counting requires a (C-)hom-closed query; "
+            f"{type(query).__name__} is not")
+    variables = tuple(sorted(pdb.endogenous))
+    index: dict[Fact, int] = {f: i for i, f in enumerate(variables)}
+
+    if query.evaluate(pdb.exogenous):
+        dnf = MonotoneDNF(len(variables), [frozenset()])
+        return Lineage(variables, dnf)
+
+    clauses: set[frozenset[int]] = set()
+    for support in query.minimal_supports_in(pdb.all_facts):
+        endogenous_part = support - pdb.exogenous
+        clauses.add(frozenset(index[f] for f in endogenous_part))
+    return Lineage(variables, MonotoneDNF(len(variables), clauses))

@@ -1,0 +1,110 @@
+"""The model counting problems of Section 3.2: MC, GMC, FMC, FGMC.
+
+Every problem is provided in two implementations:
+
+* ``method="brute"`` — enumerate subsets of the endogenous facts and evaluate
+  the query on each (exponential, works for any Boolean query),
+* ``method="lineage"`` — build the monotone-DNF lineage and run the
+  size-stratified model counter (requires a hom-closed query; usually far
+  faster and the method the paper's "counting" viewpoint corresponds to).
+
+``method="auto"`` picks the lineage method for hom-closed queries and falls
+back to brute force otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Literal
+
+from ..data.database import Database, PartitionedDatabase, purely_endogenous
+from ..queries.base import BooleanQuery
+from .lineage import build_lineage
+
+CountingMethod = Literal["auto", "brute", "lineage"]
+
+
+def _resolve_method(query: BooleanQuery, method: CountingMethod) -> str:
+    if method == "auto":
+        return "lineage" if query.is_hom_closed else "brute"
+    if method == "lineage" and not query.is_hom_closed:
+        raise ValueError("lineage counting requires a hom-closed query")
+    return method
+
+
+def fgmc_vector(query: BooleanQuery, pdb: PartitionedDatabase,
+                method: CountingMethod = "auto") -> list[int]:
+    """The full FGMC vector: entry ``k`` counts generalized supports of size ``k``.
+
+    A *generalized support* of size ``k`` is a subset ``S ⊆ Dn`` with ``|S| = k``
+    and ``S ∪ Dx |= q``.
+    """
+    resolved = _resolve_method(query, method)
+    if resolved == "lineage":
+        return build_lineage(query, pdb).count_by_size()
+    endogenous = sorted(pdb.endogenous)
+    n = len(endogenous)
+    counts = [0] * (n + 1)
+    exogenous = pdb.exogenous
+    for size in range(n + 1):
+        for subset in itertools.combinations(endogenous, size):
+            if query.evaluate(frozenset(subset) | exogenous):
+                counts[size] += 1
+    return counts
+
+
+def fixed_size_generalized_model_count(query: BooleanQuery, pdb: PartitionedDatabase,
+                                       size: int, method: CountingMethod = "auto") -> int:
+    """FGMC_q(D, size): the number of generalized supports of exactly the given size."""
+    if size < 0 or size > len(pdb.endogenous):
+        return 0
+    return fgmc_vector(query, pdb, method)[size]
+
+
+def generalized_model_count(query: BooleanQuery, pdb: PartitionedDatabase,
+                            method: CountingMethod = "auto") -> int:
+    """GMC_q(D): the number of subsets ``S ⊆ Dn`` with ``S ∪ Dx |= q``."""
+    return sum(fgmc_vector(query, pdb, method))
+
+
+def fmc_vector(query: BooleanQuery, db: "Database | PartitionedDatabase",
+               method: CountingMethod = "auto") -> list[int]:
+    """The FMC vector over a purely endogenous database.
+
+    If a partitioned database is passed it must have no exogenous facts
+    (FMC is GMC restricted to ``Dx = ∅``).
+    """
+    pdb = _as_purely_endogenous(db)
+    return fgmc_vector(query, pdb, method)
+
+
+def fixed_size_model_count(query: BooleanQuery, db: "Database | PartitionedDatabase",
+                           size: int, method: CountingMethod = "auto") -> int:
+    """FMC_q(D, size) over a purely endogenous database."""
+    pdb = _as_purely_endogenous(db)
+    return fixed_size_generalized_model_count(query, pdb, size, method)
+
+
+def model_count(query: BooleanQuery, db: "Database | PartitionedDatabase",
+                method: CountingMethod = "auto") -> int:
+    """MC_q(D): the number of sub-databases satisfying the query (no exogenous facts)."""
+    pdb = _as_purely_endogenous(db)
+    return generalized_model_count(query, pdb, method)
+
+
+def complement_fgmc_vector(query: BooleanQuery, pdb: PartitionedDatabase,
+                           method: CountingMethod = "auto") -> list[int]:
+    """The complement vector: entry ``k`` counts size-``k`` subsets that are NOT generalized supports."""
+    counts = fgmc_vector(query, pdb, method)
+    n = len(pdb.endogenous)
+    return [math.comb(n, k) - counts[k] for k in range(n + 1)]
+
+
+def _as_purely_endogenous(db: "Database | PartitionedDatabase") -> PartitionedDatabase:
+    if isinstance(db, PartitionedDatabase):
+        if not db.is_purely_endogenous():
+            raise ValueError("MC/FMC are defined on databases without exogenous facts; "
+                             "use GMC/FGMC for partitioned databases")
+        return db
+    return purely_endogenous(db)

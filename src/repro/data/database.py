@@ -1,0 +1,241 @@
+"""Databases and partitioned databases.
+
+A database is a finite set of facts.  Following Section 3 of the paper, all
+databases handled by the Shapley / counting problems are *partitioned* into
+endogenous facts ``Dn`` (the players / uncertain facts) and exogenous facts
+``Dx`` (assumed facts, always present).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .atoms import Fact, atoms_constants
+from .terms import Constant
+
+
+class Database:
+    """An unpartitioned database: a finite set of facts.
+
+    ``Database`` behaves like an immutable set of :class:`Fact` objects with a
+    few relational conveniences (active domain, per-relation indexes,
+    restriction to a set of constants).
+    """
+
+    __slots__ = ("_facts", "_by_relation")
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        fs = frozenset(facts)
+        for f in fs:
+            if not isinstance(f, Fact):
+                if isinstance(f, tuple):
+                    raise TypeError("databases contain Fact objects, not tuples")
+                if not f.is_ground():
+                    raise ValueError(f"databases contain only ground atoms, got {f}")
+        object.__setattr__(self, "_facts", fs)
+        by_rel: dict[str, set[Fact]] = {}
+        for f in fs:
+            by_rel.setdefault(f.relation, set()).add(f)
+        object.__setattr__(self, "_by_relation",
+                           {r: frozenset(v) for r, v in by_rel.items()})
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Database objects are immutable")
+
+    # -- set protocol -------------------------------------------------------
+    @property
+    def facts(self) -> frozenset[Fact]:
+        """The facts of the database as a frozenset."""
+        return self._facts
+
+    def __contains__(self, f: object) -> bool:
+        return f in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Database):
+            return self._facts == other._facts
+        if isinstance(other, (set, frozenset)):
+            return self._facts == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._facts)
+
+    def __or__(self, other: "Database | Iterable[Fact]") -> "Database":
+        return Database(self._facts | _as_fact_set(other))
+
+    def __and__(self, other: "Database | Iterable[Fact]") -> "Database":
+        return Database(self._facts & _as_fact_set(other))
+
+    def __sub__(self, other: "Database | Iterable[Fact]") -> "Database":
+        return Database(self._facts - _as_fact_set(other))
+
+    # -- relational conveniences --------------------------------------------
+    def relations(self) -> frozenset[str]:
+        """The relation names used in the database."""
+        return frozenset(self._by_relation)
+
+    def facts_of(self, relation: str) -> frozenset[Fact]:
+        """All facts with the given relation name."""
+        return self._by_relation.get(relation, frozenset())
+
+    def constants(self) -> frozenset[Constant]:
+        """The active domain of the database (all constants in its facts)."""
+        return atoms_constants(self._facts)
+
+    def is_graph_database(self) -> bool:
+        """``True`` iff every fact is binary (the schema is a graph schema)."""
+        return all(f.arity == 2 for f in self._facts)
+
+    def restrict_to_constants(self, allowed: Iterable[Constant]) -> "Database":
+        """The induced database ``D|_C``: facts whose constants all lie in ``allowed``.
+
+        This is the operation used in Section 6.4 (Shapley value of constants).
+        """
+        allowed_set = frozenset(allowed)
+        return Database(f for f in self._facts if f.constants() <= allowed_set)
+
+    def rename_constants(self, mapping: Mapping[Constant, Constant]) -> "Database":
+        """Apply a constant renaming to every fact."""
+        return Database(f.substitute(mapping).to_fact() for f in self._facts)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(f) for f in sorted(self._facts)) + "}"
+
+    def __repr__(self) -> str:
+        return f"Database({sorted(self._facts)!r})"
+
+
+def _as_fact_set(obj: "Database | Iterable[Fact]") -> frozenset[Fact]:
+    if isinstance(obj, Database):
+        return obj.facts
+    return frozenset(obj)
+
+
+class PartitionedDatabase:
+    """A database partitioned into endogenous and exogenous facts.
+
+    The pair ``D = (Dn, Dx)`` of Section 3: ``Dn`` are the endogenous facts
+    (players of the Shapley game, counted subsets of the (generalized) model
+    counting problems) and ``Dx`` are the exogenous facts (always present).
+    The two parts must be disjoint.
+    """
+
+    __slots__ = ("_endogenous", "_exogenous")
+
+    def __init__(self, endogenous: Iterable[Fact] = (), exogenous: Iterable[Fact] = ()):
+        endo = frozenset(endogenous)
+        exo = frozenset(exogenous)
+        overlap = endo & exo
+        if overlap:
+            raise ValueError(f"endogenous and exogenous facts must be disjoint, "
+                             f"overlap: {sorted(overlap)}")
+        for f in endo | exo:
+            if not isinstance(f, Fact):
+                raise TypeError("partitioned databases contain Fact objects")
+        object.__setattr__(self, "_endogenous", endo)
+        object.__setattr__(self, "_exogenous", exo)
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("PartitionedDatabase objects are immutable")
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def endogenous(self) -> frozenset[Fact]:
+        """The endogenous facts ``Dn``."""
+        return self._endogenous
+
+    @property
+    def exogenous(self) -> frozenset[Fact]:
+        """The exogenous facts ``Dx``."""
+        return self._exogenous
+
+    @property
+    def all_facts(self) -> frozenset[Fact]:
+        """All facts of the database (``Dn ∪ Dx``)."""
+        return self._endogenous | self._exogenous
+
+    def to_database(self) -> Database:
+        """Forget the partition and return a plain :class:`Database`."""
+        return Database(self.all_facts)
+
+    def constants(self) -> frozenset[Constant]:
+        """The active domain of the whole database."""
+        return atoms_constants(self.all_facts)
+
+    def relations(self) -> frozenset[str]:
+        """The relation names used anywhere in the database."""
+        return frozenset(f.relation for f in self.all_facts)
+
+    def is_purely_endogenous(self) -> bool:
+        """``True`` iff ``Dx = ∅`` (the setting of Section 6.1)."""
+        return not self._exogenous
+
+    def __len__(self) -> int:
+        return len(self._endogenous) + len(self._exogenous)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionedDatabase):
+            return NotImplemented
+        return (self._endogenous == other._endogenous
+                and self._exogenous == other._exogenous)
+
+    def __hash__(self) -> int:
+        return hash((self._endogenous, self._exogenous))
+
+    # -- derived databases -----------------------------------------------------
+    def with_endogenous(self, facts: Iterable[Fact]) -> "PartitionedDatabase":
+        """A new partitioned database with additional endogenous facts."""
+        return PartitionedDatabase(self._endogenous | frozenset(facts), self._exogenous)
+
+    def with_exogenous(self, facts: Iterable[Fact]) -> "PartitionedDatabase":
+        """A new partitioned database with additional exogenous facts."""
+        return PartitionedDatabase(self._endogenous, self._exogenous | frozenset(facts))
+
+    def without(self, facts: Iterable[Fact]) -> "PartitionedDatabase":
+        """A new partitioned database with the given facts removed from both parts."""
+        removed = frozenset(facts)
+        return PartitionedDatabase(self._endogenous - removed, self._exogenous - removed)
+
+    def move_to_exogenous(self, facts: Iterable[Fact]) -> "PartitionedDatabase":
+        """Move the given (endogenous) facts to the exogenous part."""
+        moved = frozenset(facts)
+        missing = moved - self._endogenous
+        if missing:
+            raise ValueError(f"facts not endogenous: {sorted(missing)}")
+        return PartitionedDatabase(self._endogenous - moved, self._exogenous | moved)
+
+    def rename_constants(self, mapping: Mapping[Constant, Constant]) -> "PartitionedDatabase":
+        """Apply a constant renaming to every fact, preserving the partition."""
+        return PartitionedDatabase(
+            (f.substitute(mapping).to_fact() for f in self._endogenous),
+            (f.substitute(mapping).to_fact() for f in self._exogenous),
+        )
+
+    def __str__(self) -> str:
+        endo = ", ".join(str(f) for f in sorted(self._endogenous))
+        exo = ", ".join(str(f) for f in sorted(self._exogenous))
+        return f"(Dn={{{endo}}}, Dx={{{exo}}})"
+
+    def __repr__(self) -> str:
+        return (f"PartitionedDatabase(endogenous={sorted(self._endogenous)!r}, "
+                f"exogenous={sorted(self._exogenous)!r})")
+
+
+def partitioned(endogenous: Iterable[Fact] = (),
+                exogenous: Iterable[Fact] = ()) -> PartitionedDatabase:
+    """Convenience constructor for partitioned databases."""
+    return PartitionedDatabase(endogenous, exogenous)
+
+
+def purely_endogenous(facts: "Iterable[Fact] | Database") -> PartitionedDatabase:
+    """Wrap an unpartitioned database as a purely endogenous partitioned database."""
+    if isinstance(facts, Database):
+        facts = facts.facts
+    return PartitionedDatabase(facts, ())

@@ -1,0 +1,188 @@
+"""Synthetic workload generators.
+
+The paper has no experimental datasets; its constructions are exercised here on
+synthetic instances.  These generators produce the standard instance families
+used throughout the tests, examples and benchmarks:
+
+* bipartite ``R(x), S(x, y), T(y)`` instances (the classic hard instance family
+  for the non-hierarchical query ``q_RST``),
+* random databases over an arbitrary schema,
+* random / path / star / cycle graph databases for RPQs and CRPQs,
+* an author–publication–keyword database for the Shapley-value-of-constants
+  scenario of Section 6.4 (query ``q*``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .atoms import Fact, fact
+from .database import Database, PartitionedDatabase
+from .schema import Schema
+from .terms import Constant, const
+
+
+def _rng(seed: "int | random.Random | None") -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def bipartite_rst_database(n_left: int, n_right: int,
+                           edge_probability: float = 0.5,
+                           seed: "int | None" = 0) -> Database:
+    """A bipartite instance for the schema ``R/1, S/2, T/1``.
+
+    Left nodes ``l0..l{n_left-1}`` carry ``R`` facts, right nodes ``r0..`` carry
+    ``T`` facts, and each (left, right) pair carries an ``S`` edge independently
+    with probability ``edge_probability``.  This is the instance family used in
+    hardness proofs for the non-hierarchical query
+    ``q_RST = ∃x∃y R(x) ∧ S(x, y) ∧ T(y)``.
+    """
+    rng = _rng(seed)
+    facts: set[Fact] = set()
+    lefts = [const(f"l{i}") for i in range(n_left)]
+    rights = [const(f"r{j}") for j in range(n_right)]
+    for left in lefts:
+        facts.add(fact("R", left))
+    for right in rights:
+        facts.add(fact("T", right))
+    for left in lefts:
+        for right in rights:
+            if rng.random() < edge_probability:
+                facts.add(fact("S", left, right))
+    return Database(facts)
+
+
+def complete_bipartite_s_facts(n_left: int, n_right: int) -> frozenset[Fact]:
+    """All ``S(l_i, r_j)`` facts of the complete bipartite graph."""
+    return frozenset(fact("S", f"l{i}", f"r{j}")
+                     for i in range(n_left) for j in range(n_right))
+
+
+def random_database(schema: Schema, domain_size: int, n_facts: int,
+                    seed: "int | None" = 0) -> Database:
+    """A random database over ``schema`` with at most ``n_facts`` distinct facts."""
+    rng = _rng(seed)
+    domain = [const(f"c{i}") for i in range(domain_size)]
+    relations = sorted(schema.relations())
+    facts: set[Fact] = set()
+    attempts = 0
+    while len(facts) < n_facts and attempts < 50 * n_facts + 100:
+        attempts += 1
+        rel = rng.choice(relations)
+        args = tuple(rng.choice(domain) for _ in range(schema.arity(rel)))
+        facts.add(Fact(rel, args))
+    return Database(facts)
+
+
+def random_graph_database(n_nodes: int, n_edges: int, labels: Sequence[str] = ("A", "B"),
+                          seed: "int | None" = 0) -> Database:
+    """A random edge-labelled graph database."""
+    rng = _rng(seed)
+    nodes = [const(f"v{i}") for i in range(n_nodes)]
+    facts: set[Fact] = set()
+    attempts = 0
+    while len(facts) < n_edges and attempts < 50 * n_edges + 100:
+        attempts += 1
+        label = rng.choice(list(labels))
+        src = rng.choice(nodes)
+        dst = rng.choice(nodes)
+        facts.add(Fact(label, (src, dst)))
+    return Database(facts)
+
+
+def path_graph_database(labels: Sequence[str], start: str = "n0") -> Database:
+    """A simple labelled path: ``labels[0](n0, n1), labels[1](n1, n2), ...``."""
+    facts = []
+    prev = const(start)
+    for i, label in enumerate(labels):
+        nxt = const(f"n{i + 1}") if start == "n0" else const(f"{start}_{i + 1}")
+        facts.append(Fact(label, (prev, nxt)))
+        prev = nxt
+    return Database(facts)
+
+
+def star_graph_database(n_rays: int, label: str = "A", center: str = "hub") -> Database:
+    """A star graph: ``label(hub, leaf_i)`` for each ray."""
+    hub = const(center)
+    return Database(Fact(label, (hub, const(f"leaf{i}"))) for i in range(n_rays))
+
+
+def cycle_graph_database(n_nodes: int, label: str = "A") -> Database:
+    """A labelled directed cycle on ``n_nodes`` nodes."""
+    nodes = [const(f"v{i}") for i in range(n_nodes)]
+    return Database(Fact(label, (nodes[i], nodes[(i + 1) % n_nodes])) for i in range(n_nodes))
+
+
+def layered_path_database(n_layers: int, width: int, label: str = "A",
+                          seed: "int | None" = 0, edge_probability: float = 0.6) -> Database:
+    """A layered DAG whose edges go from layer ``i`` to layer ``i+1``.
+
+    Useful for RPQ experiments: paths from the unique source ``s`` to the unique
+    target ``t`` traverse all layers.
+    """
+    rng = _rng(seed)
+    facts: set[Fact] = set()
+    source = const("s")
+    target = const("t")
+    layers: list[list[Constant]] = [[source]]
+    for layer_index in range(n_layers):
+        layers.append([const(f"u{layer_index}_{k}") for k in range(width)])
+    layers.append([target])
+    for i in range(len(layers) - 1):
+        for u in layers[i]:
+            any_edge = False
+            for v in layers[i + 1]:
+                if rng.random() < edge_probability:
+                    facts.add(Fact(label, (u, v)))
+                    any_edge = True
+            if not any_edge:
+                facts.add(Fact(label, (u, layers[i + 1][0])))
+    return Database(facts)
+
+
+def publication_keyword_database(n_authors: int, n_papers: int, n_keywords: int = 3,
+                                 seed: "int | None" = 0,
+                                 shapley_keyword: str = "Shapley") -> Database:
+    """The author–publication–keyword workload of Section 6.4.
+
+    Schema: ``Publication(authorID, paperID)`` and ``Keyword(paperID, keywordStr)``.
+    Roughly half of the papers are tagged with ``shapley_keyword``, the others
+    with generic keywords; authorship is assigned at random.
+    """
+    rng = _rng(seed)
+    facts: set[Fact] = set()
+    authors = [const(f"author{i}") for i in range(n_authors)]
+    papers = [const(f"paper{j}") for j in range(n_papers)]
+    keywords = [const(shapley_keyword)] + [const(f"kw{k}") for k in range(1, n_keywords)]
+    for j, paper in enumerate(papers):
+        keyword = keywords[0] if j % 2 == 0 else keywords[1 + (j % (len(keywords) - 1))]
+        facts.add(Fact("Keyword", (paper, keyword)))
+        n_coauthors = 1 + rng.randrange(min(2, n_authors))
+        for author in rng.sample(authors, n_coauthors):
+            facts.add(Fact("Publication", (author, paper)))
+    return Database(facts)
+
+
+def partition_randomly(db: "Database | Iterable[Fact]", exogenous_fraction: float = 0.3,
+                       seed: "int | None" = 0) -> PartitionedDatabase:
+    """Randomly split a database into endogenous and exogenous facts."""
+    rng = _rng(seed)
+    facts = sorted(db.facts if isinstance(db, Database) else frozenset(db))
+    endo: list[Fact] = []
+    exo: list[Fact] = []
+    for f in facts:
+        (exo if rng.random() < exogenous_fraction else endo).append(f)
+    return PartitionedDatabase(endo, exo)
+
+
+def partition_by_relation(db: "Database | Iterable[Fact]",
+                          exogenous_relations: Iterable[str]) -> PartitionedDatabase:
+    """Split a database: facts of the listed relations become exogenous."""
+    exo_rels = frozenset(exogenous_relations)
+    facts = db.facts if isinstance(db, Database) else frozenset(db)
+    endo = [f for f in facts if f.relation not in exo_rels]
+    exo = [f for f in facts if f.relation in exo_rels]
+    return PartitionedDatabase(endo, exo)

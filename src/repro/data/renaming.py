@@ -1,0 +1,66 @@
+"""C-isomorphic renamings of fact sets.
+
+The reductions of Section 5 repeatedly rename parts of the construction "so
+that no constant is shared besides those in C".  A *C-isomorphic renaming* is
+an injective mapping of constants that is the identity on C.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .atoms import Fact, atoms_constants
+from .database import PartitionedDatabase
+from .terms import Constant, FreshConstantFactory
+
+
+def c_isomorphic_renaming(facts: Iterable[Fact],
+                          fixed: frozenset[Constant],
+                          avoid: frozenset[Constant],
+                          factory: "FreshConstantFactory | None" = None,
+                          ) -> dict[Constant, Constant]:
+    """Compute a renaming of the constants of ``facts`` that fixes ``fixed``.
+
+    Every constant outside ``fixed`` is mapped to a fresh constant that does not
+    occur in ``avoid`` (nor in ``facts`` or ``fixed``).  The returned mapping can
+    be applied with :func:`rename_facts`.
+    """
+    present = atoms_constants(facts)
+    if factory is None:
+        factory = FreshConstantFactory(avoid | present | fixed, prefix="ren")
+    else:
+        factory.avoid(avoid | present | fixed)
+    mapping: dict[Constant, Constant] = {}
+    for c in sorted(present):
+        if c in fixed:
+            mapping[c] = c
+        else:
+            mapping[c] = factory.fresh(c.name)
+    return mapping
+
+
+def rename_facts(facts: Iterable[Fact], mapping: dict[Constant, Constant]) -> frozenset[Fact]:
+    """Apply a constant renaming to a set of facts."""
+    return frozenset(f.substitute(mapping).to_fact() for f in facts)
+
+
+def rename_apart(facts: Iterable[Fact],
+                 fixed: frozenset[Constant],
+                 avoid: frozenset[Constant],
+                 factory: "FreshConstantFactory | None" = None) -> frozenset[Fact]:
+    """Return a C-isomorphic copy of ``facts`` sharing no constant with ``avoid`` outside ``fixed``."""
+    facts = list(facts)
+    mapping = c_isomorphic_renaming(facts, fixed, avoid, factory)
+    return rename_facts(facts, mapping)
+
+
+def rename_partitioned_apart(pdb: PartitionedDatabase,
+                             fixed: frozenset[Constant],
+                             avoid: frozenset[Constant]) -> PartitionedDatabase:
+    """C-isomorphically rename a partitioned database away from ``avoid``.
+
+    This is the renaming used in Claim 5.1 to ensure that the input database
+    shares no constant (outside C) with the construction.
+    """
+    mapping = c_isomorphic_renaming(pdb.all_facts, fixed, avoid)
+    return pdb.rename_constants(mapping)

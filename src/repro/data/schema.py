@@ -1,0 +1,107 @@
+"""Relational schemas.
+
+A schema is a finite set of relation names, each with a positive arity.  The
+paper distinguishes *graph databases*, whose schema is binary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .atoms import Atom
+from .database import Database, PartitionedDatabase
+
+
+class Schema:
+    """A relational schema mapping relation names to arities."""
+
+    __slots__ = ("_arities",)
+
+    def __init__(self, arities: Mapping[str, int]):
+        for name, arity in arities.items():
+            if not name:
+                raise ValueError("relation names must be non-empty")
+            if arity <= 0:
+                raise ValueError(f"relation {name!r} must have positive arity, got {arity}")
+        object.__setattr__(self, "_arities", dict(arities))
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Schema objects are immutable")
+
+    @classmethod
+    def from_atoms(cls, atoms: Iterable[Atom]) -> "Schema":
+        """Infer a schema from a collection of atoms or facts."""
+        arities: dict[str, int] = {}
+        for a in atoms:
+            existing = arities.get(a.relation)
+            if existing is not None and existing != a.arity:
+                raise ValueError(
+                    f"inconsistent arity for relation {a.relation!r}: {existing} vs {a.arity}")
+            arities[a.relation] = a.arity
+        return cls(arities)
+
+    @classmethod
+    def from_database(cls, db: "Database | PartitionedDatabase") -> "Schema":
+        """Infer a schema from a database."""
+        if isinstance(db, PartitionedDatabase):
+            return cls.from_atoms(db.all_facts)
+        return cls.from_atoms(db.facts)
+
+    @classmethod
+    def graph(cls, *relation_names: str) -> "Schema":
+        """A binary (graph) schema over the given relation names."""
+        return cls({name: 2 for name in relation_names})
+
+    def arity(self, relation: str) -> int:
+        """The arity of a relation name (raises ``KeyError`` if unknown)."""
+        return self._arities[relation]
+
+    def relations(self) -> frozenset[str]:
+        """The relation names of the schema."""
+        return frozenset(self._arities)
+
+    def is_binary(self) -> bool:
+        """``True`` iff every relation has arity 2 (a graph schema)."""
+        return all(a == 2 for a in self._arities.values())
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._arities
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._arities))
+
+    def __len__(self) -> int:
+        return len(self._arities)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._arities == other._arities
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._arities.items()))
+
+    def validate(self, db: "Database | PartitionedDatabase") -> None:
+        """Raise ``ValueError`` if a fact of the database does not fit the schema."""
+        facts = db.all_facts if isinstance(db, PartitionedDatabase) else db.facts
+        for f in facts:
+            if f.relation not in self._arities:
+                raise ValueError(f"fact {f} uses relation {f.relation!r} not in schema")
+            if f.arity != self._arities[f.relation]:
+                raise ValueError(
+                    f"fact {f} has arity {f.arity}, schema says {self._arities[f.relation]}")
+
+    def validate_atoms(self, atoms: Iterable[Atom]) -> None:
+        """Raise ``ValueError`` if an atom does not fit the schema."""
+        for a in atoms:
+            if a.relation not in self._arities:
+                raise ValueError(f"atom {a} uses relation {a.relation!r} not in schema")
+            if a.arity != self._arities[a.relation]:
+                raise ValueError(
+                    f"atom {a} has arity {a.arity}, schema says {self._arities[a.relation]}")
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{r}/{a}" for r, a in sorted(self._arities.items()))
+        return f"Schema({inner})"
+
+    __repr__ = __str__

@@ -1,0 +1,113 @@
+"""Terms of the relational model: constants and variables.
+
+The paper fixes two disjoint infinite sets ``Const`` and ``Var``.  We model them
+with two small immutable classes.  Both are hashable and totally ordered (within
+their own kind) so that databases, supports and homomorphisms can be represented
+with plain ``frozenset`` / ``dict`` objects and printed deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Constant:
+    """A database constant (an element of ``Const``).
+
+    The ``name`` may be any string; integers are accepted by the convenience
+    constructor :func:`const` and converted to their decimal representation.
+    """
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Variable:
+    """A query variable (an element of ``Var``)."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"?{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+#: A term is either a constant or a variable.
+Term = Union[Constant, Variable]
+
+
+def const(name: "str | int | Constant") -> Constant:
+    """Build a :class:`Constant` from a string, an int, or another constant."""
+    if isinstance(name, Constant):
+        return name
+    return Constant(str(name))
+
+
+def var(name: "str | Variable") -> Variable:
+    """Build a :class:`Variable` from a string or another variable."""
+    if isinstance(name, Variable):
+        return name
+    return Variable(str(name))
+
+
+def consts(*names: "str | int | Constant") -> tuple[Constant, ...]:
+    """Build several constants at once: ``a, b = consts("a", "b")``."""
+    return tuple(const(n) for n in names)
+
+
+def variables(*names: "str | Variable") -> tuple[Variable, ...]:
+    """Build several variables at once: ``x, y = variables("x", "y")``."""
+    return tuple(var(n) for n in names)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` iff ``term`` is a constant."""
+    return isinstance(term, Constant)
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` iff ``term`` is a variable."""
+    return isinstance(term, Variable)
+
+
+class FreshConstantFactory:
+    """A supply of fresh constants guaranteed to avoid a given set of names.
+
+    The reductions of the paper repeatedly need constants "not appearing
+    anywhere else" (fresh copies of a support, frozen variables of a canonical
+    database, ...).  A factory is seeded with the constants to avoid and hands
+    out deterministically named fresh constants.
+    """
+
+    def __init__(self, avoid: "frozenset[Constant] | set[Constant] | tuple[Constant, ...]" = (),
+                 prefix: str = "fresh"):
+        self._avoid = {c.name for c in avoid}
+        self._prefix = prefix
+        self._counter = 0
+
+    def avoid(self, more: "set[Constant] | frozenset[Constant] | tuple[Constant, ...]") -> None:
+        """Add further constants that must never be produced."""
+        self._avoid.update(c.name for c in more)
+
+    def fresh(self, hint: str = "") -> Constant:
+        """Return a new constant, distinct from all previously produced or avoided ones."""
+        while True:
+            base = f"_{self._prefix}_{hint}_{self._counter}" if hint else f"_{self._prefix}_{self._counter}"
+            self._counter += 1
+            if base not in self._avoid:
+                self._avoid.add(base)
+                return Constant(base)
+
+    def fresh_many(self, count: int, hint: str = "") -> tuple[Constant, ...]:
+        """Return ``count`` distinct fresh constants."""
+        return tuple(self.fresh(hint) for _ in range(count))

@@ -1,0 +1,248 @@
+"""A catalog of the queries named or used in the paper.
+
+Each entry pairs a query object with the paper location it comes from and the
+expected complexity verdict (when the paper states one).  The catalog drives
+the Figure 1b experiment, the dichotomy tests and several examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.dichotomy import Complexity
+from ..data.atoms import atom
+from ..data.terms import var
+from ..queries.base import BooleanQuery
+from ..queries.cq import ConjunctiveQuery, cq
+from ..queries.crpq import crpq, path_atom
+from ..queries.negation import ConjunctiveQueryWithNegation, FirstOrderNegationQuery, cq_with_negation
+from ..queries.rpq import rpq
+from ..queries.ucq import ucq
+
+X, Y, Z, W, U = var("x"), var("y"), var("z"), var("w"), var("u")
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """A named query together with its provenance in the paper."""
+
+    name: str
+    query: BooleanQuery
+    query_class: str
+    source: str
+    expected: "Complexity | None" = None
+    notes: str = ""
+
+
+def q_rst() -> ConjunctiveQuery:
+    """``q_RST = ∃x∃y R(x) ∧ S(x, y) ∧ T(y)`` — the canonical non-hierarchical sjf-CQ."""
+    return cq(atom("R", X), atom("S", X, Y), atom("T", Y), name="q_RST")
+
+
+def q_hierarchical() -> ConjunctiveQuery:
+    """``∃x∃y R(x) ∧ S(x, y)`` — the canonical hierarchical (hence safe) sjf-CQ."""
+    return cq(atom("R", X), atom("S", X, Y), name="q_hier")
+
+
+def q_hierarchical_three_atoms() -> ConjunctiveQuery:
+    """``∃x∃y R(x) ∧ S(x, y) ∧ S2(x, y)``-style hierarchical query with three atoms."""
+    return cq(atom("R", X), atom("S", X, Y), atom("V", X, Y, Y), name="q_hier3")
+
+
+def q_leak_example() -> ConjunctiveQuery:
+    """The {a}-hom-closed query of Section 4.1's q-leak example.
+
+    ``∃x∃y (A(x, y) ∧ B(y, a))`` — one disjunct of the CRPQ ``[AB + BA](x, a)``;
+    the fact ``A(b, a)`` is a q-leak for it.
+    """
+    return cq(atom("A", X, Y), atom("B", Y, "a"), name="q_leak")
+
+
+def q_shattering_example() -> ConjunctiveQuery:
+    """Example E.1: ``R(x, y) ∧ S(a, x) ∧ S(x, a) ∧ T(x, z)`` (variable-connected, with constants)."""
+    return cq(atom("R", X, Y), atom("S", "a", X), atom("S", X, "a"), atom("T", X, Z),
+              name="q_shattering")
+
+
+def q_star_publication() -> ConjunctiveQuery:
+    """The query ``q*`` of Section 6.4 over Publication/Keyword."""
+    return cq(atom("Publication", X, Y), atom("Keyword", Y, "Shapley"), name="q_star")
+
+
+def q_disconnected_constants() -> ConjunctiveQuery:
+    """``∃x∃y R(a, x) ∧ R(b, y)`` — decomposable but with no disjoint-vocabulary decomposition."""
+    return cq(atom("R", "a", X), atom("R", "b", Y), name="q_two_roots")
+
+
+def q_decomposable() -> ConjunctiveQuery:
+    """``∃x∃y∃z R(x) ∧ U(y, z)`` — a decomposable (disjoint-vocabulary) constant-free CQ."""
+    return cq(atom("R", X), atom("U", Y, Z), name="q_decomposable")
+
+
+def q_decomposable_hard() -> ConjunctiveQuery:
+    """``R(x) ∧ S(x, y) ∧ T(y) ∧ U(z, w)`` — decomposable with a non-hierarchical component."""
+    return cq(atom("R", X), atom("S", X, Y), atom("T", Y), atom("U", Z, W), name="q_dec_hard")
+
+
+def q_connected_ucq() -> "ucq":
+    """A *safe* connected constant-free UCQ: ``(R(x) ∧ S(x, y)) ∨ (T(z) ∧ U(z, w))``.
+
+    Each disjunct is connected and hierarchical, and the two disjuncts use
+    disjoint relation names, so inclusion–exclusion plus independent joins give
+    a safe plan.
+    """
+    return ucq(cq(atom("R", X), atom("S", X, Y)), cq(atom("T", Z), atom("U", Z, W)),
+               name="q_conn_ucq")
+
+
+def q_unsafe_connected_ucq() -> "ucq":
+    """An *unsafe* connected constant-free UCQ: ``(R(x) ∧ S(x, y)) ∨ (S(x, y) ∧ T(y))``.
+
+    This is the classic query ``H1`` of the PQE dichotomy [5]: each disjunct is
+    hierarchical but the union is unsafe, hence #P-hard for PQE/GMC and — by
+    Corollary 4.2(1) — for SVC.
+    """
+    return ucq(cq(atom("R", X), atom("S", X, Y)), cq(atom("S", X, Y), atom("T", Y)),
+               name="q_unsafe_ucq")
+
+
+def q_dss_ucq() -> "ucq":
+    """``A(x) ∨ (R(x) ∧ S(x, y) ∧ T(y))`` — a duplicable-singleton-support query (Corollary 4.4)."""
+    return ucq(cq(atom("A", X)), q_rst(), name="q_dss")
+
+
+def rpq_short():
+    """An RPQ with words of length ≤ 2 (FP side of Corollary 4.3)."""
+    return rpq("A|B C", "a", "b", name="rpq_short")
+
+
+def rpq_length_two():
+    """``[A B](a, b)`` — longest word 2, still FP."""
+    return rpq("A B", "a", "b", name="rpq_ab")
+
+
+def rpq_length_three():
+    """``[A B C](a, b)`` — a word of length 3, #P-hard (Corollary 4.3)."""
+    return rpq("A B C", "a", "b", name="rpq_abc")
+
+
+def rpq_star():
+    """``[A B* C](a, b)`` — unbounded language containing words of length ≥ 3."""
+    return rpq("A B* C", "a", "b", name="rpq_abstar")
+
+
+def rpq_single_letter():
+    """``[A](a, b)`` — a single fact suffices; trivially in FP."""
+    return rpq("A", "a", "b", name="rpq_a")
+
+
+def crpq_single_path_dss():
+    """``∃x [A* B](a, x)`` — a CRPQ with a duplicable singleton support (Section 4.1)."""
+    return crpq(path_atom("A* B", "a", X), name="crpq_dss")
+
+
+def crpq_leak_example():
+    """``∃x [A B | B A](x, a)`` — the q-leak example of Section 4.1."""
+    return crpq(path_atom("(A B)|(B A)", X, "a"), name="crpq_leak")
+
+
+def crpq_cc_disjoint_safe():
+    """A constant-free cc-disjoint CRPQ expressible as a safe UCQ: ``[A](x, y) ∧ [B](z, w)``."""
+    return crpq(path_atom("A", X, Y), path_atom("B", Z, W), name="crpq_ccd_safe")
+
+
+def crpq_cc_disjoint_hard():
+    """A constant-free cc-disjoint CRPQ whose UCQ expansion is unsafe: ``[A B C](x, y)``."""
+    return crpq(path_atom("A B C", X, Y), name="crpq_ccd_hard")
+
+
+def crpq_unbounded_connected():
+    """A connected constant-free CRPQ with an unbounded language: ``[A B* C](x, y)``."""
+    return crpq(path_atom("A B* C", X, Y), name="crpq_unbounded")
+
+
+def q_negation_hierarchical() -> ConjunctiveQueryWithNegation:
+    """A hierarchical sjf-CQ¬: ``R(x) ∧ S(x, y) ∧ ¬N(x, y)`` (FP by [12])."""
+    return cq_with_negation([atom("R", X), atom("S", X, Y)], [atom("N", X, Y)],
+                            name="qneg_hier")
+
+
+def q_negation_hard() -> ConjunctiveQueryWithNegation:
+    """A non-hierarchical sjf-CQ¬ with variable-connected positive part:
+    ``R(x) ∧ S(x, y) ∧ T(y) ∧ ¬N(x, y)``."""
+    return cq_with_negation([atom("R", X), atom("S", X, Y), atom("T", Y)],
+                            [atom("N", X, Y)], name="qneg_hard")
+
+
+def q_negation_basic_open() -> ConjunctiveQueryWithNegation:
+    """``A(x) ∧ ¬S(x, y) ∧ B(y)`` — the non-hierarchical query NOT covered by Proposition 6.1."""
+    return cq_with_negation([atom("A", X), atom("B", Y)], [atom("S", X, Y)], name="qneg_open")
+
+
+def q_example_d1() -> FirstOrderNegationQuery:
+    """Example D.1: ``∃x∃y D(x) ∧ S(x, y) ∧ A(y) ∧ ¬(B(y) ∧ ¬C(y))`` — its first-order form.
+
+    We use the expanded disjunct ``D(x) ∧ S(x, y) ∧ A(y) ∧ ¬B(y)`` which is the
+    part Lemma D.2 applies to (the full query is the union with the
+    ``... ∧ C(y)`` disjunct).
+    """
+    return FirstOrderNegationQuery([atom("D", X), atom("S", X, Y), atom("A", Y)],
+                                   [atom("B", Y)], name="q_D1")
+
+
+def q_example_d2() -> FirstOrderNegationQuery:
+    """Example D.2: ``∃x∃y S(x, y) ∧ ¬(A(x) ∧ B(y))``."""
+    return FirstOrderNegationQuery([atom("S", X, Y)], [atom("A", X), atom("B", Y)],
+                                   name="q_D2")
+
+
+def full_catalog() -> list[CatalogEntry]:
+    """The full catalog used by the Figure 1b experiment and the dichotomy tests."""
+    return [
+        CatalogEntry("q_RST", q_rst(), "sjf-CQ", "Corollary 4.3 proof / [11]",
+                     Complexity.SHARP_P_HARD, "canonical non-hierarchical sjf-CQ"),
+        CatalogEntry("q_hier", q_hierarchical(), "sjf-CQ", "[11], FP side",
+                     Complexity.FP, "hierarchical"),
+        CatalogEntry("q_hier3", q_hierarchical_three_atoms(), "sjf-CQ", "[11], FP side",
+                     Complexity.FP, "hierarchical, 3 atoms"),
+        CatalogEntry("q_decomposable", q_decomposable(), "CQ (constant-free)", "Section 4.2",
+                     Complexity.FP, "decomposable, both components safe"),
+        CatalogEntry("q_dec_hard", q_decomposable_hard(), "CQ (constant-free)", "Section 4.2",
+                     Complexity.SHARP_P_HARD, "decomposable with a non-hierarchical component"),
+        CatalogEntry("q_conn_ucq", q_connected_ucq(), "connected UCQ", "Corollary 4.2(1)",
+                     Complexity.FP, "safe connected constant-free UCQ (disjoint vocabularies)"),
+        CatalogEntry("q_unsafe_ucq", q_unsafe_connected_ucq(), "connected UCQ", "Corollary 4.2(1)",
+                     Complexity.SHARP_P_HARD, "the H1 query of [5]: unsafe connected UCQ"),
+        CatalogEntry("q_dss", q_dss_ucq(), "dss UCQ", "Corollary 4.4",
+                     Complexity.SHARP_P_HARD, "duplicable singleton support, unsafe"),
+        CatalogEntry("rpq_a", rpq_single_letter(), "RPQ", "Corollary 4.3",
+                     Complexity.FP, "single-letter language"),
+        CatalogEntry("rpq_ab", rpq_length_two(), "RPQ", "Corollary 4.3",
+                     Complexity.FP, "longest word 2"),
+        CatalogEntry("rpq_short", rpq_short(), "RPQ", "Corollary 4.3",
+                     Complexity.FP, "words of length ≤ 2"),
+        CatalogEntry("rpq_abc", rpq_length_three(), "RPQ", "Corollary 4.3",
+                     Complexity.SHARP_P_HARD, "word of length 3"),
+        CatalogEntry("rpq_abstar", rpq_star(), "RPQ", "Corollary 4.3",
+                     Complexity.SHARP_P_HARD, "unbounded language"),
+        CatalogEntry("crpq_ccd_safe", crpq_cc_disjoint_safe(), "cc-disjoint CRPQ", "Corollary 4.6",
+                     Complexity.FP, "safe UCQ expansion"),
+        CatalogEntry("crpq_ccd_hard", crpq_cc_disjoint_hard(), "cc-disjoint CRPQ", "Corollary 4.6",
+                     Complexity.SHARP_P_HARD, "unsafe UCQ expansion"),
+        CatalogEntry("crpq_unbounded", crpq_unbounded_connected(), "cc-disjoint CRPQ",
+                     "Corollary 4.6 via [1]", Complexity.SHARP_P_HARD, "unbounded language"),
+        CatalogEntry("qneg_hier", q_negation_hierarchical(), "sjf-CQ¬", "[12] / Section 6.2",
+                     Complexity.FP, "hierarchical with negation"),
+        CatalogEntry("qneg_hard", q_negation_hard(), "sjf-CQ¬", "[12] / Proposition 6.1",
+                     Complexity.SHARP_P_HARD, "non-hierarchical, component-guarded negation"),
+        CatalogEntry("qneg_open", q_negation_basic_open(), "sjf-CQ¬", "[12] / Section 6.2",
+                     Complexity.SHARP_P_HARD, "non-hierarchical; not covered by Proposition 6.1"),
+    ]
+
+
+def catalog_by_name(name: str) -> CatalogEntry:
+    """Look up a catalog entry by name."""
+    for entry in full_catalog():
+        if entry.name == name:
+            return entry
+    raise KeyError(f"no catalog entry named {name!r}")

@@ -1,0 +1,28 @@
+"""Experiment E2 — Figure 1b: the dichotomy map.
+
+The classifier of :mod:`repro.analysis.dichotomy` is run on every catalog
+query; each row reports the query class, the verdict, the justification and
+whether it agrees with the complexity the paper assigns to that query.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dichotomy import classify_svc
+from .catalog import full_catalog
+
+
+def run_figure1b() -> list[dict]:
+    """Classify every catalog query; return table rows."""
+    rows: list[dict] = []
+    for entry in full_catalog():
+        verdict = classify_svc(entry.query)
+        expected = entry.expected.value if entry.expected is not None else "-"
+        rows.append({
+            "query": entry.name,
+            "class": verdict.query_class,
+            "verdict": verdict.complexity.value,
+            "expected": expected,
+            "agrees": (entry.expected is None) or (verdict.complexity == entry.expected),
+            "justification": verdict.reason,
+        })
+    return rows

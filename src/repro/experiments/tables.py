@@ -1,0 +1,37 @@
+"""Plain-text table rendering for the experiment drivers.
+
+The benchmark harness prints the regenerated "tables/figures" as aligned text
+so that EXPERIMENTS.md can quote them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: "Sequence[str] | None" = None,
+                 title: str = "") -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(str(row.get(c, ""))))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], columns: "Sequence[str] | None" = None,
+                title: str = "") -> None:
+    """Print a table rendered by :func:`format_table`."""
+    print(format_table(rows, columns, title))

@@ -1,0 +1,31 @@
+"""Text and file I/O: query / fact parsing and CSV database loading."""
+
+from .query_text import (
+    QuerySyntaxError,
+    parse_atom,
+    parse_database,
+    parse_fact,
+    parse_query,
+    parse_term,
+    query_to_text,
+)
+from .tables import (
+    load_database_csv,
+    load_partitioned_csv,
+    save_database_csv,
+    save_partitioned_csv,
+)
+
+__all__ = [
+    "QuerySyntaxError",
+    "load_database_csv",
+    "load_partitioned_csv",
+    "parse_atom",
+    "parse_database",
+    "parse_fact",
+    "parse_query",
+    "parse_term",
+    "query_to_text",
+    "save_database_csv",
+    "save_partitioned_csv",
+]

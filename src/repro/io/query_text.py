@@ -1,0 +1,236 @@
+"""A small text syntax for queries and facts.
+
+Production users rarely want to build atoms object-by-object; this module
+provides a concise, line-oriented syntax used by the CLI, the examples and the
+tests:
+
+* **Terms** — identifiers starting with a lowercase letter followed by a ``?``
+  prefix are never needed: a term is a *variable* when it is a bare identifier
+  listed in the query's variable convention (single letters ``x y z u v w`` or
+  anything prefixed with ``?``), and a *constant* otherwise.  Quoted strings
+  (``'Shapley'`` or ``"Shapley"``) are always constants.
+* **Atoms** — ``R(x, y)``, ``Keyword(y, 'Shapley')``.
+* **Conjunctive queries** — comma- or ``&``-separated atoms:
+  ``R(x), S(x, y), T(y)``.
+* **Negated atoms** — prefix with ``!`` or ``not``: ``R(x), S(x,y), !N(x,y)``.
+* **Unions** — ``|``-separated conjunctive queries:
+  ``A(x) | R(x), S(x, y), T(y)``.
+* **Regular path queries** — ``[A B* C](a, b)``; the language uses the regex
+  syntax of :mod:`repro.queries.regex`.
+* **Facts** — the atom syntax restricted to constants: ``S(a1, b2)``.
+
+The parser is deliberately forgiving about whitespace and accepts an optional
+trailing period.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..data.atoms import Atom, Fact
+from ..data.database import Database
+from ..data.terms import Constant, Term, Variable
+from ..queries.base import BooleanQuery
+from ..queries.cq import ConjunctiveQuery
+from ..queries.negation import ConjunctiveQueryWithNegation
+from ..queries.rpq import RegularPathQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+
+
+class QuerySyntaxError(ValueError):
+    """Raised when a query or fact string cannot be parsed."""
+
+
+_ATOM_PATTERN = re.compile(r"""
+    (?P<negation>(?:!|not\s+)?)\s*
+    (?P<relation>[A-Za-z_][A-Za-z0-9_]*)\s*
+    \(\s*(?P<arguments>[^()]*)\s*\)
+    """, re.VERBOSE)
+
+_RPQ_PATTERN = re.compile(r"""
+    ^\s*\[\s*(?P<language>[^\]]+)\]\s*
+    \(\s*(?P<source>[^,()]+)\s*,\s*(?P<target>[^,()]+)\s*\)\s*\.?\s*$
+    """, re.VERBOSE)
+
+#: Bare identifiers treated as variables when ``default_variables`` is active.
+_DEFAULT_VARIABLE_NAMES = frozenset("xyzuvw")
+
+
+def parse_term(token: str, variables: "frozenset[str] | None" = None) -> Term:
+    """Parse a single term.
+
+    Quoted tokens and tokens containing digits-only are constants; ``?name`` is
+    always a variable; otherwise the token is a variable iff it is listed in
+    ``variables`` (or, when ``variables`` is ``None``, iff it is one of the
+    single letters ``x y z u v w`` optionally followed by digits).
+    """
+    token = token.strip()
+    if not token:
+        raise QuerySyntaxError("empty term")
+    if (token[0] == token[-1] and token[0] in "'\"") and len(token) >= 2:
+        return Constant(token[1:-1])
+    if token.startswith("?"):
+        if len(token) == 1:
+            raise QuerySyntaxError("'?' must be followed by a variable name")
+        return Variable(token[1:])
+    if variables is not None:
+        return Variable(token) if token in variables else Constant(token)
+    base = token.rstrip("0123456789")
+    if base in _DEFAULT_VARIABLE_NAMES and token[0].isalpha():
+        return Variable(token)
+    return Constant(token)
+
+
+def _split_arguments(text: str) -> list[str]:
+    arguments = [part.strip() for part in text.split(",")]
+    if arguments == [""]:
+        raise QuerySyntaxError("atoms must have at least one argument")
+    return arguments
+
+
+def parse_atom(text: str, variables: "frozenset[str] | None" = None) -> tuple[bool, Atom]:
+    """Parse one (possibly negated) atom; returns ``(is_negated, atom)``."""
+    match = _ATOM_PATTERN.fullmatch(text.strip().rstrip("."))
+    if match is None:
+        raise QuerySyntaxError(f"cannot parse atom {text!r}")
+    negated = bool(match.group("negation").strip())
+    terms = tuple(parse_term(token, variables)
+                  for token in _split_arguments(match.group("arguments")))
+    return negated, Atom(match.group("relation"), terms)
+
+
+def parse_fact(text: str) -> Fact:
+    """Parse a ground atom; every argument is read as a constant."""
+    match = _ATOM_PATTERN.fullmatch(text.strip().rstrip("."))
+    if match is None or match.group("negation").strip():
+        raise QuerySyntaxError(f"cannot parse fact {text!r}")
+    terms = tuple(Constant(token.strip().strip("'\""))
+                  for token in _split_arguments(match.group("arguments")))
+    return Fact(match.group("relation"), terms)
+
+
+def parse_database(text: str) -> Database:
+    """Parse a database: one fact per line (or per ``;``), ``#`` starts a comment."""
+    facts: list[Fact] = []
+    for raw_line in re.split(r"[\n;]", text):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        facts.append(parse_fact(line))
+    return Database(facts)
+
+
+def _parse_conjunction(text: str, variables: "frozenset[str] | None"
+                       ) -> tuple[list[Atom], list[Atom]]:
+    positive: list[Atom] = []
+    negative: list[Atom] = []
+    # Split on commas and ampersands that are *outside* parentheses.
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char in ",&" and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    parts.append(current)
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        negated, atom = parse_atom(part, variables)
+        (negative if negated else positive).append(atom)
+    if not positive:
+        raise QuerySyntaxError(f"conjunction {text!r} has no positive atom")
+    return positive, negative
+
+
+def parse_query(text: str, variables: "frozenset[str] | set[str] | None" = None) -> BooleanQuery:
+    """Parse a query string into the most specific query object.
+
+    Returns a :class:`RegularPathQuery`, :class:`ConjunctiveQuery`,
+    :class:`ConjunctiveQueryWithNegation` or
+    :class:`UnionOfConjunctiveQueries` depending on the syntax used.
+    ``variables`` optionally fixes which bare identifiers are variables.
+    """
+    text = text.strip().rstrip(".")
+    if not text:
+        raise QuerySyntaxError("empty query")
+    variable_set = frozenset(variables) if variables is not None else None
+
+    rpq_match = _RPQ_PATTERN.match(text)
+    if rpq_match is not None:
+        # Endpoint terms follow the default variable convention, so "x"/"y" would be
+        # variables — which RPQs do not allow; quote such names to force constants.
+        source = parse_term(rpq_match.group("source"), variable_set)
+        target = parse_term(rpq_match.group("target"), variable_set)
+        if not isinstance(source, Constant) or not isinstance(target, Constant):
+            raise QuerySyntaxError("RPQ endpoints must be constants")
+        return RegularPathQuery(rpq_match.group("language"), source, target)
+
+    disjunct_texts = [part for part in _split_top_level(text, "|") if part.strip()]
+    if len(disjunct_texts) > 1:
+        disjuncts = []
+        for part in disjunct_texts:
+            positive, negative = _parse_conjunction(part, variable_set)
+            if negative:
+                raise QuerySyntaxError("negation inside a union is not supported")
+            disjuncts.append(ConjunctiveQuery(tuple(positive)))
+        return UnionOfConjunctiveQueries(tuple(disjuncts))
+
+    positive, negative = _parse_conjunction(text, variable_set)
+    if negative:
+        return ConjunctiveQueryWithNegation(tuple(positive), tuple(negative),
+                                            require_self_join_free=False)
+    return ConjunctiveQuery(tuple(positive))
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "(" or char == "[":
+            depth += 1
+        elif char == ")" or char == "]":
+            depth -= 1
+        if char == separator and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    parts.append(current)
+    return parts
+
+
+def query_to_text(query: BooleanQuery) -> str:
+    """Render a query back to the text syntax (best effort, for round-tripping)."""
+    if isinstance(query, RegularPathQuery):
+        return f"[{query.language}]({query.source.name}, {query.target.name})"
+    if isinstance(query, ConjunctiveQueryWithNegation):
+        positives = ", ".join(_atom_to_text(a) for a in query.positive)
+        negatives = ", ".join("!" + _atom_to_text(a) for a in query.negative)
+        return f"{positives}, {negatives}" if negatives else positives
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return " | ".join(", ".join(_atom_to_text(a) for a in d.atoms) for d in query.disjuncts)
+    if isinstance(query, ConjunctiveQuery):
+        return ", ".join(_atom_to_text(a) for a in query.atoms)
+    raise TypeError(f"cannot render {type(query).__name__} to text")
+
+
+def _atom_to_text(atom: Atom) -> str:
+    arguments = ", ".join(f"?{t.name}" if isinstance(t, Variable) else _constant_to_text(t)
+                          for t in atom.terms)
+    return f"{atom.relation}({arguments})"
+
+
+def _constant_to_text(constant: Constant) -> str:
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", constant.name) and not (
+            constant.name in _DEFAULT_VARIABLE_NAMES):
+        return constant.name
+    return f"'{constant.name}'"

@@ -1,0 +1,104 @@
+"""Loading and saving databases as CSV files or directories of CSV files.
+
+The on-disk layout is one CSV file per relation: ``<relation>.csv`` with one
+row per fact (no header by default).  Partitioned databases add a
+``_partition.csv`` file listing, for each fact, whether it is endogenous or
+exogenous.  This is deliberately simple and dependency-free — enough for the
+CLI and for moving instances between tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from ..data.atoms import Fact
+from ..data.database import Database, PartitionedDatabase
+from ..data.terms import Constant
+
+PARTITION_FILE = "_partition.csv"
+
+
+def save_database_csv(db: "Database | Iterable[Fact]", directory: "str | Path",
+                      header: bool = False) -> None:
+    """Write a database as one CSV file per relation inside ``directory``."""
+    facts = db.facts if isinstance(db, Database) else frozenset(db)
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    by_relation: dict[str, list[Fact]] = {}
+    for f in facts:
+        by_relation.setdefault(f.relation, []).append(f)
+    for relation, relation_facts in sorted(by_relation.items()):
+        with open(path / f"{relation}.csv", "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            arity = relation_facts[0].arity
+            if header:
+                writer.writerow([f"column_{i}" for i in range(arity)])
+            for f in sorted(relation_facts):
+                writer.writerow([t.name for t in f.terms])
+
+
+def load_database_csv(directory: "str | Path", has_header: bool = False) -> Database:
+    """Load a database from a directory of ``<relation>.csv`` files."""
+    path = Path(directory)
+    if not path.is_dir():
+        raise FileNotFoundError(f"{path} is not a directory of CSV relations")
+    facts: list[Fact] = []
+    for csv_path in sorted(path.glob("*.csv")):
+        if csv_path.name == PARTITION_FILE:
+            continue
+        relation = csv_path.stem
+        with open(csv_path, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            for index, row in enumerate(reader):
+                if has_header and index == 0:
+                    continue
+                values = [cell.strip() for cell in row if cell.strip() != ""]
+                if not values:
+                    continue
+                facts.append(Fact(relation, tuple(Constant(v) for v in values)))
+    return Database(facts)
+
+
+def save_partitioned_csv(pdb: PartitionedDatabase, directory: "str | Path") -> None:
+    """Write a partitioned database: relation CSVs plus a ``_partition.csv`` manifest."""
+    path = Path(directory)
+    save_database_csv(pdb.to_database(), path)
+    with open(path / PARTITION_FILE, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["kind", "relation", *["value"]])
+        for kind, facts in (("endogenous", pdb.endogenous), ("exogenous", pdb.exogenous)):
+            for f in sorted(facts):
+                writer.writerow([kind, f.relation, *[t.name for t in f.terms]])
+
+
+def load_partitioned_csv(directory: "str | Path",
+                         exogenous_relations: "Iterable[str] | None" = None
+                         ) -> PartitionedDatabase:
+    """Load a partitioned database.
+
+    If ``_partition.csv`` exists it is authoritative; otherwise all facts are
+    endogenous except those of the relations listed in ``exogenous_relations``.
+    """
+    path = Path(directory)
+    manifest = path / PARTITION_FILE
+    if manifest.exists():
+        endogenous: list[Fact] = []
+        exogenous: list[Fact] = []
+        with open(manifest, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            for index, row in enumerate(reader):
+                if index == 0 and row and row[0] == "kind":
+                    continue
+                if len(row) < 3:
+                    continue
+                kind, relation, *values = [cell.strip() for cell in row]
+                f = Fact(relation, tuple(Constant(v) for v in values if v != ""))
+                (endogenous if kind == "endogenous" else exogenous).append(f)
+        return PartitionedDatabase(endogenous, exogenous)
+    db = load_database_csv(path)
+    exo_relations = frozenset(exogenous_relations or ())
+    endo = [f for f in db.facts if f.relation not in exo_relations]
+    exo = [f for f in db.facts if f.relation in exo_relations]
+    return PartitionedDatabase(endo, exo)

@@ -1,0 +1,140 @@
+"""Exact linear algebra over ``fractions.Fraction``.
+
+The reductions of the paper recover integer counts by solving small linear
+systems exactly:
+
+* the FGMC ↔ SPPQE equivalence (Proposition 3.3) solves a Vandermonde system
+  built from ``n + 1`` evaluations of the query probability,
+* the island-support reductions (Lemmas 4.1 / 4.3 / 4.4) solve a system whose
+  matrix is, up to row/column scaling, the Pascal-type matrix with general term
+  ``(i + j)!`` shown invertible by Bacher [2].
+
+Floating point would destroy these computations; everything here is exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb, factorial
+from typing import Sequence
+
+
+class SingularMatrixError(ValueError):
+    """Raised when an exact linear solve meets a singular matrix."""
+
+
+def solve_linear_system(matrix: Sequence[Sequence[Fraction]],
+                        rhs: Sequence[Fraction]) -> list[Fraction]:
+    """Solve ``matrix · x = rhs`` exactly by Gaussian elimination with partial pivoting."""
+    n = len(matrix)
+    if n == 0:
+        return []
+    if any(len(row) != n for row in matrix):
+        raise ValueError("matrix must be square")
+    if len(rhs) != n:
+        raise ValueError("right-hand side length must match the matrix size")
+    augmented = [[Fraction(value) for value in row] + [Fraction(rhs[i])]
+                 for i, row in enumerate(matrix)]
+    for column in range(n):
+        pivot_row = None
+        for row in range(column, n):
+            if augmented[row][column] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise SingularMatrixError(f"matrix is singular at column {column}")
+        augmented[column], augmented[pivot_row] = augmented[pivot_row], augmented[column]
+        pivot = augmented[column][column]
+        for row in range(n):
+            if row == column:
+                continue
+            factor = augmented[row][column] / pivot
+            if factor == 0:
+                continue
+            for k in range(column, n + 1):
+                augmented[row][k] -= factor * augmented[column][k]
+    return [augmented[i][n] / augmented[i][i] for i in range(n)]
+
+
+def vandermonde_solve(points: Sequence[Fraction], values: Sequence[Fraction]) -> list[Fraction]:
+    """Solve for coefficients ``c`` with ``Σ_j c_j · points[i]^j = values[i]``.
+
+    The points must be pairwise distinct (the Vandermonde matrix is then
+    invertible).  Used to recover the FGMC vector from SPPQE evaluations at
+    ``n + 1`` distinct probabilities.
+    """
+    n = len(points)
+    if len(values) != n:
+        raise ValueError("need as many values as interpolation points")
+    if len(set(points)) != n:
+        raise ValueError("interpolation points must be pairwise distinct")
+    matrix = [[Fraction(p) ** j for j in range(n)] for p in points]
+    return solve_linear_system(matrix, [Fraction(v) for v in values])
+
+
+def shapley_subset_weight(subset_size: int, n_players: int) -> Fraction:
+    """The weight ``|B|! (n - |B| - 1)! / n!`` of a coalition ``B`` in Equation (2)."""
+    if not (0 <= subset_size <= n_players - 1):
+        raise ValueError("subset size must lie between 0 and n_players - 1")
+    return Fraction(factorial(subset_size) * factorial(n_players - subset_size - 1),
+                    factorial(n_players))
+
+
+def island_system_matrix(n_endogenous: int, s_minus_size: int) -> list[list[Fraction]]:
+    """The matrix ``M[i][j] = (j + s)! (n + i - j)! / (n + i + s + 1)!`` of Section 5.1.
+
+    Row ``i`` corresponds to the construction ``A_i`` (with ``i`` copies of
+    ``S0``); column ``j`` to the number of generalized supports of size ``j``.
+    Up to multiplying each row by ``(n + i + s + 1)!``, dividing each column by
+    ``(j + s)!`` and reversing the column order, this is the matrix with general
+    term ``(i + j)!``, which is invertible [2].
+    """
+    n, s = n_endogenous, s_minus_size
+    matrix: list[list[Fraction]] = []
+    for i in range(n + 1):
+        row = [Fraction(factorial(j + s) * factorial(n + i - j),
+                        factorial(n + i + s + 1)) for j in range(n + 1)]
+        matrix.append(row)
+    return matrix
+
+
+def island_case12_weight(n_endogenous: int, s_minus_size: int, n_copies: int) -> Fraction:
+    """The total Shapley weight ``Z`` of the coalitions in cases (1)/(2) of Lemma 5.1.
+
+    In the construction ``A_i`` the endogenous facts are ``Dn`` (``n`` facts),
+    the distinguished fact ``μ``, its ``i`` copies and the ``s`` facts of
+    ``S⁻``.  A coalition ``B ⊆ A_i_n \\ {μ}`` falls in case (1) or (2) iff it is
+    *not* of the form "no copy of μ, all of S⁻, anything from Dn"; summing the
+    Shapley weights and using ``Σ_b w(b)·C(N-1,b) = 1`` gives::
+
+        Z = 1 - Σ_{j=0}^{n} C(n, j) · w(j + s),   w(b) = b!(N-1-b)!/N!
+
+    with ``N = n + i + s + 1`` the total number of endogenous facts.
+    """
+    n, s, i = n_endogenous, s_minus_size, n_copies
+    total_players = n + i + s + 1
+    covered = sum(Fraction(comb(n, j)) * shapley_subset_weight(j + s, total_players)
+                  for j in range(n + 1))
+    return 1 - covered
+
+
+def assert_integer_vector(values: Sequence[Fraction], context: str = "") -> list[int]:
+    """Check that every entry is a non-negative integer and convert to ints.
+
+    The reductions must produce exact counts; any non-integer entry indicates a
+    violated hypothesis (or a bug) and raises ``ValueError``.
+    """
+    out: list[int] = []
+    for index, value in enumerate(values):
+        fraction = Fraction(value)
+        if fraction.denominator != 1 or fraction < 0:
+            raise ValueError(
+                f"expected a non-negative integer at position {index}, got {fraction}"
+                + (f" ({context})" if context else ""))
+        out.append(int(fraction))
+    return out
+
+
+def binomial(n: int, k: int) -> int:
+    """Binomial coefficient (re-exported for convenience)."""
+    return comb(n, k)

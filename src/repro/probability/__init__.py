@@ -1,0 +1,55 @@
+"""Probabilistic query evaluation: TIDs, PQE, SPQE/SPPQE, lifted inference."""
+
+from .interpolation import (
+    default_pqe_solver,
+    fgmc_vector_via_pqe,
+    sppqe_from_fgmc_vector,
+)
+from .lifted import (
+    FactLeafPlan,
+    InclusionExclusionPlan,
+    IndependentJoinPlan,
+    IndependentProjectPlan,
+    Plan,
+    UnsafeQueryError,
+    evaluate_plan,
+    is_safe,
+    lifted_probability,
+    plan_description,
+    safe_plan,
+)
+from .pqe import (
+    probability_brute_force,
+    probability_half,
+    probability_half_one,
+    probability_of_query,
+    probability_via_lineage,
+)
+from .spqe import classify_pqe_restriction, spqe, sppqe
+from .tid import TupleIndependentDatabase
+
+__all__ = [
+    "FactLeafPlan",
+    "default_pqe_solver",
+    "fgmc_vector_via_pqe",
+    "sppqe_from_fgmc_vector",
+    "InclusionExclusionPlan",
+    "IndependentJoinPlan",
+    "IndependentProjectPlan",
+    "Plan",
+    "TupleIndependentDatabase",
+    "UnsafeQueryError",
+    "classify_pqe_restriction",
+    "evaluate_plan",
+    "is_safe",
+    "lifted_probability",
+    "plan_description",
+    "probability_brute_force",
+    "probability_half",
+    "probability_half_one",
+    "probability_of_query",
+    "probability_via_lineage",
+    "safe_plan",
+    "spqe",
+    "sppqe",
+]

@@ -1,0 +1,82 @@
+"""The generating-function bridge between FGMC and SPPQE (Proposition 3.3).
+
+For a partitioned database with ``n`` endogenous facts and a probability
+``p = z / (1 + z)`` on each of them (exogenous facts have probability 1), the
+probability of the query satisfies::
+
+    (1 + z)^n · Pr(D_z |= q) = Σ_j z^j · FGMC_j(q)(Dn, Dx)
+
+Evaluating the left-hand side at ``n + 1`` distinct values of ``z`` therefore
+determines the FGMC vector through a Vandermonde solve — and conversely a known
+FGMC vector determines the probability at any ``p``.  This is the engine behind
+both directions of ``FGMC ≡ SPPQE`` and behind the polynomial-time Shapley
+pipeline for safe queries.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from ..data.database import PartitionedDatabase
+from ..linalg import assert_integer_vector, vandermonde_solve
+from ..queries.base import BooleanQuery
+from .pqe import PQEMethod, probability_of_query
+from .tid import TupleIndependentDatabase
+
+#: A PQE solver: given a query and a tuple-independent database, return the probability.
+PQESolver = Callable[[BooleanQuery, TupleIndependentDatabase], Fraction]
+
+
+def default_pqe_solver(method: PQEMethod = "auto") -> PQESolver:
+    """A PQE solver using :func:`repro.probability.pqe.probability_of_query`."""
+
+    def solver(query: BooleanQuery, tid: TupleIndependentDatabase) -> Fraction:
+        return probability_of_query(query, tid, method=method)
+
+    return solver
+
+
+def fgmc_vector_via_pqe(query: BooleanQuery, pdb: PartitionedDatabase,
+                        pqe_solver: "PQESolver | None" = None,
+                        method: PQEMethod = "auto") -> list[int]:
+    """Recover the FGMC vector from ``n + 1`` SPPQE evaluations (FGMC ≤ SPPQE).
+
+    Every oracle call uses the *same* underlying partitioned database, as in
+    Proposition 3.3.  When the supplied PQE solver runs in polynomial time (e.g.
+    lifted inference on a safe query) the whole computation is polynomial.
+    """
+    solver = pqe_solver or default_pqe_solver(method)
+    n = len(pdb.endogenous)
+    if n == 0:
+        satisfied = 1 if query.evaluate(pdb.exogenous) else 0
+        return [satisfied]
+    points: list[Fraction] = []
+    values: list[Fraction] = []
+    for t in range(n + 1):
+        z = Fraction(t + 1)
+        p = z / (1 + z)
+        tid = TupleIndependentDatabase.from_partitioned(pdb, endogenous_probability=p)
+        probability = solver(query, tid)
+        points.append(z)
+        values.append((1 + z) ** n * probability)
+    coefficients = vandermonde_solve(points, values)
+    return assert_integer_vector(coefficients, context="FGMC via SPPQE interpolation")
+
+
+def sppqe_from_fgmc_vector(counts: Sequence[int], probability: Fraction) -> Fraction:
+    """Compute the SPPQE probability from a known FGMC vector (SPPQE ≤ FGMC).
+
+    ``counts[j]`` is the number of generalized supports of size ``j`` over ``n``
+    endogenous facts (``n = len(counts) - 1``); every endogenous fact has the
+    given probability.
+    """
+    p = Fraction(probability)
+    if not (0 < p <= 1):
+        raise ValueError(f"probability must lie in (0, 1], got {p}")
+    n = len(counts) - 1
+    if p == 1:
+        return Fraction(1) if counts[n] else Fraction(0)
+    z = p / (1 - p)
+    total = sum(Fraction(counts[j]) * z ** j for j in range(n + 1))
+    return total / (1 + z) ** n

@@ -1,0 +1,262 @@
+"""Lifted inference: safe plans for (unions of) conjunctive queries.
+
+The tractable side of the PQE / GMC dichotomies [4, 5, 9] is realized by
+*lifted inference*: a safe query admits a plan built from
+
+* **fact leaves** — ground atoms, whose probability is read off the database,
+* **independent joins** — conjunctions of subqueries touching disjoint sets of
+  facts (connected components over disjoint relation names),
+* **independent projects** — elimination of a *separator variable* occurring in
+  every atom and in a fixed position of every atom of each relation,
+* **inclusion–exclusion** — for unions of CQs.
+
+This procedure succeeds on every hierarchical self-join-free CQ (and many safe
+UCQs).  When no rule applies it raises :class:`UnsafeQueryError`; this is a
+*conservative* test (it does not implement the cancellation machinery of the
+full Dalvi–Suciu algorithm), which is sufficient for every query appearing in
+the paper and in this repository's catalog.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from ..data.atoms import Atom
+from ..data.incidence import atom_components
+from ..data.terms import Constant, Term, Variable, is_variable
+from ..queries.cq import ConjunctiveQuery, product_of_cqs
+from ..queries.ucq import UnionOfConjunctiveQueries, as_ucq
+from .tid import TupleIndependentDatabase
+
+
+class UnsafeQueryError(Exception):
+    """Raised when the lifted-inference compiler finds no safe plan."""
+
+
+# ---------------------------------------------------------------------------
+# Plan nodes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Plan:
+    """Base class of safe-plan nodes."""
+
+    def describe(self, indent: int = 0) -> str:
+        """A human-readable, indented description of the plan."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FactLeafPlan(Plan):
+    """The probability of a single (possibly not-yet-ground) atom."""
+
+    atom: Atom
+
+    def describe(self, indent: int = 0) -> str:
+        return " " * indent + f"fact {self.atom}"
+
+
+@dataclass(frozen=True)
+class IndependentJoinPlan(Plan):
+    """Product of the probabilities of independent subplans."""
+
+    children: tuple[Plan, ...]
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [" " * indent + "independent join"]
+        lines.extend(child.describe(indent + 2) for child in self.children)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class IndependentProjectPlan(Plan):
+    """Elimination of a separator variable: ``1 - Π_a (1 - P(q[x→a]))``."""
+
+    variable: Variable
+    child: Plan
+
+    def describe(self, indent: int = 0) -> str:
+        return (" " * indent + f"independent project on {self.variable}\n"
+                + self.child.describe(indent + 2))
+
+
+@dataclass(frozen=True)
+class InclusionExclusionPlan(Plan):
+    """Inclusion–exclusion over the disjuncts of a union."""
+
+    terms: tuple[tuple[int, Plan], ...]
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [" " * indent + "inclusion-exclusion"]
+        for sign, child in self.terms:
+            lines.append(" " * (indent + 2) + f"sign {sign:+d}")
+            lines.append(child.describe(indent + 4))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def safe_plan(query: "ConjunctiveQuery | UnionOfConjunctiveQueries") -> Plan:
+    """Compile a safe plan for the query, or raise :class:`UnsafeQueryError`."""
+    ucq_view = as_ucq(query).minimized()
+    if len(ucq_view.disjuncts) == 1:
+        return _compile_cq(ucq_view.disjuncts[0], frozenset())
+    terms: list[tuple[int, Plan]] = []
+    disjuncts = ucq_view.disjuncts
+    for subset_size in range(1, len(disjuncts) + 1):
+        sign = 1 if subset_size % 2 == 1 else -1
+        for subset in itertools.combinations(disjuncts, subset_size):
+            conjunction = product_of_cqs(list(subset)).core()
+            terms.append((sign, _compile_cq(conjunction, frozenset())))
+    return InclusionExclusionPlan(tuple(terms))
+
+
+def is_safe(query: "ConjunctiveQuery | UnionOfConjunctiveQueries") -> bool:
+    """Whether the compiler finds a safe plan (conservative safety test)."""
+    try:
+        safe_plan(query)
+        return True
+    except UnsafeQueryError:
+        return False
+
+
+def _compile_cq(query: ConjunctiveQuery, bound: frozenset[Variable]) -> Plan:
+    """Compile a CQ, treating the variables of ``bound`` as constants."""
+    atoms = tuple(dict.fromkeys(query.atoms))
+
+    def free_vars(atom: Atom) -> frozenset[Variable]:
+        return frozenset(v for v in atom.variables() if v not in bound)
+
+    # Rule 1: every atom is (effectively) ground -> independent join of fact leaves,
+    # provided no relation supports both a ground atom and a non-ground atom
+    # elsewhere (which could create correlations).
+    if all(not free_vars(a) for a in atoms):
+        if len(atoms) == 1:
+            return FactLeafPlan(atoms[0])
+        return IndependentJoinPlan(tuple(FactLeafPlan(a) for a in atoms))
+
+    # Rule 2: split into connected components over the *free* variables.
+    components = _components_by_free_variables(atoms, bound)
+    if len(components) > 1:
+        # Components must be pairwise independent: no shared relation name.
+        names_seen: set[str] = set()
+        for component in components:
+            names = {a.relation for a in component}
+            if names & names_seen:
+                raise UnsafeQueryError(
+                    f"components of {query} share relation names {sorted(names & names_seen)}")
+            names_seen |= names
+        children = tuple(_compile_cq(ConjunctiveQuery(tuple(component)), bound)
+                         for component in components)
+        return IndependentJoinPlan(children)
+
+    # Rule 3: independent project on a separator variable.
+    separator = _find_separator(atoms, bound)
+    if separator is not None:
+        child = _compile_cq(query, bound | {separator})
+        return IndependentProjectPlan(separator, child)
+
+    raise UnsafeQueryError(
+        f"no safe-plan rule applies to {query} (bound variables: {sorted(v.name for v in bound)}); "
+        "the query is unsafe or beyond this conservative compiler")
+
+
+def _components_by_free_variables(atoms: tuple[Atom, ...], bound: frozenset[Variable]
+                                  ) -> list[list[Atom]]:
+    """Connected components of atoms linked by shared *free* variables."""
+    remaining = list(range(len(atoms)))
+    components: list[list[Atom]] = []
+    while remaining:
+        seed = remaining.pop(0)
+        component = {seed}
+        component_vars = {v for v in atoms[seed].variables() if v not in bound}
+        changed = True
+        while changed:
+            changed = False
+            for index in list(remaining):
+                atom_vars = {v for v in atoms[index].variables() if v not in bound}
+                if atom_vars & component_vars:
+                    component.add(index)
+                    component_vars |= atom_vars
+                    remaining.remove(index)
+                    changed = True
+        components.append([atoms[i] for i in sorted(component)])
+    return components
+
+
+def _find_separator(atoms: tuple[Atom, ...], bound: frozenset[Variable]
+                    ) -> "Variable | None":
+    """A separator variable: free, occurring in every atom, at a common position per relation."""
+    free_variables = sorted({v for a in atoms for v in a.variables() if v not in bound})
+    for candidate in free_variables:
+        if not all(candidate in a.variables() for a in atoms):
+            continue
+        per_relation_positions: dict[str, set[int]] = {}
+        for a in atoms:
+            positions = {i for i, t in enumerate(a.terms) if t == candidate}
+            existing = per_relation_positions.get(a.relation)
+            per_relation_positions[a.relation] = (positions if existing is None
+                                                  else existing & positions)
+        if all(per_relation_positions[rel] for rel in per_relation_positions):
+            return candidate
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+def evaluate_plan(plan: Plan, tid: TupleIndependentDatabase,
+                  binding: "Mapping[Variable, Constant] | None" = None) -> Fraction:
+    """Evaluate a safe plan against a tuple-independent database."""
+    binding = dict(binding or {})
+    domain = sorted({c for f in tid.facts for c in f.constants()})
+    return _evaluate(plan, tid, binding, domain)
+
+
+def _evaluate(plan: Plan, tid: TupleIndependentDatabase,
+              binding: dict[Variable, Constant], domain: list[Constant]) -> Fraction:
+    if isinstance(plan, FactLeafPlan):
+        grounded = plan.atom.substitute(binding)
+        if not grounded.is_ground():
+            raise ValueError(f"atom {plan.atom} not ground under binding {binding}")
+        return tid.probability(grounded.to_fact())
+    if isinstance(plan, IndependentJoinPlan):
+        result = Fraction(1)
+        for child in plan.children:
+            result *= _evaluate(child, tid, binding, domain)
+            if result == 0:
+                return Fraction(0)
+        return result
+    if isinstance(plan, IndependentProjectPlan):
+        product_of_misses = Fraction(1)
+        for value in domain:
+            binding[plan.variable] = value
+            p = _evaluate(plan.child, tid, binding, domain)
+            del binding[plan.variable]
+            product_of_misses *= (1 - p)
+            if product_of_misses == 0:
+                break
+        return 1 - product_of_misses
+    if isinstance(plan, InclusionExclusionPlan):
+        total = Fraction(0)
+        for sign, child in plan.terms:
+            total += sign * _evaluate(child, tid, binding, domain)
+        return total
+    raise TypeError(f"unknown plan node {plan!r}")
+
+
+def lifted_probability(query: "ConjunctiveQuery | UnionOfConjunctiveQueries",
+                       tid: TupleIndependentDatabase) -> Fraction:
+    """Compile a safe plan and evaluate it (raises :class:`UnsafeQueryError` if unsafe)."""
+    return evaluate_plan(safe_plan(query), tid)
+
+
+def plan_description(query: "ConjunctiveQuery | UnionOfConjunctiveQueries") -> str:
+    """The safe plan of a query as indented text (for documentation and examples)."""
+    return safe_plan(query).describe()

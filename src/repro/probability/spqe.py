@@ -1,0 +1,68 @@
+"""Single-probability query evaluation: SPQE and SPPQE (Section 3.3).
+
+``SPQE_q`` restricts PQE to databases where every fact carries the *same*
+probability ``p ∈ (0, 1]``; ``SPPQE_q`` allows probabilities in ``{p, 1}``
+(the probability-1 facts playing the role of exogenous facts).  These are the
+probabilistic counterparts of FMC and FGMC (Proposition 3.3); the conversion
+functions based on the ``(1+z)^n`` generating-function identity live in
+:mod:`repro.reductions.prop33`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..data.database import Database, PartitionedDatabase, purely_endogenous
+from ..queries.base import BooleanQuery
+from .pqe import PQEMethod, probability_of_query
+from .tid import TupleIndependentDatabase
+
+
+def sppqe(query: BooleanQuery, pdb: PartitionedDatabase,
+          probability: "Fraction | int | float | str",
+          method: PQEMethod = "auto") -> Fraction:
+    """``SPPQE_q``: probability of the query when every endogenous fact has probability ``p``.
+
+    The exogenous facts of ``pdb`` are the deterministic (probability-1) facts.
+    """
+    p = Fraction(probability)
+    if not (0 < p <= 1):
+        raise ValueError(f"probability must be in (0, 1], got {p}")
+    tid = TupleIndependentDatabase.from_partitioned(pdb, endogenous_probability=p)
+    return probability_of_query(query, tid, method)
+
+
+def spqe(query: BooleanQuery, db: "Database | PartitionedDatabase",
+         probability: "Fraction | int | float | str",
+         method: PQEMethod = "auto") -> Fraction:
+    """``SPQE_q``: probability of the query when *every* fact has probability ``p``.
+
+    The input database must have no exogenous facts (SPQE is the restriction of
+    SPPQE to purely endogenous databases) unless ``p == 1``.
+    """
+    p = Fraction(probability)
+    if isinstance(db, PartitionedDatabase):
+        if db.exogenous and p != 1:
+            raise ValueError("SPQE requires a database without exogenous facts")
+        pdb = db
+    else:
+        pdb = purely_endogenous(db)
+    return sppqe(query, pdb, p, method)
+
+
+def classify_pqe_restriction(tid: TupleIndependentDatabase) -> str:
+    """Name the most specific PQE restriction the probabilistic database falls into.
+
+    One of ``"PQE[1/2]"``, ``"PQE[1/2;1]"``, ``"SPQE"``, ``"SPPQE"``, ``"PQE"``
+    (listed from most to least specific among the classes of Section 3.3).
+    """
+    image = tid.probability_image()
+    if image == {Fraction(1, 2)}:
+        return "PQE[1/2]"
+    if image <= {Fraction(1, 2), Fraction(1)}:
+        return "PQE[1/2;1]"
+    if len(image) == 1:
+        return "SPQE"
+    if len(image - {Fraction(1)}) == 1:
+        return "SPPQE"
+    return "PQE"

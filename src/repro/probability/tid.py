@@ -1,0 +1,107 @@
+"""Tuple-independent probabilistic databases (Section 3.3).
+
+A tuple-independent probabilistic database is a finite set of facts together
+with a probability in ``(0, 1]`` for each fact; facts are present independently.
+Facts with probability 1 are *deterministic* and correspond to the exogenous
+facts of the associated partitioned database.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping
+
+from ..data.atoms import Fact
+from ..data.database import PartitionedDatabase
+
+
+class TupleIndependentDatabase:
+    """A tuple-independent probabilistic database ``(S, π)``."""
+
+    __slots__ = ("_probabilities",)
+
+    def __init__(self, probabilities: Mapping[Fact, "Fraction | int | float | str"]):
+        converted: dict[Fact, Fraction] = {}
+        for f, p in probabilities.items():
+            if not isinstance(f, Fact):
+                raise TypeError("keys must be Fact objects")
+            prob = Fraction(p)
+            if not (0 < prob <= 1):
+                raise ValueError(f"probability of {f} must be in (0, 1], got {prob}")
+            converted[f] = prob
+        object.__setattr__(self, "_probabilities", converted)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("TupleIndependentDatabase objects are immutable")
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def from_partitioned(cls, pdb: PartitionedDatabase,
+                         endogenous_probability: "Fraction | int | float | str" = Fraction(1, 2),
+                         ) -> "TupleIndependentDatabase":
+        """The probabilistic database with probability ``p`` on endogenous facts, 1 on exogenous."""
+        p = Fraction(endogenous_probability)
+        probabilities: dict[Fact, Fraction] = {f: p for f in pdb.endogenous}
+        probabilities.update({f: Fraction(1) for f in pdb.exogenous})
+        return cls(probabilities)
+
+    @classmethod
+    def uniform(cls, facts: Iterable[Fact],
+                probability: "Fraction | int | float | str" = Fraction(1, 2)
+                ) -> "TupleIndependentDatabase":
+        """All facts share the same probability (no deterministic facts unless p = 1)."""
+        p = Fraction(probability)
+        return cls({f: p for f in facts})
+
+    # -- accessors ------------------------------------------------------------------
+    def probability(self, fact: Fact) -> Fraction:
+        """The probability of a fact (0 if not present in the database)."""
+        return self._probabilities.get(fact, Fraction(0))
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        """All facts with positive probability."""
+        return frozenset(self._probabilities)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._probabilities))
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def items(self) -> Iterator[tuple[Fact, Fraction]]:
+        """Iterate over (fact, probability) pairs in a deterministic order."""
+        for f in sorted(self._probabilities):
+            yield f, self._probabilities[f]
+
+    def probability_image(self) -> frozenset[Fraction]:
+        """The image of the probability assignment (used to classify PQE restrictions)."""
+        return frozenset(self._probabilities.values())
+
+    # -- associated partitioned database -----------------------------------------------
+    def deterministic_facts(self) -> frozenset[Fact]:
+        """Facts with probability exactly 1."""
+        return frozenset(f for f, p in self._probabilities.items() if p == 1)
+
+    def uncertain_facts(self) -> frozenset[Fact]:
+        """Facts with probability strictly below 1."""
+        return frozenset(f for f, p in self._probabilities.items() if p < 1)
+
+    def to_partitioned(self) -> PartitionedDatabase:
+        """The associated partitioned database: probability-1 facts are exogenous."""
+        return PartitionedDatabase(self.uncertain_facts(), self.deterministic_facts())
+
+    # -- classification ------------------------------------------------------------------
+    def is_single_probability(self) -> bool:
+        """SPQE input: all probabilities equal (and below 1, unless everything is certain)."""
+        image = self.probability_image()
+        return len(image) <= 1
+
+    def is_single_proper_probability(self) -> bool:
+        """SPPQE input: probabilities drawn from {p, 1} for a single p."""
+        image = self.probability_image() - {Fraction(1)}
+        return len(image) <= 1
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{f}: {p}" for f, p in self.items())
+        return f"TID({inner})"

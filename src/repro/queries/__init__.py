@@ -1,0 +1,81 @@
+"""Query languages: CQs, UCQs, RPQs, CRPQs, UCRPQs, queries with negation."""
+
+from .automata import NFA
+from .base import (
+    BooleanQuery,
+    ConjunctionQuery,
+    DisjunctionQuery,
+    FalseQuery,
+    TrueQuery,
+    as_fact_set,
+    minimize_supports,
+)
+from .cq import ConjunctiveQuery, cq, product_of_cqs
+from .crpq import (
+    ConjunctiveRegularPathQuery,
+    PathAtom,
+    UnionOfConjunctiveRegularPathQueries,
+    crpq,
+    path_atom,
+)
+from .negation import (
+    ConjunctiveQueryWithNegation,
+    FirstOrderNegationQuery,
+    cq_with_negation,
+)
+from .regex import (
+    Concat,
+    EmptyLanguage,
+    Epsilon,
+    Optional_,
+    Plus,
+    RegexNode,
+    RegexSyntaxError,
+    Star,
+    Symbol,
+    Union,
+    parse_regex,
+    symbols_of,
+)
+from .rpq import RegularPathQuery, enumerate_language_words, rpq
+from .ucq import UnionOfConjunctiveQueries, as_ucq, ucq
+
+__all__ = [
+    "BooleanQuery",
+    "Concat",
+    "ConjunctionQuery",
+    "ConjunctiveQuery",
+    "ConjunctiveQueryWithNegation",
+    "ConjunctiveRegularPathQuery",
+    "DisjunctionQuery",
+    "EmptyLanguage",
+    "Epsilon",
+    "FalseQuery",
+    "FirstOrderNegationQuery",
+    "NFA",
+    "Optional_",
+    "PathAtom",
+    "Plus",
+    "RegexNode",
+    "RegexSyntaxError",
+    "RegularPathQuery",
+    "Star",
+    "Symbol",
+    "TrueQuery",
+    "Union",
+    "UnionOfConjunctiveQueries",
+    "UnionOfConjunctiveRegularPathQueries",
+    "as_fact_set",
+    "as_ucq",
+    "cq",
+    "cq_with_negation",
+    "crpq",
+    "enumerate_language_words",
+    "minimize_supports",
+    "parse_regex",
+    "path_atom",
+    "product_of_cqs",
+    "rpq",
+    "symbols_of",
+    "ucq",
+]

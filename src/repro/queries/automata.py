@@ -1,0 +1,332 @@
+"""Nondeterministic finite automata over relation-name alphabets.
+
+RPQ evaluation and analysis (shortest accepted word, longest word when finite,
+finiteness of the language, enumeration of short words) are all performed on an
+NFA built from the regular-expression AST by Thompson's construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Iterable, Iterator
+
+from .regex import (
+    Concat,
+    EmptyLanguage,
+    Epsilon,
+    Optional_,
+    Plus,
+    RegexNode,
+    Star,
+    Symbol,
+    Union,
+    parse_regex,
+)
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon transitions.
+
+    States are integers.  ``transitions`` maps a state to a list of
+    ``(label, target)`` pairs, where ``label`` is a relation name or ``None``
+    for an epsilon transition.
+    """
+
+    def __init__(self, n_states: int, initial: int, accepting: frozenset[int],
+                 transitions: dict[int, list[tuple["str | None", int]]]):
+        self.n_states = n_states
+        self.initial = initial
+        self.accepting = accepting
+        self.transitions = transitions
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_regex(cls, expression: "str | RegexNode") -> "NFA":
+        """Thompson construction from a regular expression."""
+        node = parse_regex(expression)
+        builder = _ThompsonBuilder()
+        start, end = builder.build(node)
+        return cls(builder.count, start, frozenset({end}), builder.transitions)
+
+    # -- core automaton operations ------------------------------------------------
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable by epsilon transitions from ``states``."""
+        seen = set(states)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for label, target in self.transitions.get(state, ()):
+                if label is None and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+    def step(self, states: Iterable[int], label: str) -> frozenset[int]:
+        """States reachable from ``states`` by reading one occurrence of ``label``."""
+        closure = self.epsilon_closure(states)
+        moved = {target for state in closure
+                 for lab, target in self.transitions.get(state, ()) if lab == label}
+        return self.epsilon_closure(moved)
+
+    def initial_states(self) -> frozenset[int]:
+        """The epsilon closure of the initial state."""
+        return self.epsilon_closure({self.initial})
+
+    def is_accepting_set(self, states: Iterable[int]) -> bool:
+        """Whether the given state set intersects the accepting states."""
+        return bool(self.epsilon_closure(states) & self.accepting)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Whether the automaton accepts the given word (sequence of relation names)."""
+        current = self.initial_states()
+        for label in word:
+            current = self.step(current, label)
+            if not current:
+                return False
+        return self.is_accepting_set(current)
+
+    def alphabet(self) -> frozenset[str]:
+        """All symbols appearing on transitions."""
+        return frozenset(label for targets in self.transitions.values()
+                         for label, _ in targets if label is not None)
+
+    # -- language analysis ----------------------------------------------------------
+    def accepts_epsilon(self) -> bool:
+        """Whether the empty word is in the language."""
+        return self.is_accepting_set({self.initial})
+
+    def shortest_word_length(self) -> "int | None":
+        """Length of a shortest accepted word, or ``None`` if the language is empty."""
+        start = self.initial_states()
+        if start & self.accepting:
+            return 0
+        queue: deque[tuple[frozenset[int], int]] = deque([(start, 0)])
+        seen = {start}
+        while queue:
+            states, depth = queue.popleft()
+            for label in sorted(self.alphabet()):
+                nxt = self.step(states, label)
+                if not nxt or nxt in seen:
+                    continue
+                if nxt & self.accepting:
+                    return depth + 1
+                seen.add(nxt)
+                queue.append((nxt, depth + 1))
+        return None
+
+    def _trimmed_symbol_graph(self) -> tuple[set[int], dict[int, list[tuple[str, int]]]]:
+        """Useful states (reachable and co-reachable) and their symbol transitions.
+
+        Epsilon transitions are kept implicitly by working on epsilon closures of
+        single states.
+        """
+        # Forward reachability.
+        reachable: set[int] = set(self.epsilon_closure({self.initial}))
+        stack = list(reachable)
+        while stack:
+            state = stack.pop()
+            for label, target in self.transitions.get(state, ()):
+                closure = self.epsilon_closure({target})
+                for new_state in closure:
+                    if new_state not in reachable:
+                        reachable.add(new_state)
+                        stack.append(new_state)
+        # Backward reachability from accepting states.
+        reverse: dict[int, set[int]] = {}
+        for state, targets in self.transitions.items():
+            for _, target in targets:
+                reverse.setdefault(target, set()).add(state)
+        co_reachable: set[int] = set(self.accepting)
+        stack = list(co_reachable)
+        while stack:
+            state = stack.pop()
+            for previous in reverse.get(state, ()):
+                if previous not in co_reachable:
+                    co_reachable.add(previous)
+                    stack.append(previous)
+        useful = reachable & co_reachable
+        symbol_edges: dict[int, list[tuple[str, int]]] = {}
+        for state in useful:
+            for label, target in self.transitions.get(state, ()):
+                if label is None:
+                    if target in useful:
+                        symbol_edges.setdefault(state, []).append(("", target))
+                elif target in useful:
+                    symbol_edges.setdefault(state, []).append((label, target))
+        return useful, symbol_edges
+
+    def is_language_finite(self) -> bool:
+        """Whether the language is finite (no useful cycle through a symbol transition).
+
+        A language is infinite iff the trimmed automaton has a cycle containing at
+        least one non-epsilon transition.
+        """
+        useful, edges = self._trimmed_symbol_graph()
+        if not useful:
+            return True
+        # Detect a cycle with >= 1 labelled edge: contract epsilon edges by
+        # exploring with a flag "has the current path used a labelled edge".
+        # Simpler: iterate DFS on the graph of useful states; if any strongly
+        # connected component contains a labelled edge, the language is infinite.
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(useful)
+        for state, targets in edges.items():
+            for label, target in targets:
+                graph.add_edge(state, target, labelled=(label != ""))
+        for component in nx.strongly_connected_components(graph):
+            subgraph = graph.subgraph(component)
+            if any(data.get("labelled") for _, _, data in subgraph.edges(data=True)):
+                return False
+            # A self-loop on a single state also forms a component of size 1.
+        return True
+
+    def has_word_of_length_at_least(self, length: int) -> bool:
+        """Whether the language contains a word of length ≥ ``length``.
+
+        This is the criterion of the RPQ dichotomy (Corollary 4.3 uses ≥ 3).
+        """
+        if length <= 0:
+            return self.shortest_word_length() is not None
+        if not self.is_language_finite():
+            return self.shortest_word_length() is not None
+        longest = self.longest_word_length()
+        return longest is not None and longest >= length
+
+    def longest_word_length(self) -> "int | None":
+        """Length of a longest accepted word when the language is finite.
+
+        Returns ``None`` for the empty language, raises ``ValueError`` for an
+        infinite language.
+        """
+        if not self.is_language_finite():
+            raise ValueError("the language is infinite; there is no longest word")
+        useful, edges = self._trimmed_symbol_graph()
+        if not useful:
+            return None
+        # Longest path in a DAG-like structure (epsilon edges have weight 0,
+        # symbol edges weight 1).  Since the language is finite, every cycle has
+        # total weight 0, so longest distances are well defined via iteration.
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(useful)
+        for state, targets in edges.items():
+            for label, target in targets:
+                weight = 0 if label == "" else 1
+                if graph.has_edge(state, target):
+                    weight = max(weight, graph[state][target]["weight"])
+                graph.add_edge(state, target, weight=weight)
+        condensation = nx.condensation(graph)
+        # Map each state to its SCC, compute longest distance over the DAG of SCCs.
+        best: dict[int, int] = {}
+        start_components = {condensation.graph["mapping"][s]
+                            for s in self.epsilon_closure({self.initial}) if s in useful}
+        order = list(nx.topological_sort(condensation))
+        for component in order:
+            if component in start_components:
+                best.setdefault(component, 0)
+        for component in order:
+            if component not in best:
+                continue
+            members = condensation.nodes[component]["members"]
+            for state in members:
+                for label, target in edges.get(state, ()):
+                    target_component = condensation.graph["mapping"][target]
+                    weight = 0 if label == "" else 1
+                    candidate = best[component] + weight
+                    if candidate > best.get(target_component, -1):
+                        best[target_component] = candidate
+        result: "int | None" = None
+        for state in useful:
+            if state in self.accepting:
+                component = condensation.graph["mapping"][state]
+                if component in best:
+                    value = best[component]
+                    result = value if result is None else max(result, value)
+        return result
+
+    def enumerate_words(self, max_length: int) -> Iterator[tuple[str, ...]]:
+        """Enumerate all accepted words of length at most ``max_length``.
+
+        Used to expand bounded RPQs into UCQs.
+        """
+        alphabet = sorted(self.alphabet())
+        for length in range(max_length + 1):
+            for word in itertools.product(alphabet, repeat=length):
+                if self.accepts(word):
+                    yield word
+
+
+class _ThompsonBuilder:
+    """Helper building an NFA fragment for each regex node."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.transitions: dict[int, list[tuple["str | None", int]]] = {}
+
+    def new_state(self) -> int:
+        state = self.count
+        self.count += 1
+        self.transitions.setdefault(state, [])
+        return state
+
+    def add_edge(self, source: int, label: "str | None", target: int) -> None:
+        self.transitions.setdefault(source, []).append((label, target))
+
+    def build(self, node: RegexNode) -> tuple[int, int]:
+        if isinstance(node, Epsilon):
+            start, end = self.new_state(), self.new_state()
+            self.add_edge(start, None, end)
+            return start, end
+        if isinstance(node, EmptyLanguage):
+            start, end = self.new_state(), self.new_state()
+            return start, end
+        if isinstance(node, Symbol):
+            start, end = self.new_state(), self.new_state()
+            self.add_edge(start, node.name, end)
+            return start, end
+        if isinstance(node, Concat):
+            start, end = None, None
+            previous_end: "int | None" = None
+            for part in node.parts:
+                part_start, part_end = self.build(part)
+                if start is None:
+                    start = part_start
+                if previous_end is not None:
+                    self.add_edge(previous_end, None, part_start)
+                previous_end = part_end
+            assert start is not None and previous_end is not None
+            return start, previous_end
+        if isinstance(node, Union):
+            start, end = self.new_state(), self.new_state()
+            for part in node.parts:
+                part_start, part_end = self.build(part)
+                self.add_edge(start, None, part_start)
+                self.add_edge(part_end, None, end)
+            return start, end
+        if isinstance(node, Star):
+            start, end = self.new_state(), self.new_state()
+            inner_start, inner_end = self.build(node.inner)
+            self.add_edge(start, None, inner_start)
+            self.add_edge(start, None, end)
+            self.add_edge(inner_end, None, inner_start)
+            self.add_edge(inner_end, None, end)
+            return start, end
+        if isinstance(node, Plus):
+            start, end = self.new_state(), self.new_state()
+            inner_start, inner_end = self.build(node.inner)
+            self.add_edge(start, None, inner_start)
+            self.add_edge(inner_end, None, inner_start)
+            self.add_edge(inner_end, None, end)
+            return start, end
+        if isinstance(node, Optional_):
+            start, end = self.new_state(), self.new_state()
+            inner_start, inner_end = self.build(node.inner)
+            self.add_edge(start, None, inner_start)
+            self.add_edge(start, None, end)
+            self.add_edge(inner_end, None, end)
+            return start, end
+        raise TypeError(f"unknown regex node {node!r}")

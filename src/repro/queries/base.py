@@ -1,0 +1,290 @@
+"""The Boolean query interface.
+
+Every query class of the library implements :class:`BooleanQuery`: it can be
+evaluated on a set of facts, report its constants (the set ``C`` such that the
+query is ``C``-hom-closed, when it is), report the relation names it may use,
+and enumerate its *minimal supports* both inside a given database and "in the
+abstract" (canonical minimal supports over fresh constants, as needed by the
+reductions of Section 5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from ..data.atoms import Fact
+from ..data.database import Database, PartitionedDatabase
+from ..data.terms import Constant
+
+FactSet = frozenset
+
+
+def as_fact_set(db: "Database | PartitionedDatabase | Iterable[Fact]") -> frozenset[Fact]:
+    """Normalize any database-like object to a frozenset of facts."""
+    if isinstance(db, Database):
+        return db.facts
+    if isinstance(db, PartitionedDatabase):
+        return db.all_facts
+    return frozenset(db)
+
+
+def minimize_supports(supports: Iterable[frozenset[Fact]]) -> frozenset[frozenset[Fact]]:
+    """Keep only the ⊆-minimal elements of a family of fact sets."""
+    unique = sorted(set(supports), key=len)
+    minimal: list[frozenset[Fact]] = []
+    for candidate in unique:
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return frozenset(minimal)
+
+
+class BooleanQuery(ABC):
+    """A Boolean query: a true-or-false property of databases.
+
+    Subclasses must implement :meth:`evaluate` and :meth:`minimal_supports_in`.
+    ``is_hom_closed`` reports whether the query is closed under
+    C-homomorphisms for ``C = self.constants()`` — true for all the positive
+    query languages of the paper (CQ, UCQ, RPQ, CRPQ, conjunctions and
+    disjunctions thereof), false in the presence of negation.
+    """
+
+    #: Whether the query is C-hom-closed for C = self.constants().
+    is_hom_closed: bool = True
+
+    @abstractmethod
+    def evaluate(self, db: "Database | PartitionedDatabase | Iterable[Fact]") -> bool:
+        """Return ``True`` iff the database satisfies the query."""
+
+    @abstractmethod
+    def minimal_supports_in(self, db: "Database | PartitionedDatabase | Iterable[Fact]"
+                            ) -> frozenset[frozenset[Fact]]:
+        """All minimal supports of the query *contained in* the given database."""
+
+    @abstractmethod
+    def constants(self) -> frozenset[Constant]:
+        """The constants mentioned by the query (the set ``C``)."""
+
+    @abstractmethod
+    def relation_names(self) -> frozenset[str]:
+        """The relation names the query may inspect."""
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        """A family of canonical minimal supports of the query (over fresh constants).
+
+        The default implementation raises ``NotImplementedError``; concrete
+        query classes that participate in the Section 5 constructions override
+        it.  The returned supports are genuine minimal supports of the query
+        (not merely supports), built over constants disjoint from everything
+        else up to the query's own constants.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide canonical minimal supports")
+
+    def some_minimal_support(self) -> frozenset[Fact]:
+        """Any one canonical minimal support (raises ``ValueError`` if unsatisfiable)."""
+        supports = self.canonical_minimal_supports()
+        if not supports:
+            raise ValueError(f"query {self} is unsatisfiable: it has no minimal support")
+        return min(supports, key=lambda s: (len(s), sorted(s)))
+
+    def is_satisfiable(self) -> bool:
+        """Whether the query has at least one support."""
+        try:
+            return bool(self.canonical_minimal_supports())
+        except NotImplementedError:
+            raise
+
+    # -- combinators ---------------------------------------------------------
+    def __and__(self, other: "BooleanQuery") -> "ConjunctionQuery":
+        return ConjunctionQuery((self, other))
+
+    def __or__(self, other: "BooleanQuery") -> "DisjunctionQuery":
+        return DisjunctionQuery((self, other))
+
+
+class TrueQuery(BooleanQuery):
+    """The always-true query ⊤ (used as ``q'`` in the proof of Lemma 4.1)."""
+
+    is_hom_closed = True
+
+    def evaluate(self, db) -> bool:
+        return True
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        return frozenset({frozenset()})
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        return frozenset({frozenset()})
+
+    def constants(self) -> frozenset[Constant]:
+        return frozenset()
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "⊤"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TrueQuery)
+
+    def __hash__(self) -> int:
+        return hash("TrueQuery")
+
+
+class FalseQuery(BooleanQuery):
+    """The always-false query ⊥."""
+
+    is_hom_closed = True
+
+    def evaluate(self, db) -> bool:
+        return False
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        return frozenset()
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        return frozenset()
+
+    def constants(self) -> frozenset[Constant]:
+        return frozenset()
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "⊥"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FalseQuery)
+
+    def __hash__(self) -> int:
+        return hash("FalseQuery")
+
+
+class ConjunctionQuery(BooleanQuery):
+    """The conjunction of arbitrary Boolean queries (``q ∧ q'`` of Lemma 4.3)."""
+
+    def __init__(self, parts: Iterable[BooleanQuery]):
+        flattened: list[BooleanQuery] = []
+        for part in parts:
+            if isinstance(part, ConjunctionQuery):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts: tuple[BooleanQuery, ...] = tuple(flattened)
+        self.is_hom_closed = all(p.is_hom_closed for p in self.parts)
+
+    def evaluate(self, db) -> bool:
+        facts = as_fact_set(db)
+        return all(part.evaluate(facts) for part in self.parts)
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        facts = as_fact_set(db)
+        if not self.parts:
+            return frozenset({frozenset()})
+        combos: set[frozenset[Fact]] = {frozenset()}
+        for part in self.parts:
+            part_supports = part.minimal_supports_in(facts)
+            if not part_supports:
+                return frozenset()
+            combos = {existing | new for existing in combos for new in part_supports}
+        return minimize_supports(combos)
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        # Canonical supports of a conjunction would require renaming the
+        # sub-supports apart, which in general need not yield *minimal*
+        # supports of the conjunction (the parts may interact).  The concrete
+        # query classes used in the reductions provide their own
+        # implementations; for generic conjunctions, we evaluate the
+        # conjunction on the union of renamed canonical supports of the parts
+        # and minimize within.
+        from ..data.renaming import rename_apart
+
+        part_supports: list[frozenset[Fact]] = []
+        avoid: frozenset[Constant] = self.constants()
+        for part in self.parts:
+            support = part.some_minimal_support()
+            renamed = rename_apart(support, part.constants(), avoid)
+            avoid = avoid | frozenset(c for f in renamed for c in f.constants())
+            part_supports.append(renamed)
+        union = frozenset().union(*part_supports) if part_supports else frozenset()
+        return self.minimal_supports_in(union)
+
+    def constants(self) -> frozenset[Constant]:
+        out: set[Constant] = set()
+        for part in self.parts:
+            out |= part.constants()
+        return frozenset(out)
+
+    def relation_names(self) -> frozenset[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.relation_names()
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(f"({part})" for part in self.parts)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConjunctionQuery) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("ConjunctionQuery", self.parts))
+
+
+class DisjunctionQuery(BooleanQuery):
+    """The disjunction of arbitrary Boolean queries."""
+
+    def __init__(self, parts: Iterable[BooleanQuery]):
+        flattened: list[BooleanQuery] = []
+        for part in parts:
+            if isinstance(part, DisjunctionQuery):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        self.parts: tuple[BooleanQuery, ...] = tuple(flattened)
+        self.is_hom_closed = all(p.is_hom_closed for p in self.parts)
+
+    def evaluate(self, db) -> bool:
+        facts = as_fact_set(db)
+        return any(part.evaluate(facts) for part in self.parts)
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        facts = as_fact_set(db)
+        all_supports: set[frozenset[Fact]] = set()
+        for part in self.parts:
+            all_supports |= part.minimal_supports_in(facts)
+        return minimize_supports(all_supports)
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        out: set[frozenset[Fact]] = set()
+        for part in self.parts:
+            out |= part.canonical_minimal_supports()
+        # Cross-part minimization: a canonical support of one disjunct might
+        # properly contain a support of another disjunct only if they share
+        # constants, which canonical supports (over fresh constants) do not,
+        # except through query constants; minimize to be safe.
+        return minimize_supports(out)
+
+    def constants(self) -> frozenset[Constant]:
+        out: set[Constant] = set()
+        for part in self.parts:
+            out |= part.constants()
+        return frozenset(out)
+
+    def relation_names(self) -> frozenset[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.relation_names()
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({part})" for part in self.parts)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DisjunctionQuery) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash(("DisjunctionQuery", self.parts))

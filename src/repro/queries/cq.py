@@ -1,0 +1,252 @@
+"""Boolean conjunctive queries.
+
+A (Boolean) conjunctive query is an existentially quantified conjunction of
+relational atoms.  A database ``D`` satisfies the CQ ``q`` iff there is a
+C-homomorphism from ``atoms(q)`` to ``D`` where ``C = const(q)`` — i.e. a
+mapping of the query's variables to database constants (constants of the query
+are fixed) sending every atom to a fact of ``D``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..data.atoms import Atom, Fact, atoms_constants, atoms_variables
+from ..data.database import Database, PartitionedDatabase
+from ..data.terms import Constant, FreshConstantFactory, Term, Variable, is_constant, is_variable
+from .base import BooleanQuery, as_fact_set, minimize_supports
+
+
+class ConjunctiveQuery(BooleanQuery):
+    """A Boolean conjunctive query (CQ)."""
+
+    is_hom_closed = True
+
+    def __init__(self, atoms: Iterable[Atom], name: str = ""):
+        atom_tuple = tuple(atoms)
+        if not atom_tuple:
+            raise ValueError("a conjunctive query needs at least one atom; use TrueQuery for ⊤")
+        self.atoms: tuple[Atom, ...] = atom_tuple
+        self.name = name
+
+    # -- basic structure ------------------------------------------------------
+    def variables(self) -> frozenset[Variable]:
+        """All variables of the query."""
+        return atoms_variables(self.atoms)
+
+    def constants(self) -> frozenset[Constant]:
+        """All constants of the query (the set ``C``)."""
+        return atoms_constants(self.atoms)
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(a.relation for a in self.atoms)
+
+    def is_self_join_free(self) -> bool:
+        """``True`` iff no two atoms share a relation name (sjf-CQ)."""
+        names = [a.relation for a in self.atoms]
+        return len(names) == len(set(names))
+
+    def is_constant_free(self) -> bool:
+        """``True`` iff the query mentions no constant."""
+        return not self.constants()
+
+    def atoms_containing(self, variable: Variable) -> tuple[Atom, ...]:
+        """The atoms in which the given variable occurs (``at(x)`` in [11])."""
+        return tuple(a for a in self.atoms if variable in a.variables())
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "ConjunctiveQuery":
+        """Apply a substitution to every atom, returning a new CQ."""
+        return ConjunctiveQuery(tuple(a.substitute(mapping) for a in self.atoms),
+                                name=self.name)
+
+    # -- homomorphisms ----------------------------------------------------------
+    def homomorphisms(self, db: "Database | PartitionedDatabase | Iterable[Fact]",
+                      partial: "Mapping[Term, Constant] | None" = None,
+                      ) -> Iterator[dict[Term, Constant]]:
+        """Enumerate C-homomorphisms from the query's atoms into the database.
+
+        Each homomorphism is returned as a mapping from the query's terms to
+        constants; query constants are always mapped to themselves.  An optional
+        ``partial`` assignment restricts the search (used when substituting a
+        separator variable, or when checking relevance of a fact).
+        """
+        facts = as_fact_set(db)
+        by_relation: dict[str, list[Fact]] = {}
+        for f in facts:
+            by_relation.setdefault(f.relation, []).append(f)
+        for rel in by_relation:
+            by_relation[rel].sort()
+
+        assignment: dict[Term, Constant] = {c: c for c in self.constants()}
+        if partial:
+            for term, value in partial.items():
+                if is_constant(term) and term != value:
+                    return
+                assignment[term] = value
+
+        # Order atoms to bind variables early: repeatedly pick the atom with the
+        # fewest unbound variables (a simple greedy join order).
+        remaining = list(self.atoms)
+        ordered: list[Atom] = []
+        bound: set[Term] = set(assignment)
+        while remaining:
+            remaining.sort(key=lambda a: (len([v for v in a.variables() if v not in bound]),
+                                          str(a)))
+            chosen = remaining.pop(0)
+            ordered.append(chosen)
+            bound.update(chosen.variables())
+
+        yield from self._extend(ordered, 0, assignment, by_relation)
+
+    def _extend(self, ordered: Sequence[Atom], index: int,
+                assignment: dict[Term, Constant],
+                by_relation: dict[str, list[Fact]]) -> Iterator[dict[Term, Constant]]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        atom = ordered[index]
+        candidates = by_relation.get(atom.relation, [])
+        for factual in candidates:
+            if factual.arity != atom.arity:
+                continue
+            added: list[Term] = []
+            ok = True
+            for term, value in zip(atom.terms, factual.terms):
+                current = assignment.get(term)
+                if current is None:
+                    assignment[term] = value
+                    added.append(term)
+                elif current != value:
+                    ok = False
+                    break
+            if ok:
+                yield from self._extend(ordered, index + 1, assignment, by_relation)
+            for term in added:
+                del assignment[term]
+
+    def evaluate(self, db) -> bool:
+        for _ in self.homomorphisms(db):
+            return True
+        return False
+
+    def image(self, homomorphism: Mapping[Term, Constant]) -> frozenset[Fact]:
+        """The set of facts that the atoms are mapped to under a homomorphism."""
+        return frozenset(a.substitute(homomorphism).to_fact() for a in self.atoms)
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        """The ⊆-minimal supports of the query within the database.
+
+        Every support of a CQ contains the image of some homomorphism, and every
+        image is a support; hence the minimal supports are exactly the ⊆-minimal
+        homomorphism images.
+        """
+        facts = as_fact_set(db)
+        images = {self.image(h) for h in self.homomorphisms(facts)}
+        return minimize_supports(images)
+
+    # -- canonical databases and cores ------------------------------------------
+    def freeze(self, factory: "FreshConstantFactory | None" = None,
+               ) -> tuple[frozenset[Fact], dict[Variable, Constant]]:
+        """The canonical database of the query: freeze each variable to a fresh constant.
+
+        Returns the set of facts together with the freezing substitution.
+        """
+        if factory is None:
+            factory = FreshConstantFactory(self.constants(), prefix="frz")
+        frozen: dict[Variable, Constant] = {
+            v: factory.fresh(v.name) for v in sorted(self.variables())}
+        facts = frozenset(a.substitute(frozen).to_fact() for a in self.atoms)
+        return facts, frozen
+
+    def canonical_database(self, factory: "FreshConstantFactory | None" = None) -> Database:
+        """The canonical database as a :class:`Database`."""
+        facts, _ = self.freeze(factory)
+        return Database(facts)
+
+    def core(self) -> "ConjunctiveQuery":
+        """A core of the query: an equivalent CQ with a ⊆-minimal set of atoms.
+
+        Computed by greedily removing atoms as long as the smaller query still
+        maps homomorphically into the canonical database of the original one
+        while fixing query constants (i.e. remains equivalent).
+        """
+        current = list(dict.fromkeys(self.atoms))
+        changed = True
+        while changed and len(current) > 1:
+            changed = False
+            for atom in list(current):
+                candidate = [a for a in current if a is not atom]
+                if not candidate:
+                    continue
+                smaller = ConjunctiveQuery(candidate)
+                frozen_facts, _ = ConjunctiveQuery(current).freeze()
+                # 'smaller' is implied by 'current'; they are equivalent iff
+                # 'current' maps into the canonical database of 'smaller'.
+                smaller_facts, _ = smaller.freeze()
+                if ConjunctiveQuery(current).evaluate(smaller_facts):
+                    current = candidate
+                    changed = True
+                    break
+                del frozen_facts
+        return ConjunctiveQuery(tuple(current), name=self.name)
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        """Canonical minimal supports: minimal supports inside the frozen core."""
+        core = self.core()
+        facts, _ = core.freeze()
+        return core.minimal_supports_in(facts)
+
+    def is_minimal(self) -> bool:
+        """``True`` iff the query equals its core (up to atom multiset)."""
+        return set(self.core().atoms) == set(self.atoms)
+
+    # -- equivalence -------------------------------------------------------------
+    def is_equivalent_to(self, other: "ConjunctiveQuery") -> bool:
+        """Homomorphic equivalence of two CQs (each maps into the other's canonical db)."""
+        self_facts, _ = self.freeze()
+        other_facts, _ = other.freeze()
+        return self.evaluate(other_facts) and other.evaluate(self_facts)
+
+    # -- dunder --------------------------------------------------------------------
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return label + " ∧ ".join(str(a) for a in self.atoms)
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({list(self.atoms)!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return frozenset(self.atoms) == frozenset(other.atoms)
+
+    def __hash__(self) -> int:
+        return hash(("ConjunctiveQuery", frozenset(self.atoms)))
+
+
+def cq(*atoms: Atom, name: str = "") -> ConjunctiveQuery:
+    """Convenience constructor: ``cq(atom("R", x), atom("S", x, y))``."""
+    return ConjunctiveQuery(atoms, name=name)
+
+
+def product_of_cqs(queries: Sequence[ConjunctiveQuery]) -> ConjunctiveQuery:
+    """The conjunction of several CQs as a single CQ, with variables renamed apart.
+
+    Used by the inclusion–exclusion rule of lifted inference: ``P(q1 ∨ q2)``
+    needs the probability of ``q1 ∧ q2`` where the two CQs do not accidentally
+    share variables.
+    """
+    renamed_atoms: list[Atom] = []
+    for index, query in enumerate(queries):
+        renaming: dict[Term, Term] = {
+            v: Variable(f"{v.name}@{index}") for v in query.variables()}
+        renamed_atoms.extend(a.substitute(renaming) for a in query.atoms)
+    return ConjunctiveQuery(tuple(dict.fromkeys(renamed_atoms)))
+
+
+def all_subsets_of_atoms(query: ConjunctiveQuery) -> Iterator[tuple[Atom, ...]]:
+    """All non-empty subsets of the query's atoms (helper for analysis routines)."""
+    atoms = query.atoms
+    for size in range(1, len(atoms) + 1):
+        yield from itertools.combinations(atoms, size)

@@ -1,0 +1,333 @@
+"""Conjunctive regular path queries (CRPQs) and unions thereof (UCRPQs).
+
+A (Boolean) CRPQ over a binary schema is an existentially quantified
+conjunction of path atoms ``L(t, t')`` where the endpoints may be constants or
+variables and ``L`` is a regular language over the relation names.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping
+
+from ..data.atoms import Fact
+from ..data.terms import Constant, FreshConstantFactory, Term, Variable, is_constant
+from .automata import NFA
+from .base import BooleanQuery, as_fact_set, minimize_supports
+from .cq import ConjunctiveQuery
+from .regex import RegexNode, parse_regex, symbols_of
+from .rpq import RegularPathQuery
+from .ucq import UnionOfConjunctiveQueries
+
+
+class PathAtom:
+    """A path atom ``L(source, target)`` whose endpoints are terms."""
+
+    __slots__ = ("language", "source", "target", "_nfa")
+
+    def __init__(self, language: "str | RegexNode", source: Term, target: Term):
+        object.__setattr__(self, "language", parse_regex(language))
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "_nfa", NFA.from_regex(self.language))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("PathAtom objects are immutable")
+
+    @property
+    def nfa(self) -> NFA:
+        """The NFA of the path language."""
+        return self._nfa
+
+    def relation_names(self) -> frozenset[str]:
+        """Relation names appearing in the language."""
+        return symbols_of(self.language)
+
+    def terms(self) -> tuple[Term, Term]:
+        """The endpoint terms."""
+        return (self.source, self.target)
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(t for t in self.terms() if not is_constant(t))
+
+    def constants(self) -> frozenset[Constant]:
+        return frozenset(t for t in self.terms() if is_constant(t))
+
+    def instantiate(self, mapping: Mapping[Term, Constant]) -> RegularPathQuery:
+        """The RPQ obtained by grounding both endpoints through ``mapping``."""
+        source = mapping.get(self.source, self.source)
+        target = mapping.get(self.target, self.target)
+        if not is_constant(source) or not is_constant(target):
+            raise ValueError("instantiation requires both endpoints to be grounded")
+        return RegularPathQuery(self.language, source, target)
+
+    def __str__(self) -> str:
+        return f"[{self.language}]({self.source}, {self.target})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PathAtom):
+            return NotImplemented
+        return (str(self.language) == str(other.language)
+                and self.source == other.source and self.target == other.target)
+
+    def __hash__(self) -> int:
+        return hash(("PathAtom", str(self.language), self.source, self.target))
+
+
+class ConjunctiveRegularPathQuery(BooleanQuery):
+    """A Boolean conjunctive regular path query."""
+
+    is_hom_closed = True
+
+    def __init__(self, path_atoms: Iterable[PathAtom], name: str = ""):
+        atoms = tuple(path_atoms)
+        if not atoms:
+            raise ValueError("a CRPQ needs at least one path atom")
+        self.path_atoms: tuple[PathAtom, ...] = atoms
+        self.name = name
+
+    # -- structure ------------------------------------------------------------------
+    def variables(self) -> frozenset[Variable]:
+        out: set[Variable] = set()
+        for a in self.path_atoms:
+            out |= a.variables()
+        return frozenset(out)
+
+    def constants(self) -> frozenset[Constant]:
+        out: set[Constant] = set()
+        for a in self.path_atoms:
+            out |= a.constants()
+        return frozenset(out)
+
+    def relation_names(self) -> frozenset[str]:
+        out: set[str] = set()
+        for a in self.path_atoms:
+            out |= a.relation_names()
+        return frozenset(out)
+
+    def is_self_join_free(self) -> bool:
+        """sjf-CRPQ: the path atoms use pairwise disjoint sets of relation names."""
+        seen: set[str] = set()
+        for a in self.path_atoms:
+            names = a.relation_names()
+            if names & seen:
+                return False
+            seen |= names
+        return True
+
+    def is_constant_free(self) -> bool:
+        return not self.constants()
+
+    # -- semantics --------------------------------------------------------------------
+    def _endpoint_assignments(self, facts: frozenset[Fact]
+                              ) -> Iterator[dict[Term, Constant]]:
+        """All groundings of the endpoint variables over the active domain."""
+        domain = sorted({c for f in facts for c in f.constants()} | self.constants())
+        free_vars = sorted(self.variables())
+        base: dict[Term, Constant] = {c: c for c in self.constants()}
+        if not free_vars:
+            yield dict(base)
+            return
+        for values in itertools.product(domain, repeat=len(free_vars)):
+            assignment = dict(base)
+            assignment.update(zip(free_vars, values))
+            yield assignment
+
+    def evaluate(self, db) -> bool:
+        facts = as_fact_set(db)
+        for assignment in self._endpoint_assignments(facts):
+            if all(a.instantiate(assignment).evaluate(facts) for a in self.path_atoms):
+                return True
+        return False
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        facts = as_fact_set(db)
+        supports: set[frozenset[Fact]] = set()
+        for assignment in self._endpoint_assignments(facts):
+            per_atom: list[frozenset[frozenset[Fact]]] = []
+            feasible = True
+            for a in self.path_atoms:
+                atom_supports = a.instantiate(assignment).minimal_supports_in(facts)
+                if not atom_supports:
+                    feasible = False
+                    break
+                per_atom.append(atom_supports)
+            if not feasible:
+                continue
+            for combo in itertools.product(*per_atom):
+                supports.add(frozenset().union(*combo))
+        return minimize_supports(supports)
+
+    # -- canonical supports --------------------------------------------------------------
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        """Canonical minimal supports built from shortest words per path atom.
+
+        Endpoint variables are frozen to fresh constants; each path atom
+        contributes a path spelling one of its shortest non-empty words (or the
+        empty word when allowed and both endpoints coincide).  The result is then
+        minimized inside the constructed database.
+        """
+        factory = FreshConstantFactory(self.constants(), prefix="crpq")
+        frozen: dict[Term, Constant] = {v: factory.fresh(v.name) for v in sorted(self.variables())}
+        frozen.update({c: c for c in self.constants()})
+        facts: set[Fact] = set()
+        for a in self.path_atoms:
+            grounded = a.instantiate(frozen)
+            shortest = grounded.nfa.shortest_word_length()
+            if shortest is None:
+                return frozenset()
+            word: tuple[str, ...] = ()
+            if shortest == 0 and grounded.source == grounded.target:
+                word = ()
+            else:
+                length = max(shortest, 1)
+                for candidate in grounded.nfa.enumerate_words(length):
+                    if len(candidate) == length:
+                        word = candidate
+                        break
+            facts |= grounded.word_to_path_facts(word, factory)
+        support_db = frozenset(facts)
+        return self.minimal_supports_in(support_db)
+
+    # -- UCQ expansion ----------------------------------------------------------------------
+    def is_bounded(self) -> bool:
+        """Whether every path atom has a finite language (sufficient for UCQ expressibility).
+
+        The general boundedness problem for CRPQs is decidable [Barceló, Figueira,
+        Romero, ICALP 2019] but considerably more involved; per-atom finiteness is
+        the conservative criterion used here and is sufficient for every query of
+        the paper's catalog.
+        """
+        return all(a.nfa.is_language_finite() for a in self.path_atoms)
+
+    def to_ucq(self) -> UnionOfConjunctiveQueries:
+        """Expand a (per-atom) bounded CRPQ into an equivalent UCQ."""
+        if not self.is_bounded():
+            raise ValueError("cannot expand a CRPQ with an infinite path language into a UCQ")
+        per_atom_words: list[list[tuple[str, ...]]] = []
+        for a in self.path_atoms:
+            longest = a.nfa.longest_word_length() or 0
+            words = list(a.nfa.enumerate_words(longest))
+            if not words:
+                return UnionOfConjunctiveQueries(
+                    (ConjunctiveQuery((_unsatisfiable_atom(),)),), name=self.name)
+            per_atom_words.append(words)
+        disjuncts: list[ConjunctiveQuery] = []
+        for combo in itertools.product(*per_atom_words):
+            atoms = []
+            equalities: dict[Term, Term] = {}
+            fresh_index = 0
+            ok = True
+            for path_atom, word in zip(self.path_atoms, combo):
+                left, right = path_atom.source, path_atom.target
+                if not word:
+                    # Empty word: endpoints must be equal; record the unification.
+                    rep_left = equalities.get(left, left)
+                    rep_right = equalities.get(right, right)
+                    if is_constant(rep_left) and is_constant(rep_right) and rep_left != rep_right:
+                        ok = False
+                        break
+                    chosen = rep_left if is_constant(rep_left) else rep_right
+                    other = rep_right if chosen is rep_left else rep_left
+                    equalities[other] = chosen
+                    continue
+                terms: list[Term] = [left]
+                for _ in range(len(word) - 1):
+                    terms.append(Variable(f"w{fresh_index}"))
+                    fresh_index += 1
+                terms.append(right)
+                for index, label in enumerate(word):
+                    atoms.append(_binary_atom(label, terms[index], terms[index + 1]))
+            if not ok:
+                continue
+            if not atoms:
+                continue
+            substituted = [a.substitute(equalities) for a in atoms]
+            disjuncts.append(ConjunctiveQuery(tuple(substituted)))
+        if not disjuncts:
+            raise ValueError("CRPQ expansion produced no disjunct (query may be trivial or unsatisfiable)")
+        return UnionOfConjunctiveQueries(tuple(disjuncts), name=self.name or str(self))
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return label + " ∧ ".join(str(a) for a in self.path_atoms)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ConjunctiveRegularPathQuery):
+            return NotImplemented
+        return frozenset(self.path_atoms) == frozenset(other.path_atoms)
+
+    def __hash__(self) -> int:
+        return hash(("CRPQ", frozenset(self.path_atoms)))
+
+
+class UnionOfConjunctiveRegularPathQueries(BooleanQuery):
+    """A finite disjunction of CRPQs."""
+
+    is_hom_closed = True
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveRegularPathQuery], name: str = ""):
+        ds = tuple(disjuncts)
+        if not ds:
+            raise ValueError("a UCRPQ needs at least one disjunct")
+        self.disjuncts = ds
+        self.name = name
+
+    def evaluate(self, db) -> bool:
+        facts = as_fact_set(db)
+        return any(d.evaluate(facts) for d in self.disjuncts)
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        facts = as_fact_set(db)
+        out: set[frozenset[Fact]] = set()
+        for d in self.disjuncts:
+            out |= d.minimal_supports_in(facts)
+        return minimize_supports(out)
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        out: set[frozenset[Fact]] = set()
+        for d in self.disjuncts:
+            out |= d.canonical_minimal_supports()
+        return minimize_supports(out)
+
+    def constants(self) -> frozenset[Constant]:
+        out: set[Constant] = set()
+        for d in self.disjuncts:
+            out |= d.constants()
+        return frozenset(out)
+
+    def relation_names(self) -> frozenset[str]:
+        out: set[str] = set()
+        for d in self.disjuncts:
+            out |= d.relation_names()
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return label + " ∨ ".join(f"({d})" for d in self.disjuncts)
+
+
+def _binary_atom(relation: str, left: Term, right: Term):
+    from ..data.atoms import Atom
+
+    return Atom(relation, (left, right))
+
+
+def _unsatisfiable_atom():
+    from ..data.atoms import Atom
+
+    return Atom("__unsat__", (Variable("x"),))
+
+
+def crpq(*path_atoms: PathAtom, name: str = "") -> ConjunctiveRegularPathQuery:
+    """Convenience constructor for CRPQs."""
+    return ConjunctiveRegularPathQuery(path_atoms, name=name)
+
+
+def path_atom(language: "str | RegexNode", source: "Term | str", target: "Term | str") -> PathAtom:
+    """Convenience constructor for path atoms; string endpoints are constants."""
+    from ..data.terms import const
+
+    src = source if isinstance(source, (Constant, Variable)) else const(source)
+    tgt = target if isinstance(target, (Constant, Variable)) else const(target)
+    return PathAtom(language, src, tgt)

@@ -1,0 +1,257 @@
+"""Regular expressions over relation-name alphabets.
+
+RPQ path atoms carry a regular language over the binary relation names of a
+graph schema.  We represent regular expressions as a small AST (symbols,
+concatenation, union, Kleene star/plus, optional, epsilon, empty) together with
+a parser for a conventional surface syntax:
+
+* relation names are identifiers (``A``, ``knows``, ``R1``),
+* concatenation is juxtaposition or ``.``  (``A B`` or ``A.B``),
+* union is ``|`` or ``+`` between alternatives is *not* supported (``+`` is
+  reserved for "one or more"),
+* ``*`` / ``+`` / ``?`` are the usual postfix operators,
+* parentheses group.
+
+Example: ``"A (B|C)* D"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class RegexNode:
+    """Base class of regular-expression AST nodes."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # Convenience combinators so expressions can also be built programmatically.
+    def concat(self, other: "RegexNode") -> "RegexNode":
+        return Concat((self, other))
+
+    def union(self, other: "RegexNode") -> "RegexNode":
+        return Union((self, other))
+
+    def star(self) -> "RegexNode":
+        return Star(self)
+
+    def plus(self) -> "RegexNode":
+        return Plus(self)
+
+    def optional(self) -> "RegexNode":
+        return Optional_(self)
+
+
+@dataclass(frozen=True)
+class Epsilon(RegexNode):
+    """The empty word."""
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class EmptyLanguage(RegexNode):
+    """The empty language (no word at all)."""
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Symbol(RegexNode):
+    """A single relation name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    """Concatenation of sub-expressions."""
+
+    parts: tuple[RegexNode, ...]
+
+    def __str__(self) -> str:
+        return " ".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Union(RegexNode):
+    """Union (alternation) of sub-expressions."""
+
+    parts: tuple[RegexNode, ...]
+
+    def __str__(self) -> str:
+        return "|".join(_wrap(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    """Kleene star: zero or more repetitions."""
+
+    inner: RegexNode
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}*"
+
+
+@dataclass(frozen=True)
+class Plus(RegexNode):
+    """One or more repetitions."""
+
+    inner: RegexNode
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}+"
+
+
+@dataclass(frozen=True)
+class Optional_(RegexNode):
+    """Zero or one occurrence."""
+
+    inner: RegexNode
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.inner)}?"
+
+
+def _wrap(node: RegexNode) -> str:
+    text = str(node)
+    if isinstance(node, (Union, Concat)) and (" " in text or "|" in text):
+        return f"({text})"
+    return text
+
+
+def symbols_of(node: RegexNode) -> frozenset[str]:
+    """The relation names mentioned by a regular expression."""
+    if isinstance(node, Symbol):
+        return frozenset({node.name})
+    if isinstance(node, (Concat, Union)):
+        out: set[str] = set()
+        for part in node.parts:
+            out |= symbols_of(part)
+        return frozenset(out)
+    if isinstance(node, (Star, Plus, Optional_)):
+        return symbols_of(node.inner)
+    return frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+class RegexSyntaxError(ValueError):
+    """Raised when a regular-expression string cannot be parsed."""
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace() or char == ".":
+            index += 1
+            continue
+        if char in "()|*+?":
+            yield (char, char)
+            index += 1
+            continue
+        if char.isalnum() or char == "_":
+            start = index
+            while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            yield ("symbol", text[start:index])
+            continue
+        raise RegexSyntaxError(f"unexpected character {char!r} in regex {text!r}")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = list(_tokenize(text))
+        self.position = 0
+        self.text = text
+
+    def peek(self) -> "tuple[str, str] | None":
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> tuple[str, str]:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def parse(self) -> RegexNode:
+        node = self.parse_union()
+        if self.peek() is not None:
+            raise RegexSyntaxError(f"trailing tokens in regex {self.text!r}")
+        return node
+
+    def parse_union(self) -> RegexNode:
+        parts = [self.parse_concat()]
+        while self.peek() is not None and self.peek()[0] == "|":
+            self.advance()
+            parts.append(self.parse_concat())
+        if len(parts) == 1:
+            return parts[0]
+        return Union(tuple(parts))
+
+    def parse_concat(self) -> RegexNode:
+        parts: list[RegexNode] = []
+        while True:
+            token = self.peek()
+            if token is None or token[0] in {")", "|"}:
+                break
+            parts.append(self.parse_postfix())
+        if not parts:
+            return Epsilon()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def parse_postfix(self) -> RegexNode:
+        node = self.parse_atomic()
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if token[0] == "*":
+                self.advance()
+                node = Star(node)
+            elif token[0] == "+":
+                self.advance()
+                node = Plus(node)
+            elif token[0] == "?":
+                self.advance()
+                node = Optional_(node)
+            else:
+                break
+        return node
+
+    def parse_atomic(self) -> RegexNode:
+        token = self.peek()
+        if token is None:
+            raise RegexSyntaxError(f"unexpected end of regex {self.text!r}")
+        kind, value = self.advance()
+        if kind == "symbol":
+            return Symbol(value)
+        if kind == "(":
+            inner = self.parse_union()
+            closing = self.peek()
+            if closing is None or closing[0] != ")":
+                raise RegexSyntaxError(f"missing ')' in regex {self.text!r}")
+            self.advance()
+            return inner
+        raise RegexSyntaxError(f"unexpected token {value!r} in regex {self.text!r}")
+
+
+def parse_regex(expression: "str | RegexNode") -> RegexNode:
+    """Parse a regular expression string (or pass an AST through unchanged)."""
+    if isinstance(expression, RegexNode):
+        return expression
+    node = _Parser(expression).parse()
+    return node

@@ -1,0 +1,249 @@
+"""Regular path queries (RPQs).
+
+A (Boolean) RPQ over a binary schema is a path atom ``L(a, b)`` where ``a`` and
+``b`` are constants and ``L`` is a regular language over the relation names.
+The query holds in a graph database ``D`` iff there is a word ``R1...Rl ∈ L``
+and constants ``c0 = a, c1, ..., cl = b`` with ``Ri(c_{i-1}, c_i) ∈ D``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..data.atoms import Fact
+from ..data.database import Database
+from ..data.terms import Constant, FreshConstantFactory, Variable, const
+from .automata import NFA
+from .base import BooleanQuery, as_fact_set, minimize_supports
+from .cq import ConjunctiveQuery
+from .regex import RegexNode, parse_regex, symbols_of
+from .ucq import UnionOfConjunctiveQueries
+
+
+class RegularPathQuery(BooleanQuery):
+    """A Boolean regular path query ``L(source, target)`` with constant endpoints."""
+
+    is_hom_closed = True
+
+    def __init__(self, language: "str | RegexNode", source: "Constant | str",
+                 target: "Constant | str", name: str = ""):
+        self.language: RegexNode = parse_regex(language)
+        self.source: Constant = const(source)
+        self.target: Constant = const(target)
+        self.name = name
+        self._nfa = NFA.from_regex(self.language)
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def nfa(self) -> NFA:
+        """The NFA of the path language."""
+        return self._nfa
+
+    def constants(self) -> frozenset[Constant]:
+        return frozenset({self.source, self.target})
+
+    def relation_names(self) -> frozenset[str]:
+        return symbols_of(self.language)
+
+    # -- semantics -----------------------------------------------------------------
+    def evaluate(self, db) -> bool:
+        facts = as_fact_set(db)
+        if self.source == self.target and self._nfa.accepts_epsilon():
+            return True
+        # BFS over the product of the graph database and the NFA.
+        adjacency: dict[Constant, list[tuple[str, Constant]]] = {}
+        for f in facts:
+            if f.arity != 2:
+                continue
+            adjacency.setdefault(f.terms[0], []).append((f.relation, f.terms[1]))
+        start = (self.source, self._nfa.initial_states())
+        seen = {start}
+        stack = [start]
+        while stack:
+            node, states = stack.pop()
+            if node == self.target and self._nfa.is_accepting_set(states):
+                return True
+            for label, successor in adjacency.get(node, ()):
+                next_states = self._nfa.step(states, label)
+                if not next_states:
+                    continue
+                key = (successor, next_states)
+                if key not in seen:
+                    seen.add(key)
+                    stack.append(key)
+        return False
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        """Minimal supports: minimal edge sets carrying an accepted path.
+
+        Every minimal support is the edge set of a path that never repeats a
+        (node, NFA-state-set) pair (otherwise the loop could be removed), so a
+        DFS over product-simple paths enumerates a superset of the minimal
+        supports, which we then minimize.
+        """
+        facts = as_fact_set(db)
+        if self.source == self.target and self._nfa.accepts_epsilon():
+            return frozenset({frozenset()})
+        adjacency: dict[Constant, list[Fact]] = {}
+        for f in facts:
+            if f.arity == 2:
+                adjacency.setdefault(f.terms[0], []).append(f)
+        supports: set[frozenset[Fact]] = set()
+
+        def explore(node: Constant, states: frozenset[int], used: frozenset[Fact],
+                    visited: frozenset[tuple[Constant, frozenset[int]]]) -> None:
+            if node == self.target and self._nfa.is_accepting_set(states):
+                supports.add(used)
+                # Longer extensions cannot be minimal, so stop here.
+                return
+            for edge in adjacency.get(node, ()):
+                next_states = self._nfa.step(states, edge.relation)
+                if not next_states:
+                    continue
+                key = (edge.terms[1], next_states)
+                if key in visited:
+                    continue
+                explore(edge.terms[1], next_states, used | {edge}, visited | {key})
+
+        start_states = self._nfa.initial_states()
+        explore(self.source, start_states, frozenset(),
+                frozenset({(self.source, start_states)}))
+        return minimize_supports(supports)
+
+    # -- canonical supports and UCQ views ----------------------------------------------
+    def word_to_path_facts(self, word: tuple[str, ...],
+                           factory: "FreshConstantFactory | None" = None) -> frozenset[Fact]:
+        """A simple path spelling ``word`` from ``source`` to ``target`` over fresh nodes."""
+        if factory is None:
+            factory = FreshConstantFactory(self.constants(), prefix="path")
+        if not word:
+            if self.source != self.target:
+                raise ValueError("the empty word only supports the query when source == target")
+            return frozenset()
+        nodes = [self.source]
+        for _ in range(len(word) - 1):
+            nodes.append(factory.fresh("n"))
+        nodes.append(self.target)
+        return frozenset(Fact(label, (nodes[i], nodes[i + 1])) for i, label in enumerate(word))
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        """Canonical minimal supports built from shortest accepted words.
+
+        We take all accepted words of minimal length (they always yield minimal
+        supports for paths over fresh intermediate nodes) plus, when it exists, a
+        shortest word of length ≥ 2 — the reductions need a support containing a
+        constant outside ``C = {source, target}``.
+        """
+        shortest = self._nfa.shortest_word_length()
+        if shortest is None:
+            return frozenset()
+        words: set[tuple[str, ...]] = set()
+        for word in self._nfa.enumerate_words(max_length=max(shortest, 0)):
+            if len(word) == shortest:
+                words.add(word)
+        longer = self.shortest_word_of_length_at_least(2)
+        if longer is not None:
+            words.add(longer)
+        supports: set[frozenset[Fact]] = set()
+        for word in sorted(words):
+            if not word and self.source != self.target:
+                continue
+            support = self.word_to_path_facts(word)
+            # Verify minimality within the support itself.
+            supports |= self.minimal_supports_in(support)
+        return minimize_supports(supports)
+
+    def shortest_word_of_length_at_least(self, lower_bound: int) -> "tuple[str, ...] | None":
+        """A shortest accepted word of length ≥ ``lower_bound``, or ``None``."""
+        from collections import deque
+
+        alphabet = sorted(self._nfa.alphabet())
+        start = self._nfa.initial_states()
+        queue: deque[tuple[frozenset[int], tuple[str, ...]]] = deque([(start, ())])
+        seen: set[tuple[frozenset[int], int]] = {(start, 0)}
+        # BFS over (state-set, min(word length, lower_bound)) pairs.
+        while queue:
+            states, word = queue.popleft()
+            if len(word) >= lower_bound and self._nfa.is_accepting_set(states):
+                return word
+            for label in alphabet:
+                nxt = self._nfa.step(states, label)
+                if not nxt:
+                    continue
+                capped = min(len(word) + 1, lower_bound)
+                key = (nxt, capped)
+                if key in seen:
+                    continue
+                seen.add(key)
+                queue.append((nxt, word + (label,)))
+        return None
+
+    def is_bounded(self) -> bool:
+        """Whether the language is finite, i.e. the RPQ is equivalent to a UCQ."""
+        return self._nfa.is_language_finite()
+
+    def to_ucq(self, max_length: "int | None" = None) -> UnionOfConjunctiveQueries:
+        """Expand a bounded RPQ into an equivalent UCQ.
+
+        Raises ``ValueError`` if the language is infinite and no ``max_length``
+        is supplied.
+        """
+        if max_length is None:
+            if not self.is_bounded():
+                raise ValueError("unbounded RPQ cannot be expanded to a UCQ; give max_length")
+            max_length = self._nfa.longest_word_length() or 0
+        disjuncts: list[ConjunctiveQuery] = []
+        for word in self._nfa.enumerate_words(max_length):
+            if not word:
+                if self.source == self.target:
+                    # The empty word makes the query trivially true; represent it
+                    # with a query satisfied by any fact over the source loop.
+                    # A UCQ cannot express ⊤, so callers should special-case this.
+                    continue
+                continue
+            terms = [self.source]
+            for index in range(len(word) - 1):
+                terms.append(Variable(f"p{index}"))
+            terms.append(self.target)
+            atoms = []
+            for index, label in enumerate(word):
+                atoms.append(
+                    _make_atom(label, terms[index], terms[index + 1]))
+            disjuncts.append(ConjunctiveQuery(tuple(atoms)))
+        if not disjuncts:
+            raise ValueError("this RPQ has no non-empty accepted word; it is not UCQ-expressible here")
+        return UnionOfConjunctiveQueries(tuple(disjuncts), name=self.name or str(self))
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}[{self.language}]({self.source.name}, {self.target.name})"
+
+    def __repr__(self) -> str:
+        return f"RegularPathQuery({str(self.language)!r}, {self.source!r}, {self.target!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RegularPathQuery):
+            return NotImplemented
+        return (str(self.language) == str(other.language)
+                and self.source == other.source and self.target == other.target)
+
+    def __hash__(self) -> int:
+        return hash(("RPQ", str(self.language), self.source, self.target))
+
+
+def _make_atom(relation: str, left, right):
+    from ..data.atoms import Atom
+
+    return Atom(relation, (left, right))
+
+
+def rpq(language: "str | RegexNode", source: "Constant | str", target: "Constant | str",
+        name: str = "") -> RegularPathQuery:
+    """Convenience constructor for RPQs."""
+    return RegularPathQuery(language, source, target, name=name)
+
+
+def enumerate_language_words(language: "str | RegexNode", max_length: int
+                             ) -> Iterator[tuple[str, ...]]:
+    """Enumerate the words of a regular language up to a length bound."""
+    yield from NFA.from_regex(parse_regex(language)).enumerate_words(max_length)

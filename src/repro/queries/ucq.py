@@ -1,0 +1,126 @@
+"""Unions of conjunctive queries (UCQs)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..data.atoms import Fact
+from ..data.terms import Constant
+from .base import BooleanQuery, as_fact_set, minimize_supports
+from .cq import ConjunctiveQuery
+
+
+class UnionOfConjunctiveQueries(BooleanQuery):
+    """A finite disjunction of Boolean conjunctive queries."""
+
+    is_hom_closed = True
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery], name: str = ""):
+        disjunct_tuple = tuple(disjuncts)
+        if not disjunct_tuple:
+            raise ValueError("a UCQ needs at least one disjunct; use FalseQuery for ⊥")
+        for d in disjunct_tuple:
+            if not isinstance(d, ConjunctiveQuery):
+                raise TypeError(f"UCQ disjuncts must be ConjunctiveQuery, got {type(d).__name__}")
+        self.disjuncts: tuple[ConjunctiveQuery, ...] = disjunct_tuple
+        self.name = name
+
+    # -- structure ---------------------------------------------------------------
+    def constants(self) -> frozenset[Constant]:
+        out: set[Constant] = set()
+        for d in self.disjuncts:
+            out |= d.constants()
+        return frozenset(out)
+
+    def relation_names(self) -> frozenset[str]:
+        out: set[str] = set()
+        for d in self.disjuncts:
+            out |= d.relation_names()
+        return frozenset(out)
+
+    def is_constant_free(self) -> bool:
+        """``True`` iff no disjunct mentions a constant."""
+        return not self.constants()
+
+    def is_self_join_free(self) -> bool:
+        """``True`` iff the UCQ is a single self-join-free CQ."""
+        return len(self.disjuncts) == 1 and self.disjuncts[0].is_self_join_free()
+
+    # -- semantics -----------------------------------------------------------------
+    def evaluate(self, db) -> bool:
+        facts = as_fact_set(db)
+        return any(d.evaluate(facts) for d in self.disjuncts)
+
+    def minimal_supports_in(self, db) -> frozenset[frozenset[Fact]]:
+        facts = as_fact_set(db)
+        supports: set[frozenset[Fact]] = set()
+        for d in self.disjuncts:
+            supports |= d.minimal_supports_in(facts)
+        return minimize_supports(supports)
+
+    def canonical_minimal_supports(self) -> frozenset[frozenset[Fact]]:
+        """Canonical minimal supports of the UCQ.
+
+        For each disjunct we freeze its core and keep the minimal supports of the
+        *whole UCQ* inside that canonical database (a frozen disjunct may contain
+        a smaller match of another disjunct; the minimization inside the frozen
+        database takes care of that).
+        """
+        out: set[frozenset[Fact]] = set()
+        for d in self.disjuncts:
+            core = d.core()
+            frozen, _ = core.freeze()
+            out |= self.minimal_supports_in(frozen)
+        return minimize_supports(out)
+
+    # -- normalization ----------------------------------------------------------------
+    def minimized(self) -> "UnionOfConjunctiveQueries":
+        """Remove disjuncts implied by other disjuncts and replace each by its core."""
+        cores = [d.core() for d in self.disjuncts]
+        kept: list[ConjunctiveQuery] = []
+        for index, candidate in enumerate(cores):
+            frozen, _ = candidate.freeze()
+            implied = False
+            for other_index, other in enumerate(cores):
+                if other_index == index:
+                    continue
+                # candidate implies other if other maps into candidate's frozen db;
+                # then candidate is redundant *if* other is kept (or comes earlier).
+                if other.evaluate(frozen) and (other_index < index or not candidate.evaluate(
+                        other.freeze()[0])):
+                    implied = True
+                    break
+            if not implied:
+                kept.append(candidate)
+        if not kept:
+            kept = [cores[0]]
+        return UnionOfConjunctiveQueries(tuple(kept), name=self.name)
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return label + " ∨ ".join(f"({d})" for d in self.disjuncts)
+
+    def __repr__(self) -> str:
+        return f"UnionOfConjunctiveQueries({list(self.disjuncts)!r})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, UnionOfConjunctiveQueries):
+            return NotImplemented
+        return frozenset(self.disjuncts) == frozenset(other.disjuncts)
+
+    def __hash__(self) -> int:
+        return hash(("UCQ", frozenset(self.disjuncts)))
+
+
+def ucq(*disjuncts: ConjunctiveQuery, name: str = "") -> UnionOfConjunctiveQueries:
+    """Convenience constructor for UCQs."""
+    return UnionOfConjunctiveQueries(disjuncts, name=name)
+
+
+def as_ucq(query: "ConjunctiveQuery | UnionOfConjunctiveQueries") -> UnionOfConjunctiveQueries:
+    """View a CQ or UCQ uniformly as a UCQ."""
+    if isinstance(query, UnionOfConjunctiveQueries):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UnionOfConjunctiveQueries((query,), name=query.name)
+    raise TypeError(f"cannot view {type(query).__name__} as a UCQ")

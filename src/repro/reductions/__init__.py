@@ -1,0 +1,76 @@
+"""The paper's reductions: Proposition 3.3, Lemmas 4.1/4.3/4.4, Section 6 variants."""
+
+from .constants import (
+    collapsed_support,
+    exact_svc_const_oracle,
+    fgmc_constants_via_svc_constants,
+)
+from .endogenous import count_fmc_oracle_calls, fgmc_via_fmc, svcn_via_fmc
+from .errors import ReductionConsistencyError, ReductionHypothesisError
+from .island import (
+    IslandReductionReport,
+    IslandReductionSetup,
+    fgmc_via_max_svc,
+    fgmc_via_svc_island,
+    fgmc_via_svc_lemma_4_1,
+    fgmc_via_svc_lemma_4_3,
+    fgmc_via_svc_lemma_4_4,
+    fmc_via_svcn_lemma_6_2,
+    lemma_4_1_setup,
+    lemma_4_3_setup,
+)
+from .negation import (
+    fgmc_via_svc_proposition_6_1,
+    is_component_guarded,
+    proposition_6_1_target,
+)
+from .oracles import (
+    CallCounter,
+    exact_fgmc_oracle,
+    exact_max_svc_oracle,
+    exact_svc_oracle,
+)
+from .prop33 import (
+    exact_sppqe_oracle,
+    fgmc_via_sppqe,
+    fmc_via_spqe,
+    sppqe_via_fgmc,
+    spqe_via_fmc,
+    svc_via_fgmc,
+    verify_fgmc_sppqe_equivalence,
+)
+
+__all__ = [
+    "CallCounter",
+    "IslandReductionReport",
+    "IslandReductionSetup",
+    "ReductionConsistencyError",
+    "ReductionHypothesisError",
+    "collapsed_support",
+    "count_fmc_oracle_calls",
+    "exact_fgmc_oracle",
+    "exact_max_svc_oracle",
+    "exact_sppqe_oracle",
+    "exact_svc_const_oracle",
+    "exact_svc_oracle",
+    "fgmc_constants_via_svc_constants",
+    "fgmc_via_fmc",
+    "fgmc_via_max_svc",
+    "fgmc_via_sppqe",
+    "fgmc_via_svc_island",
+    "fgmc_via_svc_lemma_4_1",
+    "fgmc_via_svc_lemma_4_3",
+    "fgmc_via_svc_lemma_4_4",
+    "fgmc_via_svc_proposition_6_1",
+    "fmc_via_spqe",
+    "fmc_via_svcn_lemma_6_2",
+    "is_component_guarded",
+    "lemma_4_1_setup",
+    "lemma_4_3_setup",
+    "proposition_6_1_target",
+    "sppqe_via_fgmc",
+    "spqe_via_fmc",
+    "svc_via_fgmc",
+    "svcn_via_fmc",
+    "verify_fgmc_sppqe_equivalence",
+]

@@ -1,0 +1,131 @@
+"""Shapley value of constants: the reductions of Proposition 6.3 (Section 6.4).
+
+``SVCconst_q ≡poly FGMCconst_q`` for hom-closed queries.  The direction
+``SVCconst ≤ FGMCconst`` mirrors Claim A.1 and is implemented directly in
+:mod:`repro.core.constants`; this module implements the converse direction,
+which adapts the island-support construction: a minimal support whose
+constants outside ``C`` are collapsed to a single fresh constant behaves like a
+duplicable singleton support when the players are constants, so no exogenous
+*constant* needs to be added.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb
+from typing import Callable, Iterable
+
+from ..data.atoms import Fact, atoms_constants
+from ..data.database import Database
+from ..data.renaming import rename_facts
+from ..data.terms import Constant, FreshConstantFactory
+from ..linalg import (
+    assert_integer_vector,
+    island_case12_weight,
+    island_system_matrix,
+    solve_linear_system,
+)
+from ..queries.base import BooleanQuery
+from .errors import ReductionConsistencyError, ReductionHypothesisError
+
+#: An SVCconst oracle: Shapley value of an endogenous constant of a database.
+SVCConstOracle = Callable[
+    [BooleanQuery, Database, frozenset[Constant], frozenset[Constant], Constant], Fraction]
+
+
+def exact_svc_const_oracle(method: str = "auto") -> SVCConstOracle:
+    """An SVCconst oracle backed by :func:`repro.core.constants.shapley_value_of_constant`."""
+    from ..core.constants import shapley_value_of_constant
+
+    def oracle(query: BooleanQuery, database: Database,
+               endogenous: frozenset[Constant], exogenous: frozenset[Constant],
+               constant: Constant) -> Fraction:
+        return shapley_value_of_constant(query, database, constant, endogenous, exogenous,
+                                         method=method)  # type: ignore[arg-type]
+
+    return oracle
+
+
+def collapsed_support(query: BooleanQuery, avoid: frozenset[Constant]
+                      ) -> "tuple[frozenset[Fact], Constant] | None":
+    """A support of the query whose constants outside C are collapsed to one fresh constant.
+
+    Returns ``(facts, a_mu)`` or ``None`` when every minimal support lies
+    entirely over the query constants (in which case FGMCconst is trivial).
+    """
+    constants = query.constants()
+    for support in sorted(query.canonical_minimal_supports(), key=lambda s: (len(s), sorted(s))):
+        outside = sorted(atoms_constants(support) - constants)
+        if not outside:
+            continue
+        factory = FreshConstantFactory(avoid | constants | atoms_constants(support), prefix="cmu")
+        a_mu = factory.fresh("a")
+        renaming = {c: a_mu for c in outside}
+        return frozenset(rename_facts(support, renaming)), a_mu
+    return None
+
+
+def fgmc_constants_via_svc_constants(query: BooleanQuery, database: Database,
+                                     endogenous_constants: Iterable[Constant],
+                                     exogenous_constants: "Iterable[Constant] | None",
+                                     svc_const_oracle: SVCConstOracle) -> list[int]:
+    """Proposition 6.3: ``FGMCconst_q ≤poly SVCconst_q`` for hom-closed queries.
+
+    Requires the query constants to be exogenous (``C ⊆ Cx``) — the setting in
+    which the proposition is stated — and the query to be hom-closed.
+    """
+    if not query.is_hom_closed:
+        raise ReductionHypothesisError("Proposition 6.3 applies to hom-closed queries")
+    endo = sorted(frozenset(endogenous_constants))
+    exo = (database.constants() - frozenset(endo) if exogenous_constants is None
+           else frozenset(exogenous_constants))
+    if query.constants() & frozenset(endo):
+        raise ReductionHypothesisError(
+            "Proposition 6.3 requires the query constants to be exogenous (C ⊆ Cx)")
+    n = len(endo)
+
+    # Trivial cases: if the exogenous constants alone satisfy the query, every
+    # coalition is a generalized support; if every minimal support lies over C,
+    # satisfaction does not depend on the endogenous constants at all.
+    if query.evaluate(database.restrict_to_constants(exo)):
+        return [comb(n, k) for k in range(n + 1)]
+
+    avoid = database.constants() | frozenset(endo) | exo
+    collapsed = collapsed_support(query, avoid)
+    if collapsed is None:
+        # Every minimal support lies over C ⊆ Cx but Cx does not satisfy the query:
+        # the facts over C present in the database never satisfy it, and no coalition
+        # of endogenous constants can help, so no coalition is a generalized support.
+        return [0] * (n + 1)
+    support_facts, a_mu = collapsed
+
+    # Copies of the collapsed support, one per possible i, each with its own fresh constant.
+    factory = FreshConstantFactory(avoid | atoms_constants(support_facts) | {a_mu}, prefix="ccopy")
+    copies: list[tuple[frozenset[Fact], Constant]] = []
+    for k in range(n):
+        fresh = factory.fresh(f"a{k + 1}")
+        copies.append((frozenset(rename_facts(support_facts, {a_mu: fresh})), fresh))
+
+    right_hand_side: list[Fraction] = []
+    for i in range(n + 1):
+        extended_facts = set(database.facts) | set(support_facts)
+        endo_constants = set(endo) | {a_mu}
+        for copy_facts, copy_constant in copies[:i]:
+            extended_facts |= copy_facts
+            endo_constants.add(copy_constant)
+        extended_db = Database(extended_facts)
+        # Exogenous constants: the original Cx plus every construction constant in C
+        # (the support constants other than a_mu all lie in C by construction).
+        exo_constants = exo | (atoms_constants(support_facts) - {a_mu})
+        shapley = svc_const_oracle(query, extended_db, frozenset(endo_constants),
+                                   frozenset(exo_constants), a_mu)
+        z_weight = island_case12_weight(n, 0, i)
+        right_hand_side.append(Fraction(1) - shapley - z_weight)
+
+    matrix = island_system_matrix(n, 0)
+    solution = solve_linear_system(matrix, right_hand_side)
+    try:
+        counts = assert_integer_vector(solution, context="Proposition 6.3")
+    except ValueError as error:
+        raise ReductionConsistencyError(str(error)) from error
+    return counts

@@ -1,0 +1,22 @@
+"""Errors raised by the reduction machinery."""
+
+from __future__ import annotations
+
+
+class ReductionHypothesisError(ValueError):
+    """Raised when a reduction's structural hypotheses cannot be established.
+
+    The reductions of Section 5 are only *correct* under the hypotheses of the
+    corresponding lemma (pseudo-connectivity, leak-freeness, decomposability,
+    ...).  When hypothesis checking is enabled and a hypothesis fails — or when
+    a needed witness (island support, leak-free support, decomposition) cannot
+    be found — this error is raised rather than silently returning wrong counts.
+    """
+
+
+class ReductionConsistencyError(RuntimeError):
+    """Raised when a reduction produces non-integer or negative counts.
+
+    This indicates either a violated hypothesis that went undetected or a bug;
+    the exact linear algebra makes such failures loud instead of silent.
+    """

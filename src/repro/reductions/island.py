@@ -1,0 +1,478 @@
+"""The island-support reduction engine: FGMC from an SVC oracle (Section 5).
+
+Lemmas 4.1, 4.3 and 4.4 (and their purely-endogenous adaptations of Section
+6.1, as well as the max-SVC variant of Proposition 6.2) all share a single
+construction, illustrated in Figure 2 of the paper:
+
+1. add to the input database a minimal support ``S`` of (a part of) the query,
+   split as ``S = S0 ⊎ S⁻`` where ``S0`` are the facts containing a
+   distinguished constant ``a ∉ C``;
+2. add ``i`` C-isomorphic copies ``S_1 … S_i`` of ``S0`` obtained by renaming
+   ``a`` to fresh constants;
+3. make a single fact ``μ ∈ S0`` and its copies ``μ_k`` endogenous, together
+   with ``S⁻`` and the original endogenous facts, everything else exogenous;
+4. ask the SVC oracle for the Shapley value of ``μ`` in each ``A_i``
+   (``i = 0 … |Dn|``);
+5. subtract the closed-form weight of the "μ is redundant for a local reason"
+   coalitions (cases (1)/(2) of Lemma 5.1) and solve the resulting linear
+   system — whose matrix is Bacher's Pascal-type matrix [2] — for the FGMC
+   vector.
+
+The individual lemmas differ only in which query the oracle answers, which
+exogenous completion ``S'`` is added, and which support ``S`` is duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import comb
+
+from ..analysis.decomposition import Decomposition, decompose
+from ..analysis.islands import IslandWitness, find_island_support, find_unshared_constant_island
+from ..analysis.leaks import find_leak_free_minimal_support, has_q_leak
+from ..analysis.relevance import is_relevant_fact
+from ..counting.dnf_counter import binomial_row, convolve, pad
+from ..data.atoms import Fact, atoms_constants
+from ..data.database import PartitionedDatabase
+from ..data.renaming import c_isomorphic_renaming, rename_facts
+from ..data.terms import Constant, FreshConstantFactory
+from ..linalg import (
+    assert_integer_vector,
+    island_case12_weight,
+    island_system_matrix,
+    solve_linear_system,
+)
+from ..queries.base import BooleanQuery, ConjunctionQuery
+from .errors import ReductionConsistencyError, ReductionHypothesisError
+from .oracles import SVCOracle
+
+
+@dataclass(frozen=True)
+class IslandReductionSetup:
+    """Everything the engine needs besides the input database.
+
+    ``oracle_query`` is the query the SVC oracle answers; ``count_query`` is the
+    query whose FGMC vector is being computed (they coincide for Lemmas 4.1 and
+    6.2, and differ for Lemmas 4.3 / 4.4 and Proposition 6.1).
+    ``support`` is the minimal support to be completed by ``μ``;
+    ``duplicable_constant`` is the constant ``a ∉ C`` renamed in the copies;
+    ``fixed_constants`` is the set of constants that C-isomorphic renamings must
+    fix (``C`` — or ``C ∪ C'`` when an extra query is involved);
+    ``extra_exogenous`` is the completion ``S'`` of Lemma 4.3 (empty otherwise).
+    """
+
+    oracle_query: BooleanQuery
+    count_query: BooleanQuery
+    support: frozenset[Fact]
+    duplicable_constant: Constant
+    fixed_constants: frozenset[Constant]
+    extra_exogenous: frozenset[Fact] = frozenset()
+    description: str = ""
+    #: Whether the duplicated support ``S`` is a support of the *counted* query
+    #: (Lemmas 4.1 / 4.3 / 6.2, Propositions 6.1 / 6.2).  In that case μ's
+    #: marginal contribution is 1 exactly on the coalitions that are *not*
+    #: generalized supports, and the right-hand side of the linear system is
+    #: ``1 - Sh_i - Z_i``.  When ``S`` supports the *other* conjunct of a
+    #: decomposition (Lemma 4.4), μ contributes exactly on the generalized
+    #: supports of the counted conjunct and the right-hand side is ``Sh_i``.
+    support_completes_count_query: bool = True
+
+
+@dataclass
+class IslandReductionReport:
+    """Trace of one engine run (used by the Figure 2 benchmark and the examples)."""
+
+    oracle_calls: int = 0
+    construction_sizes: list[int] = field(default_factory=list)
+    shapley_values: list[Fraction] = field(default_factory=list)
+    removed_irrelevant_facts: int = 0
+    renamed_database: bool = False
+
+
+def fgmc_via_svc_island(pdb: PartitionedDatabase,
+                        setup: IslandReductionSetup,
+                        svc_oracle: SVCOracle,
+                        require_pure_endogenous: bool = False,
+                        report: "IslandReductionReport | None" = None) -> list[int]:
+    """Run the island-support reduction and return the FGMC vector of ``count_query`` on ``pdb``.
+
+    ``require_pure_endogenous`` asserts that the construction adds no exogenous
+    fact (the Section 6.1 setting); it requires ``S0 = {μ}``, no extra exogenous
+    completion, and a purely endogenous input database.
+    """
+    if report is None:
+        report = IslandReductionReport()
+    count_query = setup.count_query
+    oracle_query = setup.oracle_query
+    fixed = setup.fixed_constants
+
+    n_original = len(pdb.endogenous)
+
+    # Trivial case: the exogenous facts alone satisfy the (hom-closed) query.
+    if count_query.is_hom_closed and count_query.evaluate(pdb.exogenous):
+        return binomial_row(n_original)
+
+    # -- Claim 5.1-style preprocessing -------------------------------------------------
+    working = pdb
+    removed = 0
+    construction_constants = (atoms_constants(setup.support)
+                              | atoms_constants(setup.extra_exogenous)
+                              | fixed)
+    if atoms_constants(working.all_facts) & (construction_constants - fixed):
+        # Rename the input database C-isomorphically away from the construction.
+        mapping = c_isomorphic_renaming(working.all_facts, fixed, construction_constants)
+        working = working.rename_constants(mapping)
+        report.renamed_database = True
+
+    # Facts shared between the database and the construction can only be facts
+    # entirely over the fixed constants.  Per hypothesis (2c) of Lemma 4.3 such
+    # facts are irrelevant to the counted query, so endogenous copies can be
+    # removed (and reinstated by a binomial convolution at the end).
+    construction_facts = setup.support | setup.extra_exogenous
+    colliding = working.all_facts & construction_facts
+    if colliding:
+        endogenous_collisions = colliding & working.endogenous
+        for fact in sorted(endogenous_collisions):
+            if count_query.is_hom_closed and is_relevant_fact(fact, count_query):
+                raise ReductionHypothesisError(
+                    f"fact {fact} is shared with the construction but relevant to the "
+                    "counted query; hypothesis (2c) of Lemma 4.3 is violated")
+        removed = len(endogenous_collisions)
+        working = working.without(endogenous_collisions)
+        # Exogenous collisions are harmless: the fact is exogenous on both sides.
+
+    report.removed_irrelevant_facts = removed
+
+    n = len(working.endogenous)
+    support = setup.support
+    s0 = frozenset(f for f in support if setup.duplicable_constant in f.constants())
+    s_minus = support - s0
+    if not s0:
+        raise ReductionHypothesisError(
+            f"the duplicable constant {setup.duplicable_constant} appears in no fact of the support")
+    mu = min(s0)
+    s = len(s_minus)
+
+    if require_pure_endogenous:
+        if working.exogenous:
+            raise ReductionHypothesisError("purely endogenous reduction requires Dx = ∅")
+        if setup.extra_exogenous:
+            raise ReductionHypothesisError(
+                "purely endogenous reduction cannot add the exogenous completion S'")
+        if len(s0) != 1:
+            raise ReductionHypothesisError(
+                "purely endogenous reduction requires the duplicable constant to occur in "
+                "exactly one fact of the support (Lemma 6.2)")
+
+    # -- copies of S0 ------------------------------------------------------------------
+    avoid = (atoms_constants(working.all_facts) | construction_constants)
+    factory = FreshConstantFactory(avoid, prefix="copy")
+    copies: list[tuple[frozenset[Fact], Fact]] = []
+    for k in range(n):
+        fresh = factory.fresh(f"a{k + 1}")
+        renaming = {setup.duplicable_constant: fresh}
+        copy_facts = rename_facts(s0, renaming)
+        copy_mu = mu.substitute(renaming).to_fact()
+        copies.append((copy_facts, copy_mu))
+
+    # -- oracle calls -------------------------------------------------------------------
+    right_hand_side: list[Fraction] = []
+    for i in range(n + 1):
+        endogenous = set(working.endogenous) | {mu} | set(s_minus)
+        exogenous = set(working.exogenous) | set(setup.extra_exogenous) | (set(s0) - {mu})
+        for copy_facts, copy_mu in copies[:i]:
+            endogenous.add(copy_mu)
+            exogenous |= set(copy_facts) - {copy_mu}
+        overlap = endogenous & exogenous
+        if overlap:
+            raise ReductionHypothesisError(
+                f"construction produced facts both endogenous and exogenous: {sorted(overlap)}")
+        construction = PartitionedDatabase(endogenous, exogenous)
+        if require_pure_endogenous and construction.exogenous:
+            raise ReductionHypothesisError(
+                "the construction added exogenous facts despite the purely endogenous mode")
+        report.construction_sizes.append(len(construction))
+        shapley = svc_oracle(oracle_query, construction, mu)
+        report.oracle_calls += 1
+        report.shapley_values.append(shapley)
+        if setup.support_completes_count_query:
+            # Cases (1)/(2) of Lemma 5.1 have a closed-form weight Z; what
+            # remains of 1 - Sh_i is the weight of the generalized supports.
+            z_weight = island_case12_weight(n, s, i)
+            right_hand_side.append(Fraction(1) - shapley - z_weight)
+        else:
+            # Lemma 4.4 mode: μ completes the *other* conjunct, so it contributes
+            # exactly on the coalitions whose D-part satisfies the counted
+            # conjunct; Sh_i is directly the weighted sum of the counts.
+            right_hand_side.append(shapley)
+
+    # -- solve the Bacher system ----------------------------------------------------------
+    matrix = island_system_matrix(n, s)
+    solution = solve_linear_system(matrix, right_hand_side)
+    try:
+        counts = assert_integer_vector(solution, context=setup.description or "island reduction")
+    except ValueError as error:
+        raise ReductionConsistencyError(str(error)) from error
+    for size, value in enumerate(counts):
+        if value > comb(n, size):
+            raise ReductionConsistencyError(
+                f"count {value} of size-{size} supports exceeds C({n},{size})")
+
+    # -- reinstate removed irrelevant facts ------------------------------------------------
+    if removed:
+        counts = pad(convolve(counts, binomial_row(removed)), n_original + 1)
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4.1 — pseudo-connected queries
+# ---------------------------------------------------------------------------
+
+def lemma_4_1_setup(query: BooleanQuery,
+                    witness: "IslandWitness | None" = None) -> IslandReductionSetup:
+    """Build the Lemma 4.1 setup for a pseudo-connected C-hom-closed query."""
+    if witness is None:
+        witness = find_island_support(query)
+    if witness is None:
+        raise ReductionHypothesisError(
+            f"could not certify an island minimal support for {query}; "
+            "Lemma 4.1 requires a pseudo-connected query")
+    return IslandReductionSetup(
+        oracle_query=query,
+        count_query=query,
+        support=witness.support,
+        duplicable_constant=witness.duplicable_constant,
+        fixed_constants=query.constants(),
+        description=f"Lemma 4.1 ({witness.reason})")
+
+
+def fgmc_via_svc_lemma_4_1(query: BooleanQuery, pdb: PartitionedDatabase,
+                           svc_oracle: SVCOracle,
+                           report: "IslandReductionReport | None" = None) -> list[int]:
+    """``FGMC_q ≤poly SVC_q`` for pseudo-connected C-hom-closed queries (Lemma 4.1)."""
+    return fgmc_via_svc_island(pdb, lemma_4_1_setup(query), svc_oracle, report=report)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4.3 — variable-connected q, auxiliary q'
+# ---------------------------------------------------------------------------
+
+def lemma_4_3_setup(query: BooleanQuery, auxiliary: BooleanQuery,
+                    check_hypotheses: bool = True) -> IslandReductionSetup:
+    """Build the Lemma 4.3 setup: FGMC of ``q`` from an SVC oracle for ``q ∧ q'``.
+
+    ``query`` plays the role of the variable-connected ``q`` and ``auxiliary``
+    the role of ``q'``.  Hypothesis checking verifies conditions (2a)–(2c) and
+    (3) on the chosen canonical supports and raises
+    :class:`ReductionHypothesisError` when they fail.
+    """
+    constants = query.constants()
+    support = find_leak_free_minimal_support(query)
+    if support is None:
+        raise ReductionHypothesisError(
+            f"every canonical minimal support of {query} has a q-leak (hypothesis (3) fails)")
+    outside = sorted(atoms_constants(support) - constants - auxiliary.constants())
+    if not outside:
+        raise ReductionHypothesisError(
+            "the chosen minimal support of q has no constant outside C ∪ C'")
+
+    auxiliary_support: "frozenset[Fact] | None" = None
+    for raw_candidate in sorted(auxiliary.canonical_minimal_supports(),
+                                key=lambda s: (len(s), sorted(s))):
+        # Canonical supports of q and q' are built independently and may reuse the
+        # same frozen-variable constants; rename the candidate C'-isomorphically
+        # away from the chosen support of q (this preserves it being a minimal
+        # support of q' as well as hypotheses (2a)-(2c)).
+        candidate = frozenset(rename_facts(
+            raw_candidate,
+            c_isomorphic_renaming(raw_candidate, auxiliary.constants(),
+                                  atoms_constants(support) | constants | auxiliary.constants())))
+        if check_hypotheses:
+            if query.evaluate(candidate):
+                continue  # (2a) fails for this candidate
+            if has_q_leak(candidate, query):
+                continue  # (2b) fails
+            bad = False
+            for fact in candidate:
+                if is_relevant_fact(fact, query) and fact.constants() <= constants:
+                    bad = True  # (2c) fails
+                    break
+            if bad:
+                continue
+        auxiliary_support = candidate
+        break
+    if auxiliary_support is None:
+        raise ReductionHypothesisError(
+            f"no canonical minimal support of the auxiliary query {auxiliary} satisfies "
+            "hypotheses (2a)-(2c) of Lemma 4.3")
+
+    return IslandReductionSetup(
+        oracle_query=ConjunctionQuery((query, auxiliary)),
+        count_query=query,
+        support=support,
+        duplicable_constant=outside[0],
+        fixed_constants=constants | auxiliary.constants(),
+        extra_exogenous=auxiliary_support,
+        description="Lemma 4.3")
+
+
+def fgmc_via_svc_lemma_4_3(query: BooleanQuery, auxiliary: BooleanQuery,
+                           pdb: PartitionedDatabase, svc_oracle: SVCOracle,
+                           check_hypotheses: bool = True,
+                           report: "IslandReductionReport | None" = None) -> list[int]:
+    """``FGMC_q ≤poly SVC_{q ∧ q'}`` (Lemma 4.3)."""
+    setup = lemma_4_3_setup(query, auxiliary, check_hypotheses)
+    return fgmc_via_svc_island(pdb, setup, svc_oracle, report=report)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 4.4 — decomposable queries
+# ---------------------------------------------------------------------------
+
+def fgmc_via_svc_lemma_4_4(query: BooleanQuery, pdb: PartitionedDatabase,
+                           svc_oracle: SVCOracle,
+                           decomposition: "Decomposition | None" = None,
+                           report: "IslandReductionReport | None" = None) -> list[int]:
+    """``FGMC_q ≤poly SVC_q`` for decomposable queries (Lemma 4.4).
+
+    The database is split according to which conjunct each fact is relevant to;
+    the FGMC vector of each conjunct over its part is obtained with the island
+    engine (the support duplicated is a minimal support of the *other*
+    conjunct, so the oracle query is the full ``q``), and the two vectors are
+    combined by convolution — the counting counterpart of multiplying the two
+    SPPQE probabilities in the paper's proof.
+    """
+    if report is None:
+        report = IslandReductionReport()
+    if decomposition is None:
+        decomposition = decompose(query)
+    if decomposition is None:
+        raise ReductionHypothesisError(
+            f"no disjoint-vocabulary decomposition found for {query} (Lemma 4.4 requires one)")
+    first, second = decomposition.first, decomposition.second
+
+    # Split the database by relevance: no fact is relevant to both conjuncts, so facts
+    # relevant to the second conjunct form D2 and everything else (including facts relevant
+    # to neither) forms D1.  The exogenous facts are split the same way — the construction
+    # used for one conjunct must not contain facts relevant to the other conjunct, otherwise
+    # the distinguished fact μ could stop being the one that completes it.
+    relevant_to_second = frozenset(f for f in pdb.all_facts if is_relevant_fact(f, second))
+    part_one = PartitionedDatabase(pdb.endogenous - relevant_to_second,
+                                   pdb.exogenous - relevant_to_second)
+    part_two = PartitionedDatabase(pdb.endogenous & relevant_to_second,
+                                   pdb.exogenous & relevant_to_second)
+
+    vector_one = _lemma_4_4_half(first, second, part_one, query, svc_oracle, report)
+    vector_two = _lemma_4_4_half(second, first, part_two, query, svc_oracle, report)
+    combined = convolve(vector_one, vector_two)
+    return pad(combined, len(pdb.endogenous) + 1)
+
+
+def _lemma_4_4_half(counted: BooleanQuery, other: BooleanQuery,
+                    part: PartitionedDatabase, full_query: BooleanQuery,
+                    svc_oracle: SVCOracle, report: IslandReductionReport) -> list[int]:
+    """FGMC of one conjunct over its part of the database, via the SVC oracle for the full query."""
+    other_constants = other.constants()
+    support: "frozenset[Fact] | None" = None
+    constant: "Constant | None" = None
+    for candidate in sorted(other.canonical_minimal_supports(),
+                            key=lambda s: (len(s), sorted(s))):
+        outside = sorted(atoms_constants(candidate) - other_constants - counted.constants())
+        if outside:
+            support, constant = candidate, outside[0]
+            break
+    if support is None or constant is None:
+        raise ReductionHypothesisError(
+            f"no minimal support of {other} has a constant outside C (Lemma 4.4 condition (1))")
+    setup = IslandReductionSetup(
+        oracle_query=full_query,
+        count_query=counted,
+        support=support,
+        duplicable_constant=constant,
+        fixed_constants=full_query.constants(),
+        description="Lemma 4.4",
+        support_completes_count_query=False)
+    return fgmc_via_svc_island(part, setup, svc_oracle, report=report)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 6.2 / Lemma D.1 — purely endogenous databases
+# ---------------------------------------------------------------------------
+
+def fmc_via_svcn_lemma_6_2(query: BooleanQuery, pdb: PartitionedDatabase,
+                           svc_oracle: SVCOracle,
+                           report: "IslandReductionReport | None" = None) -> list[int]:
+    """``FMC_q ≤poly SVCn_q`` for queries with an unshared-constant island support (Lemma 6.2).
+
+    The input database must be purely endogenous; the construction then adds no
+    exogenous fact, so every oracle call is a legitimate ``SVCn`` instance.
+    """
+    if pdb.exogenous:
+        raise ReductionHypothesisError(
+            "FMC is defined on purely endogenous databases; the input has exogenous facts")
+    witness = find_unshared_constant_island(query)
+    if witness is None:
+        raise ReductionHypothesisError(
+            f"no island support with an unshared constant found for {query} (Lemma 6.2)")
+    s0 = witness.facts_containing_constant()
+    if len(s0) != 1:
+        raise ReductionHypothesisError(
+            "the unshared constant must occur in exactly one fact of the island support")
+    setup = IslandReductionSetup(
+        oracle_query=query,
+        count_query=query,
+        support=witness.support,
+        duplicable_constant=witness.duplicable_constant,
+        fixed_constants=query.constants(),
+        description=f"Lemma 6.2 ({witness.reason})")
+    return fgmc_via_svc_island(pdb, setup, svc_oracle,
+                               require_pure_endogenous=True, report=report)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 6.2 — max-SVC oracle
+# ---------------------------------------------------------------------------
+
+def fgmc_via_max_svc(query: BooleanQuery, pdb: PartitionedDatabase,
+                     max_svc_oracle, witness: "IslandWitness | None" = None,
+                     report: "IslandReductionReport | None" = None) -> list[int]:
+    """``FGMC_q ≤poly max-SVC_q`` (Proposition 6.2).
+
+    The construction of Lemma 4.1 is rerun with ``S0 := S`` and ``S⁻ := ∅``:
+    the distinguished fact μ is then a generalized support on its own, so by
+    Lemma 6.3 its Shapley value is maximal and the max-SVC oracle returns it
+    even without being told which fact to look at.
+    """
+    if witness is None:
+        witness = find_island_support(query)
+    if witness is None:
+        raise ReductionHypothesisError(
+            f"could not certify an island minimal support for {query} (Proposition 6.2)")
+    setup = IslandReductionSetup(
+        oracle_query=query,
+        count_query=query,
+        support=witness.facts_containing_constant(),  # S0 := facts with a; see note below
+        duplicable_constant=witness.duplicable_constant,
+        fixed_constants=query.constants(),
+        description="Proposition 6.2")
+    # To realize S0 := S we make the remaining facts of the support exogenous
+    # completions instead (they are then part of every A_i, exactly as S⁻ would
+    # be, but exogenous — which only makes μ a singleton generalized support).
+    remaining = witness.support - setup.support
+    setup = IslandReductionSetup(
+        oracle_query=setup.oracle_query,
+        count_query=setup.count_query,
+        support=setup.support,
+        duplicable_constant=setup.duplicable_constant,
+        fixed_constants=setup.fixed_constants,
+        extra_exogenous=frozenset(remaining),
+        description=setup.description)
+
+    def adapted_oracle(oracle_query: BooleanQuery, construction: PartitionedDatabase,
+                       fact: Fact) -> Fraction:
+        best_fact, best_value = max_svc_oracle(oracle_query, construction)
+        del best_fact  # Lemma 6.3: the value is attained by μ, whichever fact is returned.
+        return best_value
+
+    return fgmc_via_svc_island(pdb, setup, adapted_oracle, report=report)

@@ -1,0 +1,122 @@
+"""Reductions for queries with negation (Section 6.2, Proposition 6.1, Lemma D.2).
+
+For a self-join-free CQ with safe negation ``q`` whose positive part splits as
+``q+ = q° ∧ q'`` with ``q°`` variable-connected, and whose negative atoms all
+contain at least one variable, Proposition 6.1 gives::
+
+    FGMC_{q° ∧ q°⁻}  ≤poly  SVC_q
+
+where ``q°⁻`` keeps the negative atoms whose variables all lie in ``q°``.
+The construction is the island-support construction run with the oracle query
+``q`` and supports isomorphic to ``q°`` (duplicated part) and ``q'``
+(exogenous completion).
+
+Implementation restriction (documented): negative atoms over constants only
+(the ``α_k`` of Lemma D.2) are not supported — they never arise for the
+constant-free sjf-CQ¬ and 1RA⁻ examples of the paper, every negative atom
+being required to contain a variable by safe negation plus constant-freeness.
+"""
+
+from __future__ import annotations
+
+from ..analysis.connectivity import variable_connected_components_of_cq
+from ..analysis.hierarchy import is_hierarchical_atoms
+from ..data.atoms import atoms_constants
+from ..data.database import PartitionedDatabase
+from ..data.renaming import c_isomorphic_renaming, rename_facts
+from ..queries.cq import ConjunctiveQuery
+from ..queries.negation import ConjunctiveQueryWithNegation
+from .errors import ReductionHypothesisError
+from .island import IslandReductionReport, IslandReductionSetup, fgmc_via_svc_island
+from .oracles import SVCOracle
+
+
+def proposition_6_1_target(query: ConjunctiveQueryWithNegation
+                           ) -> tuple[ConjunctiveQueryWithNegation, "ConjunctiveQuery | None"]:
+    """The counted query ``q°_vc ∧ q⁻_vc`` of Proposition 6.1 and the leftover positive part.
+
+    ``q°_vc`` is a maximal variable-connected subquery of the positive part
+    (preferring a non-hierarchical one, as in Corollary 4.5); ``q⁻_vc`` keeps
+    the negative atoms whose variables are all in ``q°_vc``.
+    """
+    positive = query.positive_query()
+    components = variable_connected_components_of_cq(positive)
+    chosen_index = 0
+    for index, component in enumerate(components):
+        if not is_hierarchical_atoms(component.atoms):
+            chosen_index = index
+            break
+    chosen = components[chosen_index]
+    rest_atoms = tuple(a for i, c in enumerate(components) if i != chosen_index for a in c.atoms)
+    rest = ConjunctiveQuery(rest_atoms) if rest_atoms else None
+    chosen_vars = chosen.variables()
+    negative_vc = tuple(a for a in query.negative if a.variables() <= chosen_vars)
+    target = ConjunctiveQueryWithNegation(chosen.atoms, negative_vc,
+                                          require_self_join_free=False, require_safe=True)
+    return target, rest
+
+
+def fgmc_via_svc_proposition_6_1(query: ConjunctiveQueryWithNegation,
+                                 pdb: PartitionedDatabase,
+                                 svc_oracle: SVCOracle,
+                                 report: "IslandReductionReport | None" = None
+                                 ) -> tuple[ConjunctiveQueryWithNegation, list[int]]:
+    """Proposition 6.1: compute ``FGMC_{q°_vc ∧ q⁻_vc}`` on ``pdb`` from an ``SVC_q`` oracle.
+
+    Returns the counted query together with its FGMC vector (the counted query
+    differs from ``q`` in general, so callers need to know what was counted).
+    """
+    for atom in query.negative:
+        if not atom.variables():
+            raise ReductionHypothesisError(
+                "negative atoms over constants only (the α_k of Lemma D.2) are not supported "
+                "by this implementation")
+    target, rest = proposition_6_1_target(query)
+
+    # Support S isomorphic to the chosen variable-connected positive part q°.
+    positive_core = ConjunctiveQuery(target.positive)
+    support, _ = positive_core.freeze()
+    constants = query.constants()
+    outside = sorted(atoms_constants(support) - constants)
+    if not outside:
+        raise ReductionHypothesisError(
+            "the frozen support of the variable-connected part has no constant outside C")
+
+    # Exogenous completion S' isomorphic to the leftover positive part q'.
+    extra: frozenset = frozenset()
+    if rest is not None:
+        raw_extra, _ = rest.freeze()
+        extra = frozenset(rename_facts(
+            raw_extra,
+            c_isomorphic_renaming(raw_extra, rest.constants(),
+                                  atoms_constants(support) | constants)))
+
+    setup = IslandReductionSetup(
+        oracle_query=query,
+        count_query=target,
+        support=support,
+        duplicable_constant=outside[0],
+        fixed_constants=constants,
+        extra_exogenous=extra,
+        description="Proposition 6.1")
+    vector = fgmc_via_svc_island(pdb, setup, svc_oracle, report=report)
+    return target, vector
+
+
+def is_component_guarded(query: ConjunctiveQueryWithNegation) -> bool:
+    """Whether the query has "component-guarded negation" (Section 6.2).
+
+    True iff the variables of every negative atom appear together in a single
+    maximal variable-connected subquery of the positive part — the class for
+    which Proposition 6.1 recaptures the full dichotomy of [12].
+    """
+    positive = query.positive_query()
+    components = variable_connected_components_of_cq(positive)
+    component_vars = [c.variables() for c in components]
+    for atom in query.negative:
+        atom_vars = atom.variables()
+        if not atom_vars:
+            continue
+        if not any(atom_vars <= vars_ for vars_ in component_vars):
+            return False
+    return True

@@ -1,0 +1,132 @@
+"""The reductions of Proposition 3.3 (and Figure 1a's solid arrows).
+
+* ``SVC_q ≤poly FGMC_q`` (Claim A.1): the Shapley value of a fact is an affine
+  combination of two FGMC vectors.
+* ``FGMC_q ≡poly SPPQE_q`` (Claim A.2): through the ``(1+z)^n`` identity and a
+  Vandermonde solve; both directions preserve the underlying partitioned
+  database.
+* ``FMC_q ≡poly SPQE_q`` (Claim A.3): the same equivalence restricted to purely
+  endogenous databases.
+
+Each function takes the oracle for the *target* problem as an argument, so the
+reductions can be composed and instrumented exactly as in Figure 1a.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from ..data.database import Database, PartitionedDatabase, purely_endogenous
+from ..data.atoms import Fact
+from ..linalg import assert_integer_vector, vandermonde_solve
+from ..probability.interpolation import sppqe_from_fgmc_vector
+from ..probability.tid import TupleIndependentDatabase
+from ..queries.base import BooleanQuery
+from .oracles import FGMCOracle
+
+#: An SPPQE oracle: probability of the query when endogenous facts have probability p.
+SPPQEOracle = Callable[[BooleanQuery, PartitionedDatabase, Fraction], Fraction]
+
+
+def svc_via_fgmc(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact,
+                 fgmc_oracle: FGMCOracle) -> Fraction:
+    """``SVC_q ≤poly FGMC_q`` (Proposition 3.3(3) / Claim A.1).
+
+    Two oracle calls: one on ``(Dn \\ {μ}, Dx ∪ {μ})`` and one on
+    ``(Dn \\ {μ}, Dx)``.
+    """
+    from ..core.svc import shapley_value_from_fgmc_vectors
+
+    if fact not in pdb.endogenous:
+        raise ValueError(f"{fact} is not an endogenous fact")
+    n = len(pdb.endogenous)
+    with_fact = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous | {fact})
+    without_fact = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous)
+    return shapley_value_from_fgmc_vectors(fgmc_oracle(query, with_fact),
+                                           fgmc_oracle(query, without_fact), n)
+
+
+def fgmc_via_sppqe(query: BooleanQuery, pdb: PartitionedDatabase,
+                   sppqe_oracle: SPPQEOracle) -> list[int]:
+    """``FGMC_q ≤poly SPPQE_q`` (Claim A.2, first direction).
+
+    ``n + 1`` oracle calls on the *same* partitioned database at probabilities
+    ``p_t = (t+1)/(t+2)``; the counts are recovered by a Vandermonde solve.
+    """
+    n = len(pdb.endogenous)
+    if n == 0:
+        return [1 if query.evaluate(pdb.exogenous) else 0]
+    points: list[Fraction] = []
+    values: list[Fraction] = []
+    for t in range(n + 1):
+        z = Fraction(t + 1)
+        p = z / (1 + z)
+        probability = sppqe_oracle(query, pdb, p)
+        points.append(z)
+        values.append((1 + z) ** n * probability)
+    return assert_integer_vector(vandermonde_solve(points, values),
+                                 context="FGMC via SPPQE")
+
+
+def sppqe_via_fgmc(query: BooleanQuery, pdb: PartitionedDatabase, probability: Fraction,
+                   fgmc_oracle: FGMCOracle) -> Fraction:
+    """``SPPQE_q ≤poly FGMC_q`` (Claim A.2, second direction).
+
+    One oracle call on the same partitioned database; the probability is the
+    generating polynomial of the counts evaluated at ``z = p / (1 - p)``.
+    """
+    counts = fgmc_oracle(query, pdb)
+    return sppqe_from_fgmc_vector(counts, Fraction(probability))
+
+
+def fmc_via_spqe(query: BooleanQuery, db: "Database | PartitionedDatabase",
+                 spqe_oracle: Callable[[BooleanQuery, PartitionedDatabase, Fraction], Fraction]
+                 ) -> list[int]:
+    """``FMC_q ≤poly SPQE_q`` (Claim A.3): the purely endogenous specialisation."""
+    pdb = db if isinstance(db, PartitionedDatabase) else purely_endogenous(db)
+    if pdb.exogenous:
+        raise ValueError("FMC is defined on purely endogenous databases")
+    return fgmc_via_sppqe(query, pdb, spqe_oracle)
+
+
+def spqe_via_fmc(query: BooleanQuery, db: "Database | PartitionedDatabase",
+                 probability: Fraction, fmc_oracle: FGMCOracle) -> Fraction:
+    """``SPQE_q ≤poly FMC_q`` (Claim A.3, second direction)."""
+    pdb = db if isinstance(db, PartitionedDatabase) else purely_endogenous(db)
+    if pdb.exogenous:
+        raise ValueError("SPQE is defined on purely endogenous databases")
+    return sppqe_via_fgmc(query, pdb, probability, fmc_oracle)
+
+
+def exact_sppqe_oracle(method: str = "auto") -> SPPQEOracle:
+    """An SPPQE oracle backed by the library's PQE solvers."""
+    from ..probability.pqe import probability_of_query
+
+    def oracle(query: BooleanQuery, pdb: PartitionedDatabase, probability: Fraction) -> Fraction:
+        tid = TupleIndependentDatabase.from_partitioned(pdb, endogenous_probability=probability)
+        return probability_of_query(query, tid, method=method)  # type: ignore[arg-type]
+
+    return oracle
+
+
+def verify_fgmc_sppqe_equivalence(query: BooleanQuery, pdb: PartitionedDatabase,
+                                  probabilities: Sequence[Fraction] = (Fraction(1, 3),
+                                                                       Fraction(1, 2),
+                                                                       Fraction(3, 4))) -> bool:
+    """Round-trip check of ``FGMC ≡ SPPQE`` on a concrete instance (used by E1/E6).
+
+    Computes the FGMC vector via SPPQE calls, then recomputes each SPPQE value
+    from the vector and compares against a direct PQE computation.
+    """
+    from ..counting.problems import fgmc_vector
+
+    oracle = exact_sppqe_oracle()
+    via_probabilities = fgmc_via_sppqe(query, pdb, oracle)
+    direct = fgmc_vector(query, pdb, method="auto")
+    if via_probabilities != direct:
+        return False
+    for p in probabilities:
+        if sppqe_via_fgmc(query, pdb, p, lambda q, d: direct) != oracle(query, pdb, p):
+            return False
+    return True

@@ -1,0 +1,80 @@
+"""Shared fixtures: the standard queries and instances used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    Database,
+    PartitionedDatabase,
+    atom,
+    bipartite_rst_database,
+    fact,
+    partition_by_relation,
+    partition_randomly,
+    purely_endogenous,
+    var,
+)
+from repro.queries import cq, rpq, ucq
+
+X, Y, Z, W = var("x"), var("y"), var("z"), var("w")
+
+
+@pytest.fixture
+def q_rst():
+    """The canonical non-hierarchical sjf-CQ ``R(x) ∧ S(x, y) ∧ T(y)``."""
+    return cq(atom("R", X), atom("S", X, Y), atom("T", Y), name="q_RST")
+
+
+@pytest.fixture
+def q_hier():
+    """The canonical hierarchical sjf-CQ ``R(x) ∧ S(x, y)``."""
+    return cq(atom("R", X), atom("S", X, Y), name="q_hier")
+
+
+@pytest.fixture
+def q_decomposable():
+    """A decomposable constant-free CQ ``R(x) ∧ U(y, z)``."""
+    return cq(atom("R", X), atom("U", Y, Z), name="q_dec")
+
+
+@pytest.fixture
+def rpq_abc():
+    """The RPQ ``[A B C](a, b)`` (hard side of Corollary 4.3)."""
+    return rpq("A B C", "a", "b")
+
+
+@pytest.fixture
+def small_bipartite_db():
+    """A small bipartite R/S/T database (deterministic)."""
+    return bipartite_rst_database(2, 2, 0.7, seed=4)
+
+
+@pytest.fixture
+def small_pdb(small_bipartite_db):
+    """A partitioned version of the small bipartite database."""
+    return partition_randomly(small_bipartite_db, 0.35, seed=7)
+
+
+@pytest.fixture
+def rst_exogenous_pdb(small_bipartite_db):
+    """The bipartite database with R and T facts exogenous (S facts are the players)."""
+    return partition_by_relation(small_bipartite_db, exogenous_relations=("R", "T"))
+
+
+@pytest.fixture
+def tiny_graph_db():
+    """A tiny labelled graph database with an A-B-C path from a to b."""
+    return Database([
+        fact("A", "a", "m1"),
+        fact("B", "m1", "m2"),
+        fact("C", "m2", "b"),
+        fact("A", "a", "m2"),
+        fact("C", "m1", "b"),
+    ])
+
+
+@pytest.fixture
+def endogenous_bipartite(small_bipartite_db) -> PartitionedDatabase:
+    """The small bipartite database, all facts endogenous."""
+    return purely_endogenous(small_bipartite_db)

@@ -1,0 +1,162 @@
+"""Tests for relevance, q-leaks, island supports and decomposability."""
+
+from repro.analysis import (
+    decompose,
+    find_duplicable_singleton_support,
+    find_island_support,
+    find_leak_free_minimal_support,
+    find_unshared_constant_island,
+    has_q_leak,
+    is_cc_disjoint_crpq,
+    is_decomposable,
+    is_pseudo_connected,
+    is_q_leak,
+    is_relevant_fact,
+    leak_witnesses,
+    pseudo_connectivity_report,
+    relevant_relations,
+    split_by_relevance,
+)
+from repro.data import atom, fact, var
+from repro.experiments import crpq_leak_example, q_leak_example
+from repro.queries import cq, crpq, path_atom, rpq, ucq
+
+X, Y, Z, W = var("x"), var("y"), var("z"), var("w")
+
+
+class TestRelevance:
+    def test_relevant_relations_of_cq(self, q_rst):
+        assert relevant_relations(q_rst) == {"R", "S", "T"}
+
+    def test_redundant_atom_relations_are_dropped(self):
+        # S(x,y) ∧ S(x,z): the core is one atom; both atoms share the relation, still relevant.
+        q = cq(atom("S", X, Y), atom("S", X, Z))
+        assert relevant_relations(q) == {"S"}
+
+    def test_fact_relevance_by_relation(self, q_rst):
+        assert is_relevant_fact(fact("S", "a", "b"), q_rst)
+        assert not is_relevant_fact(fact("U", "a", "b"), q_rst)
+
+    def test_fact_relevance_respects_query_constants(self):
+        q = cq(atom("Keyword", Y, "Shapley"))
+        assert is_relevant_fact(fact("Keyword", "p1", "Shapley"), q)
+        assert not is_relevant_fact(fact("Keyword", "p1", "Databases"), q)
+
+    def test_rpq_fact_relevance(self):
+        q = rpq("A B", "a", "b")
+        assert is_relevant_fact(fact("A", "x", "y"), q)
+        assert not is_relevant_fact(fact("C", "x", "y"), q)
+
+    def test_split_by_relevance(self, q_decomposable):
+        first_query = cq(atom("R", X))
+        second_query = cq(atom("U", Y, Z))
+        facts = {fact("R", "a"), fact("U", "b", "c"), fact("W", "d")}
+        first, second = split_by_relevance(facts, first_query, second_query)
+        assert second == {fact("U", "b", "c")}
+        assert first == {fact("R", "a"), fact("W", "d")}
+
+
+class TestLeaks:
+    def test_paper_leak_example(self):
+        # q = ∃x∃y A(x, y) ∧ B(y, a); the fact A(b, a) is a q-leak.
+        q = q_leak_example()
+        assert is_q_leak(fact("A", "b", "a"), q)
+        assert not is_q_leak(fact("B", "b", "c"), q)
+
+    def test_crpq_leak_example(self):
+        q = crpq_leak_example()
+        assert is_q_leak(fact("A", "b", "a"), q)
+
+    def test_constant_free_queries_have_no_leaks(self, q_rst):
+        assert not has_q_leak([fact("S", "a", "b"), fact("R", "a")], q_rst)
+
+    def test_leak_witnesses_structure(self):
+        q = q_leak_example()
+        witnesses = leak_witnesses(fact("A", "b", "a"), q)
+        assert witnesses
+        support_fact, mapping = witnesses[0]
+        assert support_fact.relation == "A"
+        assert any(value.name == "a" for value in mapping.values())
+
+    def test_leak_free_support_exists_for_constant_free_query(self, q_rst):
+        support = find_leak_free_minimal_support(q_rst)
+        assert support is not None and len(support) == 3
+
+
+class TestIslands:
+    def test_connected_query_is_pseudo_connected(self, q_rst):
+        assert is_pseudo_connected(q_rst)
+        witness = find_island_support(q_rst)
+        assert witness is not None
+        assert len(witness.support) == 3
+        assert witness.duplicable_constant not in q_rst.constants()
+
+    def test_rpq_island_uses_internal_node(self):
+        witness = find_island_support(rpq("A B C", "a", "b"))
+        assert witness is not None
+        assert witness.duplicable_constant.name not in ("a", "b")
+
+    def test_rpq_without_long_word_has_no_island(self):
+        # Words of length ≤ 1 only: no constant outside C in any minimal support.
+        assert find_island_support(rpq("A|B", "a", "b")) is None
+
+    def test_duplicable_singleton_support(self):
+        q = ucq(cq(atom("A", X)), cq(atom("B", X, Y)))
+        witness = find_duplicable_singleton_support(q)
+        assert witness is not None and len(witness.support) == 1
+
+    def test_crpq_duplicable_singleton(self):
+        q = crpq(path_atom("A* B", "a", X))
+        witness = find_duplicable_singleton_support(q)
+        assert witness is not None
+
+    def test_unshared_constant_island(self, q_hier, q_rst):
+        # q_hier = R(x) ∧ S(x, y): y occurs in exactly one atom -> unshared constant exists.
+        assert find_unshared_constant_island(q_hier) is not None
+        # q_RST: every variable occurs in two atoms -> no unshared constant.
+        assert find_unshared_constant_island(q_rst) is None
+
+    def test_disconnected_constant_free_query_not_certified(self, q_decomposable):
+        assert find_island_support(q_decomposable) is None
+
+    def test_report_is_human_readable(self, q_rst):
+        report = pseudo_connectivity_report(q_rst)
+        assert "island support" in report
+
+
+class TestDecomposition:
+    def test_decomposable_cq(self, q_decomposable):
+        assert is_decomposable(q_decomposable)
+        decomposition = decompose(q_decomposable)
+        assert decomposition is not None
+        names = {frozenset(decomposition.first.relation_names()),
+                 frozenset(decomposition.second.relation_names())}
+        assert names == {frozenset({"R"}), frozenset({"U"})}
+
+    def test_connected_query_not_decomposable(self, q_rst):
+        assert not is_decomposable(q_rst)
+
+    def test_shared_relation_blocks_decomposition(self):
+        q = cq(atom("R", X), atom("R", Y, Y))
+        assert not is_decomposable(q)
+
+    def test_cc_disjoint_crpq(self):
+        disjoint = crpq(path_atom("A", X, Y), path_atom("B", Z, W))
+        overlapping = crpq(path_atom("A", X, Y), path_atom("A B", Z, W))
+        assert is_cc_disjoint_crpq(disjoint)
+        assert not is_cc_disjoint_crpq(overlapping)
+
+    def test_decompose_crpq(self):
+        q = crpq(path_atom("A", X, Y), path_atom("B", Z, W))
+        decomposition = decompose(q)
+        assert decomposition is not None
+        assert decomposition.first.relation_names() != decomposition.second.relation_names()
+
+    def test_connected_crpq_not_decomposed(self):
+        q = crpq(path_atom("A", X, Y), path_atom("B", Y, Z))
+        assert decompose(q) is None
+
+    def test_generic_conjunction_decomposition(self, q_hier):
+        combined = q_hier & cq(atom("T", Z))
+        decomposition = decompose(combined)
+        assert decomposition is not None

@@ -1,0 +1,127 @@
+"""Tests for the safety analysis and the SVC dichotomy classifier (Figure 1b)."""
+
+import pytest
+
+from repro.analysis import Complexity, classify_svc, is_safe_sjf_cq, is_safe_ucq, safety_verdict
+from repro.data import atom, var
+from repro.experiments import (
+    crpq_cc_disjoint_hard,
+    crpq_cc_disjoint_safe,
+    crpq_unbounded_connected,
+    full_catalog,
+    q_connected_ucq,
+    q_dss_ucq,
+    q_negation_basic_open,
+    q_negation_hard,
+    q_negation_hierarchical,
+    q_unsafe_connected_ucq,
+    rpq_length_three,
+    rpq_length_two,
+    rpq_single_letter,
+    rpq_star,
+)
+from repro.queries import cq, ucq
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+class TestSafety:
+    def test_hierarchical_sjf_cq_is_safe(self, q_hier):
+        assert is_safe_sjf_cq(q_hier)
+        assert is_safe_ucq(q_hier)
+
+    def test_non_hierarchical_sjf_cq_is_unsafe(self, q_rst):
+        assert not is_safe_sjf_cq(q_rst)
+        assert not is_safe_ucq(q_rst)
+
+    def test_sjf_criterion_requires_sjf(self):
+        with pytest.raises(ValueError):
+            is_safe_sjf_cq(cq(atom("R", X), atom("R", Y)))
+
+    def test_safe_ucq_with_disjoint_vocabularies(self):
+        assert is_safe_ucq(q_connected_ucq())
+
+    def test_h1_is_unsafe(self):
+        assert not is_safe_ucq(q_unsafe_connected_ucq())
+
+    def test_safety_verdict_strings(self, q_rst):
+        assert "unsafe" in safety_verdict(q_rst)
+        assert safety_verdict(rpq_star()) .startswith("unbounded")
+        assert safety_verdict(rpq_length_two()) == "safe"
+
+
+class TestDichotomyRPQ:
+    def test_short_rpq_fp(self):
+        assert classify_svc(rpq_single_letter()).complexity is Complexity.FP
+        assert classify_svc(rpq_length_two()).complexity is Complexity.FP
+
+    def test_long_rpq_hard(self):
+        assert classify_svc(rpq_length_three()).complexity is Complexity.SHARP_P_HARD
+
+    def test_unbounded_rpq_hard(self):
+        assert classify_svc(rpq_star()).complexity is Complexity.SHARP_P_HARD
+
+    def test_reason_mentions_corollary(self):
+        assert "Corollary 4.3" in classify_svc(rpq_length_three()).reason
+
+
+class TestDichotomyCQ:
+    def test_sjf_cq_dichotomy(self, q_rst, q_hier):
+        assert classify_svc(q_rst).complexity is Complexity.SHARP_P_HARD
+        assert classify_svc(q_hier).complexity is Complexity.FP
+
+    def test_decomposable_hard_component(self):
+        q = cq(atom("R", X), atom("S", X, Y), atom("T", Y), atom("U", Z, var("w")))
+        assert classify_svc(q).complexity is Complexity.SHARP_P_HARD
+
+    def test_cq_with_constants_and_self_joins_unknown(self):
+        q = cq(atom("S", "a", X), atom("S", X, "a"), atom("R", X, Y))
+        verdict = classify_svc(q)
+        assert verdict.complexity in (Complexity.UNKNOWN, Complexity.FP)
+
+    def test_constant_free_self_join_hierarchical_safe(self):
+        q = cq(atom("S", X, Y), atom("S", X, Z))
+        assert classify_svc(q).complexity is Complexity.FP
+
+
+class TestDichotomyUCQAndCRPQ:
+    def test_safe_connected_ucq(self):
+        assert classify_svc(q_connected_ucq()).complexity is Complexity.FP
+
+    def test_unsafe_connected_ucq(self):
+        assert classify_svc(q_unsafe_connected_ucq()).complexity is Complexity.SHARP_P_HARD
+
+    def test_dss_ucq(self):
+        assert classify_svc(q_dss_ucq()).complexity is Complexity.SHARP_P_HARD
+
+    def test_cc_disjoint_crpq(self):
+        assert classify_svc(crpq_cc_disjoint_safe()).complexity is Complexity.FP
+        assert classify_svc(crpq_cc_disjoint_hard()).complexity is Complexity.SHARP_P_HARD
+        assert classify_svc(crpq_unbounded_connected()).complexity is Complexity.SHARP_P_HARD
+
+
+class TestDichotomyNegation:
+    def test_hierarchical_negation_fp(self):
+        assert classify_svc(q_negation_hierarchical()).complexity is Complexity.FP
+
+    def test_non_hierarchical_negation_hard(self):
+        assert classify_svc(q_negation_hard()).complexity is Complexity.SHARP_P_HARD
+        assert classify_svc(q_negation_basic_open()).complexity is Complexity.SHARP_P_HARD
+
+
+class TestCatalogAgreement:
+    def test_every_catalog_entry_matches_expected_complexity(self):
+        for entry in full_catalog():
+            if entry.expected is None:
+                continue
+            verdict = classify_svc(entry.query)
+            assert verdict.complexity is entry.expected, (
+                f"{entry.name}: classifier says {verdict.complexity}, "
+                f"paper says {entry.expected} ({verdict.reason})")
+
+    def test_catalog_lookup(self):
+        from repro.experiments import catalog_by_name
+
+        assert catalog_by_name("q_RST").query_class == "sjf-CQ"
+        with pytest.raises(KeyError):
+            catalog_by_name("no_such_query")

@@ -1,0 +1,125 @@
+"""Tests for the sampling-based Shapley estimator and the command-line interface."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    ExplicitGame,
+    approximate_shapley_value,
+    approximate_shapley_value_of_fact,
+    approximate_shapley_values_of_facts,
+    samples_for_guarantee,
+    shapley_value_of_fact,
+)
+from repro.data import fact, partitioned
+from repro.experiments import q_rst
+from repro.io import save_partitioned_csv
+
+
+class TestApproximateShapley:
+    def test_sample_size_formula(self):
+        assert samples_for_guarantee(0.1, 0.05) == 185
+        with pytest.raises(ValueError):
+            samples_for_guarantee(0.0, 0.5)
+        with pytest.raises(ValueError):
+            samples_for_guarantee(0.1, 1.5)
+
+    def test_exact_on_deterministic_game(self):
+        # Dictator game: the estimate is exact whatever the sample.
+        game = ExplicitGame(["a", "b"], {frozenset(["a"]): 1, frozenset(["a", "b"]): 1})
+        result = approximate_shapley_value(game, "a", n_samples=50, seed=3)
+        assert result.estimate == 1
+        assert approximate_shapley_value(game, "b", n_samples=50, seed=3).estimate == 0
+
+    def test_estimate_close_to_exact_value(self, q_rst, small_pdb):
+        target = sorted(small_pdb.endogenous)[0]
+        exact = shapley_value_of_fact(q_rst, small_pdb, target, "counting")
+        estimate = approximate_shapley_value_of_fact(q_rst, small_pdb, target,
+                                                     n_samples=3000, seed=11).estimate
+        assert abs(float(estimate) - float(exact)) < 0.08
+
+    def test_estimates_lie_in_unit_interval(self, q_rst, small_pdb):
+        results = approximate_shapley_values_of_facts(q_rst, small_pdb, n_samples=200, seed=5)
+        assert all(0 <= result.estimate <= 1 for result in results.values())
+
+    def test_seed_reproducibility(self, q_rst, small_pdb):
+        target = sorted(small_pdb.endogenous)[0]
+        first = approximate_shapley_value_of_fact(q_rst, small_pdb, target, n_samples=300, seed=9)
+        second = approximate_shapley_value_of_fact(q_rst, small_pdb, target, n_samples=300, seed=9)
+        assert first.estimate == second.estimate
+
+    def test_unknown_fact_rejected(self, q_rst, small_pdb):
+        with pytest.raises(ValueError):
+            approximate_shapley_value_of_fact(q_rst, small_pdb, fact("Z", "nope"))
+
+    def test_result_metadata(self):
+        game = ExplicitGame(["a"], {frozenset(["a"]): 1})
+        result = approximate_shapley_value(game, "a", epsilon=0.2, delta=0.1, seed=1)
+        assert result.samples == samples_for_guarantee(0.2, 0.1)
+        assert isinstance(result.as_float(), float)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.txt"
+    path.write_text("R(a)\nR(c)\nS(a, b)\nS(c, d)\nT(b)\n", encoding="utf-8")
+    return path
+
+
+class TestCLI:
+    def test_shapley_command(self, capsys, facts_file):
+        code = main(["shapley", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file),
+                     "-x", "R", "T"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Shapley values" in captured.out
+        assert "S(a, b)" in captured.out
+
+    def test_shapley_sampled_method(self, capsys, facts_file):
+        code = main(["shapley", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file),
+                     "-x", "R", "T", "--method", "sampled", "--samples", "200"])
+        assert code == 0
+        assert "estimate" in capsys.readouterr().out
+
+    def test_count_command(self, capsys, facts_file):
+        code = main(["count", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file), "-x", "R", "T"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "GMC total" in captured.out
+
+    def test_classify_command(self, capsys):
+        assert main(["classify", "-q", "R(x), S(x, y), T(y)"]) == 0
+        assert "#P-hard" in capsys.readouterr().out
+        assert main(["classify", "-q", "[A B](a, b)"]) == 0
+        assert "FP" in capsys.readouterr().out
+
+    def test_probability_command(self, capsys, facts_file):
+        code = main(["probability", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file),
+                     "-x", "R", "T", "--p", "1/3"])
+        assert code == 0
+        assert "Pr(D |= q)" in capsys.readouterr().out
+
+    def test_reduce_command(self, capsys, facts_file):
+        code = main(["reduce", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file),
+                     "-x", "R", "T"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "exact match: True" in captured.out
+
+    def test_csv_directory_input(self, capsys, tmp_path, q_rst, small_pdb):
+        directory = tmp_path / "instance"
+        save_partitioned_csv(small_pdb, directory)
+        code = main(["count", "-q", "R(x), S(x, y), T(y)", "-d", str(directory)])
+        assert code == 0
+        assert "GMC total" in capsys.readouterr().out
+
+    def test_error_handling_missing_database(self, capsys, tmp_path):
+        code = main(["shapley", "-q", "R(x)", "-d", str(tmp_path / "missing.txt")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_error_handling_bad_query(self, capsys, facts_file):
+        code = main(["classify", "-q", "this is not a query"])
+        assert code == 2

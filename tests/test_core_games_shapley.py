@@ -1,0 +1,129 @@
+"""Tests for cooperative games and exact Shapley value computation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ConstantQueryGame,
+    ExplicitGame,
+    QueryGame,
+    efficiency_total,
+    shapley_value,
+    shapley_values,
+)
+from repro.data import Database, atom, const, fact, partitioned, purely_endogenous, var
+from repro.queries import cq
+
+X, Y = var("x"), var("y")
+
+
+class TestExplicitGame:
+    def test_empty_coalition_must_be_zero(self):
+        with pytest.raises(ValueError):
+            ExplicitGame(["p"], {frozenset(): 1})
+
+    def test_unanimity_game(self):
+        players = ["a", "b"]
+        game = ExplicitGame(players, {frozenset(players): 1, frozenset(["a"]): 0,
+                                      frozenset(["b"]): 0})
+        values = shapley_values(game)
+        assert values["a"] == values["b"] == Fraction(1, 2)
+
+    def test_dictator_game(self):
+        game = ExplicitGame(["a", "b"], {frozenset(["a"]): 1, frozenset(["a", "b"]): 1})
+        assert shapley_value(game, "a") == 1
+        assert shapley_value(game, "b") == 0
+
+    def test_permutation_and_subset_formulas_agree(self):
+        game = ExplicitGame(["a", "b", "c"], {
+            frozenset(["a"]): 1, frozenset(["a", "b"]): 1, frozenset(["a", "c"]): 1,
+            frozenset(["b", "c"]): 1, frozenset(["a", "b", "c"]): 1})
+        for player in "abc":
+            assert shapley_value(game, player, "subsets") == shapley_value(game, player,
+                                                                           "permutations")
+
+    def test_unknown_player_rejected(self):
+        game = ExplicitGame(["a"], {frozenset(["a"]): 1})
+        with pytest.raises(ValueError):
+            shapley_value(game, "z")
+
+    def test_unknown_method_rejected(self):
+        game = ExplicitGame(["a"], {frozenset(["a"]): 1})
+        with pytest.raises(ValueError):
+            shapley_value(game, "a", method="nope")  # type: ignore[arg-type]
+
+
+class TestQueryGame:
+    def test_value_definition(self, q_rst):
+        pdb = partitioned([fact("S", "a", "b")], [fact("R", "a"), fact("T", "b")])
+        game = QueryGame(q_rst, pdb)
+        assert game.value(frozenset()) == 0
+        assert game.value({fact("S", "a", "b")}) == 1
+
+    def test_value_is_relative_to_exogenous_satisfaction(self, q_rst):
+        pdb = partitioned([fact("S", "c", "d")],
+                          [fact("R", "a"), fact("S", "a", "b"), fact("T", "b")])
+        game = QueryGame(q_rst, pdb)
+        assert game.exogenous_already_satisfies()
+        assert game.value({fact("S", "c", "d")}) == 0
+
+    def test_non_player_coalitions_rejected(self, q_rst, small_pdb):
+        game = QueryGame(q_rst, small_pdb)
+        with pytest.raises(ValueError):
+            game.value({fact("Z", "zz")})
+
+    def test_query_games_are_monotone_and_binary(self, q_rst, rst_exogenous_pdb):
+        game = QueryGame(q_rst, rst_exogenous_pdb)
+        assert game.is_binary()
+        assert game.is_monotone()
+
+    def test_marginal_contribution(self, q_rst):
+        pdb = partitioned([fact("S", "a", "b")], [fact("R", "a"), fact("T", "b")])
+        game = QueryGame(q_rst, pdb)
+        assert game.marginal_contribution(frozenset(), fact("S", "a", "b")) == 1
+        with pytest.raises(ValueError):
+            game.marginal_contribution({fact("S", "a", "b")}, fact("S", "a", "b"))
+
+    def test_efficiency_axiom(self, q_rst, small_pdb):
+        game = QueryGame(q_rst, small_pdb)
+        assert efficiency_total(game) == game.value(small_pdb.endogenous)
+
+    def test_symmetric_facts_get_equal_values(self, q_rst):
+        # Two parallel S edges between fresh endpoints are interchangeable.
+        pdb = partitioned(
+            [fact("S", "a", "b"), fact("S", "a2", "b2")],
+            [fact("R", "a"), fact("T", "b"), fact("R", "a2"), fact("T", "b2")])
+        values = shapley_values(QueryGame(q_rst, pdb))
+        assert values[fact("S", "a", "b")] == values[fact("S", "a2", "b2")]
+
+
+class TestConstantQueryGame:
+    def test_players_and_values(self):
+        q = cq(atom("Publication", X, Y), atom("Keyword", Y, "Shapley"))
+        db = Database([fact("Publication", "alice", "p1"), fact("Keyword", "p1", "Shapley")])
+        endo = [const("alice")]
+        game = ConstantQueryGame(q, db, endo)
+        assert game.players == frozenset(endo)
+        assert game.value(frozenset()) == 0
+        assert game.value({const("alice")}) == 1
+
+    def test_exogenous_satisfaction_zeroes_game(self):
+        q = cq(atom("R", X))
+        db = Database([fact("R", "a"), fact("R", "b")])
+        game = ConstantQueryGame(q, db, [const("b")], [const("a")])
+        assert game.exogenous_already_satisfies()
+        assert game.value({const("b")}) == 0
+
+    def test_endogenous_exogenous_overlap_rejected(self):
+        q = cq(atom("R", X))
+        db = Database([fact("R", "a")])
+        with pytest.raises(ValueError):
+            ConstantQueryGame(q, db, [const("a")], [const("a")])
+
+    def test_binary_facts_need_both_constants(self):
+        q = cq(atom("S", X, Y))
+        db = Database([fact("S", "a", "b")])
+        game = ConstantQueryGame(q, db, [const("a"), const("b")], [])
+        assert game.value({const("a")}) == 0
+        assert game.value({const("a"), const("b")}) == 1

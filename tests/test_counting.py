@@ -1,0 +1,189 @@
+"""Tests for the monotone-DNF counter, lineages and the counting problems."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.counting import (
+    MonotoneDNF,
+    add_vectors,
+    binomial_row,
+    build_lineage,
+    complement_fgmc_vector,
+    convolve,
+    fgmc_vector,
+    fixed_size_generalized_model_count,
+    fixed_size_model_count,
+    fmc_vector,
+    generalized_model_count,
+    model_count,
+    pad,
+)
+from repro.data import Database, atom, fact, partition_by_relation, partitioned, purely_endogenous, var
+from repro.queries import cq, rpq
+
+X, Y = var("x"), var("y")
+
+
+class TestVectorHelpers:
+    def test_binomial_row(self):
+        assert binomial_row(4) == [1, 4, 6, 4, 1]
+
+    def test_convolve_matches_polynomial_product(self):
+        assert convolve([1, 1], [1, 1]) == [1, 2, 1]
+        assert convolve([1, 0, 2], [3]) == [3, 0, 6]
+
+    def test_add_and_pad(self):
+        assert add_vectors([1, 2], [0, 0, 5]) == [1, 2, 5]
+        assert pad([1], 3) == [1, 0, 0]
+
+
+class TestMonotoneDNF:
+    def test_trivially_true_and_false(self):
+        assert MonotoneDNF(3, [frozenset()]).count_by_size() == binomial_row(3)
+        assert MonotoneDNF(3, []).count_by_size() == [0, 0, 0, 0]
+
+    def test_single_clause(self):
+        dnf = MonotoneDNF(3, [frozenset({0})])
+        # Subsets containing variable 0: C(2, k-1) of each size k.
+        assert dnf.count_by_size() == [0, 1, 2, 1]
+
+    def test_two_disjoint_clauses(self):
+        dnf = MonotoneDNF(4, [frozenset({0}), frozenset({1})])
+        counts = dnf.count_by_size()
+        # Complement: subsets avoiding both variables entirely -> 2^2 subsets of {2,3}.
+        assert sum(counts) == 2 ** 4 - 2 ** 2
+
+    def test_clause_minimization(self):
+        dnf = MonotoneDNF(3, [frozenset({0}), frozenset({0, 1})])
+        assert dnf.clauses == frozenset({frozenset({0})})
+
+    def test_counts_match_exhaustive_enumeration(self):
+        import itertools
+
+        clauses = [frozenset({0, 1}), frozenset({1, 2}), frozenset({3})]
+        dnf = MonotoneDNF(5, clauses)
+        expected = [0] * 6
+        for size in range(6):
+            for subset in itertools.combinations(range(5), size):
+                if any(c <= set(subset) for c in clauses):
+                    expected[size] += 1
+        assert dnf.count_by_size() == expected
+
+    def test_model_count_total(self):
+        dnf = MonotoneDNF(4, [frozenset({0, 1})])
+        assert dnf.model_count() == 2 ** 2  # free choice over variables 2, 3
+
+    def test_probability_uniform_half(self):
+        dnf = MonotoneDNF(2, [frozenset({0}), frozenset({1})])
+        # P(x0 or x1) with p = 1/2 each: 3/4.
+        assert dnf.probability({0: Fraction(1, 2), 1: Fraction(1, 2)}) == Fraction(3, 4)
+
+    def test_probability_with_heterogeneous_values(self):
+        dnf = MonotoneDNF(2, [frozenset({0, 1})])
+        assert dnf.probability({0: Fraction(1, 3), 1: Fraction(1, 4)}) == Fraction(1, 12)
+
+    def test_probability_matches_counts_at_half(self):
+        clauses = [frozenset({0, 1}), frozenset({2})]
+        dnf = MonotoneDNF(4, clauses)
+        by_counts = Fraction(sum(dnf.count_by_size()), 2 ** 4)
+        assert dnf.probability({v: Fraction(1, 2) for v in range(4)}) == by_counts
+
+    def test_evaluate(self):
+        dnf = MonotoneDNF(3, [frozenset({0, 2})])
+        assert dnf.evaluate({0, 2})
+        assert not dnf.evaluate({0, 1})
+
+    def test_variable_range_checked(self):
+        with pytest.raises(ValueError):
+            MonotoneDNF(2, [frozenset({5})])
+
+
+class TestLineage:
+    def test_lineage_clauses_are_endogenous_parts(self, q_rst, rst_exogenous_pdb):
+        lineage = build_lineage(q_rst, rst_exogenous_pdb)
+        # R and T facts are exogenous, so each clause is a single S fact.
+        assert all(len(clause) == 1 for clause in lineage.dnf.clauses)
+
+    def test_lineage_trivial_when_exogenous_satisfy(self, q_hier):
+        pdb = partitioned([fact("R", "b")], [fact("R", "a"), fact("S", "a", "c")])
+        lineage = build_lineage(q_hier, pdb)
+        assert lineage.dnf.is_trivially_true()
+
+    def test_lineage_rejects_non_hom_closed(self):
+        from repro.queries import cq_with_negation
+
+        q = cq_with_negation([atom("R", X)], [atom("N", X)])
+        with pytest.raises(ValueError):
+            build_lineage(q, purely_endogenous([fact("R", "a")]))
+
+    def test_lineage_evaluate_agrees_with_query(self, q_rst, small_pdb):
+        lineage = build_lineage(q_rst, small_pdb)
+        import itertools
+
+        endo = sorted(small_pdb.endogenous)
+        for size in range(len(endo) + 1):
+            for subset in itertools.combinations(endo, size):
+                expected = q_rst.evaluate(frozenset(subset) | small_pdb.exogenous)
+                assert lineage.evaluate(frozenset(subset)) == expected
+
+    def test_uniform_probability(self, q_rst, rst_exogenous_pdb):
+        lineage = build_lineage(q_rst, rst_exogenous_pdb)
+        n = len(rst_exogenous_pdb.endogenous)
+        counts = lineage.count_by_size()
+        expected = sum(Fraction(counts[k], 2 ** n) for k in range(n + 1))
+        assert lineage.uniform_probability(Fraction(1, 2)) == expected
+
+
+class TestCountingProblems:
+    def test_fgmc_brute_equals_lineage(self, q_rst, small_pdb):
+        assert fgmc_vector(q_rst, small_pdb, "brute") == fgmc_vector(q_rst, small_pdb, "lineage")
+
+    def test_fgmc_vector_length(self, q_rst, small_pdb):
+        assert len(fgmc_vector(q_rst, small_pdb)) == len(small_pdb.endogenous) + 1
+
+    def test_gmc_is_vector_sum(self, q_rst, small_pdb):
+        assert generalized_model_count(q_rst, small_pdb) == sum(fgmc_vector(q_rst, small_pdb))
+
+    def test_fixed_size_counts(self, q_rst, small_pdb):
+        vector = fgmc_vector(q_rst, small_pdb)
+        for k, value in enumerate(vector):
+            assert fixed_size_generalized_model_count(q_rst, small_pdb, k) == value
+        assert fixed_size_generalized_model_count(q_rst, small_pdb, -1) == 0
+        assert fixed_size_generalized_model_count(q_rst, small_pdb, 99) == 0
+
+    def test_mc_and_fmc_require_purely_endogenous(self, q_rst, small_pdb, endogenous_bipartite):
+        with pytest.raises(ValueError):
+            model_count(q_rst, small_pdb)
+        assert model_count(q_rst, endogenous_bipartite) == sum(
+            fmc_vector(q_rst, endogenous_bipartite))
+        assert fixed_size_model_count(q_rst, endogenous_bipartite, 3) == fmc_vector(
+            q_rst, endogenous_bipartite)[3]
+
+    def test_mc_accepts_plain_database(self, q_rst, small_bipartite_db):
+        assert model_count(q_rst, small_bipartite_db) == model_count(
+            q_rst, purely_endogenous(small_bipartite_db))
+
+    def test_complement_vector(self, q_rst, small_pdb):
+        counts = fgmc_vector(q_rst, small_pdb)
+        complements = complement_fgmc_vector(q_rst, small_pdb)
+        n = len(small_pdb.endogenous)
+        assert all(counts[k] + complements[k] == math.comb(n, k) for k in range(n + 1))
+
+    def test_rpq_counting(self, tiny_graph_db):
+        query = rpq("A B C", "a", "b")
+        pdb = purely_endogenous(tiny_graph_db)
+        assert fgmc_vector(query, pdb, "brute") == fgmc_vector(query, pdb, "lineage")
+
+    def test_lineage_method_rejected_for_negation(self):
+        from repro.queries import cq_with_negation
+
+        q = cq_with_negation([atom("R", X)], [atom("N", X)])
+        with pytest.raises(ValueError):
+            fgmc_vector(q, purely_endogenous([fact("R", "a")]), method="lineage")
+
+    def test_empty_database(self, q_rst):
+        assert fgmc_vector(q_rst, purely_endogenous([])) == [0]
+        q_trivial_pdb = partitioned([], [fact("R", "a"), fact("S", "a", "b"), fact("T", "b")])
+        assert fgmc_vector(q_rst, q_trivial_pdb) == [1]

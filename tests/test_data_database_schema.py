@@ -1,0 +1,195 @@
+"""Tests for databases, partitioned databases, schemas, renamings and incidence graphs."""
+
+import pytest
+
+from repro.data import (
+    Database,
+    PartitionedDatabase,
+    Schema,
+    atom_components,
+    c_isomorphic_renaming,
+    const,
+    fact,
+    incidence_graph,
+    is_connected_atom_set,
+    partitioned,
+    purely_endogenous,
+    rename_apart,
+    rename_facts,
+    rename_partitioned_apart,
+    var,
+)
+from repro.data.atoms import atom
+
+
+class TestDatabase:
+    def test_membership_and_len(self):
+        db = Database([fact("R", "a"), fact("S", "a", "b")])
+        assert fact("R", "a") in db
+        assert len(db) == 2
+
+    def test_rejects_non_ground(self):
+        with pytest.raises((ValueError, TypeError)):
+            Database([atom("R", var("x"))])
+
+    def test_set_operations(self):
+        db = Database([fact("R", "a")])
+        combined = db | {fact("S", "b", "c")}
+        assert len(combined) == 2
+        assert len(combined - db) == 1
+        assert (combined & db).facts == db.facts
+
+    def test_relations_and_facts_of(self):
+        db = Database([fact("R", "a"), fact("R", "b"), fact("S", "a", "b")])
+        assert db.relations() == {"R", "S"}
+        assert len(db.facts_of("R")) == 2
+        assert db.facts_of("T") == frozenset()
+
+    def test_constants_active_domain(self):
+        db = Database([fact("S", "a", "b")])
+        assert db.constants() == {const("a"), const("b")}
+
+    def test_graph_database_detection(self):
+        assert Database([fact("A", "a", "b")]).is_graph_database()
+        assert not Database([fact("R", "a")]).is_graph_database()
+
+    def test_restrict_to_constants(self):
+        db = Database([fact("S", "a", "b"), fact("S", "a", "c"), fact("R", "b")])
+        restricted = db.restrict_to_constants([const("a"), const("b")])
+        assert restricted.facts == {fact("S", "a", "b"), fact("R", "b")}
+
+    def test_rename_constants(self):
+        db = Database([fact("S", "a", "b")])
+        renamed = db.rename_constants({const("a"): const("z")})
+        assert renamed.facts == {fact("S", "z", "b")}
+
+    def test_equality_with_frozenset(self):
+        db = Database([fact("R", "a")])
+        assert db == frozenset({fact("R", "a")})
+
+
+class TestPartitionedDatabase:
+    def test_disjointness_enforced(self):
+        with pytest.raises(ValueError):
+            PartitionedDatabase([fact("R", "a")], [fact("R", "a")])
+
+    def test_all_facts_union(self):
+        pdb = partitioned([fact("R", "a")], [fact("S", "a", "b")])
+        assert pdb.all_facts == {fact("R", "a"), fact("S", "a", "b")}
+        assert len(pdb) == 2
+
+    def test_purely_endogenous_helper(self):
+        pdb = purely_endogenous([fact("R", "a")])
+        assert pdb.is_purely_endogenous()
+        assert pdb.endogenous == {fact("R", "a")}
+
+    def test_move_to_exogenous(self):
+        pdb = purely_endogenous([fact("R", "a"), fact("R", "b")])
+        moved = pdb.move_to_exogenous([fact("R", "a")])
+        assert moved.exogenous == {fact("R", "a")}
+        with pytest.raises(ValueError):
+            moved.move_to_exogenous([fact("T", "c")])
+
+    def test_with_and_without(self):
+        pdb = partitioned([fact("R", "a")], [fact("S", "a", "b")])
+        extended = pdb.with_endogenous([fact("R", "b")]).with_exogenous([fact("T", "c")])
+        assert len(extended.endogenous) == 2 and len(extended.exogenous) == 2
+        reduced = extended.without([fact("R", "a"), fact("T", "c")])
+        assert len(reduced) == 2
+
+    def test_rename_preserves_partition(self):
+        pdb = partitioned([fact("R", "a")], [fact("S", "a", "b")])
+        renamed = pdb.rename_constants({const("a"): const("z")})
+        assert renamed.endogenous == {fact("R", "z")}
+        assert renamed.exogenous == {fact("S", "z", "b")}
+
+
+class TestSchema:
+    def test_from_database_and_validate(self):
+        db = Database([fact("R", "a"), fact("S", "a", "b")])
+        schema = Schema.from_database(db)
+        assert schema.arity("R") == 1 and schema.arity("S") == 2
+        schema.validate(db)
+
+    def test_validate_rejects_unknown_relation(self):
+        schema = Schema({"R": 1})
+        with pytest.raises(ValueError):
+            schema.validate(Database([fact("S", "a", "b")]))
+
+    def test_validate_rejects_wrong_arity(self):
+        schema = Schema({"R": 1})
+        with pytest.raises(ValueError):
+            schema.validate_atoms([atom("R", "a", "b")])
+
+    def test_inconsistent_arity_detection(self):
+        with pytest.raises(ValueError):
+            Schema.from_atoms([atom("R", "a"), atom("R", "a", "b")])
+
+    def test_graph_schema(self):
+        schema = Schema.graph("A", "B")
+        assert schema.is_binary()
+        assert set(schema) == {"A", "B"}
+
+    def test_positive_arity_required(self):
+        with pytest.raises(ValueError):
+            Schema({"R": 0})
+
+
+class TestRenaming:
+    def test_renaming_fixes_c(self):
+        facts = [fact("S", "a", "b")]
+        mapping = c_isomorphic_renaming(facts, frozenset({const("a")}), frozenset())
+        assert mapping[const("a")] == const("a")
+        assert mapping[const("b")] != const("b")
+
+    def test_renaming_avoids_collisions(self):
+        facts = [fact("S", "a", "b")]
+        avoid = frozenset({const("fresh_b")})
+        renamed = rename_apart(facts, frozenset(), avoid)
+        renamed_constants = {c for f in renamed for c in f.constants()}
+        assert not (renamed_constants & {const("a"), const("b"), const("fresh_b")})
+
+    def test_renaming_is_injective(self):
+        facts = [fact("S", "a", "b"), fact("S", "b", "c")]
+        mapping = c_isomorphic_renaming(facts, frozenset(), frozenset())
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_rename_facts_applies_mapping(self):
+        renamed = rename_facts([fact("R", "a")], {const("a"): const("z")})
+        assert renamed == {fact("R", "z")}
+
+    def test_rename_partitioned_apart(self):
+        pdb = partitioned([fact("R", "a")], [fact("S", "a", "b")])
+        renamed = rename_partitioned_apart(pdb, frozenset(), frozenset({const("a")}))
+        assert const("a") not in renamed.constants()
+        assert len(renamed.endogenous) == 1 and len(renamed.exogenous) == 1
+
+
+class TestIncidence:
+    def test_connected_path(self):
+        atoms = [atom("A", "a", "b"), atom("B", "b", "c")]
+        assert is_connected_atom_set(atoms)
+
+    def test_disconnected_atoms(self):
+        atoms = [atom("A", "a", "b"), atom("B", "c", "d")]
+        assert not is_connected_atom_set(atoms)
+
+    def test_variable_connectivity_excluding_constants(self):
+        # Connected only through the constant "a": removing it disconnects.
+        atoms = [atom("A", var("x"), "a"), atom("B", "a", var("y"))]
+        assert is_connected_atom_set(atoms)
+        assert not is_connected_atom_set(atoms, exclude_constants=frozenset({const("a")}))
+
+    def test_empty_set_is_connected(self):
+        assert is_connected_atom_set([])
+
+    def test_atom_components_partition(self):
+        atoms = [atom("A", var("x")), atom("B", var("x"), var("y")), atom("C", var("z"))]
+        components = atom_components(atoms)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2]
+
+    def test_incidence_graph_nodes(self):
+        graph = incidence_graph([atom("A", "a", "b")])
+        kinds = {node[0] for node in graph.nodes}
+        assert kinds == {"atom", "term"}

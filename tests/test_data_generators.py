@@ -1,0 +1,94 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.data import (
+    Schema,
+    bipartite_rst_database,
+    complete_bipartite_s_facts,
+    cycle_graph_database,
+    layered_path_database,
+    partition_by_relation,
+    partition_randomly,
+    path_graph_database,
+    publication_keyword_database,
+    random_database,
+    random_graph_database,
+    star_graph_database,
+)
+
+
+class TestBipartiteRST:
+    def test_contains_all_unary_facts(self):
+        db = bipartite_rst_database(3, 2, 0.5, seed=1)
+        assert len(db.facts_of("R")) == 3
+        assert len(db.facts_of("T")) == 2
+
+    def test_full_probability_gives_complete_bipartite(self):
+        db = bipartite_rst_database(2, 3, 1.0, seed=1)
+        assert len(db.facts_of("S")) == 6
+
+    def test_deterministic_given_seed(self):
+        assert bipartite_rst_database(3, 3, 0.5, seed=9) == bipartite_rst_database(3, 3, 0.5, seed=9)
+
+    def test_complete_bipartite_s_facts(self):
+        assert len(complete_bipartite_s_facts(2, 3)) == 6
+
+
+class TestRandomGenerators:
+    def test_random_database_respects_schema(self):
+        schema = Schema({"R": 1, "S": 2})
+        db = random_database(schema, domain_size=4, n_facts=10, seed=3)
+        schema.validate(db)
+        assert len(db) <= 10
+
+    def test_random_graph_database_is_binary(self):
+        db = random_graph_database(5, 8, labels=("A", "B"), seed=0)
+        assert db.is_graph_database()
+        assert db.relations() <= {"A", "B"}
+
+    def test_path_graph_database_shape(self):
+        db = path_graph_database(["A", "B", "C"])
+        assert len(db) == 3
+        assert db.relations() == {"A", "B", "C"}
+
+    def test_star_and_cycle(self):
+        star = star_graph_database(4)
+        cycle = cycle_graph_database(5)
+        assert len(star) == 4 and len(cycle) == 5
+
+    def test_layered_path_database_connects_source_to_target(self):
+        from repro.queries import rpq
+
+        db = layered_path_database(2, 2, label="A", seed=0)
+        query = rpq("A A A", "s", "t")
+        assert query.evaluate(db)
+
+
+class TestPublicationKeyword:
+    def test_schema(self):
+        db = publication_keyword_database(3, 4, seed=0)
+        assert db.relations() == {"Publication", "Keyword"}
+
+    def test_every_paper_has_a_keyword_and_author(self):
+        db = publication_keyword_database(2, 5, seed=1)
+        papers_with_keyword = {f.terms[0] for f in db.facts_of("Keyword")}
+        papers_with_author = {f.terms[1] for f in db.facts_of("Publication")}
+        assert papers_with_keyword == papers_with_author
+        assert len(papers_with_keyword) == 5
+
+
+class TestPartitioning:
+    def test_partition_randomly_preserves_facts(self):
+        db = bipartite_rst_database(3, 3, 0.6, seed=2)
+        pdb = partition_randomly(db, 0.3, seed=5)
+        assert pdb.all_facts == db.facts
+
+    def test_partition_by_relation(self):
+        db = bipartite_rst_database(2, 2, 1.0, seed=0)
+        pdb = partition_by_relation(db, exogenous_relations=("R", "T"))
+        assert all(f.relation == "S" for f in pdb.endogenous)
+        assert all(f.relation in {"R", "T"} for f in pdb.exogenous)
+
+    def test_partition_randomly_extremes(self):
+        db = bipartite_rst_database(2, 2, 1.0, seed=0)
+        assert partition_randomly(db, 0.0, seed=1).is_purely_endogenous()
+        assert len(partition_randomly(db, 1.0, seed=1).endogenous) == 0

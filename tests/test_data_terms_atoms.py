@@ -1,0 +1,154 @@
+"""Tests for the term and atom layer (repro.data.terms, repro.data.atoms)."""
+
+import pytest
+
+from repro.data import (
+    Atom,
+    Constant,
+    Fact,
+    FreshConstantFactory,
+    Variable,
+    atom,
+    atoms_constants,
+    atoms_terms,
+    atoms_variables,
+    const,
+    consts,
+    fact,
+    is_constant,
+    is_variable,
+    single_atom_c_homomorphisms,
+    var,
+    variables,
+)
+
+
+class TestTerms:
+    def test_const_from_string_and_int(self):
+        assert const("a") == Constant("a")
+        assert const(3) == Constant("3")
+
+    def test_const_idempotent(self):
+        c = const("a")
+        assert const(c) is c
+
+    def test_var_builder(self):
+        assert var("x") == Variable("x")
+        assert var(Variable("x")) == Variable("x")
+
+    def test_consts_and_variables_helpers(self):
+        a, b = consts("a", "b")
+        x, y = variables("x", "y")
+        assert (a.name, b.name) == ("a", "b")
+        assert (x.name, y.name) == ("x", "y")
+
+    def test_kind_predicates(self):
+        assert is_constant(const("a")) and not is_constant(var("x"))
+        assert is_variable(var("x")) and not is_variable(const("a"))
+
+    def test_constant_and_variable_are_distinct(self):
+        assert Constant("x") != Variable("x")
+
+    def test_constants_are_hashable_and_ordered(self):
+        assert len({const("a"), const("a"), const("b")}) == 2
+        assert sorted([const("b"), const("a")]) == [const("a"), const("b")]
+
+    def test_fresh_factory_avoids_given_constants(self):
+        factory = FreshConstantFactory({const("_fresh_0")})
+        produced = {factory.fresh() for _ in range(5)}
+        assert const("_fresh_0") not in produced
+        assert len(produced) == 5
+
+    def test_fresh_factory_avoid_updates(self):
+        factory = FreshConstantFactory()
+        first = factory.fresh()
+        factory.avoid({first})
+        assert factory.fresh() != first
+
+    def test_fresh_many(self):
+        factory = FreshConstantFactory()
+        assert len(set(factory.fresh_many(4))) == 4
+
+
+class TestAtoms:
+    def test_atom_builder_infers_facts(self):
+        assert isinstance(atom("R", "a", "b"), Fact)
+        assert not isinstance(atom("R", var("x")), Fact)
+
+    def test_atom_requires_positive_arity(self):
+        with pytest.raises(ValueError):
+            Atom("R", ())
+
+    def test_fact_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Fact("R", (var("x"),))
+
+    def test_fact_equals_equivalent_atom(self):
+        ground_atom = Atom("R", (const("a"),))
+        ground_fact = Fact("R", (const("a"),))
+        assert ground_atom == ground_fact
+        assert hash(ground_atom) == hash(ground_fact)
+
+    def test_atoms_are_immutable(self):
+        a = atom("R", "a")
+        with pytest.raises(AttributeError):
+            a.relation = "S"
+
+    def test_constants_and_variables_accessors(self):
+        a = atom("R", var("x"), "b")
+        assert a.constants() == {const("b")}
+        assert a.variables() == {var("x")}
+        assert not a.is_ground()
+
+    def test_substitute_produces_fact_when_ground(self):
+        a = atom("R", var("x"), "b")
+        grounded = a.substitute({var("x"): const("a")})
+        assert isinstance(grounded, Fact)
+        assert grounded == fact("R", "a", "b")
+
+    def test_substitute_keeps_unmapped_terms(self):
+        a = atom("R", var("x"), var("y"))
+        partially = a.substitute({var("x"): const("a")})
+        assert partially.variables() == {var("y")}
+
+    def test_to_fact_raises_on_non_ground(self):
+        with pytest.raises(ValueError):
+            atom("R", var("x")).to_fact()
+
+    def test_sorting_is_deterministic(self):
+        items = [atom("S", "b"), atom("R", var("x")), atom("R", "a")]
+        assert [str(a) for a in sorted(items)] == ["R(a)", "R(?x)", "S(b)"]
+
+    def test_bulk_accessors(self):
+        atoms = [atom("R", var("x"), "a"), atom("S", "b")]
+        assert atoms_constants(atoms) == {const("a"), const("b")}
+        assert atoms_variables(atoms) == {var("x")}
+        assert atoms_terms(atoms) == {var("x"), const("a"), const("b")}
+
+
+class TestSingleAtomCHomomorphisms:
+    def test_requires_same_relation_and_arity(self):
+        assert single_atom_c_homomorphisms(atom("R", "a"), fact("S", "a"), frozenset()) == []
+        assert single_atom_c_homomorphisms(atom("R", "a"), fact("R", "a", "b"), frozenset()) == []
+
+    def test_maps_positionwise(self):
+        [mapping] = single_atom_c_homomorphisms(atom("R", "c", "d"), fact("R", "a", "b"),
+                                                frozenset())
+        assert mapping == {const("c"): const("a"), const("d"): const("b")}
+
+    def test_consistency_required(self):
+        source = atom("R", "c", "c")
+        assert single_atom_c_homomorphisms(source, fact("R", "a", "b"), frozenset()) == []
+        assert single_atom_c_homomorphisms(source, fact("R", "a", "a"), frozenset()) != []
+
+    def test_fixed_constants_cannot_move(self):
+        source = atom("R", "a")
+        assert single_atom_c_homomorphisms(source, fact("R", "b"), frozenset({const("a")})) == []
+        assert single_atom_c_homomorphisms(source, fact("R", "a"), frozenset({const("a")})) != []
+
+    def test_leak_style_mapping(self):
+        # The q-leak example of Section 4.1: A(b, d) maps onto A(b, a) sending d ↦ a.
+        source = atom("A", "b", "d")
+        target = fact("A", "b", "a")
+        [mapping] = single_atom_c_homomorphisms(source, target, frozenset({const("a")}))
+        assert mapping[const("d")] == const("a")

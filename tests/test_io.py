@@ -1,0 +1,172 @@
+"""Tests for the text query/fact parser and the CSV database I/O."""
+
+import pytest
+
+from repro.data import Constant, Database, Variable, atom, fact, partitioned, var
+from repro.io import (
+    QuerySyntaxError,
+    load_database_csv,
+    load_partitioned_csv,
+    parse_atom,
+    parse_database,
+    parse_fact,
+    parse_query,
+    parse_term,
+    query_to_text,
+    save_database_csv,
+    save_partitioned_csv,
+)
+from repro.queries import (
+    ConjunctiveQuery,
+    ConjunctiveQueryWithNegation,
+    RegularPathQuery,
+    UnionOfConjunctiveQueries,
+    cq,
+)
+
+X, Y = var("x"), var("y")
+
+
+class TestTermParsing:
+    def test_default_variable_convention(self):
+        assert parse_term("x") == Variable("x")
+        assert parse_term("y2") == Variable("y2")
+        assert parse_term("alice") == Constant("alice")
+        assert parse_term("42") == Constant("42")
+
+    def test_explicit_variable_prefix(self):
+        assert parse_term("?person") == Variable("person")
+        with pytest.raises(QuerySyntaxError):
+            parse_term("?")
+
+    def test_quoted_strings_are_constants(self):
+        assert parse_term("'Shapley'") == Constant("Shapley")
+        assert parse_term('"x"') == Constant("x")
+
+    def test_explicit_variable_set(self):
+        assert parse_term("person", frozenset({"person"})) == Variable("person")
+        assert parse_term("x", frozenset({"person"})) == Constant("x")
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_term("  ")
+
+
+class TestAtomAndFactParsing:
+    def test_parse_atom(self):
+        negated, parsed = parse_atom("S(x, alice)")
+        assert not negated
+        assert parsed == atom("S", X, "alice")
+
+    def test_parse_negated_atom(self):
+        negated, parsed = parse_atom("!N(x, y)")
+        assert negated and parsed.relation == "N"
+        negated2, _ = parse_atom("not N(x, y)")
+        assert negated2
+
+    def test_parse_fact(self):
+        assert parse_fact("S(a, b)") == fact("S", "a", "b")
+        assert parse_fact("Keyword(p1, 'Shapley')") == fact("Keyword", "p1", "Shapley")
+
+    def test_fact_treats_all_arguments_as_constants(self):
+        assert parse_fact("R(x)") == fact("R", "x")
+
+    def test_malformed_atom_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_atom("R x, y")
+        with pytest.raises(QuerySyntaxError):
+            parse_atom("R()")
+
+    def test_parse_database_text(self):
+        db = parse_database("""
+            # a small instance
+            R(a)
+            S(a, b)  # endpoint
+            T(b); T(c)
+        """)
+        assert db == Database([fact("R", "a"), fact("S", "a", "b"), fact("T", "b"),
+                               fact("T", "c")])
+
+
+class TestQueryParsing:
+    def test_parse_cq(self):
+        q = parse_query("R(x), S(x, y), T(y)")
+        assert isinstance(q, ConjunctiveQuery)
+        assert q == cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+
+    def test_parse_cq_with_ampersand(self):
+        assert parse_query("R(x) & S(x, y)") == cq(atom("R", X), atom("S", X, Y))
+
+    def test_parse_query_with_constants(self):
+        q = parse_query("Publication(x, y), Keyword(y, 'Shapley')")
+        assert Constant("Shapley") in q.constants()
+
+    def test_parse_union(self):
+        q = parse_query("A(x) | R(x), S(x, y)")
+        assert isinstance(q, UnionOfConjunctiveQueries)
+        assert len(q.disjuncts) == 2
+
+    def test_parse_negation(self):
+        q = parse_query("R(x), S(x, y), !N(x, y)")
+        assert isinstance(q, ConjunctiveQueryWithNegation)
+        assert q.negative_relation_names() == {"N"}
+
+    def test_parse_rpq(self):
+        q = parse_query("[A B* C](a, b)")
+        assert isinstance(q, RegularPathQuery)
+        assert q.source == Constant("a") and q.target == Constant("b")
+        assert q.relation_names() == {"A", "B", "C"}
+
+    def test_rpq_requires_constant_endpoints(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("[A](x, b)")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   ")
+
+    def test_negation_inside_union_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("A(x) | R(x), !N(x)")
+
+    def test_round_trip_through_text(self):
+        for text in ("R(x), S(x, y), T(y)",
+                     "A(x) | R(x), S(x, y)",
+                     "R(x), S(x, y), !N(x, y)",
+                     "[A B](a, b)"):
+            query = parse_query(text)
+            rendered = query_to_text(query)
+            assert parse_query(rendered) == query
+
+    def test_parsed_query_evaluates(self):
+        q = parse_query("R(x), S(x, y), T(y)")
+        db = parse_database("R(a)\nS(a, b)\nT(b)")
+        assert q.evaluate(db)
+
+
+class TestCSVIO:
+    def test_database_round_trip(self, tmp_path, small_bipartite_db):
+        save_database_csv(small_bipartite_db, tmp_path / "db")
+        loaded = load_database_csv(tmp_path / "db")
+        assert loaded == small_bipartite_db
+
+    def test_header_handling(self, tmp_path):
+        db = Database([fact("S", "a", "b")])
+        save_database_csv(db, tmp_path / "db", header=True)
+        assert load_database_csv(tmp_path / "db", has_header=True) == db
+
+    def test_partitioned_round_trip(self, tmp_path, small_pdb):
+        save_partitioned_csv(small_pdb, tmp_path / "pdb")
+        loaded = load_partitioned_csv(tmp_path / "pdb")
+        assert loaded == small_pdb
+
+    def test_load_partitioned_without_manifest(self, tmp_path, small_bipartite_db):
+        save_database_csv(small_bipartite_db, tmp_path / "plain")
+        (tmp_path / "plain" / "_partition.csv").unlink(missing_ok=True)
+        pdb = load_partitioned_csv(tmp_path / "plain", exogenous_relations=("R", "T"))
+        assert all(f.relation == "S" for f in pdb.endogenous)
+        assert pdb.all_facts == small_bipartite_db.facts
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_database_csv(tmp_path / "missing")

@@ -1,0 +1,113 @@
+"""Tests for the exact linear algebra helpers."""
+
+from fractions import Fraction
+from math import comb, factorial
+
+import pytest
+
+from repro.linalg import (
+    SingularMatrixError,
+    assert_integer_vector,
+    binomial,
+    island_case12_weight,
+    island_system_matrix,
+    shapley_subset_weight,
+    solve_linear_system,
+    vandermonde_solve,
+)
+
+
+class TestSolve:
+    def test_simple_system(self):
+        matrix = [[Fraction(2), Fraction(1)], [Fraction(1), Fraction(3)]]
+        solution = solve_linear_system(matrix, [Fraction(5), Fraction(10)])
+        assert solution == [Fraction(1), Fraction(3)]
+
+    def test_requires_square_matrix(self):
+        with pytest.raises(ValueError):
+            solve_linear_system([[Fraction(1), Fraction(2)]], [Fraction(1)])
+
+    def test_singular_matrix_detected(self):
+        matrix = [[Fraction(1), Fraction(2)], [Fraction(2), Fraction(4)]]
+        with pytest.raises(SingularMatrixError):
+            solve_linear_system(matrix, [Fraction(1), Fraction(2)])
+
+    def test_empty_system(self):
+        assert solve_linear_system([], []) == []
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        matrix = [[Fraction(0), Fraction(1)], [Fraction(1), Fraction(0)]]
+        assert solve_linear_system(matrix, [Fraction(3), Fraction(4)]) == [Fraction(4), Fraction(3)]
+
+
+class TestVandermonde:
+    def test_recovers_polynomial_coefficients(self):
+        # p(z) = 2 + 3z + z^2
+        points = [Fraction(1), Fraction(2), Fraction(3)]
+        values = [Fraction(2 + 3 * z + z * z) for z in (1, 2, 3)]
+        assert vandermonde_solve(points, values) == [Fraction(2), Fraction(3), Fraction(1)]
+
+    def test_distinct_points_required(self):
+        with pytest.raises(ValueError):
+            vandermonde_solve([Fraction(1), Fraction(1)], [Fraction(0), Fraction(0)])
+
+
+class TestShapleyWeights:
+    def test_weight_formula(self):
+        assert shapley_subset_weight(0, 3) == Fraction(factorial(0) * factorial(2), factorial(3))
+        assert shapley_subset_weight(2, 3) == Fraction(factorial(2) * factorial(0), factorial(3))
+
+    def test_weights_sum_to_one_over_all_coalitions(self):
+        n = 5
+        total = sum(comb(n - 1, b) * shapley_subset_weight(b, n) for b in range(n))
+        assert total == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            shapley_subset_weight(3, 3)
+
+
+class TestIslandSystem:
+    def test_matrix_shape_and_entries(self):
+        matrix = island_system_matrix(2, 1)
+        assert len(matrix) == 3 and all(len(row) == 3 for row in matrix)
+        n, s, i, j = 2, 1, 1, 2
+        expected = Fraction(factorial(j + s) * factorial(n + i - j), factorial(n + i + s + 1))
+        assert matrix[i][j] == expected
+
+    def test_matrix_is_invertible(self):
+        for n, s in ((1, 0), (2, 1), (3, 2), (4, 0)):
+            matrix = island_system_matrix(n, s)
+            identity_rhs = [Fraction(1 if i == 0 else 0) for i in range(n + 1)]
+            solution = solve_linear_system(matrix, identity_rhs)
+            assert len(solution) == n + 1
+
+    def test_case12_weight_consistency(self):
+        # When every subset of Dn is a generalized support, the reduction's right-hand side
+        # 1 - Sh - Z must equal sum_j C(n, j) w(j + s), i.e. Sh = 0 forces consistency.
+        n, s, i = 3, 1, 2
+        z = island_case12_weight(n, s, i)
+        covered = sum(Fraction(comb(n, j)) * shapley_subset_weight(j + s, n + i + s + 1)
+                      for j in range(n + 1))
+        assert z + covered == 1
+
+    def test_case12_weight_bounds(self):
+        for i in range(4):
+            weight = island_case12_weight(2, 1, i)
+            assert 0 <= weight < 1
+
+
+class TestIntegerVector:
+    def test_accepts_integers(self):
+        assert assert_integer_vector([Fraction(2), Fraction(0)]) == [2, 0]
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            assert_integer_vector([Fraction(1, 2)])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            assert_integer_vector([Fraction(-1)])
+
+    def test_binomial_reexport(self):
+        assert binomial(5, 2) == 10

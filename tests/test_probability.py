@@ -1,0 +1,189 @@
+"""Tests for tuple-independent databases, PQE, SPQE/SPPQE, lifted inference and interpolation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.counting import fgmc_vector
+from repro.data import Database, atom, fact, partitioned, purely_endogenous, var
+from repro.probability import (
+    TupleIndependentDatabase,
+    UnsafeQueryError,
+    classify_pqe_restriction,
+    default_pqe_solver,
+    evaluate_plan,
+    fgmc_vector_via_pqe,
+    is_safe,
+    lifted_probability,
+    plan_description,
+    probability_brute_force,
+    probability_half,
+    probability_half_one,
+    probability_of_query,
+    probability_via_lineage,
+    safe_plan,
+    spqe,
+    sppqe,
+    sppqe_from_fgmc_vector,
+)
+from repro.queries import cq, rpq, ucq
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+class TestTID:
+    def test_probability_bounds_checked(self):
+        with pytest.raises(ValueError):
+            TupleIndependentDatabase({fact("R", "a"): Fraction(0)})
+        with pytest.raises(ValueError):
+            TupleIndependentDatabase({fact("R", "a"): Fraction(3, 2)})
+
+    def test_partitioned_round_trip(self, small_pdb):
+        tid = TupleIndependentDatabase.from_partitioned(small_pdb, Fraction(1, 3))
+        assert tid.to_partitioned() == small_pdb
+
+    def test_deterministic_and_uncertain_facts(self):
+        tid = TupleIndependentDatabase({fact("R", "a"): 1, fact("S", "a", "b"): Fraction(1, 2)})
+        assert tid.deterministic_facts() == {fact("R", "a")}
+        assert tid.uncertain_facts() == {fact("S", "a", "b")}
+
+    def test_probability_of_absent_fact_is_zero(self):
+        tid = TupleIndependentDatabase({fact("R", "a"): Fraction(1, 2)})
+        assert tid.probability(fact("R", "b")) == 0
+
+    def test_classification(self):
+        half = TupleIndependentDatabase.uniform([fact("R", "a"), fact("R", "b")], Fraction(1, 2))
+        assert classify_pqe_restriction(half) == "PQE[1/2]"
+        half_one = TupleIndependentDatabase({fact("R", "a"): Fraction(1, 2), fact("R", "b"): 1})
+        assert classify_pqe_restriction(half_one) == "PQE[1/2;1]"
+        single = TupleIndependentDatabase.uniform([fact("R", "a")], Fraction(1, 3))
+        assert classify_pqe_restriction(single) == "SPQE"
+        mixed = TupleIndependentDatabase({fact("R", "a"): Fraction(1, 3), fact("R", "b"): 1})
+        assert classify_pqe_restriction(mixed) == "SPPQE"
+        general = TupleIndependentDatabase({fact("R", "a"): Fraction(1, 3),
+                                            fact("R", "b"): Fraction(1, 4)})
+        assert classify_pqe_restriction(general) == "PQE"
+
+
+class TestPQE:
+    def test_single_fact_probability(self):
+        q = cq(atom("R", X))
+        tid = TupleIndependentDatabase({fact("R", "a"): Fraction(1, 3)})
+        assert probability_brute_force(q, tid) == Fraction(1, 3)
+
+    def test_brute_equals_lineage(self, q_rst, small_pdb):
+        tid = TupleIndependentDatabase.from_partitioned(small_pdb, Fraction(2, 5))
+        assert probability_brute_force(q_rst, tid) == probability_via_lineage(q_rst, tid)
+
+    def test_auto_falls_back_for_unsafe_queries(self, q_rst, small_pdb):
+        tid = TupleIndependentDatabase.from_partitioned(small_pdb, Fraction(1, 2))
+        assert probability_of_query(q_rst, tid, "auto") == probability_brute_force(q_rst, tid)
+
+    def test_rpq_probability_via_lineage(self, tiny_graph_db):
+        q = rpq("A B C", "a", "b")
+        tid = TupleIndependentDatabase.uniform(tiny_graph_db.facts, Fraction(1, 2))
+        assert probability_of_query(q, tid, "lineage") == probability_brute_force(q, tid)
+
+    def test_pqe_half_restrictions_enforced(self, q_hier):
+        tid = TupleIndependentDatabase.uniform([fact("R", "a")], Fraction(1, 3))
+        with pytest.raises(ValueError):
+            probability_half(q_hier, tid)
+        with pytest.raises(ValueError):
+            probability_half_one(q_hier, tid)
+        ok = TupleIndependentDatabase.uniform([fact("R", "a")], Fraction(1, 2))
+        assert probability_half(q_hier, ok) == 0  # no S fact, query cannot hold
+
+
+class TestLiftedInference:
+    def test_hierarchical_query_has_plan(self, q_hier):
+        plan = safe_plan(q_hier)
+        assert "independent project" in plan.describe()
+        assert is_safe(q_hier)
+
+    def test_non_hierarchical_query_has_no_plan(self, q_rst):
+        with pytest.raises(UnsafeQueryError):
+            safe_plan(q_rst)
+        assert not is_safe(q_rst)
+
+    def test_lifted_matches_brute_force_on_safe_queries(self, q_hier, small_bipartite_db):
+        tid = TupleIndependentDatabase.uniform(small_bipartite_db.facts, Fraction(2, 7))
+        assert lifted_probability(q_hier, tid) == probability_brute_force(q_hier, tid)
+
+    def test_lifted_on_safe_ucq(self, small_bipartite_db):
+        u = ucq(cq(atom("R", X), atom("S", X, Y)), cq(atom("T", Z)))
+        tid = TupleIndependentDatabase.uniform(small_bipartite_db.facts, Fraction(1, 3))
+        assert lifted_probability(u, tid) == probability_brute_force(u, tid)
+
+    def test_lifted_with_deterministic_facts(self, q_hier, small_pdb):
+        tid = TupleIndependentDatabase.from_partitioned(small_pdb, Fraction(3, 8))
+        assert lifted_probability(q_hier, tid) == probability_brute_force(q_hier, tid)
+
+    def test_query_with_constants(self):
+        q = cq(atom("Publication", X, Y), atom("Keyword", Y, "Shapley"))
+        facts = [fact("Publication", "alice", "p1"), fact("Keyword", "p1", "Shapley"),
+                 fact("Publication", "bob", "p2"), fact("Keyword", "p2", "Other")]
+        tid = TupleIndependentDatabase.uniform(facts, Fraction(1, 2))
+        assert lifted_probability(q, tid) == probability_brute_force(q, tid)
+
+    def test_plan_description_is_text(self, q_hier):
+        assert isinstance(plan_description(q_hier), str)
+
+    def test_evaluate_plan_with_binding_error(self):
+        from repro.probability import FactLeafPlan
+
+        plan = FactLeafPlan(atom("R", X))
+        tid = TupleIndependentDatabase({fact("R", "a"): Fraction(1, 2)})
+        with pytest.raises(ValueError):
+            evaluate_plan(plan, tid)
+
+    def test_self_join_separator_rejected(self):
+        q = cq(atom("E", X, Y), atom("E", Y, X))
+        assert not is_safe(q)
+
+
+class TestSPQE:
+    def test_sppqe_matches_pqe(self, q_rst, small_pdb):
+        p = Fraction(1, 3)
+        tid = TupleIndependentDatabase.from_partitioned(small_pdb, p)
+        assert sppqe(q_rst, small_pdb, p) == probability_brute_force(q_rst, tid)
+
+    def test_spqe_requires_purely_endogenous(self, q_rst, small_pdb, endogenous_bipartite):
+        if small_pdb.exogenous:
+            with pytest.raises(ValueError):
+                spqe(q_rst, small_pdb, Fraction(1, 2))
+        value = spqe(q_rst, endogenous_bipartite, Fraction(1, 2))
+        tid = TupleIndependentDatabase.uniform(endogenous_bipartite.endogenous, Fraction(1, 2))
+        assert value == probability_brute_force(q_rst, tid)
+
+    def test_probability_range_checked(self, q_rst, small_pdb):
+        with pytest.raises(ValueError):
+            sppqe(q_rst, small_pdb, Fraction(0))
+
+
+class TestInterpolation:
+    def test_fgmc_via_pqe_matches_direct(self, q_rst, small_pdb):
+        assert fgmc_vector_via_pqe(q_rst, small_pdb) == fgmc_vector(q_rst, small_pdb, "brute")
+
+    def test_fgmc_via_lifted_pqe_on_safe_query(self, q_hier, small_pdb):
+        solver = lambda q, tid: lifted_probability(q, tid)
+        assert fgmc_vector_via_pqe(q_hier, small_pdb, pqe_solver=solver) == fgmc_vector(
+            q_hier, small_pdb, "brute")
+
+    def test_sppqe_from_vector_round_trip(self, q_rst, small_pdb):
+        counts = fgmc_vector(q_rst, small_pdb, "lineage")
+        for p in (Fraction(1, 3), Fraction(1, 2), Fraction(7, 9)):
+            tid = TupleIndependentDatabase.from_partitioned(small_pdb, p)
+            assert sppqe_from_fgmc_vector(counts, p) == probability_brute_force(q_rst, tid)
+
+    def test_sppqe_from_vector_at_probability_one(self):
+        assert sppqe_from_fgmc_vector([0, 2, 1], Fraction(1)) == 1
+        assert sppqe_from_fgmc_vector([0, 2, 0], Fraction(1)) == 0
+
+    def test_empty_endogenous_database(self, q_rst):
+        pdb = partitioned([], [fact("R", "a"), fact("S", "a", "b"), fact("T", "b")])
+        assert fgmc_vector_via_pqe(q_rst, pdb) == [1]
+
+    def test_default_solver_factory(self, q_hier, small_pdb):
+        solver = default_pqe_solver("brute")
+        tid = TupleIndependentDatabase.from_partitioned(small_pdb, Fraction(1, 2))
+        assert solver(q_hier, tid) == probability_brute_force(q_hier, tid)

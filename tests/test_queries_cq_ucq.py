@@ -1,0 +1,199 @@
+"""Tests for conjunctive queries and unions of conjunctive queries."""
+
+import pytest
+
+from repro.data import Database, atom, fact, var
+from repro.queries import (
+    ConjunctiveQuery,
+    FalseQuery,
+    TrueQuery,
+    as_ucq,
+    cq,
+    minimize_supports,
+    product_of_cqs,
+    ucq,
+)
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+class TestCQEvaluation:
+    def test_simple_match(self):
+        q = cq(atom("R", X), atom("S", X, Y))
+        db = Database([fact("R", "a"), fact("S", "a", "b")])
+        assert q.evaluate(db)
+
+    def test_join_must_be_consistent(self):
+        q = cq(atom("R", X), atom("S", X, Y))
+        db = Database([fact("R", "a"), fact("S", "c", "b")])
+        assert not q.evaluate(db)
+
+    def test_constants_must_match_exactly(self):
+        q = cq(atom("S", X, "b"))
+        assert q.evaluate(Database([fact("S", "a", "b")]))
+        assert not q.evaluate(Database([fact("S", "a", "c")]))
+
+    def test_self_join_query(self):
+        q = cq(atom("E", X, Y), atom("E", Y, Z))
+        assert q.evaluate(Database([fact("E", "a", "b"), fact("E", "b", "c")]))
+        assert q.evaluate(Database([fact("E", "a", "a")]))  # x=y=z=a
+        assert not q.evaluate(Database([fact("E", "a", "b")])) or True  # E(a,b),E(b,?) missing
+        assert not cq(atom("E", X, Y), atom("E", Y, Z)).evaluate(Database([fact("E", "a", "b")])) \
+            is True
+
+    def test_homomorphism_enumeration_counts(self):
+        q = cq(atom("S", X, Y))
+        db = Database([fact("S", "a", "b"), fact("S", "a", "c")])
+        assert len(list(q.homomorphisms(db))) == 2
+
+    def test_partial_homomorphism_restriction(self):
+        q = cq(atom("S", X, Y))
+        db = Database([fact("S", "a", "b"), fact("S", "c", "d")])
+        from repro.data import const
+
+        homs = list(q.homomorphisms(db, partial={X: const("a")}))
+        assert len(homs) == 1 and homs[0][Y] == const("b")
+
+    def test_empty_database_fails(self):
+        assert not cq(atom("R", X)).evaluate(Database())
+
+
+class TestCQStructure:
+    def test_self_join_free_detection(self):
+        assert cq(atom("R", X), atom("S", X, Y)).is_self_join_free()
+        assert not cq(atom("R", X), atom("R", Y)).is_self_join_free()
+
+    def test_constant_free_detection(self):
+        assert cq(atom("R", X)).is_constant_free()
+        assert not cq(atom("R", "a")).is_constant_free()
+
+    def test_needs_at_least_one_atom(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(())
+
+    def test_atoms_containing(self):
+        q = cq(atom("R", X), atom("S", X, Y))
+        assert len(q.atoms_containing(X)) == 2
+        assert len(q.atoms_containing(Y)) == 1
+
+    def test_substitute(self):
+        from repro.data import const
+
+        q = cq(atom("R", X), atom("S", X, Y)).substitute({X: const("a")})
+        assert q.constants() == {const("a")}
+
+
+class TestMinimalSupports:
+    def test_minimal_supports_are_images(self, q_rst):
+        db = Database([fact("R", "a"), fact("S", "a", "b"), fact("T", "b"),
+                       fact("S", "a", "c"), fact("T", "c")])
+        supports = q_rst.minimal_supports_in(db)
+        assert len(supports) == 2
+        assert all(len(s) == 3 for s in supports)
+
+    def test_minimality_filters_larger_images(self):
+        # With a self-join, an image may use one or two facts; only the minimal ones remain.
+        q = cq(atom("E", X, Y), atom("E", Y, Z))
+        db = Database([fact("E", "a", "a"), fact("E", "a", "b"), fact("E", "b", "c")])
+        supports = q.minimal_supports_in(db)
+        assert frozenset({fact("E", "a", "a")}) in supports
+        assert all(not s > frozenset({fact("E", "a", "a")}) for s in supports)
+
+    def test_minimize_supports_helper(self):
+        small = frozenset({fact("R", "a")})
+        large = small | {fact("R", "b")}
+        assert minimize_supports([large, small]) == frozenset({small})
+
+    def test_canonical_minimal_supports_size(self, q_rst):
+        supports = q_rst.canonical_minimal_supports()
+        assert len(supports) == 1
+        assert len(next(iter(supports))) == 3
+
+    def test_canonical_support_of_redundant_query_is_core_sized(self):
+        q = cq(atom("S", X, Y), atom("S", X, Z))  # core is a single atom
+        supports = q.canonical_minimal_supports()
+        assert all(len(s) == 1 for s in supports)
+
+
+class TestCoreAndEquivalence:
+    def test_core_removes_redundant_atom(self):
+        q = cq(atom("S", X, Y), atom("S", X, Z))
+        assert len(q.core().atoms) == 1
+
+    def test_core_keeps_non_redundant_atoms(self, q_rst):
+        assert len(q_rst.core().atoms) == 3
+
+    def test_equivalence_of_query_and_core(self):
+        q = cq(atom("S", X, Y), atom("S", X, Z))
+        assert q.is_equivalent_to(q.core())
+
+    def test_non_equivalent_queries(self, q_rst, q_hier):
+        assert not q_rst.is_equivalent_to(q_hier)
+
+    def test_freeze_produces_satisfying_database(self, q_rst):
+        frozen, mapping = q_rst.freeze()
+        assert q_rst.evaluate(frozen)
+        assert set(mapping) == q_rst.variables()
+
+
+class TestUCQ:
+    def test_union_semantics(self):
+        u = ucq(cq(atom("R", X)), cq(atom("T", X)))
+        assert u.evaluate(Database([fact("T", "a")]))
+        assert not u.evaluate(Database([fact("S", "a", "b")]))
+
+    def test_minimal_supports_across_disjuncts(self):
+        u = ucq(cq(atom("R", X), atom("S", X, Y)), cq(atom("S", X, Y)))
+        db = Database([fact("R", "a"), fact("S", "a", "b")])
+        supports = u.minimal_supports_in(db)
+        assert supports == frozenset({frozenset({fact("S", "a", "b")})})
+
+    def test_minimized_removes_implied_disjunct(self, q_rst):
+        u = ucq(q_rst, cq(atom("S", X, Y), atom("T", Y)))
+        minimized = u.minimized()
+        assert len(minimized.disjuncts) == 1
+        assert minimized.disjuncts[0].relation_names() == {"S", "T"}
+
+    def test_as_ucq_wraps_cq(self, q_hier):
+        wrapped = as_ucq(q_hier)
+        assert len(wrapped.disjuncts) == 1
+
+    def test_needs_at_least_one_disjunct(self):
+        with pytest.raises(ValueError):
+            ucq()
+
+    def test_canonical_minimal_supports_cover_each_disjunct(self):
+        u = ucq(cq(atom("R", X)), cq(atom("T", X, Y)))
+        sizes = sorted(len(s) for s in u.canonical_minimal_supports())
+        assert sizes == [1, 1]
+
+
+class TestCombinators:
+    def test_true_and_false_queries(self):
+        assert TrueQuery().evaluate(Database())
+        assert not FalseQuery().evaluate(Database([fact("R", "a")]))
+        assert TrueQuery().canonical_minimal_supports() == frozenset({frozenset()})
+        assert FalseQuery().canonical_minimal_supports() == frozenset()
+
+    def test_conjunction_combinator(self, q_hier):
+        q = q_hier & cq(atom("T", Z))
+        db = Database([fact("R", "a"), fact("S", "a", "b"), fact("T", "c")])
+        assert q.evaluate(db)
+        assert not q.evaluate(Database([fact("R", "a"), fact("S", "a", "b")]))
+
+    def test_disjunction_combinator(self, q_hier):
+        q = q_hier | cq(atom("T", Z))
+        assert q.evaluate(Database([fact("T", "c")]))
+
+    def test_conjunction_minimal_supports_combine(self, q_hier):
+        q = q_hier & cq(atom("T", Z))
+        db = Database([fact("R", "a"), fact("S", "a", "b"), fact("T", "c")])
+        supports = q.minimal_supports_in(db)
+        assert supports == frozenset({frozenset(db.facts)})
+
+    def test_product_of_cqs_renames_apart(self):
+        q1 = cq(atom("R", X))
+        q2 = cq(atom("S", X, Y))
+        product = product_of_cqs([q1, q2])
+        assert len(product.atoms) == 2
+        assert len(product.variables()) == 3

@@ -1,0 +1,135 @@
+"""Tests for CRPQs, UCRPQs and queries with negation."""
+
+import pytest
+
+from repro.data import Database, atom, fact, var
+from repro.queries import (
+    ConjunctiveQueryWithNegation,
+    FirstOrderNegationQuery,
+    UnionOfConjunctiveRegularPathQueries,
+    cq_with_negation,
+    crpq,
+    path_atom,
+)
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+class TestCRPQ:
+    def test_evaluation_with_variable_endpoints(self):
+        q = crpq(path_atom("A B", X, Y), path_atom("C", Y, Z))
+        db = Database([fact("A", "1", "2"), fact("B", "2", "3"), fact("C", "3", "4")])
+        assert q.evaluate(db)
+        assert not q.evaluate(Database([fact("A", "1", "2"), fact("C", "3", "4")]))
+
+    def test_evaluation_with_constant_endpoints(self):
+        q = crpq(path_atom("A+", "s", "t"))
+        db = Database([fact("A", "s", "m"), fact("A", "m", "t")])
+        assert q.evaluate(db)
+        assert not q.evaluate(Database([fact("A", "t", "s")]))
+
+    def test_shared_variable_joins_path_atoms(self):
+        q = crpq(path_atom("A", X, Y), path_atom("B", Y, Z))
+        joined = Database([fact("A", "1", "2"), fact("B", "2", "3")])
+        disjoint = Database([fact("A", "1", "2"), fact("B", "4", "3")])
+        assert q.evaluate(joined)
+        assert not q.evaluate(disjoint)
+
+    def test_minimal_supports(self):
+        q = crpq(path_atom("A B", X, Y))
+        db = Database([fact("A", "1", "2"), fact("B", "2", "3"), fact("A", "1", "3")])
+        supports = q.minimal_supports_in(db)
+        assert frozenset({fact("A", "1", "2"), fact("B", "2", "3")}) in supports
+
+    def test_canonical_minimal_supports(self):
+        q = crpq(path_atom("A B", X, Y), path_atom("C", Y, Z))
+        supports = q.canonical_minimal_supports()
+        assert all(len(s) == 3 for s in supports)
+
+    def test_self_join_free_crpq(self):
+        assert crpq(path_atom("A", X, Y), path_atom("B", Y, Z)).is_self_join_free()
+        assert not crpq(path_atom("A", X, Y), path_atom("A B", Y, Z)).is_self_join_free()
+
+    def test_to_ucq_bounded(self):
+        q = crpq(path_atom("A|B", X, Y))
+        expansion = q.to_ucq()
+        assert len(expansion.disjuncts) == 2
+
+    def test_to_ucq_unbounded_raises(self):
+        with pytest.raises(ValueError):
+            crpq(path_atom("A*B", X, Y)).to_ucq()
+
+    def test_epsilon_word_unifies_endpoints(self):
+        q = crpq(path_atom("A?", X, Y), path_atom("B", Y, Z))
+        expansion = q.to_ucq()
+        db = Database([fact("B", "1", "2")])
+        assert q.evaluate(db)
+        assert expansion.evaluate(db)
+
+    def test_ucrpq_union(self):
+        union = UnionOfConjunctiveRegularPathQueries(
+            (crpq(path_atom("A", X, Y)), crpq(path_atom("B", X, Y))))
+        assert union.evaluate(Database([fact("B", "1", "2")]))
+        assert not union.evaluate(Database([fact("C", "1", "2")]))
+
+
+class TestCQWithNegation:
+    def test_satisfaction_requires_absent_negative_fact(self):
+        q = cq_with_negation([atom("R", X), atom("S", X, Y)], [atom("N", X, Y)])
+        base = Database([fact("R", "a"), fact("S", "a", "b")])
+        assert q.evaluate(base)
+        assert not q.evaluate(base | {fact("N", "a", "b")})
+
+    def test_alternative_homomorphism_can_rescue(self):
+        q = cq_with_negation([atom("S", X, Y)], [atom("N", X, Y)])
+        db = Database([fact("S", "a", "b"), fact("S", "c", "d"), fact("N", "a", "b")])
+        assert q.evaluate(db)
+
+    def test_not_monotone(self):
+        q = cq_with_negation([atom("S", X, Y)], [atom("N", X, Y)])
+        small = Database([fact("S", "a", "b")])
+        large = small | {fact("N", "a", "b")}
+        assert q.evaluate(small) and not q.evaluate(large)
+        assert q.is_hom_closed is False
+
+    def test_minimal_supports_undefined(self):
+        q = cq_with_negation([atom("S", X, Y)], [atom("N", X, Y)])
+        with pytest.raises(NotImplementedError):
+            q.minimal_supports_in(Database([fact("S", "a", "b")]))
+
+    def test_safety_enforced(self):
+        with pytest.raises(ValueError):
+            cq_with_negation([atom("R", X)], [atom("N", X, Y)])
+
+    def test_self_join_freeness_enforced_by_default(self):
+        with pytest.raises(ValueError):
+            cq_with_negation([atom("R", X), atom("R", Y)], [])
+        # but can be disabled
+        ConjunctiveQueryWithNegation([atom("R", X), atom("R", Y)], [],
+                                     require_self_join_free=False)
+
+    def test_positive_query_extraction(self):
+        q = cq_with_negation([atom("R", X), atom("S", X, Y)], [atom("N", X, Y)])
+        assert q.positive_query().relation_names() == {"R", "S"}
+        assert q.negative_relation_names() == {"N"}
+
+
+class TestFirstOrderNegation:
+    def test_example_d2_semantics(self):
+        # q2 = ∃x∃y S(x, y) ∧ ¬(A(x) ∧ B(y))
+        q = FirstOrderNegationQuery([atom("S", X, Y)], [atom("A", X), atom("B", Y)])
+        assert q.evaluate(Database([fact("S", "a", "b")]))
+        assert q.evaluate(Database([fact("S", "a", "b"), fact("A", "a")]))
+        assert not q.evaluate(Database([fact("S", "a", "b"), fact("A", "a"), fact("B", "b")]))
+
+    def test_example_d1_semantics(self):
+        # Disjunct of q1: D(x) ∧ S(x, y) ∧ A(y) ∧ ¬B(y)
+        q = FirstOrderNegationQuery([atom("D", X), atom("S", X, Y), atom("A", Y)],
+                                    [atom("B", Y)])
+        db = Database([fact("D", "d"), fact("S", "d", "p"), fact("A", "p")])
+        assert q.evaluate(db)
+        assert not q.evaluate(db | {fact("B", "p")})
+
+    def test_unsafe_inner_variables_rejected(self):
+        with pytest.raises(ValueError):
+            FirstOrderNegationQuery([atom("S", X, Y)], [atom("A", Z)])

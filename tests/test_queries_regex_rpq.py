@@ -1,0 +1,144 @@
+"""Tests for regular expressions, automata and regular path queries."""
+
+import pytest
+
+from repro.data import Database, fact
+from repro.queries import (
+    NFA,
+    RegexSyntaxError,
+    enumerate_language_words,
+    parse_regex,
+    rpq,
+    symbols_of,
+)
+
+
+class TestRegexParsing:
+    def test_symbols(self):
+        assert symbols_of(parse_regex("A (B|C)* D")) == {"A", "B", "C", "D"}
+
+    def test_concatenation_with_dot_and_space(self):
+        assert str(parse_regex("A.B")) == str(parse_regex("A B"))
+
+    def test_operator_precedence(self):
+        # Star binds tighter than concatenation, which binds tighter than union.
+        nfa = NFA.from_regex("A B*|C")
+        assert nfa.accepts(("C",))
+        assert nfa.accepts(("A",))
+        assert nfa.accepts(("A", "B", "B"))
+        assert not nfa.accepts(("B",))
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("A & B")
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("(A B")
+
+    def test_programmatic_construction(self):
+        from repro.queries import Symbol
+
+        expr = Symbol("A").concat(Symbol("B").star())
+        nfa = NFA.from_regex(expr)
+        assert nfa.accepts(("A",)) and nfa.accepts(("A", "B", "B"))
+
+
+class TestNFA:
+    def test_accepts_basic_words(self):
+        nfa = NFA.from_regex("A B C")
+        assert nfa.accepts(("A", "B", "C"))
+        assert not nfa.accepts(("A", "B"))
+        assert not nfa.accepts(("A", "B", "C", "C"))
+
+    def test_plus_and_optional(self):
+        nfa = NFA.from_regex("A+ B?")
+        assert nfa.accepts(("A",))
+        assert nfa.accepts(("A", "A", "B"))
+        assert not nfa.accepts(("B",))
+
+    def test_epsilon_acceptance(self):
+        assert NFA.from_regex("A*").accepts_epsilon()
+        assert not NFA.from_regex("A").accepts_epsilon()
+
+    def test_shortest_word_length(self):
+        assert NFA.from_regex("A B C").shortest_word_length() == 3
+        assert NFA.from_regex("A*").shortest_word_length() == 0
+        assert NFA.from_regex("A B | C").shortest_word_length() == 1
+
+    def test_finiteness(self):
+        assert NFA.from_regex("A (B|C) D").is_language_finite()
+        assert not NFA.from_regex("A B* C").is_language_finite()
+        assert not NFA.from_regex("(A B)+").is_language_finite()
+
+    def test_longest_word_length_finite(self):
+        assert NFA.from_regex("A (B|C C) D").longest_word_length() == 4
+        assert NFA.from_regex("A|B").longest_word_length() == 1
+
+    def test_longest_word_length_infinite_raises(self):
+        with pytest.raises(ValueError):
+            NFA.from_regex("A*").longest_word_length()
+
+    def test_has_word_of_length_at_least(self):
+        assert NFA.from_regex("A B C").has_word_of_length_at_least(3)
+        assert not NFA.from_regex("A B").has_word_of_length_at_least(3)
+        assert NFA.from_regex("A B* ").has_word_of_length_at_least(10)
+
+    def test_enumerate_words(self):
+        words = set(enumerate_language_words("A (B|C)", 2))
+        assert words == {("A", "B"), ("A", "C")}
+
+
+class TestRPQ:
+    def test_evaluation_along_path(self, tiny_graph_db):
+        assert rpq("A B C", "a", "b").evaluate(tiny_graph_db)
+        assert rpq("A C", "a", "b").evaluate(tiny_graph_db)
+        assert not rpq("C A", "a", "b").evaluate(tiny_graph_db)
+
+    def test_epsilon_self_loop(self):
+        assert rpq("A*", "a", "a").evaluate(Database())
+        assert not rpq("A+", "a", "a").evaluate(Database())
+
+    def test_minimal_supports_are_paths(self, tiny_graph_db):
+        supports = rpq("A B C", "a", "b").minimal_supports_in(tiny_graph_db)
+        assert all(len(s) == 3 for s in supports)
+        assert len(supports) == 1
+
+    def test_minimal_supports_prefer_short_paths(self, tiny_graph_db):
+        # Both A·C (length 2) and A·B·C (length 3) paths exist; the short one is kept,
+        # and the long one too as its fact set is not a superset.
+        supports = rpq("A B* C", "a", "b").minimal_supports_in(tiny_graph_db)
+        sizes = sorted(len(s) for s in supports)
+        assert sizes[0] == 2
+
+    def test_constants_of_rpq(self):
+        from repro.data import const
+
+        assert rpq("A", "a", "b").constants() == {const("a"), const("b")}
+
+    def test_canonical_minimal_supports_contain_long_word(self):
+        supports = rpq("A | B C", "a", "b").canonical_minimal_supports()
+        sizes = sorted(len(s) for s in supports)
+        assert sizes == [1, 2]
+
+    def test_word_to_path_facts(self):
+        facts = rpq("A B", "a", "b").word_to_path_facts(("A", "B"))
+        assert len(facts) == 2
+
+    def test_to_ucq_equivalence_on_database(self, tiny_graph_db):
+        query = rpq("A (B|C)? C", "a", "b")
+        expansion = query.to_ucq()
+        assert query.evaluate(tiny_graph_db) == expansion.evaluate(tiny_graph_db)
+
+    def test_to_ucq_requires_bounded_language(self):
+        with pytest.raises(ValueError):
+            rpq("A*", "a", "b").to_ucq()
+
+    def test_is_bounded(self):
+        assert rpq("A B C", "a", "b").is_bounded()
+        assert not rpq("A B* C", "a", "b").is_bounded()
+
+    def test_shortest_word_of_length_at_least(self):
+        assert rpq("A | B C", "a", "b").shortest_word_of_length_at_least(2) == ("B", "C")
+        assert rpq("A", "a", "b").shortest_word_of_length_at_least(2) is None
+        assert len(rpq("A B*", "a", "b").shortest_word_of_length_at_least(4)) == 4

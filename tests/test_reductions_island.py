@@ -1,0 +1,198 @@
+"""Tests for the island-support reduction engine and Lemmas 4.1 / 4.3 / 4.4."""
+
+import pytest
+
+from repro.counting import fgmc_vector
+from repro.data import (
+    Database,
+    atom,
+    bipartite_rst_database,
+    fact,
+    partition_randomly,
+    partitioned,
+    purely_endogenous,
+    var,
+)
+from repro.queries import cq, rpq, ucq
+from repro.reductions import (
+    CallCounter,
+    IslandReductionReport,
+    ReductionHypothesisError,
+    exact_svc_oracle,
+    fgmc_via_svc_lemma_4_1,
+    fgmc_via_svc_lemma_4_3,
+    fgmc_via_svc_lemma_4_4,
+    lemma_4_1_setup,
+    lemma_4_3_setup,
+)
+
+X, Y, Z, W = var("x"), var("y"), var("z"), var("w")
+
+
+class TestLemma41:
+    def test_matches_direct_fgmc_on_q_rst(self, q_rst, small_pdb):
+        oracle = CallCounter(exact_svc_oracle("counting"))
+        via_svc = fgmc_via_svc_lemma_4_1(q_rst, small_pdb, oracle)
+        assert via_svc == fgmc_vector(q_rst, small_pdb, "brute")
+        assert oracle.calls == len(small_pdb.endogenous) + 1
+
+    def test_multiple_partitions(self, q_rst):
+        oracle = exact_svc_oracle("counting")
+        for seed in range(4):
+            db = bipartite_rst_database(2, 2, 0.6, seed=seed)
+            pdb = partition_randomly(db, 0.4, seed=seed + 50)
+            if len(pdb.endogenous) > 6:
+                continue
+            assert fgmc_via_svc_lemma_4_1(q_rst, pdb, oracle) == fgmc_vector(q_rst, pdb, "brute")
+
+    def test_on_hierarchical_query(self, q_hier, small_pdb):
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_1(q_hier, small_pdb, oracle) == fgmc_vector(
+            q_hier, small_pdb, "brute")
+
+    def test_on_rpq(self, tiny_graph_db):
+        query = rpq("A B C", "a", "b")
+        pdb = purely_endogenous(tiny_graph_db)
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_1(query, pdb, oracle) == fgmc_vector(query, pdb, "brute")
+
+    def test_on_dss_query(self):
+        query = ucq(cq(atom("A", X)), cq(atom("R", X), atom("S", X, Y), atom("T", Y)))
+        db = Database([fact("A", "u"), fact("R", "a"), fact("S", "a", "b"), fact("T", "b")])
+        pdb = partition_randomly(db, 0.3, seed=3)
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_1(query, pdb, oracle) == fgmc_vector(query, pdb, "brute")
+
+    def test_trivial_case_exogenous_satisfies(self, q_rst):
+        pdb = partitioned([fact("S", "c", "d")],
+                          [fact("R", "a"), fact("S", "a", "b"), fact("T", "b")])
+        oracle = CallCounter(exact_svc_oracle("counting"))
+        assert fgmc_via_svc_lemma_4_1(q_rst, pdb, oracle) == [1, 1]
+        assert oracle.calls == 0  # the trivial shortcut answers without the oracle
+
+    def test_empty_endogenous_database(self, q_rst):
+        pdb = partitioned([], [fact("R", "a")])
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_1(q_rst, pdb, oracle) == [0]
+
+    def test_database_sharing_construction_constants_is_renamed(self, q_rst):
+        # Use constants likely to collide with frozen-variable names.
+        support = q_rst.some_minimal_support()
+        collision_constant = sorted(next(iter(support)).constants())[0]
+        db = Database([fact("R", collision_constant.name),
+                       fact("S", collision_constant.name, "b"), fact("T", "b")])
+        pdb = purely_endogenous(db)
+        report = IslandReductionReport()
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_1(q_rst, pdb, oracle, report=report) == fgmc_vector(
+            q_rst, pdb, "brute")
+        assert report.renamed_database
+
+    def test_not_pseudo_connected_raises(self, q_decomposable, small_pdb):
+        with pytest.raises(ReductionHypothesisError):
+            fgmc_via_svc_lemma_4_1(q_decomposable, small_pdb, exact_svc_oracle("counting"))
+
+    def test_setup_contents(self, q_rst):
+        setup = lemma_4_1_setup(q_rst)
+        assert setup.oracle_query is q_rst and setup.count_query is q_rst
+        assert len(setup.support) == 3
+        assert setup.support_completes_count_query
+
+    def test_report_traces_construction(self, q_rst, small_pdb):
+        report = IslandReductionReport()
+        fgmc_via_svc_lemma_4_1(q_rst, small_pdb, exact_svc_oracle("counting"), report=report)
+        assert report.oracle_calls == len(small_pdb.endogenous) + 1
+        assert len(report.construction_sizes) == report.oracle_calls
+        assert report.construction_sizes == sorted(report.construction_sizes)
+
+
+class TestLemma43:
+    def test_reduction_with_auxiliary_query(self, q_rst, small_pdb):
+        auxiliary = cq(atom("U", W))
+        oracle = CallCounter(exact_svc_oracle("counting"))
+        via_svc = fgmc_via_svc_lemma_4_3(q_rst, auxiliary, small_pdb, oracle)
+        assert via_svc == fgmc_vector(q_rst, small_pdb, "brute")
+        assert oracle.calls == len(small_pdb.endogenous) + 1
+
+    def test_oracle_queries_are_conjunctions(self, q_rst, small_pdb):
+        auxiliary = cq(atom("U", W))
+        seen_queries = []
+
+        def spy(query, pdb, f):
+            seen_queries.append(query)
+            return exact_svc_oracle("counting")(query, pdb, f)
+
+        fgmc_via_svc_lemma_4_3(q_rst, auxiliary, small_pdb, spy)
+        from repro.queries import ConjunctionQuery
+
+        assert all(isinstance(q, ConjunctionQuery) for q in seen_queries)
+
+    def test_auxiliary_with_shared_relation_still_works_when_hypotheses_hold(self, small_pdb):
+        # q = R(x) ∧ S(x, y) ∧ T(y); q' = U(w, w') over a disjoint relation is the normal case;
+        # here use a two-atom auxiliary query.
+        q = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        auxiliary = cq(atom("U", Z, W), atom("V", W))
+        via_svc = fgmc_via_svc_lemma_4_3(q, auxiliary, small_pdb, exact_svc_oracle("counting"))
+        assert via_svc == fgmc_vector(q, small_pdb, "brute")
+
+    def test_hypothesis_2a_violation_detected(self, q_rst, small_pdb):
+        # An auxiliary query whose minimal support satisfies q itself: q' = q ∧ U(w).
+        auxiliary = cq(atom("R", X), atom("S", X, Y), atom("T", Y), atom("U", W))
+        with pytest.raises(ReductionHypothesisError):
+            lemma_4_3_setup(q_rst, auxiliary)
+
+    def test_corollary_4_5_style_usage(self):
+        # Non-hierarchical CQ with an extra disconnected atom: q_vc ∧ q'.
+        q_vc = cq(atom("R", X), atom("S", X, Y), atom("T", Y))
+        q_rest = cq(atom("U", Z, W))
+        db = bipartite_rst_database(2, 2, 0.8, seed=2)
+        pdb = partition_randomly(Database(list(db.facts) + [fact("U", "u1", "u2")]), 0.3, seed=1)
+        via_svc = fgmc_via_svc_lemma_4_3(q_vc, q_rest, pdb, exact_svc_oracle("counting"))
+        assert via_svc == fgmc_vector(q_vc, pdb, "brute")
+
+
+class TestLemma44:
+    def test_decomposable_query_all_endogenous(self, q_decomposable):
+        db = Database([fact("R", "a1"), fact("R", "a2"), fact("U", "b1", "b2"),
+                       fact("U", "b2", "b3")])
+        pdb = purely_endogenous(db)
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_4(q_decomposable, pdb, oracle) == fgmc_vector(
+            q_decomposable, pdb, "brute")
+
+    def test_decomposable_query_random_partitions(self, q_decomposable):
+        db = Database([fact("R", "a1"), fact("R", "a2"), fact("U", "b1", "b2"),
+                       fact("U", "b2", "b3"), fact("R", "a3")])
+        oracle = exact_svc_oracle("counting")
+        for seed in range(5):
+            pdb = partition_randomly(db, 0.3, seed=seed)
+            assert fgmc_via_svc_lemma_4_4(q_decomposable, pdb, oracle) == fgmc_vector(
+                q_decomposable, pdb, "brute"), f"seed {seed}"
+
+    def test_decomposable_with_hard_component(self):
+        q = cq(atom("R", X), atom("S", X, Y), atom("T", Y), atom("U", Z, W))
+        db = Database([fact("R", "a"), fact("S", "a", "b"), fact("T", "b"),
+                       fact("U", "u1", "u2"), fact("S", "a", "c"), fact("T", "c")])
+        pdb = partition_randomly(db, 0.25, seed=4)
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_4(q, pdb, oracle) == fgmc_vector(q, pdb, "brute")
+
+    def test_irrelevant_facts_are_handled(self, q_decomposable):
+        db = Database([fact("R", "a1"), fact("U", "b1", "b2"), fact("W", "irrelevant")])
+        pdb = purely_endogenous(db)
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_4(q_decomposable, pdb, oracle) == fgmc_vector(
+            q_decomposable, pdb, "brute")
+
+    def test_non_decomposable_query_raises(self, q_rst, small_pdb):
+        with pytest.raises(ReductionHypothesisError):
+            fgmc_via_svc_lemma_4_4(q_rst, small_pdb, exact_svc_oracle("counting"))
+
+    def test_crpq_decomposition(self):
+        from repro.queries import crpq, path_atom
+
+        q = crpq(path_atom("A", X, Y), path_atom("B", Z, W))
+        db = Database([fact("A", "1", "2"), fact("B", "3", "4"), fact("A", "5", "6")])
+        pdb = partition_randomly(db, 0.3, seed=8)
+        oracle = exact_svc_oracle("counting")
+        assert fgmc_via_svc_lemma_4_4(q, pdb, oracle) == fgmc_vector(q, pdb, "brute")
