@@ -20,6 +20,8 @@ The package is organised as follows:
   restrictions, lifted inference for safe queries;
 * :mod:`repro.core` — Shapley value computation (SVC, SVCn, max-SVC, Shapley
   value of constants);
+* :mod:`repro.engine` — the batched SVC engine: all Shapley values of a
+  database from one shared lineage / safe plan, with pluggable backends;
 * :mod:`repro.reductions` — the paper's reductions (Proposition 3.3,
   Lemmas 4.1 / 4.3 / 4.4, Section 6 variants), implemented as oracle
   algorithms over exact rational arithmetic;
@@ -83,6 +85,7 @@ from .data import (
     random_graph_database,
     var,
 )
+from .engine import SVCEngine, clear_engine_cache, get_engine
 from .probability import TupleIndependentDatabase, probability_of_query, spqe, sppqe
 from .queries import (
     BooleanQuery,
@@ -121,6 +124,7 @@ __all__ = [
     "PartitionedDatabase",
     "QueryGame",
     "RegularPathQuery",
+    "SVCEngine",
     "Schema",
     "TupleIndependentDatabase",
     "UnionOfConjunctiveQueries",
@@ -128,6 +132,7 @@ __all__ = [
     "atom",
     "bipartite_rst_database",
     "classify_svc",
+    "clear_engine_cache",
     "const",
     "cq",
     "cq_with_negation",
@@ -140,6 +145,7 @@ __all__ = [
     "fixed_size_generalized_model_count",
     "fixed_size_model_count",
     "generalized_model_count",
+    "get_engine",
     "is_hierarchical",
     "is_pseudo_connected",
     "is_safe_ucq",

@@ -45,6 +45,7 @@ from .leaks import (
 from .relevance import (
     irrelevant_endogenous_facts,
     is_relevant_fact,
+    null_player_facts,
     relevant_relations,
     split_by_relevance,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "is_pseudo_connected",
     "is_q_leak",
     "is_relevant_fact",
+    "null_player_facts",
     "is_safe",
     "is_safe_sjf_cq",
     "is_safe_ucq",

@@ -4,6 +4,9 @@ The CLI exposes the library's main entry points on files, so that instances can
 be inspected without writing Python:
 
 * ``repro shapley``   — Shapley values of the endogenous facts of a database,
+* ``repro svc-all``   — the batched whole-database workload: every Shapley
+  value from one shared lineage / safe plan (the :class:`repro.engine.SVCEngine`),
+  with an efficiency-axiom check,
 * ``repro count``     — the FGMC vector / GMC total of a query on a database,
 * ``repro classify``  — the Figure 1b dichotomy verdict for a query,
 * ``repro probability`` — SPPQE: the query probability at a uniform fact probability,
@@ -31,10 +34,12 @@ from .analysis.dichotomy import classify_svc
 from .core.approximate import approximate_shapley_values_of_facts
 from .core.svc import shapley_values_of_facts
 from .counting.problems import fgmc_vector
+from .engine import SVCEngine
 from .data.database import PartitionedDatabase
 from .experiments.tables import format_table
 from .io.query_text import parse_database, parse_query
 from .io.tables import load_partitioned_csv
+from .probability.lifted import UnsafeQueryError
 from .probability.spqe import sppqe
 from .reductions.island import fgmc_via_svc_lemma_4_1
 from .reductions.oracles import CallCounter, exact_svc_oracle
@@ -77,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of permutation samples for --method sampled")
     shapley.set_defaults(handler=_command_shapley)
 
+    svc_all = subparsers.add_parser(
+        "svc-all", help="batched Shapley values of every endogenous fact (SVCEngine)")
+    _add_common_arguments(svc_all)
+    svc_all.add_argument("--method", choices=["auto", "brute", "counting", "safe"],
+                         default="auto", help="engine backend (default: auto)")
+    svc_all.add_argument("--counting-method", dest="counting_method",
+                         choices=["auto", "brute", "lineage"], default="auto",
+                         help="FGMC backend used by the counting method")
+    svc_all.set_defaults(handler=_command_svc_all)
+
     count = subparsers.add_parser("count", help="FGMC vector and GMC total of the query")
     _add_common_arguments(count)
     count.add_argument("--method", choices=["auto", "brute", "lineage"], default="auto")
@@ -114,6 +129,22 @@ def _command_shapley(args: argparse.Namespace) -> int:
         rows = [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
                 for f, v in sorted(values.items(), key=lambda kv: (-kv[1], str(kv[0])))]
     print(format_table(rows, title=f"Shapley values for {query}"))
+    return 0
+
+
+def _command_svc_all(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    pdb = _load_database(args.database, args.exogenous)
+    engine = SVCEngine(query, pdb, method=args.method, counting_method=args.counting_method)
+    values = engine.all_values()
+    rows = [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
+            for f, v in sorted(values.items(), key=lambda kv: (-kv[1], str(kv[0])))]
+    print(format_table(rows, title=f"Batched Shapley values for {query} "
+                                   f"(backend: {engine.backend()})"))
+    total = sum(values.values(), Fraction(0))
+    grand = engine.grand_coalition_value()
+    print(f"efficiency check: Σ values = {total}, v(Dn) = {grand}, "
+          f"{'OK' if total == grand else 'MISMATCH'}")
     return 0
 
 
@@ -164,6 +195,9 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return args.handler(args)
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except UnsafeQueryError as error:
+        print(f"error: {error} (try --method counting or auto)", file=sys.stderr)
         return 2
 
 

@@ -14,8 +14,9 @@ from fractions import Fraction
 
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
+from ..engine.svc_engine import get_engine
 from ..queries.base import BooleanQuery
-from .svc import SVCMethod, shapley_values_of_facts
+from .svc import SVCMethod
 
 
 def max_shapley_value(query: BooleanQuery, pdb: PartitionedDatabase,
@@ -24,13 +25,9 @@ def max_shapley_value(query: BooleanQuery, pdb: PartitionedDatabase,
 
     Ties are broken deterministically (smallest fact in the library's total
     order on facts).  Raises ``ValueError`` on a database without endogenous
-    facts.
+    facts.  All values come from one batched engine pass.
     """
-    if not pdb.endogenous:
-        raise ValueError("the database has no endogenous fact")
-    values = shapley_values_of_facts(query, pdb, method)
-    best_fact = min(values, key=lambda f: (-values[f], f))
-    return best_fact, values[best_fact]
+    return get_engine(query, pdb, method).max_value()
 
 
 def singleton_support_facts(query: BooleanQuery, pdb: PartitionedDatabase) -> frozenset[Fact]:
@@ -55,8 +52,6 @@ def max_shapley_value_with_shortcut(query: BooleanQuery, pdb: PartitionedDatabas
     """
     shortcut = singleton_support_facts(query, pdb)
     if shortcut:
-        from .svc import shapley_value_of_fact
-
         fact = min(shortcut)
-        return fact, shapley_value_of_fact(query, pdb, fact, method)
+        return fact, get_engine(query, pdb, method).value_of(fact)
     return max_shapley_value(query, pdb, method)

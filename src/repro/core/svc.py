@@ -15,6 +15,13 @@ story:
   bridge, giving a polynomial-time algorithm for safe (U)CQs.
 
 ``method="auto"`` tries ``safe``, then ``counting``, then ``brute``.
+
+Whole-database workloads are served by the batched
+:class:`repro.engine.SVCEngine`, which derives every per-fact quantity from one
+shared lineage / safe plan; the functions below are thin wrappers over it.  The
+historical per-fact pipelines (:func:`shapley_value_via_fgmc`,
+:func:`shapley_value_safe_pipeline`) are kept both as reference implementations
+and as the baseline the batch benchmarks compare against.
 """
 
 from __future__ import annotations
@@ -25,16 +32,17 @@ from typing import Literal
 from ..counting.problems import CountingMethod, fgmc_vector
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
-from ..linalg import shapley_subset_weight
+from ..engine.svc_engine import SVCEngine, combine_fgmc_vectors, get_engine
 from ..probability.interpolation import fgmc_vector_via_pqe
 from ..probability.lifted import UnsafeQueryError, lifted_probability
 from ..queries.base import BooleanQuery
 from ..queries.cq import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries
-from .games import QueryGame
-from .shapley import shapley_value as game_shapley_value
 
 SVCMethod = Literal["auto", "brute", "counting", "safe"]
+
+#: Claim A.1 combiner (canonical implementation lives with the batched engine).
+shapley_value_from_fgmc_vectors = combine_fgmc_vectors
 
 
 def shapley_value_of_fact(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact,
@@ -43,51 +51,23 @@ def shapley_value_of_fact(query: BooleanQuery, pdb: PartitionedDatabase, fact: F
     """``SVC_q``: the Shapley value of an endogenous fact for the query.
 
     ``counting_method`` selects the FGMC backend used by ``method="counting"``
-    (``"lineage"`` or ``"brute"``).
+    (``"lineage"`` or ``"brute"``).  This is a thin wrapper over a single-use
+    :class:`repro.engine.SVCEngine`; use the engine directly (or
+    :func:`shapley_values_of_facts`) when more than one fact is needed, so the
+    lineage / plan is shared.
     """
-    if fact not in pdb.endogenous:
-        raise ValueError(f"{fact} is not an endogenous fact of the database")
-    if method == "brute":
-        return _shapley_brute(query, pdb, fact)
-    if method == "counting":
-        return shapley_value_via_fgmc(query, pdb, fact, counting_method=counting_method)
-    if method == "safe":
-        return shapley_value_safe_pipeline(query, pdb, fact)
-    # auto
-    if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
-        try:
-            return shapley_value_safe_pipeline(query, pdb, fact)
-        except UnsafeQueryError:
-            pass
-    if query.is_hom_closed:
-        return shapley_value_via_fgmc(query, pdb, fact, counting_method="lineage")
-    return _shapley_brute(query, pdb, fact)
-
-
-def _shapley_brute(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact) -> Fraction:
-    return game_shapley_value(QueryGame(query, pdb), fact, method="subsets")
-
-
-def shapley_value_from_fgmc_vectors(with_fact_exogenous: list[int],
-                                    without_fact: list[int],
-                                    n_endogenous: int) -> Fraction:
-    """Claim A.1: combine two FGMC vectors into a Shapley value.
-
-    ``with_fact_exogenous[j]`` counts generalized supports of size ``j`` in
-    ``(Dn \\ {μ}, Dx ∪ {μ})``; ``without_fact[j]`` in ``(Dn \\ {μ}, Dx)``;
-    ``n_endogenous`` is ``|Dn|`` (including μ)."""
-    total = Fraction(0)
-    for j in range(n_endogenous):
-        weight = shapley_subset_weight(j, n_endogenous)
-        plus = with_fact_exogenous[j] if j < len(with_fact_exogenous) else 0
-        minus = without_fact[j] if j < len(without_fact) else 0
-        total += weight * (plus - minus)
-    return total
+    return SVCEngine(query, pdb, method=method, counting_method=counting_method).value_of(fact)
 
 
 def shapley_value_via_fgmc(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact,
                            counting_method: CountingMethod = "auto") -> Fraction:
-    """SVC via the FGMC oracle (the reduction ``SVC_q ≤ FGMC_q`` of Proposition 3.3)."""
+    """SVC via the FGMC oracle (the reduction ``SVC_q ≤ FGMC_q`` of Proposition 3.3).
+
+    The literal per-fact reduction: two fresh FGMC computations on the two
+    derived databases.  The batched engine obtains the same two vectors by
+    conditioning one shared lineage; this function remains as the reference
+    (and as the per-fact baseline of the batch benchmarks).
+    """
     n = len(pdb.endogenous)
     with_fact = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous | {fact})
     without_fact = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous)
@@ -103,6 +83,9 @@ def shapley_value_safe_pipeline(query: "ConjunctiveQuery | UnionOfConjunctiveQue
     Safe plan → lifted PQE at ``n + 1`` probabilities → Vandermonde → FGMC
     vectors → Claim A.1.  Raises
     :class:`repro.probability.lifted.UnsafeQueryError` when no safe plan exists.
+    Like :func:`shapley_value_via_fgmc` this is the literal per-fact reduction;
+    the engine's ``safe`` backend shares the compiled plan and halves the
+    interpolation work.
     """
     if not isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
         raise UnsafeQueryError("the safe pipeline applies to CQs and UCQs only")
@@ -122,13 +105,13 @@ def shapley_values_of_facts(query: BooleanQuery, pdb: PartitionedDatabase,
                             method: SVCMethod = "auto",
                             counting_method: CountingMethod = "auto"
                             ) -> dict[Fact, Fraction]:
-    """The Shapley value of every endogenous fact."""
-    return {fact: shapley_value_of_fact(query, pdb, fact, method, counting_method)
-            for fact in sorted(pdb.endogenous)}
+    """The Shapley value of every endogenous fact, batched through the engine."""
+    return get_engine(query, pdb, method, counting_method).all_values()
 
 
 def rank_facts_by_shapley_value(query: BooleanQuery, pdb: PartitionedDatabase,
-                                method: SVCMethod = "auto") -> list[tuple[Fact, Fraction]]:
+                                method: SVCMethod = "auto",
+                                counting_method: CountingMethod = "auto"
+                                ) -> list[tuple[Fact, Fraction]]:
     """Endogenous facts sorted by decreasing Shapley value (ties broken deterministically)."""
-    values = shapley_values_of_facts(query, pdb, method)
-    return sorted(values.items(), key=lambda item: (-item[1], item[0]))
+    return get_engine(query, pdb, method, counting_method).ranking()

@@ -1,4 +1,9 @@
-"""Model counting: lineages, size-stratified DNF counting, MC/GMC/FMC/FGMC."""
+"""Model counting: lineages, size-stratified DNF counting, MC/GMC/FMC/FGMC.
+
+Conditioning (``MonotoneDNF.restrict`` / ``conditioned_count_by_size`` and
+``Lineage.conditioned_vectors``) powers the batched SVC engine: all per-fact
+FGMC vector pairs are derived from one shared lineage.
+"""
 
 from .dnf_counter import MonotoneDNF, add_vectors, binomial_row, clear_caches, convolve, pad
 from .lineage import Lineage, build_lineage

@@ -105,6 +105,50 @@ class MonotoneDNF:
         true_set = frozenset(true_variables)
         return any(clause <= true_set for clause in self.clauses)
 
+    # -- conditioning -----------------------------------------------------------
+    def _conditioned_clauses(self, variable: int
+                             ) -> tuple[frozenset[frozenset[int]], frozenset[frozenset[int]]]:
+        """The clause sets after fixing ``variable`` to true / false (original indices).
+
+        Fixing to true removes the variable from every clause (a clause reduced
+        to the empty set makes the restriction trivially true); fixing to false
+        discards the clauses containing it.
+        """
+        if not (0 <= variable < self.n_variables):
+            raise ValueError(f"variable {variable} out of range 0..{self.n_variables - 1}")
+        true_clauses = frozenset(_minimize_clauses(
+            {clause - {variable} for clause in self.clauses}))
+        false_clauses = frozenset(clause for clause in self.clauses
+                                  if variable not in clause)
+        return true_clauses, false_clauses
+
+    def restrict(self, variable: int, value: bool) -> "MonotoneDNF":
+        """The DNF obtained by fixing ``variable`` to ``value``.
+
+        The result ranges over the remaining ``n_variables - 1`` variables,
+        reindexed so that indices above ``variable`` shift down by one.
+        """
+        true_clauses, false_clauses = self._conditioned_clauses(variable)
+        kept = true_clauses if value else false_clauses
+        reindexed = [frozenset(v if v < variable else v - 1 for v in clause)
+                     for clause in kept]
+        return MonotoneDNF(self.n_variables - 1, reindexed)
+
+    def conditioned_count_by_size(self, variable: int) -> tuple[list[int], list[int]]:
+        """The count vectors of both restrictions of ``variable``, sharing the cache.
+
+        Returns ``(true_vector, false_vector)`` where ``true_vector[k]`` counts
+        the size-``k`` subsets of the *other* variables satisfying the DNF with
+        ``variable`` fixed to true, and ``false_vector[k]`` with it fixed to
+        false.  Unlike :meth:`restrict` (which reindexes), the computation keeps
+        the original variable indices, so the memoised component decomposition
+        is shared across the ``n`` conditionings of a batched Shapley run.
+        """
+        true_clauses, false_clauses = self._conditioned_clauses(variable)
+        remaining = frozenset(range(self.n_variables)) - {variable}
+        return (list(_with_free_vars(true_clauses, remaining)),
+                list(_with_free_vars(false_clauses, remaining)))
+
     # -- counting ---------------------------------------------------------------
     def count_by_size(self) -> list[int]:
         """The vector ``[m_0, ..., m_n]`` where ``m_k`` counts satisfying subsets of size ``k``."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import cached_property
 from typing import Mapping
 
 from ..data.atoms import Fact
@@ -36,9 +37,18 @@ class Lineage:
         """Number of endogenous facts."""
         return len(self.variables)
 
+    @cached_property
+    def _index(self) -> dict[Fact, int]:
+        # cached_property writes straight into __dict__, which a frozen
+        # dataclass permits; every lookup below is O(1) instead of tuple.index.
+        return {f: i for i, f in enumerate(self.variables)}
+
     def index_of(self, fact: Fact) -> int:
         """The variable index of an endogenous fact."""
-        return self.variables.index(fact)
+        try:
+            return self._index[fact]
+        except KeyError:
+            raise ValueError(f"{fact} is not a variable of this lineage") from None
 
     def count_by_size(self) -> list[int]:
         """FGMC vector: the number of generalized supports of each size ``0..n``."""
@@ -50,8 +60,9 @@ class Lineage:
 
     def probability(self, probabilities: Mapping[Fact, Fraction]) -> Fraction:
         """Probability of the query when each endogenous fact is kept independently."""
-        by_index = {self.variables.index(f): Fraction(p) for f, p in probabilities.items()
-                    if f in self.variables}
+        index = self._index
+        by_index = {index[f]: Fraction(p) for f, p in probabilities.items()
+                    if f in index}
         return self.dnf.probability(by_index)
 
     def uniform_probability(self, p: Fraction) -> Fraction:
@@ -60,8 +71,31 @@ class Lineage:
 
     def evaluate(self, chosen: "frozenset[Fact] | set[Fact]") -> bool:
         """Whether the subset of endogenous facts satisfies the query (with ``Dx``)."""
-        indexes = {self.variables.index(f) for f in chosen if f in self.variables}
+        index = self._index
+        indexes = {index[f] for f in chosen if f in index}
         return self.dnf.evaluate(indexes)
+
+    # -- conditioning -----------------------------------------------------------
+    def conditioned_vectors(self, fact: Fact) -> tuple[list[int], list[int]]:
+        """The per-fact FGMC vector pair of Claim A.1, from this one lineage.
+
+        Returns the count vectors of ``(Dn \\ {μ}, Dx ∪ {μ})`` (condition
+        ``x_μ := true``) and ``(Dn \\ {μ}, Dx)`` (condition ``x_μ := false``),
+        both derived by conditioning the shared DNF instead of rebuilding the
+        lineage of the two derived databases.
+        """
+        return self.dnf.conditioned_count_by_size(self.index_of(fact))
+
+    def restricted(self, fact: Fact, value: bool) -> "Lineage":
+        """The lineage with the fact fixed present (``True``) or absent (``False``).
+
+        Equals the lineage of ``(Dn \\ {μ}, Dx ∪ {μ})`` respectively
+        ``(Dn \\ {μ}, Dx)``: minimal supports are a property of the full fact
+        set ``Dn ∪ Dx``, so conditioning the DNF is equivalent to rebuilding.
+        """
+        index = self.index_of(fact)
+        variables = self.variables[:index] + self.variables[index + 1:]
+        return Lineage(variables, self.dnf.restrict(index, value))
 
 
 def build_lineage(query: BooleanQuery, pdb: PartitionedDatabase) -> Lineage:

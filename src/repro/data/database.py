@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
-from .atoms import Fact, atoms_constants
+from .atoms import Atom, Fact, atoms_constants
 from .terms import Constant
 
 
@@ -28,10 +28,13 @@ class Database:
         fs = frozenset(facts)
         for f in fs:
             if not isinstance(f, Fact):
-                if isinstance(f, tuple):
-                    raise TypeError("databases contain Fact objects, not tuples")
-                if not f.is_ground():
+                # Reject every non-Fact uniformly: a duck-typed object whose
+                # is_ground() happens to return True must not slip into the
+                # fact set, where it would break substitution and hashing.
+                if isinstance(f, Atom) and not f.is_ground():
                     raise ValueError(f"databases contain only ground atoms, got {f}")
+                raise TypeError(
+                    f"databases contain Fact objects, got {type(f).__name__}: {f!r}")
         object.__setattr__(self, "_facts", fs)
         by_rel: dict[str, set[Fact]] = {}
         for f in fs:

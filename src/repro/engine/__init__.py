@@ -1,0 +1,22 @@
+"""Batched Shapley value computation (the SVC engine subsystem).
+
+One shared lineage / safe plan / coalition table per ``(query, database)``
+pair, all per-fact Shapley values derived from it by conditioning.  See
+:mod:`repro.engine.svc_engine` for the design notes.
+"""
+
+from .svc_engine import (
+    EngineBackend,
+    SVCEngine,
+    clear_engine_cache,
+    combine_fgmc_vectors,
+    get_engine,
+)
+
+__all__ = [
+    "EngineBackend",
+    "SVCEngine",
+    "clear_engine_cache",
+    "combine_fgmc_vectors",
+    "get_engine",
+]

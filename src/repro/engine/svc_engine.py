@@ -1,0 +1,284 @@
+"""The batched SVC engine: all Shapley values from one shared lineage.
+
+The paper's headline reduction (Proposition 3.3 / Claim A.1) expresses the
+Shapley value of a fact ``μ`` as an affine combination of two FGMC vectors —
+on ``(Dn \\ {μ}, Dx ∪ {μ})`` and on ``(Dn \\ {μ}, Dx)``.  Computed fact by
+fact this rebuilds the lineage DNF (an expensive homomorphism enumeration)
+``2n`` times for ``n`` endogenous facts.  The engine instead derives every
+per-fact vector pair from **one** shared artefact per ``(query, database)``:
+
+* ``counting`` — build the lineage once and obtain each pair by *conditioning*
+  the DNF (``x_μ := true`` / ``x_μ := false``); the memoised component
+  decomposition of the counter is shared across all ``n`` conditionings,
+* ``safe``     — compile one safe plan, interpolate the full-database FGMC
+  vector once, and per fact interpolate only the "fact removed" vector; the
+  "fact exogenous" vector follows from the partition identity
+  ``full[k] = with[k-1] + without[k]``, halving the lifted-PQE work and
+  sharing the plan across all evaluations,
+* ``brute``    — tabulate the ``2^n`` coalition values once and read every
+  Shapley value off the table (one query evaluation per coalition instead of
+  one per coalition *per fact*).
+
+``method="auto"`` resolves safe → counting → brute exactly like the per-fact
+:func:`repro.core.svc.shapley_value_of_fact`.  A module-level LRU keyed by
+``(query, pdb, method, counting_method)`` lets independent call sites (ranking,
+max-SVC, relevance analysis, CLI) reuse the same engine and its artefacts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from fractions import Fraction
+from typing import Literal
+
+from ..counting.lineage import Lineage, build_lineage
+from ..counting.problems import CountingMethod, fgmc_vector
+from ..data.atoms import Fact
+from ..data.database import PartitionedDatabase
+from ..linalg import shapley_subset_weight
+from ..probability.interpolation import fgmc_vector_via_pqe
+from ..probability.lifted import Plan, UnsafeQueryError, evaluate_plan, safe_plan
+from ..queries.base import BooleanQuery
+from ..queries.cq import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+
+#: Backend names; ``auto`` resolves to the first applicable of safe/counting/brute.
+EngineBackend = Literal["auto", "brute", "counting", "safe"]
+
+
+def combine_fgmc_vectors(with_fact_exogenous: "list[int]", without_fact: "list[int]",
+                         n_endogenous: int) -> Fraction:
+    """Claim A.1: combine the two per-fact FGMC vectors into a Shapley value.
+
+    ``with_fact_exogenous[j]`` counts generalized supports of size ``j`` in
+    ``(Dn \\ {μ}, Dx ∪ {μ})``; ``without_fact[j]`` in ``(Dn \\ {μ}, Dx)``;
+    ``n_endogenous`` is ``|Dn|`` (including μ).
+    """
+    total = Fraction(0)
+    for j in range(n_endogenous):
+        plus = with_fact_exogenous[j] if j < len(with_fact_exogenous) else 0
+        minus = without_fact[j] if j < len(without_fact) else 0
+        if plus != minus:
+            total += shapley_subset_weight(j, n_endogenous) * (plus - minus)
+    return total
+
+
+class SVCEngine:
+    """Batched Shapley value computation for one ``(query, database)`` pair.
+
+    The engine resolves its backend lazily (so constructing one is free) and
+    caches every shared artefact — lineage, safe plan, full FGMC vector,
+    coalition-value table — as well as each per-fact value.  ``value_of``
+    computes a single fact's value from the shared artefacts; ``all_values``
+    is therefore ``O(lineage + n · conditioning)`` instead of the per-fact
+    loop's ``O(n · lineage)``.
+    """
+
+    def __init__(self, query: BooleanQuery, pdb: PartitionedDatabase,
+                 method: EngineBackend = "auto",
+                 counting_method: CountingMethod = "auto"):
+        self.query = query
+        self.pdb = pdb
+        self.method = method
+        self.counting_method = counting_method
+        self._backend: "str | None" = None
+        self._plan: "Plan | None" = None
+        self._lineage: "Lineage | None" = None
+        self._full_vector: "list[int] | None" = None
+        self._value_table: "dict[frozenset[Fact], int] | None" = None
+        self._values: dict[Fact, Fraction] = {}
+        self._counting_resolved: "str | None" = None
+
+    # -- backend resolution -----------------------------------------------------
+    def backend(self) -> str:
+        """The resolved backend name (``safe``, ``counting`` or ``brute``)."""
+        if self._backend is None:
+            self._backend = self._resolve_backend()
+        return self._backend
+
+    def _resolve_backend(self) -> str:
+        if self.method in ("brute", "counting"):
+            return self.method
+        if self.method == "safe":
+            self._ensure_plan()
+            return "safe"
+        # auto: safe plan if one compiles, then lineage counting, then brute —
+        # the same ladder as the per-fact shapley_value_of_fact.
+        if isinstance(self.query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+            try:
+                self._ensure_plan()
+                return "safe"
+            except UnsafeQueryError:
+                pass
+        if self.query.is_hom_closed:
+            return "counting"
+        return "brute"
+
+    # -- shared artefacts -------------------------------------------------------
+    def _ensure_plan(self) -> Plan:
+        if self._plan is None:
+            if not isinstance(self.query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+                raise UnsafeQueryError("the safe pipeline applies to CQs and UCQs only")
+            self._plan = safe_plan(self.query)
+        return self._plan
+
+    def lineage(self) -> Lineage:
+        """The shared lineage of the query over the database (built once)."""
+        if self._lineage is None:
+            self._lineage = build_lineage(self.query, self.pdb)
+        return self._lineage
+
+    def _fgmc_via_plan(self, pdb: PartitionedDatabase) -> list[int]:
+        plan = self._ensure_plan()
+        return fgmc_vector_via_pqe(self.query, pdb,
+                                   pqe_solver=lambda _q, tid: evaluate_plan(plan, tid))
+
+    def _full_fgmc(self) -> list[int]:
+        if self._full_vector is None:
+            self._full_vector = self._fgmc_via_plan(self.pdb)
+        return self._full_vector
+
+    def _coalition_table(self) -> dict[frozenset[Fact], int]:
+        if self._value_table is None:
+            from ..core.games import QueryGame
+
+            game = QueryGame(self.query, self.pdb)
+            players = sorted(self.pdb.endogenous)
+            table: dict[frozenset[Fact], int] = {}
+            for size in range(len(players) + 1):
+                for coalition in itertools.combinations(players, size):
+                    chosen = frozenset(coalition)
+                    table[chosen] = game.value(chosen)
+            self._value_table = table
+        return self._value_table
+
+    # -- per-backend value computations ------------------------------------------
+    def _resolved_counting_method(self) -> str:
+        if self._counting_resolved is None:
+            if self.counting_method == "auto":
+                self._counting_resolved = "lineage" if self.query.is_hom_closed else "brute"
+            elif self.counting_method == "lineage" and not self.query.is_hom_closed:
+                raise ValueError("lineage counting requires a hom-closed query")
+            else:
+                self._counting_resolved = self.counting_method
+        return self._counting_resolved
+
+    def _value_counting(self, fact: Fact) -> Fraction:
+        n = len(self.pdb.endogenous)
+        if self._resolved_counting_method() == "lineage":
+            with_vec, without_vec = self.lineage().conditioned_vectors(fact)
+        else:
+            with_pdb = PartitionedDatabase(self.pdb.endogenous - {fact},
+                                           self.pdb.exogenous | {fact})
+            without_pdb = PartitionedDatabase(self.pdb.endogenous - {fact},
+                                              self.pdb.exogenous)
+            with_vec = fgmc_vector(self.query, with_pdb, method="brute")
+            without_vec = fgmc_vector(self.query, without_pdb, method="brute")
+        return combine_fgmc_vectors(with_vec, without_vec, n)
+
+    def _value_safe(self, fact: Fact) -> Fraction:
+        n = len(self.pdb.endogenous)
+        full = self._full_fgmc()
+        without_pdb = PartitionedDatabase(self.pdb.endogenous - {fact}, self.pdb.exogenous)
+        without_vec = self._fgmc_via_plan(without_pdb)
+        # Partition identity: a size-(j+1) generalized support of (Dn, Dx)
+        # either contains μ (a size-j support of (Dn \ {μ}, Dx ∪ {μ})) or not
+        # (a size-(j+1) support of (Dn \ {μ}, Dx)).
+        with_vec = [full[j + 1] - (without_vec[j + 1] if j + 1 < len(without_vec) else 0)
+                    for j in range(n)]
+        return combine_fgmc_vectors(with_vec, without_vec, n)
+
+    def _value_brute(self, fact: Fact) -> Fraction:
+        table = self._coalition_table()
+        others = sorted(self.pdb.endogenous - {fact})
+        n = len(self.pdb.endogenous)
+        total = Fraction(0)
+        for size in range(len(others) + 1):
+            weight = shapley_subset_weight(size, n)
+            for coalition in itertools.combinations(others, size):
+                before = frozenset(coalition)
+                total += weight * (table[before | {fact}] - table[before])
+        return total
+
+    # -- public API ---------------------------------------------------------------
+    def value_of(self, fact: Fact) -> Fraction:
+        """The Shapley value of one endogenous fact, from the shared artefacts."""
+        if fact not in self.pdb.endogenous:
+            raise ValueError(f"{fact} is not an endogenous fact of the database")
+        if fact not in self._values:
+            backend = self.backend()
+            if backend == "safe":
+                value = self._value_safe(fact)
+            elif backend == "counting":
+                value = self._value_counting(fact)
+            else:
+                value = self._value_brute(fact)
+            self._values[fact] = value
+            if (self._value_table is not None
+                    and len(self._values) == len(self.pdb.endogenous)):
+                # Every value is memoised; the 2^n coalition table would
+                # otherwise stay pinned by the engine LRU for the process
+                # lifetime.
+                self._value_table = None
+        return self._values[fact]
+
+    def all_values(self) -> dict[Fact, Fraction]:
+        """The Shapley value of every endogenous fact (the batched workload)."""
+        return {fact: self.value_of(fact) for fact in sorted(self.pdb.endogenous)}
+
+    def ranking(self) -> list[tuple[Fact, Fraction]]:
+        """Facts sorted by decreasing Shapley value (ties broken by fact order)."""
+        return sorted(self.all_values().items(), key=lambda item: (-item[1], item[0]))
+
+    def max_value(self) -> tuple[Fact, Fraction]:
+        """A fact of maximum Shapley value and that value (``max-SVC``)."""
+        if not self.pdb.endogenous:
+            raise ValueError("the database has no endogenous fact")
+        return self.ranking()[0]
+
+    def grand_coalition_value(self) -> int:
+        """``v(Dn)``: 1 iff the full database satisfies the query but ``Dx`` alone does not.
+
+        By the efficiency axiom the Shapley values returned by
+        :meth:`all_values` sum to exactly this quantity.
+        """
+        full = 1 if self.query.evaluate(self.pdb.all_facts) else 0
+        exogenous = 1 if self.query.evaluate(self.pdb.exogenous) else 0
+        return full - exogenous
+
+
+# ---------------------------------------------------------------------------
+# Per-(query, pdb) engine cache
+# ---------------------------------------------------------------------------
+
+_ENGINE_CACHE: "OrderedDict[tuple, SVCEngine]" = OrderedDict()
+_ENGINE_CACHE_SIZE = 128
+
+
+def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
+               method: EngineBackend = "auto",
+               counting_method: CountingMethod = "auto") -> SVCEngine:
+    """A (possibly cached) engine for the given query, database and backend.
+
+    Engines are cached in an LRU keyed by ``(query, pdb, method,
+    counting_method)`` so that repeated whole-database workloads — ranking,
+    max-SVC, relevance analysis, CLI invocations — share one lineage / plan.
+    Unhashable queries fall back to a fresh, uncached engine.
+    """
+    key = (query, pdb, method, counting_method)
+    try:
+        engine = _ENGINE_CACHE.pop(key)
+    except KeyError:
+        engine = SVCEngine(query, pdb, method, counting_method)
+    except TypeError:
+        return SVCEngine(query, pdb, method, counting_method)
+    _ENGINE_CACHE[key] = engine
+    while len(_ENGINE_CACHE) > _ENGINE_CACHE_SIZE:
+        _ENGINE_CACHE.popitem(last=False)
+    return engine
+
+
+def clear_engine_cache() -> None:
+    """Drop all cached engines (useful between benchmark runs)."""
+    _ENGINE_CACHE.clear()

@@ -15,6 +15,7 @@ Floating point would destroy these computations; everything here is exact.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from math import comb, factorial
 from typing import Sequence
 
@@ -72,8 +73,13 @@ def vandermonde_solve(points: Sequence[Fraction], values: Sequence[Fraction]) ->
     return solve_linear_system(matrix, [Fraction(v) for v in values])
 
 
+@lru_cache(maxsize=65536)
 def shapley_subset_weight(subset_size: int, n_players: int) -> Fraction:
-    """The weight ``|B|! (n - |B| - 1)! / n!`` of a coalition ``B`` in Equation (2)."""
+    """The weight ``|B|! (n - |B| - 1)! / n!`` of a coalition ``B`` in Equation (2).
+
+    Memoised: a batched Shapley run evaluates the same ``(|B|, n)`` pairs for
+    every fact of the database.
+    """
     if not (0 <= subset_size <= n_players - 1):
         raise ValueError("subset size must lie between 0 and n_players - 1")
     return Fraction(factorial(subset_size) * factorial(n_players - subset_size - 1),
