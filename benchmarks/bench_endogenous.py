@@ -22,14 +22,16 @@ def test_print_endogenous_table(capsys):
 
 @pytest.mark.benchmark(group="endogenous")
 def test_bench_lemma_6_1_fgmc_via_fmc(benchmark):
-    oracle = lambda q, d: fmc_vector(q, d, method="lineage")
+    def oracle(q, d):
+        return fmc_vector(q, d, method="lineage")
     result = benchmark(fgmc_via_fmc, q_rst(), PDB, oracle)
     assert len(result) == len(PDB.endogenous) + 1
 
 
 @pytest.mark.benchmark(group="endogenous")
 def test_bench_corollary_6_1_svcn_via_fmc(benchmark):
-    oracle = lambda q, d: fmc_vector(q, d, method="lineage")
+    def oracle(q, d):
+        return fmc_vector(q, d, method="lineage")
     target = sorted(ENDO.endogenous)[0]
     value = benchmark(svcn_via_fmc, q_rst(), ENDO, target, oracle)
     assert 0 <= value <= 1

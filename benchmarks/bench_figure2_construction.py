@@ -4,6 +4,7 @@ import pytest
 
 from repro.counting import fgmc_vector
 from repro.data import bipartite_rst_database, partition_by_relation
+from repro.engine import clear_engine_cache
 from repro.experiments import format_table, q_rst, run_figure2
 from repro.reductions import IslandReductionReport, exact_svc_oracle, fgmc_via_svc_lemma_4_1
 
@@ -31,6 +32,7 @@ def test_bench_island_reduction(benchmark, size):
     oracle = exact_svc_oracle("counting")
 
     def run():
+        clear_engine_cache()
         report = IslandReductionReport()
         return fgmc_via_svc_lemma_4_1(QUERY, pdb, oracle, report=report)
 

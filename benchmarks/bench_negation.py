@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.core import shapley_value_of_fact
 from repro.data import Database, fact, partition_randomly, purely_endogenous
 from repro.experiments import (
+    cold_shapley_value,
     format_table,
     q_example_d1,
     q_example_d2,
@@ -45,7 +45,7 @@ def test_bench_prop_6_1_reduction(benchmark):
 @pytest.mark.benchmark(group="negation")
 def test_bench_svc_of_sjf_cq_negation(benchmark):
     target = sorted(PDB.endogenous)[0]
-    value = benchmark(shapley_value_of_fact, NEGATION_QUERY, PDB, target, "brute")
+    value = benchmark(cold_shapley_value, NEGATION_QUERY, PDB, target, "brute")
     assert 0 <= value <= 1
 
 
@@ -53,7 +53,7 @@ def test_bench_svc_of_sjf_cq_negation(benchmark):
 def test_bench_example_d2_shapley(benchmark):
     query = q_example_d2()
     target = fact("S", "a", "b")
-    value = benchmark(shapley_value_of_fact, query, D2_DB, target, "brute")
+    value = benchmark(cold_shapley_value, query, D2_DB, target, "brute")
     assert 0 <= value <= 1
 
 

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.core import shapley_value_of_fact
 from repro.data import Database, fact, purely_endogenous
-from repro.experiments import format_table, rpq_length_three, rpq_length_two, run_rpq_dichotomy
+from repro.experiments import cold_shapley_value, format_table, rpq_length_three, rpq_length_two, run_rpq_dichotomy
 
 
 def _parallel_paths(word, n_paths):
@@ -32,7 +31,7 @@ def test_bench_easy_rpq_counting(benchmark, n_paths):
     query = rpq_length_two()
     pdb = _parallel_paths(("A", "B"), n_paths)
     target = sorted(pdb.endogenous)[0]
-    value = benchmark(shapley_value_of_fact, query, pdb, target, "counting")
+    value = benchmark(cold_shapley_value, query, pdb, target, "counting")
     assert 0 <= value <= 1
 
 
@@ -42,7 +41,7 @@ def test_bench_hard_rpq_counting(benchmark, n_paths):
     query = rpq_length_three()
     pdb = _parallel_paths(("A", "B", "C"), n_paths)
     target = sorted(pdb.endogenous)[0]
-    value = benchmark(shapley_value_of_fact, query, pdb, target, "counting")
+    value = benchmark(cold_shapley_value, query, pdb, target, "counting")
     assert 0 <= value <= 1
 
 
@@ -51,5 +50,5 @@ def test_bench_hard_rpq_brute_force_baseline(benchmark):
     query = rpq_length_three()
     pdb = _parallel_paths(("A", "B", "C"), 2)
     target = sorted(pdb.endogenous)[0]
-    value = benchmark(shapley_value_of_fact, query, pdb, target, "brute")
+    value = benchmark(cold_shapley_value, query, pdb, target, "brute")
     assert 0 <= value <= 1

@@ -8,9 +8,8 @@ as the exponential baseline.
 
 import pytest
 
-from repro.core import shapley_value_of_fact
 from repro.data import PartitionedDatabase, complete_bipartite_s_facts, fact
-from repro.experiments import format_table, q_hierarchical, q_rst, run_sjfcq_scaling
+from repro.experiments import cold_shapley_value, format_table, q_hierarchical, q_rst, run_sjfcq_scaling
 
 
 def _complete_instance(size: int) -> PartitionedDatabase:
@@ -34,7 +33,7 @@ def test_print_sjfcq_scaling_table(capsys):
 def test_bench_hierarchical_safe_pipeline(benchmark, size):
     pdb = _complete_instance(size)
     target = sorted(pdb.endogenous)[0]
-    value = benchmark(shapley_value_of_fact, q_hierarchical(), pdb, target, "safe")
+    value = benchmark(cold_shapley_value, q_hierarchical(), pdb, target, "safe")
     assert 0 <= value <= 1
 
 
@@ -43,7 +42,7 @@ def test_bench_hierarchical_safe_pipeline(benchmark, size):
 def test_bench_qrst_lineage_counting(benchmark, size):
     pdb = _complete_instance(size)
     target = sorted(pdb.endogenous)[0]
-    value = benchmark(shapley_value_of_fact, q_rst(), pdb, target, "counting")
+    value = benchmark(cold_shapley_value, q_rst(), pdb, target, "counting")
     assert 0 <= value <= 1
 
 
@@ -52,5 +51,5 @@ def test_bench_qrst_lineage_counting(benchmark, size):
 def test_bench_qrst_brute_force(benchmark, size):
     pdb = _complete_instance(size)
     target = sorted(pdb.endogenous)[0]
-    value = benchmark(shapley_value_of_fact, q_rst(), pdb, target, "brute")
+    value = benchmark(cold_shapley_value, q_rst(), pdb, target, "brute")
     assert 0 <= value <= 1

@@ -23,12 +23,13 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import (  # noqa: E402
+    AttributionSession,
     Database,
+    EngineConfig,
     classify_svc,
     fact,
     purely_endogenous,
     rpq,
-    shapley_values_of_facts,
 )
 from repro.counting import fgmc_vector  # noqa: E402
 from repro.experiments import format_table  # noqa: E402
@@ -59,9 +60,9 @@ def main() -> None:
     print()
 
     # --- Edge importance ----------------------------------------------------------
-    values = shapley_values_of_facts(query, pdb, method="counting")
+    session = AttributionSession(query, pdb, EngineConfig(method="counting"))
     rows = [{"edge": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
-            for f, v in sorted(values.items(), key=lambda kv: (-kv[1], str(kv[0])))]
+            for f, v in session.ranking()]
     print(format_table(rows, title="Edge importance for depot → harbour reachability"))
     print()
 

@@ -24,13 +24,14 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import (  # noqa: E402
+    AttributionSession,
+    EngineConfig,
+    SVCEngine,
     atom,
     bipartite_rst_database,
     classify_svc,
     cq,
     partition_by_relation,
-    shapley_value_of_fact,
-    shapley_values_of_facts,
     var,
 )
 from repro.experiments import format_table  # noqa: E402
@@ -53,20 +54,19 @@ def main() -> None:
           f"{len(pdb.exogenous)} exogenous R/T facts\n")
 
     # --- 1. Which facts matter for q_RST? --------------------------------------
-    values = shapley_values_of_facts(q_rst, pdb, method="counting")
+    session = AttributionSession(q_rst, pdb, EngineConfig(method="counting"))
     rows = [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
-            for f, v in sorted(values.items(), key=lambda kv: -kv[1])]
+            for f, v in session.ranking()]
     print(format_table(rows, title="Shapley values of the S facts for q_RST"))
     print()
 
     # --- 2. The three solvers agree --------------------------------------------
-    target = max(values, key=values.get)
-    brute = shapley_value_of_fact(q_rst, pdb, target, method="brute")
-    counting = shapley_value_of_fact(q_rst, pdb, target, method="counting")
+    target, counting = session.max()
+    brute = SVCEngine(q_rst, pdb, method="brute").value_of(target)
     print(f"Most important fact: {target}")
     print(f"  brute-force value    = {brute}")
     print(f"  counting-based value = {counting}  (Claim A.1: SVC ≤ FGMC)")
-    safe_value = shapley_value_of_fact(q_hier, pdb, target, method="safe")
+    safe_value = AttributionSession(q_hier, pdb, EngineConfig(method="safe")).of(target).value
     print(f"  for the hierarchical query {q_hier}: safe-pipeline value = {safe_value}\n")
 
     # --- 3. What does the dichotomy say? ----------------------------------------

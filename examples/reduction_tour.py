@@ -23,12 +23,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import (  # noqa: E402
+    SVCEngine,
     atom,
     bipartite_rst_database,
     cq,
     fgmc_vector,
     partition_randomly,
-    shapley_value_of_fact,
     var,
 )
 from repro.experiments import format_table  # noqa: E402
@@ -79,7 +79,7 @@ def main() -> None:
 
     # --- And back down: SVC ≤ FGMC (Claim A.1) ---------------------------------------
     target = sorted(pdb.endogenous)[0]
-    by_definition = shapley_value_of_fact(query, pdb, target, method="brute")
+    by_definition = SVCEngine(query, pdb, method="brute").value_of(target)
     fgmc_counter = CallCounter(exact_fgmc_oracle("lineage"))
     by_counting = svc_via_fgmc(query, pdb, target, fgmc_counter)
     print(f"Shapley value of {target}:")

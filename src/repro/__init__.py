@@ -22,13 +22,16 @@ The package is organised as follows:
   value of constants);
 * :mod:`repro.engine` — the batched SVC engine: all Shapley values of a
   database from one shared lineage / safe plan, with pluggable backends;
+* :mod:`repro.api` — the stable programmatic surface: a dichotomy-aware
+  :class:`AttributionSession` façade with typed results, structured
+  explanations and a validated :class:`EngineConfig`;
 * :mod:`repro.reductions` — the paper's reductions (Proposition 3.3,
   Lemmas 4.1 / 4.3 / 4.4, Section 6 variants), implemented as oracle
   algorithms over exact rational arithmetic;
 * :mod:`repro.experiments` — drivers regenerating the paper's figures as
   verified tables.
 
-Quick start::
+Quick start — one entry point, the dichotomy picks the algorithm::
 
     from repro import *
 
@@ -36,8 +39,22 @@ Quick start::
     q = cq(atom("R", x), atom("S", x, y), atom("T", y))      # q_RST
     db = bipartite_rst_database(3, 3, 0.5, seed=0)
     pdb = partition_by_relation(db, exogenous_relations=("R", "T"))
-    values = shapley_values_of_facts(q, pdb)                  # exact Fractions
-    print(classify_svc(q))                                    # "#P-hard: non-hierarchical ..."
+
+    session = AttributionSession(q, pdb)   # consults the Figure 1b classifier
+    session.ranking()                      # facts by responsibility, exact Fractions
+    session.max()                          # max-SVC: the most responsible fact
+    print(session.explanation())           # which backend ran, and why
+    report = session.report()              # frozen, JSON-serialisable record
+    report.to_json()
+
+Tune the dispatch with :class:`EngineConfig` (explicit backend override,
+Monte-Carlo ``epsilon`` / ``delta``, policy for #P-hard queries)::
+
+    session = AttributionSession(q, pdb, EngineConfig(epsilon=0.01, on_hard="sample"))
+
+The legacy free functions (``shapley_values_of_facts``, ...) still work but
+emit ``DeprecationWarning`` and delegate to the session (see the migration
+table in ``CHANGES.md``).
 """
 
 from .analysis import (
@@ -47,6 +64,14 @@ from .analysis import (
     is_hierarchical,
     is_pseudo_connected,
     is_safe_ucq,
+)
+from .api import (
+    AttributionReport,
+    AttributionResult,
+    AttributionSession,
+    EngineConfig,
+    Explanation,
+    attribute,
 )
 from .core import (
     QueryGame,
@@ -85,7 +110,8 @@ from .data import (
     random_graph_database,
     var,
 )
-from .engine import SVCEngine, clear_engine_cache, get_engine
+from .engine import SVCEngine, clear_engine_cache, engine_cache_stats, get_engine
+from .errors import ConfigError, IntractableQueryError, ReproError, UnsafeQueryError
 from .probability import TupleIndependentDatabase, probability_of_query, spqe, sppqe
 from .queries import (
     BooleanQuery,
@@ -112,8 +138,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "AttributionReport",
+    "AttributionResult",
+    "AttributionSession",
     "BooleanQuery",
     "Complexity",
+    "ConfigError",
+    "EngineConfig",
+    "Explanation",
+    "IntractableQueryError",
+    "ReproError",
+    "UnsafeQueryError",
     "ConjunctiveQuery",
     "ConjunctiveQueryWithNegation",
     "ConjunctiveRegularPathQuery",
@@ -130,10 +165,12 @@ __all__ = [
     "UnionOfConjunctiveQueries",
     "Variable",
     "atom",
+    "attribute",
     "bipartite_rst_database",
     "classify_svc",
     "clear_engine_cache",
     "const",
+    "engine_cache_stats",
     "cq",
     "cq_with_negation",
     "crpq",

@@ -20,10 +20,7 @@ from dataclasses import dataclass
 from ..data.atoms import Fact
 from ..data.terms import Constant
 from ..queries.base import BooleanQuery
-from ..queries.cq import ConjunctiveQuery
-from ..queries.crpq import ConjunctiveRegularPathQuery
 from ..queries.rpq import RegularPathQuery
-from ..queries.ucq import UnionOfConjunctiveQueries
 from .connectivity import is_connected_fact_set, is_connected_query
 
 

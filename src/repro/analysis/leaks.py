@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from ..data.atoms import Atom, Fact, single_atom_c_homomorphisms
+from ..data.atoms import Fact, single_atom_c_homomorphisms
 from ..data.terms import Constant
 from ..queries.base import BooleanQuery
 

@@ -9,7 +9,6 @@ according to which subquery each fact is relevant to), and by Corollary 4.4.
 from __future__ import annotations
 
 from ..data.atoms import Fact, single_atom_c_homomorphisms
-from ..data.renaming import rename_apart
 from ..queries.base import BooleanQuery
 from ..queries.cq import ConjunctiveQuery
 from ..queries.crpq import ConjunctiveRegularPathQuery
@@ -121,11 +120,18 @@ def null_player_facts(pdb, query: BooleanQuery, method: str = "auto") -> frozens
     participates in is already implied by the exogenous part.  All values come
     from the shared-lineage :class:`repro.engine.SVCEngine`, so the check costs
     one lineage build rather than ``2 |Dn|``.
-    """
-    from ..engine import get_engine
 
-    values = get_engine(query, pdb, method).all_values()
-    return frozenset(f for f, value in values.items() if value == 0)
+    .. deprecated:: use ``repro.api.AttributionSession(query, pdb).null_players()``.
+    """
+    import warnings
+
+    from ..api import AttributionSession, EngineConfig
+
+    warnings.warn("null_player_facts is deprecated; use "
+                  "repro.api.AttributionSession(...).null_players()",
+                  DeprecationWarning, stacklevel=2)
+    config = EngineConfig(method=method, on_hard="exact")
+    return AttributionSession(query, pdb, config).null_players()
 
 
 __all__ = [

@@ -1,0 +1,38 @@
+"""``repro.api`` — the stable programmatic surface of the package.
+
+One entry point replaces the ~40 free functions of the historical API:
+:class:`AttributionSession` wraps the batched :class:`repro.engine.SVCEngine`
+and the Figure 1b dichotomy classifier, dispatches to the admissible backend
+(safe plan / lineage counting / brute force / Monte-Carlo sampling) and returns
+typed, frozen, JSON-serialisable results.  The legacy free functions remain as
+thin delegating shims that emit :class:`DeprecationWarning`.
+
+Quick start::
+
+    from repro.api import AttributionSession, EngineConfig
+
+    session = AttributionSession(query, pdb)          # dichotomy-aware dispatch
+    session.ranking()                                  # who is responsible?
+    session.explanation()                              # why this backend?
+    report = session.report()                          # frozen + JSON-ready
+    report.to_json()
+"""
+
+from ..errors import ConfigError, IntractableQueryError, ReproError, UnsafeQueryError
+from .config import EngineConfig
+from .results import AttributionReport, AttributionResult, EfficiencyCheck, Explanation
+from .session import AttributionSession, attribute
+
+__all__ = [
+    "AttributionReport",
+    "AttributionResult",
+    "AttributionSession",
+    "ConfigError",
+    "EfficiencyCheck",
+    "EngineConfig",
+    "Explanation",
+    "IntractableQueryError",
+    "ReproError",
+    "UnsafeQueryError",
+    "attribute",
+]

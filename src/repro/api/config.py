@@ -1,0 +1,83 @@
+"""Configuration of the attribution session.
+
+One frozen, validated object replaces the ``method`` / ``counting_method`` /
+``epsilon`` / ``delta`` / ``seed`` parameters that the legacy free functions
+threaded by hand.  Invalid values raise :class:`repro.errors.ConfigError` at
+construction time, so a session never fails halfway through a computation
+because of a typo in a backend name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..errors import ConfigError
+
+#: Backends a caller may request explicitly.  ``auto`` delegates the choice to
+#: the dichotomy-aware dispatch of :class:`repro.api.AttributionSession`; the
+#: exact names are the :class:`repro.engine.SVCEngine` backends; ``sampled``
+#: is the Monte-Carlo permutation-sampling estimator.
+METHODS = ("auto", "safe", "counting", "brute", "sampled")
+
+#: FGMC backends of the ``counting`` method.
+COUNTING_METHODS = ("auto", "brute", "lineage")
+
+#: What to do when the classifier says the query is #P-hard (or unclassified)
+#: and the instance exceeds ``exact_size_limit``.
+ON_HARD_POLICIES = ("sample", "exact", "raise")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Validated, immutable configuration for :class:`repro.api.AttributionSession`.
+
+    ``method="auto"`` (the default) lets the session consult the Figure 1b
+    classifier and route to a safe plan, the lineage counter, brute force or
+    Monte-Carlo sampling; any other value is an explicit override recorded in
+    the session's :class:`repro.api.Explanation`.
+    """
+
+    #: Backend override; ``auto`` means dichotomy-aware dispatch.
+    method: str = "auto"
+    #: FGMC backend used when the ``counting`` method runs.
+    counting_method: str = "auto"
+    #: Additive error of the Monte-Carlo estimator (per fact).
+    epsilon: float = 0.05
+    #: Failure probability of the Monte-Carlo estimator (per fact).
+    delta: float = 0.05
+    #: Explicit sample count; ``None`` derives it from ``(epsilon, delta)``.
+    n_samples: "int | None" = None
+    #: RNG seed of the Monte-Carlo estimator (results are reproducible).
+    seed: int = 0
+    #: Policy for hard/unclassified queries on instances larger than
+    #: ``exact_size_limit``: fall back to sampling, run an exponential exact
+    #: backend anyway, or raise :class:`repro.errors.IntractableQueryError`.
+    on_hard: str = "sample"
+    #: Largest ``|Dn|`` for which a hard query is still solved exactly under
+    #: ``method="auto"`` (exponential backends are fine at this scale).
+    exact_size_limit: int = 16
+    #: Verify the efficiency axiom (Σ values = v(Dn)) when building reports.
+    check_efficiency: bool = True
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ConfigError(f"method must be one of {METHODS}, got {self.method!r}")
+        if self.counting_method not in COUNTING_METHODS:
+            raise ConfigError(f"counting_method must be one of {COUNTING_METHODS}, "
+                              f"got {self.counting_method!r}")
+        if self.on_hard not in ON_HARD_POLICIES:
+            raise ConfigError(f"on_hard must be one of {ON_HARD_POLICIES}, "
+                              f"got {self.on_hard!r}")
+        if not (0 < self.epsilon < 1) or not (0 < self.delta < 1):
+            raise ConfigError("epsilon and delta must lie strictly between 0 and 1")
+        if self.n_samples is not None and self.n_samples <= 0:
+            raise ConfigError(f"n_samples must be positive, got {self.n_samples}")
+        if self.exact_size_limit < 0:
+            raise ConfigError(f"exact_size_limit must be >= 0, got {self.exact_size_limit}")
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serialisable rendering (embedded in report metadata)."""
+        return asdict(self)
+
+
+__all__ = ["COUNTING_METHODS", "EngineConfig", "METHODS", "ON_HARD_POLICIES"]

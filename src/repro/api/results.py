@@ -1,0 +1,164 @@
+"""Typed, frozen result objects of the attribution session.
+
+These replace the bare ``dict`` / ``list`` / ``tuple`` returns of the legacy
+free functions.  Every object is immutable, keeps Shapley values as exact
+:class:`fractions.Fraction` (floats are derived, never stored), and renders to
+plain JSON-serialisable dictionaries for the CLI and future service layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Mapping
+
+from ..analysis.dichotomy import DichotomyVerdict
+from ..data.atoms import Fact
+from .config import EngineConfig
+
+
+def _fraction_json(value: Fraction) -> dict:
+    """Render an exact rational losslessly, with a float convenience field."""
+    return {"fraction": str(value), "float": float(value)}
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why the session chose its backend (the dispatch decision, made auditable).
+
+    ``backend`` is what will run (``safe`` / ``counting`` / ``brute`` /
+    ``sampled``); ``verdict`` is the Figure 1b classifier outcome the decision
+    consulted; ``overridden`` records whether the caller forced the backend via
+    :attr:`EngineConfig.method` instead of letting the dichotomy decide.
+    """
+
+    backend: str
+    verdict: DichotomyVerdict
+    overridden: bool
+    reason: str
+
+    def __str__(self) -> str:
+        return f"backend={self.backend} ({self.reason}) | classifier: {self.verdict}"
+
+    def to_json_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "overridden": self.overridden,
+            "reason": self.reason,
+            "verdict": {
+                "complexity": self.verdict.complexity.value,
+                "reason": self.verdict.reason,
+                "query_class": self.verdict.query_class,
+            },
+        }
+
+
+@dataclass(frozen=True)
+class AttributionResult:
+    """The attribution of one fact: its (exact or estimated) Shapley value.
+
+    ``exact`` distinguishes engine values from Monte-Carlo estimates; for the
+    latter, ``samples`` / ``epsilon`` / ``delta`` record the estimator's
+    parameters (``None`` on exact results).
+    """
+
+    fact: Fact
+    value: Fraction
+    exact: bool
+    backend: str
+    samples: "int | None" = None
+    epsilon: "float | None" = None
+    delta: "float | None" = None
+
+    def as_float(self) -> float:
+        return float(self.value)
+
+    def to_json_dict(self) -> dict:
+        payload = {"fact": str(self.fact), "value": _fraction_json(self.value),
+                   "exact": self.exact, "backend": self.backend}
+        if not self.exact:
+            payload.update(samples=self.samples, epsilon=self.epsilon, delta=self.delta)
+        return payload
+
+
+@dataclass(frozen=True)
+class EfficiencyCheck:
+    """The efficiency-axiom check: Σ values against the grand-coalition value.
+
+    For exact backends ``ok`` means exact equality; for the sampled backend it
+    means the deviation is within the union-bounded per-fact error
+    ``|Dn| · epsilon``.
+    """
+
+    total: Fraction
+    grand_coalition_value: int
+    ok: bool
+
+    def to_json_dict(self) -> dict:
+        return {"total": _fraction_json(self.total),
+                "grand_coalition_value": self.grand_coalition_value, "ok": self.ok}
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """The full outcome of a whole-database attribution run.
+
+    The ranking is stored (facts in decreasing Shapley value, ties broken by
+    the library's total order on facts — see
+    :func:`repro.engine.svc_engine._ranking_key`); ``values`` is a derived
+    mapping view.  ``lineage_size`` is ``None`` when the chosen backend never
+    built a lineage; ``cache`` holds the engine-LRU counters at report time.
+    """
+
+    query: str
+    ranking: "tuple[tuple[Fact, Fraction], ...]"
+    explanation: Explanation
+    config: EngineConfig
+    n_endogenous: int
+    n_exogenous: int
+    lineage_size: "int | None"
+    wall_time_s: float
+    exact: bool
+    #: Actual per-fact sample count of the Monte-Carlo run (``None`` on exact
+    #: backends) — the Hoeffding-derived count, not the configured request.
+    n_samples_used: "int | None"
+    efficiency: "EfficiencyCheck | None"
+    cache: Mapping[str, int]
+
+    @property
+    def values(self) -> dict[Fact, Fraction]:
+        """The per-fact values as a mapping (insertion order = ranking order)."""
+        return dict(self.ranking)
+
+    @property
+    def backend(self) -> str:
+        """The backend that produced the values (from the explanation)."""
+        return self.explanation.backend
+
+    def __iter__(self) -> Iterator[tuple[Fact, Fraction]]:
+        return iter(self.ranking)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "explanation": self.explanation.to_json_dict(),
+            "config": self.config.to_json_dict(),
+            "n_endogenous": self.n_endogenous,
+            "n_exogenous": self.n_exogenous,
+            "lineage_size": self.lineage_size,
+            "wall_time_s": self.wall_time_s,
+            "exact": self.exact,
+            "n_samples_used": self.n_samples_used,
+            "efficiency": None if self.efficiency is None else self.efficiency.to_json_dict(),
+            "engine_cache": dict(self.cache),
+            "ranking": [{"fact": str(f), "value": _fraction_json(v)}
+                        for f, v in self.ranking],
+        }
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        import json
+
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+
+__all__ = ["AttributionReport", "AttributionResult", "EfficiencyCheck", "Explanation"]

@@ -1,0 +1,268 @@
+"""The attribution session: the package's stable programmatic entry point.
+
+The paper's central message is that *which* algorithm is admissible for SVC is
+decided by the query's position in the Figure 1b dichotomy.
+:class:`AttributionSession` encodes that message as API: it consults
+:func:`repro.analysis.dichotomy.classify_svc` once per session and routes to
+
+* the polynomial safe-plan backend when the verdict is FP (falling back to the
+  lineage counter when the conservative plan compiler finds no plan),
+* an exact exponential backend (counting / brute) when the query is hard or
+  unclassified but the instance is small enough that exponential is fine,
+* the Monte-Carlo permutation-sampling estimator — with the ``(epsilon,
+  delta)`` guarantee of :mod:`repro.core.approximate` — when the query is hard
+  and the instance is large, without the caller ever naming a method.
+
+Every decision is recorded in a structured :class:`repro.api.Explanation`, and
+an explicit :attr:`EngineConfig.method` override is always honoured.  The
+session is the designated seam for the ROADMAP's future backends (sharded,
+async, incremental): they land behind this façade, not as new call sites.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from fractions import Fraction
+
+from ..analysis.dichotomy import Complexity, DichotomyVerdict, classify_svc
+from ..core.approximate import ApproximationResult, _approximate_values_of_facts
+from ..data.atoms import Fact
+from ..data.database import PartitionedDatabase
+from ..engine.svc_engine import SVCEngine, _ranking_key, engine_cache_stats, get_engine
+from ..errors import ConfigError, IntractableQueryError
+from ..queries.base import BooleanQuery
+from .config import EngineConfig
+from .results import AttributionReport, AttributionResult, EfficiencyCheck, Explanation
+
+#: Engine backends (everything the session runs that is not the sampler).
+_EXACT_BACKENDS = ("safe", "counting", "brute")
+
+
+class AttributionSession:
+    """Shapley-value attribution for one ``(query, database)`` pair.
+
+    Construction is free: classification, backend resolution and the first
+    value computation all happen lazily and are memoised on the session.
+    Methods::
+
+        session = AttributionSession(query, pdb, config=EngineConfig(...))
+        session.values()        # {fact: Fraction} — every endogenous fact
+        session.ranking()       # [(fact, value)] decreasing, deterministic ties
+        session.top(3)          # the k most responsible facts
+        session.max()           # max-SVC: one fact of maximum value
+        session.of(fact)        # a typed per-fact AttributionResult
+        session.null_players()  # facts with (estimated) value 0
+        session.explanation()   # why this backend — the dispatch, auditable
+        session.report()        # frozen, JSON-serialisable AttributionReport
+    """
+
+    def __init__(self, query: BooleanQuery, pdb: PartitionedDatabase,
+                 config: "EngineConfig | None" = None):
+        if not isinstance(pdb, PartitionedDatabase):
+            raise ConfigError(
+                f"AttributionSession needs a PartitionedDatabase, got {type(pdb).__name__} "
+                "(wrap plain databases with repro.data.purely_endogenous or partition_by_relation)")
+        self.query = query
+        self.pdb = pdb
+        self.config = config if config is not None else EngineConfig()
+        self._verdict: "DichotomyVerdict | None" = None
+        self._explanation: "Explanation | None" = None
+        self._engine: "SVCEngine | None" = None
+        self._estimates: "dict[Fact, ApproximationResult] | None" = None
+        self._values: "dict[Fact, Fraction] | None" = None
+        self._wall_time_s: float = 0.0
+
+    # -- classification & dispatch ---------------------------------------------
+    def classify(self) -> DichotomyVerdict:
+        """The Figure 1b verdict for the session's query (memoised)."""
+        if self._verdict is None:
+            self._verdict = classify_svc(self.query)
+        return self._verdict
+
+    def explanation(self) -> Explanation:
+        """The dispatch decision: which backend runs, and why."""
+        if self._explanation is None:
+            self._explanation = self._dispatch()
+        return self._explanation
+
+    def backend(self) -> str:
+        """The resolved backend name (``safe`` / ``counting`` / ``brute`` / ``sampled``)."""
+        return self.explanation().backend
+
+    def _engine_for(self, method: str) -> SVCEngine:
+        if self._engine is None:
+            self._engine = get_engine(self.query, self.pdb, method,
+                                      self.config.counting_method)
+        return self._engine
+
+    def _dispatch(self) -> Explanation:
+        """Resolve the backend from the config override or the dichotomy."""
+        config = self.config
+        verdict = self.classify()
+        if config.method != "auto":
+            if config.method in _EXACT_BACKENDS:
+                backend = self._engine_for(config.method).backend()
+            else:
+                backend = "sampled"
+            return Explanation(
+                backend=backend, verdict=verdict, overridden=True,
+                reason=f"explicit EngineConfig.method={config.method!r} override")
+        if verdict.complexity is Complexity.FP:
+            # FP side: the engine's auto ladder (safe plan when the
+            # conservative compiler finds one, else polynomial lineage
+            # counting on these instances).
+            backend = self._engine_for("auto").backend()
+            return Explanation(
+                backend=backend, verdict=verdict, overridden=False,
+                reason=f"classifier says FP ({verdict.reason}); "
+                       f"exact {backend} backend admissible")
+        hardness = ("#P-hard" if verdict.complexity is Complexity.SHARP_P_HARD
+                    else "unclassified")
+        n = len(self.pdb.endogenous)
+        if n <= config.exact_size_limit:
+            backend = self._engine_for("auto").backend()
+            return Explanation(
+                backend=backend, verdict=verdict, overridden=False,
+                reason=f"query is {hardness} but |Dn| = {n} ≤ exact_size_limit = "
+                       f"{config.exact_size_limit}: exponential exact {backend} backend is fine")
+        if config.on_hard == "exact":
+            backend = self._engine_for("auto").backend()
+            return Explanation(
+                backend=backend, verdict=verdict, overridden=False,
+                reason=f"query is {hardness} and |Dn| = {n} > exact_size_limit, "
+                       f"but on_hard='exact' keeps the exact {backend} backend")
+        if config.on_hard == "raise":
+            raise IntractableQueryError(
+                f"query is {hardness} ({verdict.reason}) and |Dn| = {n} exceeds "
+                f"exact_size_limit = {config.exact_size_limit}; "
+                "set on_hard='sample' or 'exact', or raise exact_size_limit",
+                verdict=verdict)
+        return Explanation(
+            backend="sampled", verdict=verdict, overridden=False,
+            reason=f"query is {hardness} and |Dn| = {n} > exact_size_limit = "
+                   f"{config.exact_size_limit}: Monte-Carlo sampling with the "
+                   f"(ε={config.epsilon}, δ={config.delta}) Hoeffding guarantee")
+
+    # -- values -------------------------------------------------------------------
+    def _compute_values(self) -> dict[Fact, Fraction]:
+        if self._values is None:
+            explanation = self.explanation()
+            start = time.perf_counter()
+            if explanation.backend == "sampled":
+                self._estimates = _approximate_values_of_facts(
+                    self.query, self.pdb, n_samples=self.config.n_samples,
+                    seed=self.config.seed, epsilon=self.config.epsilon,
+                    delta=self.config.delta)
+                self._values = {f: r.estimate for f, r in self._estimates.items()}
+            else:
+                self._values = self._engine_for("auto").all_values()
+            self._wall_time_s = time.perf_counter() - start
+        return self._values
+
+    def values(self) -> dict[Fact, Fraction]:
+        """The Shapley value of every endogenous fact (exact, or ``(ε, δ)`` estimates)."""
+        return dict(self._compute_values())
+
+    def ranking(self) -> list[tuple[Fact, Fraction]]:
+        """Facts by decreasing Shapley value; equal values follow the fact total order."""
+        return sorted(self._compute_values().items(), key=_ranking_key)
+
+    def top(self, k: int) -> list[tuple[Fact, Fraction]]:
+        """The ``k`` most responsible facts (a prefix of :meth:`ranking`)."""
+        if k < 0:
+            raise ConfigError(f"top(k) needs k >= 0, got {k}")
+        return self.ranking()[:k]
+
+    def max(self) -> tuple[Fact, Fraction]:
+        """``max-SVC``: a fact of maximum Shapley value and that value."""
+        if not self.pdb.endogenous:
+            raise ConfigError("the database has no endogenous fact")
+        return self.ranking()[0]
+
+    def of(self, fact: Fact) -> AttributionResult:
+        """The typed attribution of one endogenous fact.
+
+        On exact backends only this fact's value is computed (the engine still
+        shares its lineage / plan across calls); the sampled backend estimates
+        the whole database in one pass and reads the fact off it.
+        """
+        if fact not in self.pdb.endogenous:
+            raise ConfigError(f"{fact} is not an endogenous fact of the database")
+        if self.backend() == "sampled":
+            self._compute_values()
+            estimate = self._estimates[fact]
+            return AttributionResult(fact=fact, value=estimate.estimate, exact=False,
+                                     backend="sampled", samples=estimate.samples,
+                                     epsilon=estimate.epsilon, delta=estimate.delta)
+        value = (self._values[fact] if self._values is not None
+                 else self._engine_for("auto").value_of(fact))
+        return AttributionResult(fact=fact, value=value, exact=True,
+                                 backend=self.backend())
+
+    def null_players(self) -> frozenset[Fact]:
+        """Endogenous facts whose (estimated) Shapley value is zero.
+
+        On exact backends this is the instance-level null-player set of
+        Claim 5.1; on the sampled backend a zero estimate only certifies a
+        value below the ``epsilon`` guarantee.
+        """
+        return frozenset(f for f, v in self._compute_values().items() if v == 0)
+
+    # -- reporting -----------------------------------------------------------------
+    def _grand_coalition_value(self) -> int:
+        if self._engine is not None:
+            return self._engine.grand_coalition_value()
+        # Sampled backend: read v(Dn) off the same game the sampler played.
+        from ..core.games import QueryGame
+
+        return QueryGame(self.query, self.pdb).value(self.pdb.endogenous)
+
+    def _efficiency_check(self) -> EfficiencyCheck:
+        total = sum(self._compute_values().values(), Fraction(0))
+        grand = self._grand_coalition_value()
+        if self._estimates is None:
+            ok = total == grand
+        else:
+            # Union bound over the per-fact guarantees, at the accuracy the run
+            # actually had: invert Hoeffding for the sample count used (an
+            # explicit n_samples override changes epsilon, not the bound).
+            samples = next(iter(self._estimates.values())).samples
+            effective_epsilon = math.sqrt(math.log(2.0 / self.config.delta)
+                                          / (2.0 * samples))
+            tolerance = Fraction(effective_epsilon).limit_denominator(10**9) \
+                * len(self.pdb.endogenous)
+            ok = abs(total - grand) <= tolerance
+        return EfficiencyCheck(total=total, grand_coalition_value=grand, ok=ok)
+
+    def report(self) -> AttributionReport:
+        """The frozen, JSON-serialisable record of the whole attribution run."""
+        ranking = tuple(self.ranking())
+        exact = self._estimates is None
+        samples_used = None
+        if self._estimates:
+            # One shared RNG, one count: every per-fact estimator uses it.
+            samples_used = next(iter(self._estimates.values())).samples
+        return AttributionReport(
+            query=str(self.query),
+            ranking=ranking,
+            explanation=self.explanation(),
+            config=self.config,
+            n_endogenous=len(self.pdb.endogenous),
+            n_exogenous=len(self.pdb.exogenous),
+            lineage_size=None if self._engine is None else self._engine.lineage_size(),
+            wall_time_s=self._wall_time_s,
+            exact=exact,
+            n_samples_used=samples_used,
+            efficiency=self._efficiency_check() if self.config.check_efficiency else None,
+            cache=engine_cache_stats(),
+        )
+
+
+def attribute(query: BooleanQuery, pdb: PartitionedDatabase,
+              config: "EngineConfig | None" = None) -> AttributionReport:
+    """One-shot convenience: run a session and return its report."""
+    return AttributionSession(query, pdb, config).report()
+
+
+__all__ = ["AttributionSession", "attribute"]

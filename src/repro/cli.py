@@ -3,6 +3,10 @@
 The CLI exposes the library's main entry points on files, so that instances can
 be inspected without writing Python:
 
+* ``repro attribute`` — the stable entry point: a dichotomy-aware
+  :class:`repro.api.AttributionSession` that classifies the query, routes to
+  the admissible backend (safe / counting / brute / Monte-Carlo) and emits a
+  typed, JSON-serialisable :class:`repro.api.AttributionReport`,
 * ``repro shapley``   — Shapley values of the endogenous facts of a database,
 * ``repro svc-all``   — the batched whole-database workload: every Shapley
   value from one shared lineage / safe plan (the :class:`repro.engine.SVCEngine`),
@@ -30,16 +34,17 @@ from fractions import Fraction
 from pathlib import Path
 from typing import Sequence
 
+from dataclasses import fields as dataclass_fields
+
 from .analysis.dichotomy import classify_svc
-from .core.approximate import approximate_shapley_values_of_facts
-from .core.svc import shapley_values_of_facts
+from .api import AttributionReport, AttributionSession, EngineConfig
+from .api.config import COUNTING_METHODS, METHODS, ON_HARD_POLICIES
 from .counting.problems import fgmc_vector
-from .engine import SVCEngine
 from .data.database import PartitionedDatabase
+from .errors import ReproError, UnsafeQueryError
 from .experiments.tables import format_table
 from .io.query_text import parse_database, parse_query
 from .io.tables import load_partitioned_csv
-from .probability.lifted import UnsafeQueryError
 from .probability.spqe import sppqe
 from .reductions.island import fgmc_via_svc_lemma_4_1
 from .reductions.oracles import CallCounter, exact_svc_oracle
@@ -73,6 +78,41 @@ def build_parser() -> argparse.ArgumentParser:
         description="Shapley value computation in databases as a matter of counting "
                     "(reproduction of Bienvenu, Figueira, Lafourcade, PODS 2024)")
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # Single source of truth: the CLI defaults ARE the EngineConfig defaults.
+    config_defaults = {f.name: f.default for f in dataclass_fields(EngineConfig)}
+
+    attribute = subparsers.add_parser(
+        "attribute",
+        help="dichotomy-aware attribution: classify the query, route to the admissible "
+             "backend, report typed results")
+    _add_common_arguments(attribute)
+    attribute.add_argument("--method", choices=list(METHODS),
+                           default=config_defaults["method"],
+                           help="backend override; auto consults the Figure 1b classifier")
+    attribute.add_argument("--counting-method", dest="counting_method",
+                           choices=list(COUNTING_METHODS),
+                           default=config_defaults["counting_method"],
+                           help="FGMC backend used by the counting method")
+    attribute.add_argument("--epsilon", type=float, default=config_defaults["epsilon"],
+                           help="additive error of the Monte-Carlo estimator")
+    attribute.add_argument("--delta", type=float, default=config_defaults["delta"],
+                           help="failure probability of the Monte-Carlo estimator")
+    attribute.add_argument("--samples", type=int, default=config_defaults["n_samples"],
+                           help="explicit sample count (overrides epsilon/delta)")
+    attribute.add_argument("--seed", type=int, default=config_defaults["seed"],
+                           help="Monte-Carlo RNG seed")
+    attribute.add_argument("--on-hard", dest="on_hard", choices=list(ON_HARD_POLICIES),
+                           default=config_defaults["on_hard"],
+                           help="policy for hard queries on large instances")
+    attribute.add_argument("--exact-size-limit", dest="exact_size_limit", type=int,
+                           default=config_defaults["exact_size_limit"],
+                           help="largest |Dn| still solved exactly when the query is hard")
+    attribute.add_argument("--top", type=int, default=None,
+                           help="print only the k most responsible facts")
+    attribute.add_argument("--json", action="store_true",
+                           help="emit the full AttributionReport as JSON")
+    attribute.set_defaults(handler=_command_attribute)
 
     shapley = subparsers.add_parser("shapley", help="Shapley values of the endogenous facts")
     _add_common_arguments(shapley)
@@ -116,35 +156,75 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _report_rows(report: AttributionReport, top: "int | None" = None) -> list[dict]:
+    ranking = report.ranking if top is None else report.ranking[:top]
+    if report.exact:
+        return [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
+                for f, v in ranking]
+    return [{"fact": str(f), "estimate": f"{float(v):.4f}",
+             "samples": report.n_samples_used}
+            for f, v in ranking]
+
+
+def _print_efficiency(report: AttributionReport) -> None:
+    check = report.efficiency
+    if check is None:
+        return
+    print(f"efficiency check: Σ values = {check.total}, "
+          f"v(Dn) = {check.grand_coalition_value}, "
+          f"{'OK' if check.ok else 'MISMATCH'}")
+
+
+def _command_attribute(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    pdb = _load_database(args.database, args.exogenous)
+    config = EngineConfig(method=args.method, counting_method=args.counting_method,
+                          epsilon=args.epsilon, delta=args.delta,
+                          n_samples=args.samples, seed=args.seed,
+                          on_hard=args.on_hard, exact_size_limit=args.exact_size_limit)
+    session = AttributionSession(query, pdb, config)
+    report = session.report()
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(f"classifier: {report.explanation.verdict}")
+    print(f"backend: {report.backend} — {report.explanation.reason}")
+    print(format_table(_report_rows(report, args.top),
+                       title=f"Attribution for {query}"))
+    _print_efficiency(report)
+    null_players = session.null_players()
+    if null_players:
+        print(f"null players: {', '.join(str(f) for f in sorted(null_players))}")
+    print(f"wall time: {report.wall_time_s:.4f}s   "
+          f"engine cache: {dict(report.cache)}")
+    return 0
+
+
 def _command_shapley(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     pdb = _load_database(args.database, args.exogenous)
     if args.method == "sampled":
-        estimates = approximate_shapley_values_of_facts(query, pdb, n_samples=args.samples)
-        rows = [{"fact": str(f), "estimate": f"{result.as_float():.4f}",
-                 "samples": result.samples}
-                for f, result in sorted(estimates.items(), key=lambda kv: -kv[1].estimate)]
+        config = EngineConfig(method="sampled", n_samples=args.samples)
     else:
-        values = shapley_values_of_facts(query, pdb, method=args.method)
-        rows = [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
-                for f, v in sorted(values.items(), key=lambda kv: (-kv[1], str(kv[0])))]
-    print(format_table(rows, title=f"Shapley values for {query}"))
+        # Legacy command, legacy semantics: "auto" means the exact
+        # safe → counting → brute ladder, never a Monte-Carlo fallback
+        # (dichotomy-aware dispatch lives in `repro attribute`).
+        config = EngineConfig(method=args.method, on_hard="exact")
+    report = AttributionSession(query, pdb, config).report()
+    print(format_table(_report_rows(report), title=f"Shapley values for {query}"))
     return 0
 
 
 def _command_svc_all(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     pdb = _load_database(args.database, args.exogenous)
-    engine = SVCEngine(query, pdb, method=args.method, counting_method=args.counting_method)
-    values = engine.all_values()
-    rows = [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
-            for f, v in sorted(values.items(), key=lambda kv: (-kv[1], str(kv[0])))]
-    print(format_table(rows, title=f"Batched Shapley values for {query} "
-                                   f"(backend: {engine.backend()})"))
-    total = sum(values.values(), Fraction(0))
-    grand = engine.grand_coalition_value()
-    print(f"efficiency check: Σ values = {total}, v(Dn) = {grand}, "
-          f"{'OK' if total == grand else 'MISMATCH'}")
+    config = EngineConfig(method=args.method, counting_method=args.counting_method,
+                          on_hard="exact")
+    report = AttributionSession(query, pdb, config).report()
+    print(format_table(_report_rows(report),
+                       title=f"Batched Shapley values for {query} "
+                             f"(backend: {report.backend})"))
+    _print_efficiency(report)
     return 0
 
 
@@ -193,11 +273,13 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, FileNotFoundError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
     except UnsafeQueryError as error:
         print(f"error: {error} (try --method counting or auto)", file=sys.stderr)
+        return 2
+    except (ValueError, FileNotFoundError, ReproError) as error:
+        # ReproError covers the structured hierarchy (ConfigError,
+        # IntractableQueryError, ...); ValueError keeps legacy raises covered.
+        print(f"error: {error}", file=sys.stderr)
         return 2
 
 

@@ -18,6 +18,7 @@ from typing import Hashable, TypeVar
 
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
+from ..errors import ConfigError
 from ..queries.base import BooleanQuery
 from .games import CooperativeGame, QueryGame
 
@@ -41,7 +42,7 @@ class ApproximationResult:
 def samples_for_guarantee(epsilon: float, delta: float) -> int:
     """The Hoeffding sample size for an additive (ε, δ) guarantee on a [0, 1] variable."""
     if not (0 < epsilon < 1) or not (0 < delta < 1):
-        raise ValueError("epsilon and delta must lie strictly between 0 and 1")
+        raise ConfigError("epsilon and delta must lie strictly between 0 and 1")
     return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
 
 
@@ -81,11 +82,40 @@ def approximate_shapley_value_of_fact(query: BooleanQuery, pdb: PartitionedDatab
     return approximate_shapley_value(QueryGame(query, pdb), fact, n_samples, epsilon, delta, seed)
 
 
-def approximate_shapley_values_of_facts(query: BooleanQuery, pdb: PartitionedDatabase,
-                                        n_samples: int = 2000,
-                                        seed: "int | random.Random | None" = 0
-                                        ) -> dict[Fact, ApproximationResult]:
-    """Sampling-based estimates for every endogenous fact (single shared RNG)."""
+def _approximate_values_of_facts(query: BooleanQuery, pdb: PartitionedDatabase,
+                                 n_samples: "int | None" = 2000,
+                                 seed: "int | random.Random | None" = 0,
+                                 epsilon: float = 0.05, delta: float = 0.05
+                                 ) -> dict[Fact, ApproximationResult]:
+    """Sampling-based estimates for every endogenous fact (single shared RNG).
+
+    Pass ``n_samples=None`` to derive the sample count from the ``(epsilon,
+    delta)`` guarantee via Hoeffding's bound; the guarantee is *per fact*
+    (union-bound ``delta`` by ``|Dn|`` for a simultaneous one).  This is the
+    Monte-Carlo backend of :class:`repro.api.AttributionSession`.
+    """
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    return {f: approximate_shapley_value_of_fact(query, pdb, f, n_samples=n_samples, seed=rng)
+    if n_samples is None:
+        n_samples = samples_for_guarantee(epsilon, delta)
+    return {f: approximate_shapley_value_of_fact(query, pdb, f, n_samples=n_samples,
+                                                 epsilon=epsilon, delta=delta, seed=rng)
             for f in sorted(pdb.endogenous)}
+
+
+def approximate_shapley_values_of_facts(query: BooleanQuery, pdb: PartitionedDatabase,
+                                        n_samples: "int | None" = 2000,
+                                        seed: "int | random.Random | None" = 0,
+                                        epsilon: float = 0.05, delta: float = 0.05
+                                        ) -> dict[Fact, ApproximationResult]:
+    """Sampling-based estimates for every endogenous fact (single shared RNG).
+
+    .. deprecated:: use ``AttributionSession`` with
+        ``EngineConfig(method="sampled", ...)`` (or let the dichotomy-aware
+        auto-dispatch pick sampling on hard instances).
+    """
+    import warnings
+
+    warnings.warn("approximate_shapley_values_of_facts is deprecated; use "
+                  "repro.api.AttributionSession with EngineConfig(method='sampled')",
+                  DeprecationWarning, stacklevel=2)
+    return _approximate_values_of_facts(query, pdb, n_samples, seed, epsilon, delta)

@@ -14,8 +14,9 @@ from fractions import Fraction
 from ..counting.problems import CountingMethod, fmc_vector
 from ..data.atoms import Fact
 from ..data.database import Database, PartitionedDatabase, purely_endogenous
+from ..engine.svc_engine import get_engine
 from ..queries.base import BooleanQuery
-from .svc import SVCMethod, shapley_value_from_fgmc_vectors, shapley_value_of_fact
+from .svc import SVCMethod, shapley_value_from_fgmc_vectors
 
 
 def _as_endogenous_pdb(db: "Database | PartitionedDatabase") -> PartitionedDatabase:
@@ -29,7 +30,7 @@ def _as_endogenous_pdb(db: "Database | PartitionedDatabase") -> PartitionedDatab
 def shapley_value_endogenous(query: BooleanQuery, db: "Database | PartitionedDatabase",
                              fact: Fact, method: SVCMethod = "auto") -> Fraction:
     """``SVCn_q``: Shapley value of a fact in a purely endogenous database."""
-    return shapley_value_of_fact(query, _as_endogenous_pdb(db), fact, method)
+    return get_engine(query, _as_endogenous_pdb(db), method).value_of(fact)
 
 
 def shapley_value_endogenous_via_fmc(query: BooleanQuery,
@@ -71,5 +72,4 @@ def shapley_values_endogenous(query: BooleanQuery, db: "Database | PartitionedDa
                               method: SVCMethod = "auto") -> dict[Fact, Fraction]:
     """Shapley values of all facts of a purely endogenous database."""
     pdb = _as_endogenous_pdb(db)
-    return {fact: shapley_value_of_fact(query, pdb, fact, method)
-            for fact in sorted(pdb.endogenous)}
+    return get_engine(query, pdb, method).all_values()

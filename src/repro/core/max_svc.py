@@ -23,11 +23,17 @@ def max_shapley_value(query: BooleanQuery, pdb: PartitionedDatabase,
                       method: SVCMethod = "auto") -> tuple[Fact, Fraction]:
     """``max-SVC_q``: a fact of maximum Shapley value and that value.
 
-    Ties are broken deterministically (smallest fact in the library's total
-    order on facts).  Raises ``ValueError`` on a database without endogenous
-    facts.  All values come from one batched engine pass.
+    Ties are broken deterministically by the shared ranking contract
+    (:func:`repro.engine.svc_engine._ranking_key`).  Raises ``ValueError`` on
+    a database without endogenous facts.  All values come from one batched
+    engine pass.
+
+    .. deprecated:: use ``AttributionSession(query, pdb).max()``.
     """
-    return get_engine(query, pdb, method).max_value()
+    from .svc import _legacy_session, _warn_deprecated
+
+    _warn_deprecated("max_shapley_value", "repro.api.AttributionSession(...).max()")
+    return _legacy_session(query, pdb, method, "auto").max()
 
 
 def singleton_support_facts(query: BooleanQuery, pdb: PartitionedDatabase) -> frozenset[Fact]:
@@ -54,4 +60,4 @@ def max_shapley_value_with_shortcut(query: BooleanQuery, pdb: PartitionedDatabas
     if shortcut:
         fact = min(shortcut)
         return fact, get_engine(query, pdb, method).value_of(fact)
-    return max_shapley_value(query, pdb, method)
+    return get_engine(query, pdb, method).max_value()

@@ -40,7 +40,6 @@ def shapley_value(game: CooperativeGame[Player], player: Player,
 
 def _shapley_by_permutations(game: CooperativeGame[Player], player: Player) -> Fraction:
     players = sorted(game.players, key=str)
-    n = len(players)
     total = Fraction(0)
     count = 0
     for order in itertools.permutations(players):

@@ -16,23 +16,26 @@ story:
 
 ``method="auto"`` tries ``safe``, then ``counting``, then ``brute``.
 
-Whole-database workloads are served by the batched
-:class:`repro.engine.SVCEngine`, which derives every per-fact quantity from one
-shared lineage / safe plan; the functions below are thin wrappers over it.  The
-historical per-fact pipelines (:func:`shapley_value_via_fgmc`,
-:func:`shapley_value_safe_pipeline`) are kept both as reference implementations
-and as the baseline the batch benchmarks compare against.
+.. deprecated::
+    The free functions of this module are thin delegating shims over the
+    stable :class:`repro.api.AttributionSession` façade and emit
+    :class:`DeprecationWarning`; new code should construct a session (it adds
+    dichotomy-aware dispatch, typed reports and Monte-Carlo fallback).  The
+    historical per-fact pipelines (:func:`shapley_value_via_fgmc`,
+    :func:`shapley_value_safe_pipeline`) are NOT deprecated: they are the
+    reference implementations the batch benchmarks compare against.
 """
 
 from __future__ import annotations
 
+import warnings
 from fractions import Fraction
 from typing import Literal
 
 from ..counting.problems import CountingMethod, fgmc_vector
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
-from ..engine.svc_engine import SVCEngine, combine_fgmc_vectors, get_engine
+from ..engine.svc_engine import combine_fgmc_vectors
 from ..probability.interpolation import fgmc_vector_via_pqe
 from ..probability.lifted import UnsafeQueryError, lifted_probability
 from ..queries.base import BooleanQuery
@@ -45,18 +48,35 @@ SVCMethod = Literal["auto", "brute", "counting", "safe"]
 shapley_value_from_fgmc_vectors = combine_fgmc_vectors
 
 
+def _legacy_session(query: BooleanQuery, pdb: PartitionedDatabase,
+                    method: str, counting_method: str):
+    """An AttributionSession reproducing the legacy exact semantics.
+
+    ``on_hard="exact"`` pins the historical behaviour: ``method="auto"`` meant
+    the exact safe → counting → brute ladder, never Monte-Carlo fallback.
+    """
+    from ..api import AttributionSession, EngineConfig
+
+    config = EngineConfig(method=method, counting_method=counting_method,
+                          on_hard="exact")
+    return AttributionSession(query, pdb, config)
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(f"{old} is deprecated; use {new}",
+                  DeprecationWarning, stacklevel=3)
+
+
 def shapley_value_of_fact(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact,
                           method: SVCMethod = "auto",
                           counting_method: CountingMethod = "auto") -> Fraction:
     """``SVC_q``: the Shapley value of an endogenous fact for the query.
 
-    ``counting_method`` selects the FGMC backend used by ``method="counting"``
-    (``"lineage"`` or ``"brute"``).  This is a thin wrapper over a single-use
-    :class:`repro.engine.SVCEngine`; use the engine directly (or
-    :func:`shapley_values_of_facts`) when more than one fact is needed, so the
-    lineage / plan is shared.
+    .. deprecated:: use ``AttributionSession(query, pdb).of(fact).value``.
     """
-    return SVCEngine(query, pdb, method=method, counting_method=counting_method).value_of(fact)
+    _warn_deprecated("shapley_value_of_fact",
+                     "repro.api.AttributionSession(...).of(fact).value")
+    return _legacy_session(query, pdb, method, counting_method).of(fact).value
 
 
 def shapley_value_via_fgmc(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact,
@@ -105,13 +125,27 @@ def shapley_values_of_facts(query: BooleanQuery, pdb: PartitionedDatabase,
                             method: SVCMethod = "auto",
                             counting_method: CountingMethod = "auto"
                             ) -> dict[Fact, Fraction]:
-    """The Shapley value of every endogenous fact, batched through the engine."""
-    return get_engine(query, pdb, method, counting_method).all_values()
+    """The Shapley value of every endogenous fact, batched through the engine.
+
+    .. deprecated:: use ``AttributionSession(query, pdb).values()``.
+    """
+    _warn_deprecated("shapley_values_of_facts",
+                     "repro.api.AttributionSession(...).values()")
+    return _legacy_session(query, pdb, method, counting_method).values()
 
 
 def rank_facts_by_shapley_value(query: BooleanQuery, pdb: PartitionedDatabase,
                                 method: SVCMethod = "auto",
                                 counting_method: CountingMethod = "auto"
                                 ) -> list[tuple[Fact, Fraction]]:
-    """Endogenous facts sorted by decreasing Shapley value (ties broken deterministically)."""
-    return get_engine(query, pdb, method, counting_method).ranking()
+    """Endogenous facts sorted by decreasing Shapley value.
+
+    Ties are broken deterministically by the shared ranking contract
+    (:func:`repro.engine.svc_engine._ranking_key`: decreasing value, then the
+    library's total order on facts).
+
+    .. deprecated:: use ``AttributionSession(query, pdb).ranking()``.
+    """
+    _warn_deprecated("rank_facts_by_shapley_value",
+                     "repro.api.AttributionSession(...).ranking()")
+    return _legacy_session(query, pdb, method, counting_method).ranking()

@@ -10,6 +10,7 @@ from .svc_engine import (
     SVCEngine,
     clear_engine_cache,
     combine_fgmc_vectors,
+    engine_cache_stats,
     get_engine,
 )
 
@@ -18,5 +19,6 @@ __all__ = [
     "SVCEngine",
     "clear_engine_cache",
     "combine_fgmc_vectors",
+    "engine_cache_stats",
     "get_engine",
 ]

@@ -47,6 +47,19 @@ from ..queries.ucq import UnionOfConjunctiveQueries
 EngineBackend = Literal["auto", "brute", "counting", "safe"]
 
 
+def _ranking_key(item: "tuple[Fact, Fraction]") -> "tuple[Fraction, Fact]":
+    """The shared sort key of every Shapley ranking in the package.
+
+    Facts are ordered by decreasing Shapley value; equal values are broken by
+    the library's total order on facts (NOT by string rendering).  This is the
+    single deterministic tie-breaking contract promised by
+    :func:`repro.core.svc.rank_facts_by_shapley_value`,
+    :meth:`SVCEngine.ranking` and :meth:`repro.api.AttributionSession.ranking`.
+    """
+    fact, value = item
+    return (-value, fact)
+
+
 def combine_fgmc_vectors(with_fact_exogenous: "list[int]", without_fact: "list[int]",
                          n_endogenous: int) -> Fraction:
     """Claim A.1: combine the two per-fact FGMC vectors into a Shapley value.
@@ -227,9 +240,19 @@ class SVCEngine:
         """The Shapley value of every endogenous fact (the batched workload)."""
         return {fact: self.value_of(fact) for fact in sorted(self.pdb.endogenous)}
 
+    def lineage_size(self) -> "int | None":
+        """Number of clauses of the lineage DNF, or ``None`` if no lineage was built.
+
+        Reads the memoised artefact only — it never triggers a lineage build,
+        so it is safe to call for report metadata on any backend.
+        """
+        if self._lineage is None:
+            return None
+        return len(self._lineage.dnf.clauses)
+
     def ranking(self) -> list[tuple[Fact, Fraction]]:
         """Facts sorted by decreasing Shapley value (ties broken by fact order)."""
-        return sorted(self.all_values().items(), key=lambda item: (-item[1], item[0]))
+        return sorted(self.all_values().items(), key=_ranking_key)
 
     def max_value(self) -> tuple[Fact, Fraction]:
         """A fact of maximum Shapley value and that value (``max-SVC``)."""
@@ -254,6 +277,8 @@ class SVCEngine:
 
 _ENGINE_CACHE: "OrderedDict[tuple, SVCEngine]" = OrderedDict()
 _ENGINE_CACHE_SIZE = 128
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
 
 
 def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
@@ -264,14 +289,24 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
     Engines are cached in an LRU keyed by ``(query, pdb, method,
     counting_method)`` so that repeated whole-database workloads — ranking,
     max-SVC, relevance analysis, CLI invocations — share one lineage / plan.
-    Unhashable queries fall back to a fresh, uncached engine.
+    Unhashable queries fall back to a fresh, uncached engine (counted as a
+    miss in :func:`engine_cache_stats`).
+
+    Cache correctness rests on the immutability of the key: ``Database`` and
+    :class:`repro.data.database.PartitionedDatabase` hold their facts in
+    frozensets and refuse attribute assignment, so a cached engine can never
+    be made stale by in-place mutation (see ``tests/test_api_session.py``).
     """
+    global _CACHE_HITS, _CACHE_MISSES
     key = (query, pdb, method, counting_method)
     try:
         engine = _ENGINE_CACHE.pop(key)
+        _CACHE_HITS += 1
     except KeyError:
+        _CACHE_MISSES += 1
         engine = SVCEngine(query, pdb, method, counting_method)
     except TypeError:
+        _CACHE_MISSES += 1
         return SVCEngine(query, pdb, method, counting_method)
     _ENGINE_CACHE[key] = engine
     while len(_ENGINE_CACHE) > _ENGINE_CACHE_SIZE:
@@ -279,6 +314,14 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
     return engine
 
 
+def engine_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the engine LRU (reported by the session metadata)."""
+    return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES, "size": len(_ENGINE_CACHE)}
+
+
 def clear_engine_cache() -> None:
-    """Drop all cached engines (useful between benchmark runs)."""
+    """Drop all cached engines and reset the hit/miss counters."""
+    global _CACHE_HITS, _CACHE_MISSES
     _ENGINE_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0

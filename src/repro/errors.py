@@ -1,0 +1,62 @@
+"""The package-wide exception hierarchy.
+
+All errors deliberately raised by the public API derive from
+:class:`ReproError`, so callers of :class:`repro.api.AttributionSession` (and
+of the legacy free functions that delegate to it) can catch one base class.
+Where an error replaces a historical ``ValueError`` the subclass also inherits
+``ValueError``, so pre-existing ``except ValueError`` call sites keep working.
+
+The hierarchy::
+
+    ReproError
+    ├── UnsafeQueryError        no safe plan exists (lifted inference)
+    ├── IntractableQueryError   exact computation refused on a hard query
+    └── ConfigError             invalid configuration value
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error deliberately raised by the repro package."""
+
+
+class UnsafeQueryError(ReproError):
+    """Raised when lifted inference finds no safe plan for the query.
+
+    Historically defined in :mod:`repro.probability.lifted` (which still
+    re-exports it); the safe-plan compiler and the ``safe`` engine backend
+    raise it when the query is not liftable.
+    """
+
+
+class IntractableQueryError(ReproError):
+    """Raised when exact computation is refused on a #P-hard (or unclassified) query.
+
+    Only raised on request: :class:`repro.api.EngineConfig` with
+    ``on_hard="raise"`` turns the dichotomy classifier's hardness verdict into
+    this error instead of silently falling back to an exponential exact backend
+    or to Monte-Carlo sampling.
+    """
+
+    def __init__(self, message: str, verdict=None):
+        super().__init__(message)
+        #: The :class:`repro.analysis.dichotomy.DichotomyVerdict` that triggered
+        #: the refusal (``None`` when raised outside the classifier).
+        self.verdict = verdict
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised on invalid configuration values (bad backend name, ε/δ out of range, ...).
+
+    Inherits ``ValueError`` so legacy callers that caught ``ValueError`` from
+    the free functions keep working.
+    """
+
+
+__all__ = [
+    "ConfigError",
+    "IntractableQueryError",
+    "ReproError",
+    "UnsafeQueryError",
+]

@@ -20,7 +20,7 @@ import time
 from fractions import Fraction
 
 from ..analysis.dichotomy import classify_svc
-from ..core.svc import shapley_value_of_fact
+from ..engine.svc_engine import SVCEngine
 from ..data.database import Database, PartitionedDatabase
 from ..data.atoms import fact
 from ..data.terms import Constant
@@ -33,6 +33,17 @@ def _timed(function, *args, **kwargs) -> tuple[object, float]:
     start = time.perf_counter()
     result = function(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def cold_shapley_value(query, pdb, target, method):
+    """One per-fact Shapley value on a fresh engine (no LRU reuse).
+
+    The shared cold-timing helper of the scaling experiments and the
+    ``bench_*_dichotomy`` / ``bench_negation`` benchmark files: a new
+    :class:`repro.engine.SVCEngine` per call, so repeated timed runs never
+    inherit another run's lineage, plan or memoised values.
+    """
+    return SVCEngine(query, pdb, method=method).value_of(target)
 
 
 def run_sjfcq_scaling(sizes: "tuple[int, ...]" = (2, 3, 4, 5),
@@ -54,8 +65,8 @@ def run_sjfcq_scaling(sizes: "tuple[int, ...]" = (2, 3, 4, 5),
         pdb = PartitionedDatabase(s_facts, r_facts | t_facts)
         target = sorted(pdb.endogenous)[0]
 
-        _, safe_time = _timed(shapley_value_of_fact, hierarchical, pdb, target, "safe")
-        _, counting_time = _timed(shapley_value_of_fact, hard, pdb, target, "counting")
+        _, safe_time = _timed(cold_shapley_value, hierarchical, pdb, target, "safe")
+        _, counting_time = _timed(cold_shapley_value, hard, pdb, target, "counting")
         row = {
             "|Dn| (S facts)": len(pdb.endogenous),
             "hierarchical, safe pipeline (s)": round(safe_time, 4),
@@ -64,7 +75,7 @@ def run_sjfcq_scaling(sizes: "tuple[int, ...]" = (2, 3, 4, 5),
             "q_RST verdict": classify_svc(hard).complexity.value,
         }
         if include_brute and len(pdb.endogenous) <= 9:
-            _, brute_time = _timed(shapley_value_of_fact, hard, pdb, target, "brute")
+            _, brute_time = _timed(cold_shapley_value, hard, pdb, target, "brute")
             row["q_RST, brute force (s)"] = round(brute_time, 4)
         rows.append(row)
     return rows
@@ -96,8 +107,8 @@ def run_rpq_dichotomy(n_middles: "tuple[int, ...]" = (1, 2, 3),
         hard_pdb = _rpq_instance(hard, n_middle)
         easy_fact = sorted(easy_pdb.endogenous)[0]
         hard_fact = sorted(hard_pdb.endogenous)[0]
-        _, easy_time = _timed(shapley_value_of_fact, easy, easy_pdb, easy_fact, "counting")
-        _, hard_time = _timed(shapley_value_of_fact, hard, hard_pdb, hard_fact, "counting")
+        _, easy_time = _timed(cold_shapley_value, easy, easy_pdb, easy_fact, "counting")
+        _, hard_time = _timed(cold_shapley_value, hard, hard_pdb, hard_fact, "counting")
         row = {
             "parallel paths": n_middle,
             "|Dn| (easy/hard)": f"{len(easy_pdb.endogenous)}/{len(hard_pdb.endogenous)}",
@@ -107,7 +118,7 @@ def run_rpq_dichotomy(n_middles: "tuple[int, ...]" = (1, 2, 3),
             "hard verdict": classify_svc(hard).complexity.value,
         }
         if include_brute and len(hard_pdb.endogenous) <= 9:
-            _, brute_time = _timed(shapley_value_of_fact, hard, hard_pdb, hard_fact, "brute")
+            _, brute_time = _timed(cold_shapley_value, hard, hard_pdb, hard_fact, "brute")
             row["[A B C](a,b) brute (s)"] = round(brute_time, 4)
         rows.append(row)
     return rows
@@ -117,8 +128,8 @@ def run_shapley_ranking_example(size: int = 3) -> list[dict]:
     """A small fact-attribution table for ``q_RST`` (used by the quickstart example)."""
     db = bipartite_rst_database(size, size, 0.6, seed=7)
     pdb = partition_by_relation(db, exogenous_relations=("R", "T"))
-    from ..core.svc import rank_facts_by_shapley_value
+    from ..api import AttributionSession, EngineConfig
 
-    ranked = rank_facts_by_shapley_value(q_rst(), pdb, method="counting")
+    session = AttributionSession(q_rst(), pdb, EngineConfig(method="counting"))
     return [{"fact": str(f), "shapley value": str(value), "float": float(Fraction(value))}
-            for f, value in ranked]
+            for f, value in session.ranking()]

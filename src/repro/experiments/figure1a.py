@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from ..core.svc import shapley_value_of_fact
+from ..engine.svc_engine import get_engine
 from ..counting.problems import fgmc_vector, fmc_vector
 from ..data.database import PartitionedDatabase, purely_endogenous
 from ..data.generators import bipartite_rst_database, partition_randomly
@@ -49,7 +49,7 @@ def run_figure1a(max_endogenous: int = 6) -> list[dict]:
         endo = sorted(pdb.endogenous)
         fact = endo[0]
         direct_fgmc = fgmc_vector(query, pdb, method="brute")
-        direct_svc = shapley_value_of_fact(query, pdb, fact, method="brute")
+        direct_svc = get_engine(query, pdb, "brute").value_of(fact)
 
         # SVC ≤ FGMC (Proposition 3.3(3))
         counter = CallCounter(exact_fgmc_oracle("lineage"))
@@ -89,7 +89,7 @@ def run_figure1a(max_endogenous: int = 6) -> list[dict]:
                      "oracle calls": counter.calls, "verified": vector == direct_fgmc})
 
         endogenous_only = purely_endogenous(pdb.all_facts)
-        direct_svcn = shapley_value_of_fact(query, endogenous_only, fact, method="brute")
+        direct_svcn = get_engine(query, endogenous_only, "brute").value_of(fact)
         counter = CallCounter(lambda q, d: fmc_vector(q, d, method="lineage"))
         value = svcn_via_fmc(query, endogenous_only, fact, counter)
         rows.append({"arrow": "SVCn ≤ FMC (Corollary 6.1)", "instance": instance_name,

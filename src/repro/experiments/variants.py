@@ -14,7 +14,7 @@ from fractions import Fraction
 
 from ..core.constants import fgmc_constants_vector, shapley_values_of_constants
 from ..core.endogenous import shapley_value_endogenous, shapley_value_endogenous_via_fmc
-from ..core.max_svc import max_shapley_value, max_shapley_value_with_shortcut
+from ..core.max_svc import max_shapley_value_with_shortcut
 from ..counting.problems import fgmc_vector, fmc_vector
 from ..data.atoms import atom, fact
 from ..data.database import Database, purely_endogenous
@@ -71,6 +71,8 @@ def run_endogenous_variant(seeds: "tuple[int, ...]" = (1, 2, 3)) -> list[dict]:
 
 def run_max_svc_variant(seeds: "tuple[int, ...]" = (1, 2, 3)) -> list[dict]:
     """E8: Proposition 6.2 — FGMC recovered from a max-SVC oracle."""
+    from ..api import AttributionSession, EngineConfig
+
     rows: list[dict] = []
     query = q_rst()
     for seed in seeds:
@@ -79,7 +81,8 @@ def run_max_svc_variant(seeds: "tuple[int, ...]" = (1, 2, 3)) -> list[dict]:
         direct = fgmc_vector(query, pdb, method="brute")
         counter = CallCounter(exact_max_svc_oracle("counting"))
         via_max = fgmc_via_max_svc(query, pdb, counter)
-        best_fact, best_value = max_shapley_value(query, pdb, method="counting")
+        session = AttributionSession(query, pdb, EngineConfig(method="counting"))
+        best_fact, best_value = session.max()
         shortcut_fact, shortcut_value = max_shapley_value_with_shortcut(query, pdb,
                                                                         method="counting")
         rows.append({

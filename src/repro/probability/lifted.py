@@ -22,18 +22,17 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from ..data.atoms import Atom
-from ..data.incidence import atom_components
-from ..data.terms import Constant, Term, Variable, is_variable
+from ..data.terms import Constant, Variable
+from ..errors import UnsafeQueryError
 from ..queries.cq import ConjunctiveQuery, product_of_cqs
 from ..queries.ucq import UnionOfConjunctiveQueries, as_ucq
 from .tid import TupleIndependentDatabase
 
-
-class UnsafeQueryError(Exception):
-    """Raised when the lifted-inference compiler finds no safe plan."""
+# UnsafeQueryError historically lived in this module; it now sits in the
+# package-wide hierarchy of repro.errors and is re-exported here unchanged.
 
 
 # ---------------------------------------------------------------------------

@@ -14,7 +14,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..data.atoms import Atom, Fact, atoms_constants, atoms_variables
 from ..data.database import Database, PartitionedDatabase
-from ..data.terms import Constant, FreshConstantFactory, Term, Variable, is_constant, is_variable
+from ..data.terms import Constant, FreshConstantFactory, Term, Variable, is_constant
 from .base import BooleanQuery, as_fact_set, minimize_supports
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..data.atoms import Fact
-from ..data.database import Database
 from ..data.terms import Constant, FreshConstantFactory, Variable, const
 from .automata import NFA
 from .base import BooleanQuery, as_fact_set, minimize_supports

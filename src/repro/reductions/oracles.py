@@ -13,11 +13,11 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Protocol
 
-from ..core.max_svc import max_shapley_value
-from ..core.svc import SVCMethod, shapley_value_of_fact
 from ..counting.problems import CountingMethod, fgmc_vector
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
+from ..engine.svc_engine import EngineBackend as SVCMethod
+from ..engine.svc_engine import get_engine
 from ..queries.base import BooleanQuery
 
 
@@ -43,20 +43,24 @@ class FGMCOracle(Protocol):
 
 def exact_svc_oracle(method: SVCMethod = "auto",
                      counting_method: CountingMethod = "auto") -> SVCOracle:
-    """An SVC oracle backed by :func:`repro.core.svc.shapley_value_of_fact`."""
+    """An SVC oracle backed by the batched :class:`repro.engine.SVCEngine`.
+
+    Reductions require a *specific* solver, so the oracle addresses the engine
+    layer directly rather than the dichotomy-dispatching
+    :class:`repro.api.AttributionSession`.
+    """
 
     def oracle(query: BooleanQuery, pdb: PartitionedDatabase, fact: Fact) -> Fraction:
-        return shapley_value_of_fact(query, pdb, fact, method=method,
-                                     counting_method=counting_method)
+        return get_engine(query, pdb, method, counting_method).value_of(fact)
 
     return oracle
 
 
 def exact_max_svc_oracle(method: SVCMethod = "auto") -> MaxSVCOracle:
-    """A max-SVC oracle backed by :func:`repro.core.max_svc.max_shapley_value`."""
+    """A max-SVC oracle backed by the batched :class:`repro.engine.SVCEngine`."""
 
     def oracle(query: BooleanQuery, pdb: PartitionedDatabase) -> tuple[Fact, Fraction]:
-        return max_shapley_value(query, pdb, method=method)
+        return get_engine(query, pdb, method).max_value()
 
     return oracle
 

@@ -15,7 +15,7 @@ from repro.data import (
     purely_endogenous,
     var,
 )
-from repro.queries import cq, rpq, ucq
+from repro.queries import cq, rpq
 
 X, Y, Z, W = var("x"), var("y"), var("z"), var("w")
 

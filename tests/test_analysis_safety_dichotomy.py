@@ -20,7 +20,7 @@ from repro.experiments import (
     rpq_single_letter,
     rpq_star,
 )
-from repro.queries import cq, ucq
+from repro.queries import cq
 
 X, Y, Z = var("x"), var("y"), var("z")
 

@@ -1,7 +1,5 @@
 """Tests for the sampling-based Shapley estimator and the command-line interface."""
 
-from fractions import Fraction
-
 import pytest
 
 from repro.cli import main
@@ -13,7 +11,7 @@ from repro.core import (
     samples_for_guarantee,
     shapley_value_of_fact,
 )
-from repro.data import fact, partitioned
+from repro.data import fact
 from repro.experiments import q_rst
 from repro.io import save_partitioned_csv
 

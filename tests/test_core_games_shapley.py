@@ -12,7 +12,7 @@ from repro.core import (
     shapley_value,
     shapley_values,
 )
-from repro.data import Database, atom, const, fact, partitioned, purely_endogenous, var
+from repro.data import Database, atom, const, fact, partitioned, var
 from repro.queries import cq
 
 X, Y = var("x"), var("y")

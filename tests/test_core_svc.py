@@ -15,7 +15,7 @@ from repro.core import (
 )
 from repro.data import atom, fact, partitioned, var
 from repro.probability import UnsafeQueryError
-from repro.queries import cq, cq_with_negation, rpq, ucq
+from repro.queries import cq_with_negation, rpq
 
 X, Y, Z = var("x"), var("y"), var("z")
 

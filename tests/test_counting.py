@@ -20,8 +20,8 @@ from repro.counting import (
     model_count,
     pad,
 )
-from repro.data import Database, atom, fact, partition_by_relation, partitioned, purely_endogenous, var
-from repro.queries import cq, rpq
+from repro.data import atom, fact, partitioned, purely_endogenous, var
+from repro.queries import rpq
 
 X, Y = var("x"), var("y")
 

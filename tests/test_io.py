@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data import Constant, Database, Variable, atom, fact, partitioned, var
+from repro.data import Constant, Database, Variable, atom, fact, var
 from repro.io import (
     QuerySyntaxError,
     load_database_csv,

@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.counting import fgmc_vector
-from repro.data import Database, atom, fact, partitioned, purely_endogenous, var
+from repro.data import atom, fact, partitioned, var
 from repro.probability import (
     TupleIndependentDatabase,
     UnsafeQueryError,
@@ -165,7 +165,8 @@ class TestInterpolation:
         assert fgmc_vector_via_pqe(q_rst, small_pdb) == fgmc_vector(q_rst, small_pdb, "brute")
 
     def test_fgmc_via_lifted_pqe_on_safe_query(self, q_hier, small_pdb):
-        solver = lambda q, tid: lifted_probability(q, tid)
+        def solver(q, tid):
+            return lifted_probability(q, tid)
         assert fgmc_vector_via_pqe(q_hier, small_pdb, pqe_solver=solver) == fgmc_vector(
             q_hier, small_pdb, "brute")
 

@@ -6,9 +6,9 @@ from fractions import Fraction
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import QueryGame, shapley_value, shapley_values
+from repro.core import QueryGame, shapley_values
 from repro.counting import MonotoneDNF, binomial_row, convolve, fgmc_vector
-from repro.data import Database, PartitionedDatabase, atom, fact, var
+from repro.data import PartitionedDatabase, atom, fact, var
 from repro.linalg import island_system_matrix, solve_linear_system, vandermonde_solve
 from repro.probability import TupleIndependentDatabase, probability_brute_force, probability_via_lineage
 from repro.queries import cq

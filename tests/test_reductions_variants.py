@@ -52,7 +52,8 @@ class TestLemma61:
         assert oracle.calls == 1
 
     def test_svcn_via_fmc_oracle_form(self, q_rst, endogenous_bipartite):
-        oracle = lambda q, d: fmc_vector(q, d, method="lineage")
+        def oracle(q, d):
+            return fmc_vector(q, d, method="lineage")
         for f in sorted(endogenous_bipartite.endogenous)[:3]:
             direct = shapley_value_of_fact(q_rst, endogenous_bipartite, f, "brute")
             assert svcn_via_fmc(q_rst, endogenous_bipartite, f, oracle) == direct
