@@ -1,0 +1,134 @@
+"""Benchmark — the process-parallel SVC engine vs. the serial engine.
+
+The per-fact Shapley values of the batched engine are independent
+conditionings of one shared artefact, so the whole-database workload shards
+across worker processes.  This module measures that: the same instances run
+through the serial engine and through pools of 2 and 4 workers, parity is
+asserted on every run (bitwise-identical ``Fraction`` values), and the
+timings are written to ``BENCH_parallel.json`` so the speedup trajectory
+accumulates run over run.
+
+The speed story rides on the ``brute`` backend, whose ``2^n`` coalition-table
+fill is the engine's one embarrassingly parallel exponential workload (the
+counting backend's conditionings are sub-millisecond at these sizes — far
+below pool-startup cost, which is exactly why ``parallel_threshold`` exists).
+
+Speedup assertions are conditioned on the hardware actually offering the
+parallelism: a 1-core container cannot make 4 processes faster than 1, so
+there the benchmark only checks the fallback guarantee (a multi-worker engine
+must never be materially slower than the serial one at small sizes) and
+records honest timings with the observed ``cpu_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import SVCEngine
+from repro.experiments import bipartite_attribution_instance, format_table, q_rst
+
+QUERY = q_rst()
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+#: (left, right, exogenous_pad) — |Dn| = left * right endogenous S facts.
+#: n=8 sits below the default parallel_threshold (the fallback regime);
+#: n=12 and n=14 exercise real pools, n=14 is the acceptance instance.
+SMALL_SHAPES = ((2, 4, 3),)
+LARGE_SHAPES = ((2, 6, 4), (2, 7, 4))
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed(make_engine) -> "tuple[float, dict, SVCEngine]":
+    """Best-of-2 wall time: a fresh engine per rep absorbs scheduler jitter
+    (shared CI runners routinely add tens of percent of noise to one-shot
+    timings, which would flake the speedup assertions below)."""
+    best, values, engine = None, None, None
+    for _ in range(2):
+        engine = make_engine()
+        start = time.perf_counter()
+        values = engine.all_values()
+        wall = time.perf_counter() - start
+        best = wall if best is None else min(best, wall)
+    return best, values, engine
+
+
+def _measure(shape: "tuple[int, int, int]") -> dict:
+    left, right, pad = shape
+    pdb = bipartite_attribution_instance(left, right, exogenous_pad=pad)
+    serial_time, serial_values, _ = _timed(
+        lambda: SVCEngine(QUERY, pdb, method="brute"))
+    row = {"n_endogenous": len(pdb.endogenous), "serial_s": round(serial_time, 4)}
+    for workers in (2, 4):
+        wall, values, engine = _timed(
+            lambda workers=workers: SVCEngine(QUERY, pdb, method="brute",
+                                              workers=workers))
+        assert values == serial_values, \
+            f"parallel x{workers} diverged from serial on |Dn|={len(pdb.endogenous)}"
+        row[f"parallel{workers}_s"] = round(wall, 4)
+        row[f"workers_used_x{workers}"] = engine.workers_used
+        row[f"speedup_x{workers}"] = round(serial_time / wall, 3) if wall else None
+    return row
+
+
+def test_parallel_engine_benchmark(capsys):
+    """Measure, assert the perf contract, and record ``BENCH_parallel.json``."""
+    cpus = _cpus()
+    rows = [_measure(shape) for shape in SMALL_SHAPES + LARGE_SHAPES]
+    payload = {
+        "query": str(QUERY),
+        "backend": "brute",
+        "cpu_count": cpus,
+        "rows": rows,
+        "note": ("speedup assertions require as many free cores as workers; "
+                 "with cpu_count == 1 the recorded parallel timings measure "
+                 "pure pool overhead, not the backend's scaling"),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title=f"Parallel vs serial SVC engine "
+                                       f"({cpus} CPU(s) available)"))
+        print(f"recorded: {RESULTS_PATH}")
+
+    # Fallback guarantee, valid on any hardware: below parallel_threshold the
+    # multi-worker engine takes the identical serial path, so small instances
+    # are never materially slower (1.2x bound with an absolute jitter floor).
+    for row, shape in zip(rows, SMALL_SHAPES):
+        for workers in (2, 4):
+            assert row[f"workers_used_x{workers}"] == 1, \
+                "small instances must stay on the serial path"
+            assert row[f"parallel{workers}_s"] <= 1.2 * row["serial_s"] + 0.05, \
+                f"parallel x{workers} materially slower at |Dn|={row['n_endogenous']}"
+
+    largest = rows[-1]
+    assert largest["workers_used_x4"] == 4, "the acceptance instance must shard"
+    if cpus >= 2:
+        assert largest["speedup_x2"] > 1.0, \
+            f"parallel x2 not faster at the largest size: {largest}"
+    if cpus >= 4:
+        assert largest["speedup_x4"] >= 1.5, \
+            f"4-worker speedup below 1.5x on the largest instance: {largest}"
+
+
+@pytest.mark.benchmark(group="parallel-engine")
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_brute_backend_by_workers(benchmark, workers):
+    pdb = bipartite_attribution_instance(2, 6, exogenous_pad=4)
+
+    def run():
+        return SVCEngine(QUERY, pdb, method="brute", workers=workers,
+                         parallel_threshold=2).all_values()
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(values) == len(pdb.endogenous)

@@ -11,7 +11,10 @@ This script walks through the three regimes:
 1. an FP query (hierarchical)  → polynomial safe-plan backend,
 2. a #P-hard query on a small instance → exact exponential backend,
 3. the same hard query with a tight size budget → Monte-Carlo fallback with an
-   (ε, δ) guarantee, chosen automatically.
+   (ε, δ) guarantee, chosen automatically,
+4. the same exact computation sharded across worker processes — the report's
+   ``workers_used`` shows what actually ran (1 when the engine fell back to
+   the serial path, e.g. below ``parallel_threshold``).
 
 Run with:  python examples/session_quickstart.py
 """
@@ -75,6 +78,21 @@ def main() -> None:
     # 3. Hard side, tight size budget: Monte-Carlo without naming a method.
     config = EngineConfig(exact_size_limit=2, epsilon=0.1, delta=0.05, seed=0)
     show("q_RST (hard, sampling fallback)", AttributionSession(q_rst, pdb, config))
+
+    # 4. Parallel attribution: same values, sharded across worker processes.
+    #    Exact parity with the serial engine is guaranteed — workers run the
+    #    identical per-fact kernels on the same shared artefact; only the
+    #    wall-clock changes.  The default parallel_threshold would keep a demo
+    #    instance this small on the serial path, so we lower it to 2 here to
+    #    force the pool; workers_used always records what actually ran.
+    parallel_config = EngineConfig(method="brute", workers=4, parallel_threshold=2)
+    parallel_session = AttributionSession(q_rst, pdb, parallel_config)
+    report = parallel_session.report()
+    serial_values = AttributionSession(q_rst, pdb, EngineConfig(method="brute")).values()
+    print("--- q_RST (process-parallel brute backend) ---")
+    print(f"workers used : {report.workers_used}")
+    print(f"parity       : {parallel_session.values() == serial_values}")
+    print(f"wall time    : {report.wall_time_s:.4f}s\n")
 
     # Every report serialises for services and dashboards:
     print("JSON preview:",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
+from ..engine.svc_engine import DEFAULT_PARALLEL_THRESHOLD
 from ..errors import ConfigError
 
 #: Backends a caller may request explicitly.  ``auto`` delegates the choice to
@@ -58,6 +59,13 @@ class EngineConfig:
     exact_size_limit: int = 16
     #: Verify the efficiency axiom (Σ values = v(Dn)) when building reports.
     check_efficiency: bool = True
+    #: Worker processes for the exact engine backends; ``1`` keeps everything
+    #: in-process.  With more workers the per-fact work (counting / safe) or
+    #: the coalition-table fill (brute) shards across a process pool.
+    workers: int = 1
+    #: Smallest ``|Dn|`` for which a multi-worker engine actually spawns a
+    #: pool; below it the serial path always runs (pool startup would dominate).
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -74,6 +82,11 @@ class EngineConfig:
             raise ConfigError(f"n_samples must be positive, got {self.n_samples}")
         if self.exact_size_limit < 0:
             raise ConfigError(f"exact_size_limit must be >= 0, got {self.exact_size_limit}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.parallel_threshold < 0:
+            raise ConfigError(
+                f"parallel_threshold must be >= 0, got {self.parallel_threshold}")
 
     def to_json_dict(self) -> dict:
         """A JSON-serialisable rendering (embedded in report metadata)."""

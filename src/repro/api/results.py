@@ -122,6 +122,10 @@ class AttributionReport:
     #: Actual per-fact sample count of the Monte-Carlo run (``None`` on exact
     #: backends) — the Hoeffding-derived count, not the configured request.
     n_samples_used: "int | None"
+    #: How many worker processes the engine actually used (``1`` for the
+    #: serial path and for every parallel fallback — small instance,
+    #: unpicklable artefact, pool failure — as well as the sampled backend).
+    workers_used: int
     efficiency: "EfficiencyCheck | None"
     cache: Mapping[str, int]
 
@@ -149,6 +153,7 @@ class AttributionReport:
             "wall_time_s": self.wall_time_s,
             "exact": self.exact,
             "n_samples_used": self.n_samples_used,
+            "workers_used": self.workers_used,
             "efficiency": None if self.efficiency is None else self.efficiency.to_json_dict(),
             "engine_cache": dict(self.cache),
             "ranking": [{"fact": str(f), "value": _fraction_json(v)}

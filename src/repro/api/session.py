@@ -93,7 +93,9 @@ class AttributionSession:
     def _engine_for(self, method: str) -> SVCEngine:
         if self._engine is None:
             self._engine = get_engine(self.query, self.pdb, method,
-                                      self.config.counting_method)
+                                      self.config.counting_method,
+                                      self.config.workers,
+                                      self.config.parallel_threshold)
         return self._engine
 
     def _dispatch(self) -> Explanation:
@@ -148,6 +150,8 @@ class AttributionSession:
     def _compute_values(self) -> dict[Fact, Fraction]:
         if self._values is None:
             explanation = self.explanation()
+            # Accumulate (don't overwrite): per-fact of() calls may already
+            # have charged time to this session.
             start = time.perf_counter()
             if explanation.backend == "sampled":
                 self._estimates = _approximate_values_of_facts(
@@ -157,7 +161,7 @@ class AttributionSession:
                 self._values = {f: r.estimate for f, r in self._estimates.items()}
             else:
                 self._values = self._engine_for("auto").all_values()
-            self._wall_time_s = time.perf_counter() - start
+            self._wall_time_s += time.perf_counter() - start
         return self._values
 
     def values(self) -> dict[Fact, Fraction]:
@@ -195,8 +199,15 @@ class AttributionSession:
             return AttributionResult(fact=fact, value=estimate.estimate, exact=False,
                                      backend="sampled", samples=estimate.samples,
                                      epsilon=estimate.epsilon, delta=estimate.delta)
-        value = (self._values[fact] if self._values is not None
-                 else self._engine_for("auto").value_of(fact))
+        if self._values is not None:
+            value = self._values[fact]
+        else:
+            # Per-fact exact work is wall-time too: sessions used only through
+            # of() must not report 0.0 (the engine still shares its artefacts,
+            # so only the first call per fact pays real time).
+            start = time.perf_counter()
+            value = self._engine_for("auto").value_of(fact)
+            self._wall_time_s += time.perf_counter() - start
         return AttributionResult(fact=fact, value=value, exact=True,
                                  backend=self.backend())
 
@@ -221,7 +232,10 @@ class AttributionSession:
     def _efficiency_check(self) -> EfficiencyCheck:
         total = sum(self._compute_values().values(), Fraction(0))
         grand = self._grand_coalition_value()
-        if self._estimates is None:
+        if not self._estimates:
+            # Exact backends — and the sampled backend on an empty Dn, whose
+            # estimate map is {} (there is no per-fact sample count to invert
+            # Hoeffding for, and Σ over no facts is exactly v(Dn) = 0).
             ok = total == grand
         else:
             # Union bound over the per-fact guarantees, at the accuracy the run
@@ -238,7 +252,9 @@ class AttributionSession:
     def report(self) -> AttributionReport:
         """The frozen, JSON-serialisable record of the whole attribution run."""
         ranking = tuple(self.ranking())
-        exact = self._estimates is None
+        # A sampled run over zero endogenous facts draws no samples, so its
+        # (empty) value map is trivially exact.
+        exact = not self._estimates
         samples_used = None
         if self._estimates:
             # One shared RNG, one count: every per-fact estimator uses it.
@@ -254,6 +270,7 @@ class AttributionSession:
             wall_time_s=self._wall_time_s,
             exact=exact,
             n_samples_used=samples_used,
+            workers_used=1 if self._engine is None else self._engine.workers_used,
             efficiency=self._efficiency_check() if self.config.check_efficiency else None,
             cache=engine_cache_stats(),
         )

@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     attribute.add_argument("--exact-size-limit", dest="exact_size_limit", type=int,
                            default=config_defaults["exact_size_limit"],
                            help="largest |Dn| still solved exactly when the query is hard")
+    attribute.add_argument("--workers", type=int, default=config_defaults["workers"],
+                           help="worker processes for the exact engine backends "
+                                "(1 = serial)")
+    attribute.add_argument("--parallel-threshold", dest="parallel_threshold", type=int,
+                           default=config_defaults["parallel_threshold"],
+                           help="smallest |Dn| for which the pool is actually spawned")
     attribute.add_argument("--top", type=int, default=None,
                            help="print only the k most responsible facts")
     attribute.add_argument("--json", action="store_true",
@@ -130,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     svc_all.add_argument("--counting-method", dest="counting_method",
                          choices=["auto", "brute", "lineage"], default="auto",
                          help="FGMC backend used by the counting method")
+    svc_all.add_argument("--workers", type=int, default=config_defaults["workers"],
+                         help="worker processes for the engine (1 = serial)")
+    svc_all.add_argument("--parallel-threshold", dest="parallel_threshold", type=int,
+                         default=config_defaults["parallel_threshold"],
+                         help="smallest |Dn| for which the pool is actually spawned")
     svc_all.set_defaults(handler=_command_svc_all)
 
     count = subparsers.add_parser("count", help="FGMC vector and GMC total of the query")
@@ -181,7 +192,9 @@ def _command_attribute(args: argparse.Namespace) -> int:
     config = EngineConfig(method=args.method, counting_method=args.counting_method,
                           epsilon=args.epsilon, delta=args.delta,
                           n_samples=args.samples, seed=args.seed,
-                          on_hard=args.on_hard, exact_size_limit=args.exact_size_limit)
+                          on_hard=args.on_hard, exact_size_limit=args.exact_size_limit,
+                          workers=args.workers,
+                          parallel_threshold=args.parallel_threshold)
     session = AttributionSession(query, pdb, config)
     report = session.report()
     if args.json:
@@ -195,7 +208,7 @@ def _command_attribute(args: argparse.Namespace) -> int:
     null_players = session.null_players()
     if null_players:
         print(f"null players: {', '.join(str(f) for f in sorted(null_players))}")
-    print(f"wall time: {report.wall_time_s:.4f}s   "
+    print(f"wall time: {report.wall_time_s:.4f}s   workers: {report.workers_used}   "
           f"engine cache: {dict(report.cache)}")
     return 0
 
@@ -219,11 +232,13 @@ def _command_svc_all(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     pdb = _load_database(args.database, args.exogenous)
     config = EngineConfig(method=args.method, counting_method=args.counting_method,
-                          on_hard="exact")
+                          on_hard="exact", workers=args.workers,
+                          parallel_threshold=args.parallel_threshold)
     report = AttributionSession(query, pdb, config).report()
     print(format_table(_report_rows(report),
                        title=f"Batched Shapley values for {query} "
-                             f"(backend: {report.backend})"))
+                             f"(backend: {report.backend}, "
+                             f"workers: {report.workers_used})"))
     _print_efficiency(report)
     return 0
 

@@ -61,7 +61,11 @@ def approximate_shapley_value(game: CooperativeGame[Player], player: Player,
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     if n_samples is None:
         n_samples = samples_for_guarantee(epsilon, delta)
-    others = sorted(game.players - {player}, key=str)
+    # The players' own total order, NOT their string rendering: the package's
+    # tie-break contract (repro.engine.svc_engine._ranking_key) promises that
+    # deterministic orderings never depend on how a fact prints, so a seeded
+    # run must survive any order-preserving renaming of the facts.
+    others = sorted(game.players - {player})
     total = 0
     for _ in range(n_samples):
         position = rng.randint(0, len(others))

@@ -43,6 +43,12 @@ class Atom:
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Atom objects are immutable")
 
+    def __reduce__(self) -> tuple:
+        # Slots + the __setattr__ guard defeat pickle's default state
+        # restoration; rebuilding through the constructor keeps atoms (and
+        # facts) picklable, which the process-pool engine backend relies on.
+        return (type(self), (self.relation, self.terms))
+
     # -- value semantics ---------------------------------------------------
     def _key(self) -> tuple:
         return (self.relation, tuple(_term_key(t) for t in self.terms))

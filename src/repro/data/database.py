@@ -45,6 +45,11 @@ class Database:
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Database objects are immutable")
 
+    def __reduce__(self) -> tuple:
+        # Rebuild through the constructor: slots plus the __setattr__ guard
+        # defeat pickle's default state restoration.
+        return (type(self), (self._facts,))
+
     # -- set protocol -------------------------------------------------------
     @property
     def facts(self) -> frozenset[Fact]:
@@ -147,6 +152,11 @@ class PartitionedDatabase:
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("PartitionedDatabase objects are immutable")
+
+    def __reduce__(self) -> tuple:
+        # See Database.__reduce__: constructor-based pickling for the
+        # process-pool engine backend.
+        return (type(self), (self._endogenous, self._exogenous))
 
     # -- accessors -----------------------------------------------------------
     @property

@@ -6,6 +6,7 @@ pair, all per-fact Shapley values derived from it by conditioning.  See
 """
 
 from .svc_engine import (
+    DEFAULT_PARALLEL_THRESHOLD,
     EngineBackend,
     SVCEngine,
     clear_engine_cache,
@@ -15,6 +16,7 @@ from .svc_engine import (
 )
 
 __all__ = [
+    "DEFAULT_PARALLEL_THRESHOLD",
     "EngineBackend",
     "SVCEngine",
     "clear_engine_cache",

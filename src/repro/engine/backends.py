@@ -1,0 +1,175 @@
+"""Pure per-fact value functions of the three engine backends.
+
+These are the computational kernels of :class:`repro.engine.SVCEngine`,
+factored out as module-level functions of the *shared artefact* (lineage, safe
+plan + full FGMC vector, or coalition table) and one fact.  Both the serial
+engine and the process-pool workers of :mod:`repro.engine.parallel` call the
+same functions, so the parallel backend is bitwise-identical to the serial one
+by construction: there is exactly one implementation of each backend's
+arithmetic.
+
+Everything here is side-effect free and operates on picklable inputs only —
+a requirement for shipping the artefact to worker processes once per pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import TYPE_CHECKING
+
+from ..data.atoms import Fact
+from ..data.database import PartitionedDatabase
+from ..linalg import shapley_subset_weight
+from ..probability.interpolation import fgmc_vector_via_pqe
+from ..probability.lifted import Plan, evaluate_plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..counting.lineage import Lineage
+    from ..queries.base import BooleanQuery
+
+
+def combine_fgmc_vectors(with_fact_exogenous: "list[int]", without_fact: "list[int]",
+                         n_endogenous: int) -> Fraction:
+    """Claim A.1: combine the two per-fact FGMC vectors into a Shapley value.
+
+    ``with_fact_exogenous[j]`` counts generalized supports of size ``j`` in
+    ``(Dn \\ {μ}, Dx ∪ {μ})``; ``without_fact[j]`` in ``(Dn \\ {μ}, Dx)``;
+    ``n_endogenous`` is ``|Dn|`` (including μ).
+    """
+    total = Fraction(0)
+    for j in range(n_endogenous):
+        plus = with_fact_exogenous[j] if j < len(with_fact_exogenous) else 0
+        minus = without_fact[j] if j < len(without_fact) else 0
+        if plus != minus:
+            total += shapley_subset_weight(j, n_endogenous) * (plus - minus)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# counting backend
+# ---------------------------------------------------------------------------
+
+def counting_value_from_lineage(lineage: "Lineage", fact: Fact) -> Fraction:
+    """The Shapley value of one fact by conditioning the shared lineage DNF."""
+    with_vec, without_vec = lineage.conditioned_vectors(fact)
+    return combine_fgmc_vectors(with_vec, without_vec, lineage.n_variables)
+
+
+def counting_value_brute(query: "BooleanQuery", pdb: PartitionedDatabase,
+                         fact: Fact) -> Fraction:
+    """The Shapley value of one fact from brute-force FGMC vectors of the two
+    derived databases (the counting backend when no lineage applies)."""
+    from ..counting.problems import fgmc_vector
+
+    with_pdb = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous | {fact})
+    without_pdb = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous)
+    with_vec = fgmc_vector(query, with_pdb, method="brute")
+    without_vec = fgmc_vector(query, without_pdb, method="brute")
+    return combine_fgmc_vectors(with_vec, without_vec, len(pdb.endogenous))
+
+
+# ---------------------------------------------------------------------------
+# safe backend
+# ---------------------------------------------------------------------------
+
+def safe_value_from_plan(query: "BooleanQuery", plan: Plan, pdb: PartitionedDatabase,
+                         full_vector: "list[int]", fact: Fact) -> Fraction:
+    """The Shapley value of one fact from the shared safe plan.
+
+    ``full_vector`` is the FGMC vector of the full database, interpolated once
+    per engine; only the "fact removed" vector is interpolated here, the "fact
+    exogenous" vector follows from the partition identity
+    ``full[k] = with[k-1] + without[k]``.
+    """
+    n = len(pdb.endogenous)
+    without_pdb = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous)
+    without_vec = fgmc_vector_via_pqe(
+        query, without_pdb, pqe_solver=lambda _q, tid: evaluate_plan(plan, tid))
+    # Partition identity: a size-(j+1) generalized support of (Dn, Dx)
+    # either contains μ (a size-j support of (Dn \ {μ}, Dx ∪ {μ})) or not
+    # (a size-(j+1) support of (Dn \ {μ}, Dx)).
+    with_vec = [full_vector[j + 1] - (without_vec[j + 1] if j + 1 < len(without_vec) else 0)
+                for j in range(n)]
+    return combine_fgmc_vectors(with_vec, without_vec, n)
+
+
+# ---------------------------------------------------------------------------
+# brute backend
+# ---------------------------------------------------------------------------
+
+def coalition_values_of_size(query: "BooleanQuery", pdb: PartitionedDatabase,
+                             size: int) -> "dict[frozenset[Fact], int]":
+    """One stratum of the coalition table: every size-``size`` coalition's value.
+
+    The 2^n table fill is sharded across worker processes by coalition size;
+    each worker evaluates the query game on its strata only.
+    """
+    from ..core.games import QueryGame
+
+    game = QueryGame(query, pdb)
+    players = sorted(pdb.endogenous)
+    return {frozenset(coalition): game.value(frozenset(coalition))
+            for coalition in itertools.combinations(players, size)}
+
+
+def brute_partials_for_sizes(query: "BooleanQuery", pdb: PartitionedDatabase,
+                             sizes: "list[int]") -> "dict[Fact, Fraction]":
+    """Per-fact partial Shapley sums over whole coalition-size strata.
+
+    Rewrites the brute-force Shapley sum as a sum over *all* coalitions ``T``:
+    a coalition of size ``s`` contributes ``+w(s-1) · v(T)`` to every fact in
+    ``T`` and ``-w(s) · v(T)`` to every fact outside it.  Each worker evaluates
+    the query game only on its strata and returns one (exact) ``Fraction`` per
+    fact, so nothing the size of the ``2^n`` table ever crosses a process
+    boundary, and the read-off work shards along with the fill.  Summing the
+    strata partials over all sizes ``0..n`` recovers every Shapley value
+    exactly (``Fraction`` arithmetic is associative and lossless).
+    """
+    from ..core.games import QueryGame
+
+    game = QueryGame(query, pdb)
+    players = sorted(pdb.endogenous)
+    n = len(players)
+    partials = {f: Fraction(0) for f in players}
+    for size in sizes:
+        weight_inside = shapley_subset_weight(size - 1, n) if size > 0 else None
+        weight_outside = shapley_subset_weight(size, n) if size < n else None
+        for coalition in itertools.combinations(players, size):
+            value = game.value(frozenset(coalition))
+            if value == 0:
+                continue
+            if weight_inside is not None:
+                for f in coalition:
+                    partials[f] += weight_inside * value
+            if weight_outside is not None:
+                inside = set(coalition)
+                for f in players:
+                    if f not in inside:
+                        partials[f] -= weight_outside * value
+    return partials
+
+
+def brute_value_from_table(table: "dict[frozenset[Fact], int]",
+                           pdb: PartitionedDatabase, fact: Fact) -> Fraction:
+    """The Shapley value of one fact read off the shared coalition table."""
+    others = sorted(pdb.endogenous - {fact})
+    n = len(pdb.endogenous)
+    total = Fraction(0)
+    for size in range(len(others) + 1):
+        weight = shapley_subset_weight(size, n)
+        for coalition in itertools.combinations(others, size):
+            before = frozenset(coalition)
+            total += weight * (table[before | {fact}] - table[before])
+    return total
+
+
+__all__ = [
+    "brute_partials_for_sizes",
+    "brute_value_from_table",
+    "coalition_values_of_size",
+    "combine_fgmc_vectors",
+    "counting_value_brute",
+    "counting_value_from_lineage",
+    "safe_value_from_plan",
+]

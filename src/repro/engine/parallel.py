@@ -1,0 +1,147 @@
+"""Process-pool sharding of the batched SVC engine.
+
+The paper's batched reduction makes every per-fact Shapley value an
+independent conditioning of one shared artefact — a lineage DNF, a compiled
+safe plan, or a coalition table — which is exactly the shape that shards
+across workers.  This module is the execution layer behind
+:class:`repro.engine.SVCEngine`:
+
+* the parent pickles the shared artefact **once per pool** and ships it
+  through the pool initializer (not per task), so each worker deserialises it
+  a single time and then serves many per-fact tasks against it,
+* the per-fact work of the ``counting`` and ``safe`` backends is sharded by
+  striping the sorted fact list across workers,
+* the ``2^n`` coalition-table fill of the ``brute`` backend is sharded by
+  coalition size (each worker evaluates whole strata of the table),
+* every worker runs the *same* per-fact kernels as the serial engine
+  (:mod:`repro.engine.backends`), so parallel results are bitwise-identical
+  ``Fraction`` values by construction.
+
+Both drivers degrade gracefully: if the artefact fails to pickle, or the pool
+itself fails (e.g. a sandbox forbids ``fork``), they return ``None`` and the
+engine falls back to the serial path.  Correctness therefore never depends on
+the pool; only wall-clock time does.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from fractions import Fraction
+from typing import Any, Sequence
+
+from ..data.atoms import Fact
+from . import backends
+
+#: Worker-process state, installed once per pool by :func:`_init_worker`.
+#: ``_STATE`` is ``(kind, artefact)`` where ``kind`` names the backend flavour.
+_STATE: "tuple[str, Any] | None" = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: deserialise the shared artefact once per worker."""
+    global _STATE
+    _STATE = pickle.loads(payload)
+
+
+def _fact_chunk_values(facts: Sequence[Fact]) -> "list[tuple[Fact, Fraction]]":
+    """Worker task: per-fact Shapley values for one stripe of the fact list."""
+    kind, artefact = _STATE
+    if kind == "counting-lineage":
+        lineage = artefact
+        return [(f, backends.counting_value_from_lineage(lineage, f)) for f in facts]
+    if kind == "counting-brute":
+        query, pdb = artefact
+        return [(f, backends.counting_value_brute(query, pdb, f)) for f in facts]
+    if kind == "safe":
+        query, plan, pdb, full_vector = artefact
+        return [(f, backends.safe_value_from_plan(query, plan, pdb, full_vector, f))
+                for f in facts]
+    raise ValueError(f"unknown worker kind {kind!r}")
+
+
+def _coalition_sizes_chunk(sizes: Sequence[int]) -> "dict[Fact, Fraction]":
+    """Worker task: per-fact partial Shapley sums for one stripe of sizes.
+
+    Returning partial sums instead of the raw table strata keeps the result
+    transfer at ``n`` Fractions per worker (the ``2^n`` table never crosses a
+    process boundary) and shards the per-fact read-off along with the fill.
+    """
+    kind, artefact = _STATE
+    if kind != "brute":
+        raise ValueError(f"unknown worker kind {kind!r}")
+    query, pdb = artefact
+    return backends.brute_partials_for_sizes(query, pdb, list(sizes))
+
+
+def _pickled(artefact: "tuple[str, Any]") -> "bytes | None":
+    """The artefact payload, or ``None`` when it cannot be pickled."""
+    try:
+        return pickle.dumps(artefact)
+    except Exception:
+        return None
+
+
+def _stripes(items: Sequence, workers: int) -> "list[list]":
+    """Split items into at most ``workers`` interleaved, non-empty stripes.
+
+    Striping (rather than contiguous blocks) balances the work when cost
+    varies monotonically along the sequence — e.g. coalition sizes, whose
+    strata sizes are binomials peaking at ``n/2``.
+    """
+    stripes = [list(items[i::workers]) for i in range(workers)]
+    return [stripe for stripe in stripes if stripe]
+
+
+def parallel_fact_values(artefact: "tuple[str, Any]", facts: Sequence[Fact],
+                         workers: int) -> "dict[Fact, Fraction] | None":
+    """Per-fact Shapley values of ``facts``, sharded across a process pool.
+
+    ``artefact`` is ``(kind, payload)`` as understood by
+    :func:`_fact_chunk_values`.  Returns ``None`` when the artefact cannot be
+    pickled or the pool fails, signalling the engine to fall back to its
+    serial path.
+    """
+    payload = _pickled(artefact)
+    if payload is None:
+        return None
+    try:
+        with ProcessPoolExecutor(max_workers=workers, initializer=_init_worker,
+                                 initargs=(payload,)) as pool:
+            results = pool.map(_fact_chunk_values, _stripes(facts, workers))
+            return {f: v for chunk in results for f, v in chunk}
+    except Exception:
+        # Pool-level failure (fork unavailable, broken pool, unpicklable
+        # result, a worker raising): the serial path recomputes and, for
+        # deterministic errors, re-raises with full context.
+        return None
+
+
+def parallel_brute_values(artefact: "tuple[str, Any]", n_endogenous: int,
+                          workers: int) -> "dict[Fact, Fraction] | None":
+    """Every Shapley value of the brute backend, strata sharded across a pool.
+
+    The ``2^n`` coalition evaluations are chunked by coalition size; each
+    worker returns per-fact partial sums over its strata, which add up (in
+    exact ``Fraction`` arithmetic, so summation order is irrelevant) to the
+    same values the serial table read-off produces.  Returns ``None`` on
+    pickling or pool failure (serial fallback).
+    """
+    payload = _pickled(artefact)
+    if payload is None:
+        return None
+    sizes = list(range(n_endogenous + 1))
+    try:
+        with ProcessPoolExecutor(max_workers=workers, initializer=_init_worker,
+                                 initargs=(payload,)) as pool:
+            results = list(pool.map(_coalition_sizes_chunk, _stripes(sizes, workers)))
+    except Exception:
+        return None
+    values: dict[Fact, Fraction] = {}
+    for partial in results:
+        for f, v in partial.items():
+            values[f] = values.get(f, Fraction(0)) + v
+    return values
+
+
+__all__ = ["parallel_brute_values", "parallel_fact_values"]

@@ -21,27 +21,42 @@ per-fact vector pair from **one** shared artefact per ``(query, database)``:
 
 ``method="auto"`` resolves safe → counting → brute exactly like the per-fact
 :func:`repro.core.svc.shapley_value_of_fact`.  A module-level LRU keyed by
-``(query, pdb, method, counting_method)`` lets independent call sites (ranking,
-max-SVC, relevance analysis, CLI) reuse the same engine and its artefacts.
+``(query, pdb, method, counting_method, workers, parallel_threshold)`` lets
+independent call sites (ranking, max-SVC, relevance analysis, CLI) reuse the
+same engine and its artefacts.
+
+Because every per-fact value is an independent conditioning of the shared
+artefact, the whole-database workload shards across worker processes: with
+``workers > 1`` the engine stripes the per-fact work (counting / safe) or the
+coalition-table strata (brute) over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(see :mod:`repro.engine.parallel`), degrading gracefully to the serial path
+when the instance is small, the artefact fails to pickle, or the pool cannot
+be created.
 """
 
 from __future__ import annotations
 
-import itertools
 from collections import OrderedDict
 from fractions import Fraction
 from typing import Literal
 
 from ..counting.lineage import Lineage, build_lineage
-from ..counting.problems import CountingMethod, fgmc_vector
+from ..counting.problems import CountingMethod
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
-from ..linalg import shapley_subset_weight
 from ..probability.interpolation import fgmc_vector_via_pqe
 from ..probability.lifted import Plan, UnsafeQueryError, evaluate_plan, safe_plan
 from ..queries.base import BooleanQuery
 from ..queries.cq import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries
+from . import backends, parallel
+from .backends import combine_fgmc_vectors  # noqa: F401  (historic export)
+
+#: Default smallest ``|Dn|`` for which a multi-worker engine actually spawns a
+#: pool: below it, per-process startup dominates any conceivable speedup
+#: (a 2^11 coalition table fills in well under pool-startup time, and the
+#: counting backend's per-fact conditionings are sub-millisecond at that size).
+DEFAULT_PARALLEL_THRESHOLD = 12
 
 #: Backend names; ``auto`` resolves to the first applicable of safe/counting/brute.
 EngineBackend = Literal["auto", "brute", "counting", "safe"]
@@ -60,23 +75,6 @@ def _ranking_key(item: "tuple[Fact, Fraction]") -> "tuple[Fraction, Fact]":
     return (-value, fact)
 
 
-def combine_fgmc_vectors(with_fact_exogenous: "list[int]", without_fact: "list[int]",
-                         n_endogenous: int) -> Fraction:
-    """Claim A.1: combine the two per-fact FGMC vectors into a Shapley value.
-
-    ``with_fact_exogenous[j]`` counts generalized supports of size ``j`` in
-    ``(Dn \\ {μ}, Dx ∪ {μ})``; ``without_fact[j]`` in ``(Dn \\ {μ}, Dx)``;
-    ``n_endogenous`` is ``|Dn|`` (including μ).
-    """
-    total = Fraction(0)
-    for j in range(n_endogenous):
-        plus = with_fact_exogenous[j] if j < len(with_fact_exogenous) else 0
-        minus = without_fact[j] if j < len(without_fact) else 0
-        if plus != minus:
-            total += shapley_subset_weight(j, n_endogenous) * (plus - minus)
-    return total
-
-
 class SVCEngine:
     """Batched Shapley value computation for one ``(query, database)`` pair.
 
@@ -86,15 +84,31 @@ class SVCEngine:
     computes a single fact's value from the shared artefacts; ``all_values``
     is therefore ``O(lineage + n · conditioning)`` instead of the per-fact
     loop's ``O(n · lineage)``.
+
+    With ``workers > 1`` and ``|Dn| >= parallel_threshold``, :meth:`all_values`
+    shards the per-fact conditioning loop (counting), the per-fact plan
+    interpolations (safe), or the coalition-table fill (brute) across a
+    process pool; the merged results land in the same ``_values`` memo, so
+    ``value_of`` / ``ranking`` / ``max_value`` are oblivious to how the values
+    were computed.  :attr:`workers_used` records what actually ran.
     """
 
     def __init__(self, query: BooleanQuery, pdb: PartitionedDatabase,
                  method: EngineBackend = "auto",
-                 counting_method: CountingMethod = "auto"):
+                 counting_method: CountingMethod = "auto",
+                 workers: int = 1,
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if parallel_threshold < 0:
+            raise ValueError(
+                f"parallel_threshold must be >= 0, got {parallel_threshold}")
         self.query = query
         self.pdb = pdb
         self.method = method
         self.counting_method = counting_method
+        self.workers = workers
+        self.parallel_threshold = parallel_threshold
         self._backend: "str | None" = None
         self._plan: "Plan | None" = None
         self._lineage: "Lineage | None" = None
@@ -102,6 +116,7 @@ class SVCEngine:
         self._value_table: "dict[frozenset[Fact], int] | None" = None
         self._values: dict[Fact, Fraction] = {}
         self._counting_resolved: "str | None" = None
+        self._workers_used: int = 1
 
     # -- backend resolution -----------------------------------------------------
     def backend(self) -> str:
@@ -154,15 +169,9 @@ class SVCEngine:
 
     def _coalition_table(self) -> dict[frozenset[Fact], int]:
         if self._value_table is None:
-            from ..core.games import QueryGame
-
-            game = QueryGame(self.query, self.pdb)
-            players = sorted(self.pdb.endogenous)
             table: dict[frozenset[Fact], int] = {}
-            for size in range(len(players) + 1):
-                for coalition in itertools.combinations(players, size):
-                    chosen = frozenset(coalition)
-                    table[chosen] = game.value(chosen)
+            for size in range(len(self.pdb.endogenous) + 1):
+                table.update(backends.coalition_values_of_size(self.query, self.pdb, size))
             self._value_table = table
         return self._value_table
 
@@ -178,41 +187,77 @@ class SVCEngine:
         return self._counting_resolved
 
     def _value_counting(self, fact: Fact) -> Fraction:
-        n = len(self.pdb.endogenous)
         if self._resolved_counting_method() == "lineage":
-            with_vec, without_vec = self.lineage().conditioned_vectors(fact)
-        else:
-            with_pdb = PartitionedDatabase(self.pdb.endogenous - {fact},
-                                           self.pdb.exogenous | {fact})
-            without_pdb = PartitionedDatabase(self.pdb.endogenous - {fact},
-                                              self.pdb.exogenous)
-            with_vec = fgmc_vector(self.query, with_pdb, method="brute")
-            without_vec = fgmc_vector(self.query, without_pdb, method="brute")
-        return combine_fgmc_vectors(with_vec, without_vec, n)
+            return backends.counting_value_from_lineage(self.lineage(), fact)
+        return backends.counting_value_brute(self.query, self.pdb, fact)
 
     def _value_safe(self, fact: Fact) -> Fraction:
-        n = len(self.pdb.endogenous)
-        full = self._full_fgmc()
-        without_pdb = PartitionedDatabase(self.pdb.endogenous - {fact}, self.pdb.exogenous)
-        without_vec = self._fgmc_via_plan(without_pdb)
-        # Partition identity: a size-(j+1) generalized support of (Dn, Dx)
-        # either contains μ (a size-j support of (Dn \ {μ}, Dx ∪ {μ})) or not
-        # (a size-(j+1) support of (Dn \ {μ}, Dx)).
-        with_vec = [full[j + 1] - (without_vec[j + 1] if j + 1 < len(without_vec) else 0)
-                    for j in range(n)]
-        return combine_fgmc_vectors(with_vec, without_vec, n)
+        return backends.safe_value_from_plan(self.query, self._ensure_plan(),
+                                             self.pdb, self._full_fgmc(), fact)
 
     def _value_brute(self, fact: Fact) -> Fraction:
-        table = self._coalition_table()
-        others = sorted(self.pdb.endogenous - {fact})
+        return backends.brute_value_from_table(self._coalition_table(),
+                                               self.pdb, fact)
+
+    # -- parallel execution -------------------------------------------------------
+    @property
+    def workers_used(self) -> int:
+        """How many workers the last batched computation actually used.
+
+        ``1`` until a pool has successfully run: the serial path, small
+        instances below ``parallel_threshold``, and every pickle / pool
+        fallback all report ``1``.  When a pool did run, this is the number
+        of workers that received work — ``min(workers, stripes)``, which may
+        be below the configured count on instances with few pending facts.
+        """
+        return self._workers_used
+
+    def _parallel_artefact(self) -> "tuple[str, object] | None":
+        """The ``(kind, payload)`` pair shipped to the pool initializer.
+
+        Resolves the backend (and forces the shared artefact to exist) exactly
+        as the serial path would, so any resolution error raises here, in the
+        parent, rather than inside a worker.
+        """
+        backend = self.backend()
+        if backend == "counting":
+            if self._resolved_counting_method() == "lineage":
+                return ("counting-lineage", self.lineage())
+            return ("counting-brute", (self.query, self.pdb))
+        if backend == "safe":
+            return ("safe", (self.query, self._ensure_plan(), self.pdb,
+                             self._full_fgmc()))
+        return ("brute", (self.query, self.pdb))
+
+    def _compute_parallel(self, facts: "list[Fact]") -> bool:
+        """Try to compute the pending facts on a process pool.
+
+        Returns ``True`` when the pool produced results (now merged into the
+        ``_values`` memo or the coalition table); ``False`` signals the caller
+        to run the serial path instead.
+        """
+        artefact = self._parallel_artefact()
         n = len(self.pdb.endogenous)
-        total = Fraction(0)
-        for size in range(len(others) + 1):
-            weight = shapley_subset_weight(size, n)
-            for coalition in itertools.combinations(others, size):
-                before = frozenset(coalition)
-                total += weight * (table[before | {fact}] - table[before])
-        return total
+        if artefact[0] == "brute":
+            if self._value_table is not None:
+                # A serial value_of already paid for the full table; reading
+                # the remaining facts off it beats re-evaluating 2^n coalitions.
+                return False
+            values = parallel.parallel_brute_values(artefact, n, self.workers)
+            used = min(self.workers, n + 1)  # one stripe per coalition size
+        else:
+            if len(facts) < self.parallel_threshold:
+                # Most values are already memoised: the leftover per-fact work
+                # is too small to amortise a pool (the brute case differs —
+                # its 2^n fill is all-or-nothing, so |Dn| is the right gate).
+                return False
+            values = parallel.parallel_fact_values(artefact, facts, self.workers)
+            used = min(self.workers, len(facts))
+        if values is None:
+            return False
+        self._values.update(values)
+        self._workers_used = used
+        return True
 
     # -- public API ---------------------------------------------------------------
     def value_of(self, fact: Fact) -> Fraction:
@@ -237,8 +282,20 @@ class SVCEngine:
         return self._values[fact]
 
     def all_values(self) -> dict[Fact, Fraction]:
-        """The Shapley value of every endogenous fact (the batched workload)."""
-        return {fact: self.value_of(fact) for fact in sorted(self.pdb.endogenous)}
+        """The Shapley value of every endogenous fact (the batched workload).
+
+        With ``workers > 1`` and at least ``parallel_threshold`` endogenous
+        facts, the pending per-fact work is sharded across a process pool
+        first (falling back to the serial loop when the artefact will not
+        pickle or no pool can be created); results are merged into the same
+        memo ``value_of`` reads from.
+        """
+        facts = sorted(self.pdb.endogenous)
+        pending = [f for f in facts if f not in self._values]
+        if (pending and self.workers > 1
+                and len(self.pdb.endogenous) >= self.parallel_threshold):
+            self._compute_parallel(pending)
+        return {fact: self.value_of(fact) for fact in facts}
 
     def lineage_size(self) -> "int | None":
         """Number of clauses of the lineage DNF, or ``None`` if no lineage was built.
@@ -283,14 +340,23 @@ _CACHE_MISSES = 0
 
 def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
                method: EngineBackend = "auto",
-               counting_method: CountingMethod = "auto") -> SVCEngine:
+               counting_method: CountingMethod = "auto",
+               workers: int = 1,
+               parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD) -> SVCEngine:
     """A (possibly cached) engine for the given query, database and backend.
 
     Engines are cached in an LRU keyed by ``(query, pdb, method,
-    counting_method)`` so that repeated whole-database workloads — ranking,
-    max-SVC, relevance analysis, CLI invocations — share one lineage / plan.
-    Unhashable queries fall back to a fresh, uncached engine (counted as a
-    miss in :func:`engine_cache_stats`).
+    counting_method, workers, parallel_threshold)`` so that repeated
+    whole-database workloads — ranking, max-SVC, relevance analysis, CLI
+    invocations — share one lineage / plan.  Unhashable queries fall back to
+    a fresh, uncached engine (counted as a miss in :func:`engine_cache_stats`).
+
+    The key stores the *requested* method verbatim: ``method="auto"`` and the
+    explicit name it resolves to (say ``method="safe"``) are **distinct LRU
+    keys**, so a call site that asks for ``auto`` and one that asks for the
+    resolved backend by name will hold two engines for the same ``(query,
+    pdb)`` and rebuild the shared artefact once each.  Pass methods
+    consistently (ideally always ``auto``) to avoid this cache fragmentation.
 
     Cache correctness rests on the immutability of the key: ``Database`` and
     :class:`repro.data.database.PartitionedDatabase` hold their facts in
@@ -298,16 +364,18 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
     be made stale by in-place mutation (see ``tests/test_api_session.py``).
     """
     global _CACHE_HITS, _CACHE_MISSES
-    key = (query, pdb, method, counting_method)
+    key = (query, pdb, method, counting_method, workers, parallel_threshold)
     try:
         engine = _ENGINE_CACHE.pop(key)
         _CACHE_HITS += 1
     except KeyError:
         _CACHE_MISSES += 1
-        engine = SVCEngine(query, pdb, method, counting_method)
+        engine = SVCEngine(query, pdb, method, counting_method,
+                           workers, parallel_threshold)
     except TypeError:
         _CACHE_MISSES += 1
-        return SVCEngine(query, pdb, method, counting_method)
+        return SVCEngine(query, pdb, method, counting_method,
+                         workers, parallel_threshold)
     _ENGINE_CACHE[key] = engine
     while len(_ENGINE_CACHE) > _ENGINE_CACHE_SIZE:
         _ENGINE_CACHE.popitem(last=False)

@@ -88,3 +88,46 @@ def run_batch_vs_loop(shapes: "tuple[tuple[int, int], ...]" = ((2, 3), (2, 5), (
             "Σ values": str(sum(batch_values.values(), Fraction(0))),
         })
     return rows
+
+
+def run_parallel_vs_serial(shapes: "tuple[tuple[int, int], ...]" = ((2, 5), (2, 7), (3, 5)),
+                           workers: int = 4,
+                           query: "BooleanQuery | None" = None,
+                           method: str = "counting",
+                           exogenous_pad: int = 20) -> list[dict]:
+    """Time the process-parallel engine against the serial engine.
+
+    Each row reports both wall times, the speedup, how many workers the
+    parallel engine actually used (``1`` whenever it fell back to the serial
+    path), and whether the two value dictionaries are bitwise-identical — the
+    parity contract of the parallel backend.  Caches are cleared before each
+    timed run so neither side inherits the other's memoisation; note that a
+    genuine speedup additionally needs as many free CPU cores as workers.
+    """
+    query = query or q_rst()
+    rows: list[dict] = []
+    for left, right in shapes:
+        pdb = bipartite_attribution_instance(left, right, exogenous_pad=exogenous_pad)
+
+        clear_caches()
+        start = time.perf_counter()
+        serial_values = SVCEngine(query, pdb, method=method).all_values()
+        serial_time = time.perf_counter() - start
+
+        clear_caches()
+        engine = SVCEngine(query, pdb, method=method,
+                           workers=workers, parallel_threshold=2)
+        start = time.perf_counter()
+        parallel_values = engine.all_values()
+        parallel_time = time.perf_counter() - start
+
+        rows.append({
+            "|Dn|": len(pdb.endogenous),
+            "serial engine (s)": f"{serial_time:.4f}",
+            f"parallel engine x{workers} (s)": f"{parallel_time:.4f}",
+            "speedup": f"{serial_time / parallel_time:.2f}x" if parallel_time else "inf",
+            "workers used": engine.workers_used,
+            "exact match": serial_values == parallel_values,
+            "Σ values": str(sum(parallel_values.values(), Fraction(0))),
+        })
+    return rows

@@ -34,6 +34,11 @@ class PathAtom:
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("PathAtom objects are immutable")
 
+    def __reduce__(self) -> tuple:
+        # Slots + the __setattr__ guard defeat pickle's default state
+        # restoration; rebuild through the constructor (the NFA is re-derived).
+        return (type(self), (self.language, self.source, self.target))
+
     @property
     def nfa(self) -> NFA:
         """The NFA of the path language."""

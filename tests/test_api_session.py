@@ -513,3 +513,82 @@ class TestReportShape:
         derived = EngineConfig(method="sampled", epsilon=0.2, delta=0.1)
         derived_report = AttributionSession(Q_RST, rst_exogenous_pdb, derived).report()
         assert derived_report.n_samples_used == samples_for_guarantee(0.2, 0.1)
+
+    def test_workers_used_reported(self, rst_exogenous_pdb):
+        assert AttributionSession(Q_RST, rst_exogenous_pdb).report().workers_used == 1
+        sampled = EngineConfig(method="sampled", n_samples=16)
+        assert AttributionSession(Q_RST, rst_exogenous_pdb,
+                                  sampled).report().workers_used == 1
+
+    def test_of_accumulates_wall_time(self, rst_exogenous_pdb):
+        """Regression: per-fact exact work via of() never reached wall_time_s,
+        so sessions used only through of() reported 0.0."""
+        session = AttributionSession(Q_RST, rst_exogenous_pdb)
+        target = sorted(rst_exogenous_pdb.endogenous)[0]
+        result = session.of(target)
+        assert result.exact
+        report = session.report()
+        assert report.wall_time_s > 0.0
+
+    def test_of_then_values_accumulates_both(self, rst_exogenous_pdb):
+        session = AttributionSession(Q_RST, rst_exogenous_pdb)
+        target = sorted(rst_exogenous_pdb.endogenous)[0]
+        session.of(target)
+        after_of = session._wall_time_s
+        assert after_of > 0.0
+        session.values()
+        assert session._wall_time_s >= after_of
+
+    def test_sampled_of_accumulates_wall_time(self, rst_exogenous_pdb):
+        config = EngineConfig(method="sampled", n_samples=32)
+        session = AttributionSession(Q_RST, rst_exogenous_pdb, config)
+        target = sorted(rst_exogenous_pdb.endogenous)[0]
+        assert not session.of(target).exact
+        assert session.report().wall_time_s > 0.0
+
+
+class TestEmptyEndogenousDatabase:
+    """Regression: the sampled backend raised StopIteration on |Dn| = 0.
+
+    ``_efficiency_check`` read ``next(iter(self._estimates.values()))`` from an
+    empty estimate map; every backend must instead handle the empty-``Dn``
+    session end-to-end (values ``{}``, efficiency trivially ok, report
+    serialisable).
+    """
+
+    EMPTY = PartitionedDatabase((), {fact("R", "a"), fact("S", "a", "b")})
+
+    def _config(self, method):
+        if method == "sampled":
+            return EngineConfig(method="sampled", n_samples=16)
+        return EngineConfig(method=method)
+
+    @pytest.mark.parametrize("method", ["auto", "safe", "counting", "brute", "sampled"])
+    def test_values_empty_and_report_serialisable(self, method):
+        query = Q_HIER if method == "safe" else Q_RST
+        session = AttributionSession(query, self.EMPTY, self._config(method))
+        assert session.values() == {}
+        assert session.ranking() == []
+        assert session.null_players() == frozenset()
+        report = session.report()
+        assert report.ranking == ()
+        assert report.exact  # no estimates were drawn, even when sampled
+        assert report.efficiency is not None and report.efficiency.ok
+        assert report.efficiency.total == 0
+        assert report.efficiency.grand_coalition_value == 0
+        decoded = json.loads(report.to_json())
+        assert decoded["n_endogenous"] == 0 and decoded["ranking"] == []
+
+    @pytest.mark.parametrize("method", ["auto", "sampled"])
+    def test_max_still_raises_cleanly(self, method):
+        session = AttributionSession(Q_RST, self.EMPTY, self._config(method))
+        with pytest.raises(ConfigError):
+            session.max()
+
+    def test_exogenous_satisfying_database_with_no_endogenous_facts(self):
+        # Dx alone satisfies the query: v(Dn) = 1 - 1 = 0, still trivially ok.
+        pdb = PartitionedDatabase((), {fact("R", "a"), fact("S", "a", "b"),
+                                       fact("T", "b")})
+        report = AttributionSession(Q_RST, pdb,
+                                    self._config("sampled")).report()
+        assert report.efficiency.ok and report.efficiency.grand_coalition_value == 0

@@ -31,6 +31,42 @@ class TestApproximateShapley:
         assert result.estimate == 1
         assert approximate_shapley_value(game, "b", n_samples=50, seed=3).estimate == 0
 
+    def test_seeded_estimate_invariant_under_order_preserving_renaming(self):
+        """Regression: players were ordered by ``str``, not by the fact total order.
+
+        The package-wide tie-break contract (``repro.engine.svc_engine._ranking_key``)
+        promises orderings "NOT by string rendering".  The two games below are
+        identical up to a renaming that preserves the facts' total order but
+        *reverses* their string order (``"S!(x)" < "S(y)"`` as strings although
+        ``S(y) < S!(x)`` is false — ``S < S!`` as facts), so a seeded run must
+        give the same estimates on both.  Before the fix, seeds 1, 4 and 5
+        diverged.
+        """
+        import itertools
+
+        f1, f2, f3 = fact("S", "y"), fact("S!", "x"), fact("T", "z")
+        g1, g2, g3 = fact("S", "a"), fact("S", "b"), fact("T", "z")
+        assert sorted([f1, f2, f3]) == [f1, f2, f3]
+        assert sorted([f1, f2, f3], key=str) != [f1, f2, f3]
+
+        def game(a, b, c):
+            # v(C) = 1 if a ∈ C else 1 if {b, c} ⊆ C else 0 — asymmetric, so
+            # the players are distinguishable and ordering mistakes surface.
+            table = {}
+            for size in range(4):
+                for coalition in itertools.combinations([a, b, c], size):
+                    chosen = frozenset(coalition)
+                    table[chosen] = 1 if a in chosen else (1 if {b, c} <= chosen else 0)
+            return ExplicitGame([a, b, c], table)
+
+        original, renamed = game(f1, f2, f3), game(g1, g2, g3)
+        for seed in range(6):
+            for player, image in ((f1, g1), (f2, g2), (f3, g3)):
+                assert (approximate_shapley_value(original, player,
+                                                  n_samples=25, seed=seed).estimate
+                        == approximate_shapley_value(renamed, image,
+                                                     n_samples=25, seed=seed).estimate)
+
     def test_estimate_close_to_exact_value(self, q_rst, small_pdb):
         target = sorted(small_pdb.endogenous)[0]
         exact = shapley_value_of_fact(q_rst, small_pdb, target, "counting")
@@ -80,6 +116,36 @@ class TestCLI:
                      "-x", "R", "T", "--method", "sampled", "--samples", "200"])
         assert code == 0
         assert "estimate" in capsys.readouterr().out
+
+    def test_svc_all_workers_flag(self, capsys, facts_file):
+        serial = main(["svc-all", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file),
+                       "-x", "R", "T"])
+        serial_out = capsys.readouterr().out
+        code = main(["svc-all", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file),
+                     "-x", "R", "T", "--workers", "2", "--parallel-threshold", "1"])
+        captured = capsys.readouterr()
+        assert serial == 0 and code == 0
+        assert "workers: 2" in captured.out
+        # Identical value table, line for line (parity through the CLI).
+        assert [line for line in captured.out.splitlines() if line.startswith("S(")] \
+            == [line for line in serial_out.splitlines() if line.startswith("S(")]
+
+    def test_attribute_workers_flag_in_json_report(self, capsys, facts_file):
+        code = main(["attribute", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file),
+                     "-x", "R", "T", "--method", "brute", "--workers", "2",
+                     "--parallel-threshold", "1", "--json"])
+        assert code == 0
+        import json as json_module
+
+        report = json_module.loads(capsys.readouterr().out)
+        assert report["workers_used"] == 2
+        assert report["config"]["workers"] == 2
+
+    def test_workers_zero_rejected(self, capsys, facts_file):
+        code = main(["attribute", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file),
+                     "--workers", "0"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
 
     def test_count_command(self, capsys, facts_file):
         code = main(["count", "-q", "R(x), S(x, y), T(y)", "-d", str(facts_file), "-x", "R", "T"])
