@@ -51,7 +51,7 @@ def test_bench_session_hard_exact_backend(benchmark):
         return _fresh_session(QUERY_HARD, PDB).report()
 
     report = benchmark(run)
-    assert report.backend == "counting"
+    assert report.backend == "circuit"  # auto prefers the compiled lineage
     assert report.efficiency.ok
 
 

@@ -16,6 +16,9 @@ The package is organised as follows:
   classifier of Figure 1b);
 * :mod:`repro.counting` — the model counting problems MC / GMC / FMC / FGMC and
   the size-stratified lineage counter;
+* :mod:`repro.compile` — knowledge compilation: the lineage DNF compiled once
+  into a smoothed, decomposable decision circuit, all per-fact conditioned
+  count vectors from one top-down derivative sweep;
 * :mod:`repro.probability` — tuple-independent databases, PQE and its
   restrictions, lifted inference for safe queries;
 * :mod:`repro.core` — Shapley value computation (SVC, SVCn, max-SVC, Shapley
@@ -52,6 +55,32 @@ Monte-Carlo ``epsilon`` / ``delta``, policy for #P-hard queries)::
 
     session = AttributionSession(q, pdb, EngineConfig(epsilon=0.01, on_hard="sample"))
 
+Backend-selection matrix — what ``method="auto"`` runs, and when to override:
+
+==========  ===========================  =======================================
+backend     auto picks it when           cost / knobs
+==========  ===========================  =======================================
+ safe       a safe plan compiles         polynomial; lifted inference + the
+            (FP side of Figure 1b)       partition identity, one plan per query
+ circuit    query is (C-)hom-closed      one lineage compilation (bounded by
+            and the lineage compiles     ``EngineConfig.circuit_node_budget``,
+            under the node budget        default 100 000 nodes) + one
+                                         derivative sweep for *all* facts;
+                                         worst-case exponential circuit size
+ counting   the circuit blew its node    one lineage, ``n`` conditioned
+            budget (hom-closed only)     counting passes; also explicit
+                                         ``counting_method="brute"`` FGMC
+ brute      query is not hom-closed      ``2^n`` coalition table; ground truth
+ sampled    query is #P-hard/unknown     Monte-Carlo permutation sampling with
+            and ``|Dn|`` exceeds         the ``(epsilon, delta)`` Hoeffding
+            ``exact_size_limit`` (with   guarantee
+            ``on_hard="sample"``)
+==========  ===========================  =======================================
+
+Every exact backend returns bitwise-identical ``Fraction`` values; the choice
+only moves wall-clock time.  Reports record the evidence: ``lineage_size``,
+``circuit_size``, ``circuit_compile_time_s``, ``workers_used``.
+
 The legacy free functions (``shapley_values_of_facts``, ...) still work but
 emit ``DeprecationWarning`` and delegate to the session (see the migration
 table in ``CHANGES.md``).
@@ -64,6 +93,13 @@ from .analysis import (
     is_hierarchical,
     is_pseudo_connected,
     is_safe_ucq,
+)
+from .compile import (
+    CircuitBudgetError,
+    CompiledDNF,
+    CompiledLineage,
+    compile_dnf,
+    compile_lineage,
 )
 from .api import (
     AttributionReport,
@@ -142,7 +178,10 @@ __all__ = [
     "AttributionResult",
     "AttributionSession",
     "BooleanQuery",
+    "CircuitBudgetError",
     "Complexity",
+    "CompiledDNF",
+    "CompiledLineage",
     "ConfigError",
     "EngineConfig",
     "Explanation",
@@ -169,6 +208,8 @@ __all__ = [
     "bipartite_rst_database",
     "classify_svc",
     "clear_engine_cache",
+    "compile_dnf",
+    "compile_lineage",
     "const",
     "engine_cache_stats",
     "cq",

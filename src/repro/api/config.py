@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
+from ..compile import DEFAULT_NODE_BUDGET
 from ..engine.svc_engine import DEFAULT_PARALLEL_THRESHOLD
 from ..errors import ConfigError
 
@@ -18,7 +19,7 @@ from ..errors import ConfigError
 #: the dichotomy-aware dispatch of :class:`repro.api.AttributionSession`; the
 #: exact names are the :class:`repro.engine.SVCEngine` backends; ``sampled``
 #: is the Monte-Carlo permutation-sampling estimator.
-METHODS = ("auto", "safe", "counting", "brute", "sampled")
+METHODS = ("auto", "safe", "circuit", "counting", "brute", "sampled")
 
 #: FGMC backends of the ``counting`` method.
 COUNTING_METHODS = ("auto", "brute", "lineage")
@@ -66,6 +67,10 @@ class EngineConfig:
     #: Smallest ``|Dn|`` for which a multi-worker engine actually spawns a
     #: pool; below it the serial path always runs (pool startup would dominate).
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
+    #: Ceiling on the node count of the ``circuit`` backend's compiled
+    #: lineage; past it compilation aborts and the engine falls back to
+    #: per-fact lineage conditioning (the ``counting`` backend).
+    circuit_node_budget: int = DEFAULT_NODE_BUDGET
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -87,6 +92,9 @@ class EngineConfig:
         if self.parallel_threshold < 0:
             raise ConfigError(
                 f"parallel_threshold must be >= 0, got {self.parallel_threshold}")
+        if self.circuit_node_budget < 1:
+            raise ConfigError(
+                f"circuit_node_budget must be >= 1, got {self.circuit_node_budget}")
 
     def to_json_dict(self) -> dict:
         """A JSON-serialisable rendering (embedded in report metadata)."""

@@ -26,8 +26,8 @@ def _fraction_json(value: Fraction) -> dict:
 class Explanation:
     """Why the session chose its backend (the dispatch decision, made auditable).
 
-    ``backend`` is what will run (``safe`` / ``counting`` / ``brute`` /
-    ``sampled``); ``verdict`` is the Figure 1b classifier outcome the decision
+    ``backend`` is what will run (``safe`` / ``circuit`` / ``counting`` /
+    ``brute`` / ``sampled``); ``verdict`` is the Figure 1b classifier outcome the decision
     consulted; ``overridden`` records whether the caller forced the backend via
     :attr:`EngineConfig.method` instead of letting the dichotomy decide.
     """
@@ -117,6 +117,11 @@ class AttributionReport:
     n_endogenous: int
     n_exogenous: int
     lineage_size: "int | None"
+    #: Node count of the compiled lineage circuit and its compile wall time
+    #: (``None`` unless the ``circuit`` backend compiled one; a compilation
+    #: aborted by the node budget leaves no circuit and reports ``None``).
+    circuit_size: "int | None"
+    circuit_compile_time_s: "float | None"
     wall_time_s: float
     exact: bool
     #: Actual per-fact sample count of the Monte-Carlo run (``None`` on exact
@@ -150,6 +155,8 @@ class AttributionReport:
             "n_endogenous": self.n_endogenous,
             "n_exogenous": self.n_exogenous,
             "lineage_size": self.lineage_size,
+            "circuit_size": self.circuit_size,
+            "circuit_compile_time_s": self.circuit_compile_time_s,
             "wall_time_s": self.wall_time_s,
             "exact": self.exact,
             "n_samples_used": self.n_samples_used,

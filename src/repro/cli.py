@@ -114,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     attribute.add_argument("--parallel-threshold", dest="parallel_threshold", type=int,
                            default=config_defaults["parallel_threshold"],
                            help="smallest |Dn| for which the pool is actually spawned")
+    attribute.add_argument("--circuit-node-budget", dest="circuit_node_budget", type=int,
+                           default=config_defaults["circuit_node_budget"],
+                           help="node ceiling of the circuit backend's compiled lineage "
+                                "(past it the engine falls back to counting)")
     attribute.add_argument("--top", type=int, default=None,
                            help="print only the k most responsible facts")
     attribute.add_argument("--json", action="store_true",
@@ -122,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     shapley = subparsers.add_parser("shapley", help="Shapley values of the endogenous facts")
     _add_common_arguments(shapley)
-    shapley.add_argument("--method", choices=["auto", "brute", "counting", "safe", "sampled"],
+    shapley.add_argument("--method",
+                         choices=["auto", "brute", "circuit", "counting", "safe", "sampled"],
                          default="auto", help="solver to use (default: auto)")
     shapley.add_argument("--samples", type=int, default=2000,
                          help="number of permutation samples for --method sampled")
@@ -131,7 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
     svc_all = subparsers.add_parser(
         "svc-all", help="batched Shapley values of every endogenous fact (SVCEngine)")
     _add_common_arguments(svc_all)
-    svc_all.add_argument("--method", choices=["auto", "brute", "counting", "safe"],
+    svc_all.add_argument("--method",
+                         choices=["auto", "brute", "circuit", "counting", "safe"],
                          default="auto", help="engine backend (default: auto)")
     svc_all.add_argument("--counting-method", dest="counting_method",
                          choices=["auto", "brute", "lineage"], default="auto",
@@ -141,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     svc_all.add_argument("--parallel-threshold", dest="parallel_threshold", type=int,
                          default=config_defaults["parallel_threshold"],
                          help="smallest |Dn| for which the pool is actually spawned")
+    svc_all.add_argument("--circuit-node-budget", dest="circuit_node_budget", type=int,
+                         default=config_defaults["circuit_node_budget"],
+                         help="node ceiling of the circuit backend's compiled lineage")
     svc_all.set_defaults(handler=_command_svc_all)
 
     count = subparsers.add_parser("count", help="FGMC vector and GMC total of the query")
@@ -194,7 +203,8 @@ def _command_attribute(args: argparse.Namespace) -> int:
                           n_samples=args.samples, seed=args.seed,
                           on_hard=args.on_hard, exact_size_limit=args.exact_size_limit,
                           workers=args.workers,
-                          parallel_threshold=args.parallel_threshold)
+                          parallel_threshold=args.parallel_threshold,
+                          circuit_node_budget=args.circuit_node_budget)
     session = AttributionSession(query, pdb, config)
     report = session.report()
     if args.json:
@@ -202,6 +212,9 @@ def _command_attribute(args: argparse.Namespace) -> int:
         return 0
     print(f"classifier: {report.explanation.verdict}")
     print(f"backend: {report.backend} — {report.explanation.reason}")
+    if report.circuit_size is not None:
+        print(f"circuit: {report.circuit_size} nodes "
+              f"(compiled in {report.circuit_compile_time_s:.4f}s)")
     print(format_table(_report_rows(report, args.top),
                        title=f"Attribution for {query}"))
     _print_efficiency(report)
@@ -233,12 +246,16 @@ def _command_svc_all(args: argparse.Namespace) -> int:
     pdb = _load_database(args.database, args.exogenous)
     config = EngineConfig(method=args.method, counting_method=args.counting_method,
                           on_hard="exact", workers=args.workers,
-                          parallel_threshold=args.parallel_threshold)
+                          parallel_threshold=args.parallel_threshold,
+                          circuit_node_budget=args.circuit_node_budget)
     report = AttributionSession(query, pdb, config).report()
     print(format_table(_report_rows(report),
                        title=f"Batched Shapley values for {query} "
                              f"(backend: {report.backend}, "
                              f"workers: {report.workers_used})"))
+    if report.circuit_size is not None:
+        print(f"circuit: {report.circuit_size} nodes "
+              f"(compiled in {report.circuit_compile_time_s:.4f}s)")
     _print_efficiency(report)
     return 0
 

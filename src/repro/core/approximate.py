@@ -64,8 +64,15 @@ def approximate_shapley_value(game: CooperativeGame[Player], player: Player,
     # The players' own total order, NOT their string rendering: the package's
     # tie-break contract (repro.engine.svc_engine._ranking_key) promises that
     # deterministic orderings never depend on how a fact prints, so a seeded
-    # run must survive any order-preserving renaming of the facts.
-    others = sorted(game.players - {player})
+    # run must survive any order-preserving renaming of the facts.  Generic
+    # games may have players with no common total order (the Player bound is
+    # only Hashable); for those the repr order keeps seeded runs deterministic
+    # — renaming-invariance is a fact-level contract only.
+    remaining = game.players - {player}
+    try:
+        others = sorted(remaining)
+    except TypeError:
+        others = sorted(remaining, key=repr)
     total = 0
     for _ in range(n_samples):
         position = rng.randint(0, len(others))

@@ -13,6 +13,7 @@ from .svc_engine import (
     combine_fgmc_vectors,
     engine_cache_stats,
     get_engine,
+    resolve_auto_backend,
 )
 
 __all__ = [
@@ -23,4 +24,5 @@ __all__ = [
     "combine_fgmc_vectors",
     "engine_cache_stats",
     "get_engine",
+    "resolve_auto_backend",
 ]

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from typing import TYPE_CHECKING
+from functools import lru_cache
+from typing import TYPE_CHECKING, Sequence
 
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
@@ -25,8 +26,18 @@ from ..probability.interpolation import fgmc_vector_via_pqe
 from ..probability.lifted import Plan, evaluate_plan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..compile import CompiledLineage
     from ..counting.lineage import Lineage
     from ..queries.base import BooleanQuery
+
+
+@lru_cache(maxsize=4096)
+def _factorials(n: int) -> tuple[int, ...]:
+    """``(0!, 1!, ..., n!)`` — the numerator table of Claim A.1's weights."""
+    out = [1] * (n + 1)
+    for i in range(1, n + 1):
+        out[i] = out[i - 1] * i
+    return tuple(out)
 
 
 def combine_fgmc_vectors(with_fact_exogenous: "list[int]", without_fact: "list[int]",
@@ -36,14 +47,23 @@ def combine_fgmc_vectors(with_fact_exogenous: "list[int]", without_fact: "list[i
     ``with_fact_exogenous[j]`` counts generalized supports of size ``j`` in
     ``(Dn \\ {μ}, Dx ∪ {μ})``; ``without_fact[j]`` in ``(Dn \\ {μ}, Dx)``;
     ``n_endogenous`` is ``|Dn|`` (including μ).
+
+    The weights ``j! (n - j - 1)! / n!`` share the denominator ``n!``, so the
+    sum accumulates as one integer over it and builds a single ``Fraction``
+    at the end — one gcd normalisation per fact instead of one per non-zero
+    size stratum.  ``Fraction`` reduces to lowest terms either way, so the
+    result is bitwise-identical to the per-term accumulation.
     """
-    total = Fraction(0)
+    if n_endogenous == 0:
+        return Fraction(0)
+    factorials = _factorials(n_endogenous)
+    numerator = 0
     for j in range(n_endogenous):
         plus = with_fact_exogenous[j] if j < len(with_fact_exogenous) else 0
         minus = without_fact[j] if j < len(without_fact) else 0
         if plus != minus:
-            total += shapley_subset_weight(j, n_endogenous) * (plus - minus)
-    return total
+            numerator += factorials[j] * factorials[n_endogenous - 1 - j] * (plus - minus)
+    return Fraction(numerator, factorials[n_endogenous])
 
 
 # ---------------------------------------------------------------------------
@@ -67,6 +87,27 @@ def counting_value_brute(query: "BooleanQuery", pdb: PartitionedDatabase,
     with_vec = fgmc_vector(query, with_pdb, method="brute")
     without_vec = fgmc_vector(query, without_pdb, method="brute")
     return combine_fgmc_vectors(with_vec, without_vec, len(pdb.endogenous))
+
+
+# ---------------------------------------------------------------------------
+# circuit backend
+# ---------------------------------------------------------------------------
+
+def circuit_values_from_compiled(compiled: "CompiledLineage",
+                                 facts: "Sequence[Fact]") -> "dict[Fact, Fraction]":
+    """Shapley values of ``facts`` from the shared compiled circuit.
+
+    One top-down derivative sweep prices every requested per-fact conditioned
+    vector pair at once (:meth:`repro.compile.CompiledLineage.conditioned_vector_pairs`);
+    the Claim A.1 combination step is then identical to the other backends.
+    Serial engine and pool workers both run exactly this function — a worker
+    computing one stripe of facts still pays the context sweep only once, and
+    restricts the per-fact accumulation (the ``· n`` factor) to its stripe.
+    """
+    n = compiled.n_variables
+    pairs = compiled.conditioned_vector_pairs(list(facts))
+    return {fact: combine_fgmc_vectors(with_vec, without_vec, n)
+            for fact, (with_vec, without_vec) in pairs.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +208,7 @@ def brute_value_from_table(table: "dict[frozenset[Fact], int]",
 __all__ = [
     "brute_partials_for_sizes",
     "brute_value_from_table",
+    "circuit_values_from_compiled",
     "coalition_values_of_size",
     "combine_fgmc_vectors",
     "counting_value_brute",

@@ -9,8 +9,10 @@ across workers.  This module is the execution layer behind
 * the parent pickles the shared artefact **once per pool** and ships it
   through the pool initializer (not per task), so each worker deserialises it
   a single time and then serves many per-fact tasks against it,
-* the per-fact work of the ``counting`` and ``safe`` backends is sharded by
-  striping the sorted fact list across workers,
+* the per-fact work of the ``circuit``, ``counting`` and ``safe`` backends is
+  sharded by striping the sorted fact list across workers (a circuit worker
+  pays the shared context sweep once and accumulates only its stripe's
+  per-fact vectors),
 * the ``2^n`` coalition-table fill of the ``brute`` backend is sharded by
   coalition size (each worker evaluates whole strata of the table),
 * every worker runs the *same* per-fact kernels as the serial engine
@@ -47,6 +49,9 @@ def _init_worker(payload: bytes) -> None:
 def _fact_chunk_values(facts: Sequence[Fact]) -> "list[tuple[Fact, Fraction]]":
     """Worker task: per-fact Shapley values for one stripe of the fact list."""
     kind, artefact = _STATE
+    if kind == "circuit":
+        compiled = artefact
+        return list(backends.circuit_values_from_compiled(compiled, facts).items())
     if kind == "counting-lineage":
         lineage = artefact
         return [(f, backends.counting_value_from_lineage(lineage, f)) for f in facts]

@@ -7,6 +7,11 @@ fact this rebuilds the lineage DNF (an expensive homomorphism enumeration)
 ``2n`` times for ``n`` endogenous facts.  The engine instead derives every
 per-fact vector pair from **one** shared artefact per ``(query, database)``:
 
+* ``circuit``  — compile the lineage once into a smoothed, decomposable
+  decision circuit (:mod:`repro.compile`) and read **all** per-fact vector
+  pairs off it in one top-down derivative sweep — ``O(|circuit| · n)`` total
+  instead of ``n`` independent conditionings; compilation is bounded by a
+  node budget, beyond which the engine falls back to ``counting``,
 * ``counting`` — build the lineage once and obtain each pair by *conditioning*
   the DNF (``x_μ := true`` / ``x_μ := false``); the memoised component
   decomposition of the counter is shared across all ``n`` conditionings,
@@ -19,11 +24,14 @@ per-fact vector pair from **one** shared artefact per ``(query, database)``:
   Shapley value off the table (one query evaluation per coalition instead of
   one per coalition *per fact*).
 
-``method="auto"`` resolves safe → counting → brute exactly like the per-fact
-:func:`repro.core.svc.shapley_value_of_fact`.  A module-level LRU keyed by
-``(query, pdb, method, counting_method, workers, parallel_threshold)`` lets
-independent call sites (ranking, max-SVC, relevance analysis, CLI) reuse the
-same engine and its artefacts.
+``method="auto"`` resolves safe → circuit → brute from the query's structure
+alone (:func:`resolve_auto_backend`); the circuit choice degrades to
+``counting`` at artefact-build time when compilation blows the node budget.
+A module-level LRU keyed by ``(query, pdb, resolved method, counting_method,
+workers, parallel_threshold, circuit_node_budget)`` lets independent call
+sites (ranking, max-SVC, relevance analysis, CLI) reuse the same engine and
+its artefacts; ``auto`` is resolved to its concrete backend *before* keying,
+so an ``auto`` call and an explicit call share one engine.
 
 Because every per-fact value is an independent conditioning of the shared
 artefact, the whole-database workload shards across worker processes: with
@@ -38,8 +46,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from fractions import Fraction
+from functools import lru_cache
 from typing import Literal
 
+from ..compile import (
+    DEFAULT_NODE_BUDGET,
+    CircuitBudgetError,
+    CompiledLineage,
+    compile_lineage,
+)
 from ..counting.lineage import Lineage, build_lineage
 from ..counting.problems import CountingMethod
 from ..data.atoms import Fact
@@ -58,8 +73,38 @@ from .backends import combine_fgmc_vectors  # noqa: F401  (historic export)
 #: counting backend's per-fact conditionings are sub-millisecond at that size).
 DEFAULT_PARALLEL_THRESHOLD = 12
 
-#: Backend names; ``auto`` resolves to the first applicable of safe/counting/brute.
-EngineBackend = Literal["auto", "brute", "counting", "safe"]
+#: Backend names; ``auto`` resolves to the first applicable of
+#: safe/circuit/brute (circuit degrading to counting on budget overrun).
+EngineBackend = Literal["auto", "brute", "circuit", "counting", "safe"]
+
+
+def resolve_auto_backend(query: BooleanQuery) -> "tuple[str, Plan | None]":
+    """Resolve ``method="auto"`` to its concrete backend from the query alone.
+
+    The ladder of the per-fact :func:`repro.core.svc.shapley_value_of_fact`,
+    extended by knowledge compilation: a safe plan when the conservative
+    compiler finds one, else the circuit backend for (C-)hom-closed queries
+    (it degrades to ``counting`` per instance if compilation blows the node
+    budget — an instance-level decision that cannot be made here), else brute
+    force.  Returns the compiled safe plan alongside the name so callers that
+    resolved eagerly (the engine LRU) can seed the engine without compiling
+    the plan twice.
+    """
+    if isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
+        try:
+            return "safe", safe_plan(query)
+        except UnsafeQueryError:
+            pass
+    if query.is_hom_closed:
+        return "circuit", None
+    return "brute", None
+
+
+#: Memoised resolution for the engine LRU: ``get_engine`` resolves ``auto``
+#: on every call, and the safe-plan attempt must not be paid per call.
+#: Unhashable queries raise ``TypeError`` here — callers fall back to an
+#: uncached engine, exactly like an unhashable LRU key.
+_resolved_auto = lru_cache(maxsize=1024)(resolve_auto_backend)
 
 
 def _ranking_key(item: "tuple[Fact, Fraction]") -> "tuple[Fraction, Fact]":
@@ -86,9 +131,9 @@ class SVCEngine:
     loop's ``O(n · lineage)``.
 
     With ``workers > 1`` and ``|Dn| >= parallel_threshold``, :meth:`all_values`
-    shards the per-fact conditioning loop (counting), the per-fact plan
-    interpolations (safe), or the coalition-table fill (brute) across a
-    process pool; the merged results land in the same ``_values`` memo, so
+    shards the per-fact derivative accumulation (circuit), the per-fact
+    conditioning loop (counting), the per-fact plan interpolations (safe), or
+    the coalition-table fill (brute) across a process pool; the merged results land in the same ``_values`` memo, so
     ``value_of`` / ``ranking`` / ``max_value`` are oblivious to how the values
     were computed.  :attr:`workers_used` records what actually ran.
     """
@@ -97,21 +142,28 @@ class SVCEngine:
                  method: EngineBackend = "auto",
                  counting_method: CountingMethod = "auto",
                  workers: int = 1,
-                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD):
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+                 circuit_node_budget: int = DEFAULT_NODE_BUDGET):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if parallel_threshold < 0:
             raise ValueError(
                 f"parallel_threshold must be >= 0, got {parallel_threshold}")
+        if circuit_node_budget < 1:
+            raise ValueError(
+                f"circuit_node_budget must be >= 1, got {circuit_node_budget}")
         self.query = query
         self.pdb = pdb
         self.method = method
         self.counting_method = counting_method
         self.workers = workers
         self.parallel_threshold = parallel_threshold
+        self.circuit_node_budget = circuit_node_budget
         self._backend: "str | None" = None
         self._plan: "Plan | None" = None
         self._lineage: "Lineage | None" = None
+        self._compiled: "CompiledLineage | None" = None
+        self._circuit_fallback: "str | None" = None
         self._full_vector: "list[int] | None" = None
         self._value_table: "dict[frozenset[Fact], int] | None" = None
         self._values: dict[Fact, Fraction] = {}
@@ -120,7 +172,7 @@ class SVCEngine:
 
     # -- backend resolution -----------------------------------------------------
     def backend(self) -> str:
-        """The resolved backend name (``safe``, ``counting`` or ``brute``)."""
+        """The resolved backend name (``safe``, ``circuit``, ``counting`` or ``brute``)."""
         if self._backend is None:
             self._backend = self._resolve_backend()
         return self._backend
@@ -131,17 +183,29 @@ class SVCEngine:
         if self.method == "safe":
             self._ensure_plan()
             return "safe"
-        # auto: safe plan if one compiles, then lineage counting, then brute —
-        # the same ladder as the per-fact shapley_value_of_fact.
-        if isinstance(self.query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
-            try:
-                self._ensure_plan()
-                return "safe"
-            except UnsafeQueryError:
-                pass
-        if self.query.is_hom_closed:
+        if self.method == "circuit":
+            return self._resolve_circuit()
+        # auto: the query-level ladder, then the instance-level budget check
+        # for the circuit choice.
+        name, plan = resolve_auto_backend(self.query)
+        if plan is not None and self._plan is None:
+            self._plan = plan
+        if name == "circuit":
+            return self._resolve_circuit()
+        return name
+
+    def _resolve_circuit(self) -> str:
+        """``circuit`` when the lineage compiles under the node budget, else ``counting``."""
+        if not self.query.is_hom_closed:
+            raise ValueError(
+                "the circuit backend requires a (C-)hom-closed query; "
+                f"{type(self.query).__name__} is not")
+        try:
+            self._ensure_compiled()
+        except CircuitBudgetError as error:
+            self._circuit_fallback = str(error)
             return "counting"
-        return "brute"
+        return "circuit"
 
     # -- shared artefacts -------------------------------------------------------
     def _ensure_plan(self) -> Plan:
@@ -156,6 +220,13 @@ class SVCEngine:
         if self._lineage is None:
             self._lineage = build_lineage(self.query, self.pdb)
         return self._lineage
+
+    def _ensure_compiled(self) -> CompiledLineage:
+        """The lineage compiled to a circuit (once; raises on budget overrun)."""
+        if self._compiled is None:
+            self._compiled = compile_lineage(
+                self.lineage(), node_budget=self.circuit_node_budget)
+        return self._compiled
 
     def _fgmc_via_plan(self, pdb: PartitionedDatabase) -> list[int]:
         plan = self._ensure_plan()
@@ -195,6 +266,18 @@ class SVCEngine:
         return backends.safe_value_from_plan(self.query, self._ensure_plan(),
                                              self.pdb, self._full_fgmc(), fact)
 
+    def _value_circuit(self, fact: Fact) -> Fraction:
+        """Every pending value from one derivative sweep (then read one off).
+
+        The top-down sweep prices all per-fact conditioned vector pairs at
+        once, so the first request fills the memo for every pending fact —
+        asking for a single value costs the same sweep as asking for all.
+        """
+        pending = [f for f in sorted(self.pdb.endogenous) if f not in self._values]
+        self._values.update(backends.circuit_values_from_compiled(
+            self._ensure_compiled(), pending))
+        return self._values[fact]
+
     def _value_brute(self, fact: Fact) -> Fraction:
         return backends.brute_value_from_table(self._coalition_table(),
                                                self.pdb, fact)
@@ -220,6 +303,8 @@ class SVCEngine:
         parent, rather than inside a worker.
         """
         backend = self.backend()
+        if backend == "circuit":
+            return ("circuit", self._ensure_compiled())
         if backend == "counting":
             if self._resolved_counting_method() == "lineage":
                 return ("counting-lineage", self.lineage())
@@ -268,6 +353,8 @@ class SVCEngine:
             backend = self.backend()
             if backend == "safe":
                 value = self._value_safe(fact)
+            elif backend == "circuit":
+                value = self._value_circuit(fact)
             elif backend == "counting":
                 value = self._value_counting(fact)
             else:
@@ -307,6 +394,26 @@ class SVCEngine:
             return None
         return len(self._lineage.dnf.clauses)
 
+    def circuit_size(self) -> "int | None":
+        """Node count of the compiled circuit, or ``None`` if none was compiled.
+
+        Like :meth:`lineage_size` this reads the memoised artefact only, so it
+        is safe report metadata on every backend.
+        """
+        if self._compiled is None:
+            return None
+        return self._compiled.size
+
+    def circuit_compile_time_s(self) -> "float | None":
+        """Wall time of the lineage compilation, or ``None`` if none ran."""
+        if self._compiled is None:
+            return None
+        return self._compiled.compile_time_s
+
+    def circuit_fallback_reason(self) -> "str | None":
+        """Why the circuit backend degraded to counting (``None`` when it did not)."""
+        return self._circuit_fallback
+
     def ranking(self) -> list[tuple[Fact, Fraction]]:
         """Facts sorted by decreasing Shapley value (ties broken by fact order)."""
         return sorted(self.all_values().items(), key=_ranking_key)
@@ -342,21 +449,25 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
                method: EngineBackend = "auto",
                counting_method: CountingMethod = "auto",
                workers: int = 1,
-               parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD) -> SVCEngine:
+               parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+               circuit_node_budget: int = DEFAULT_NODE_BUDGET) -> SVCEngine:
     """A (possibly cached) engine for the given query, database and backend.
 
-    Engines are cached in an LRU keyed by ``(query, pdb, method,
-    counting_method, workers, parallel_threshold)`` so that repeated
-    whole-database workloads — ranking, max-SVC, relevance analysis, CLI
-    invocations — share one lineage / plan.  Unhashable queries fall back to
-    a fresh, uncached engine (counted as a miss in :func:`engine_cache_stats`).
+    Engines are cached in an LRU keyed by ``(query, pdb, resolved method,
+    counting_method, workers, parallel_threshold, circuit_node_budget)`` so
+    that repeated whole-database workloads — ranking, max-SVC, relevance
+    analysis, CLI invocations — share one lineage / plan / circuit.
+    Unhashable queries fall back to a fresh, uncached engine (counted as a
+    miss in :func:`engine_cache_stats`).
 
-    The key stores the *requested* method verbatim: ``method="auto"`` and the
-    explicit name it resolves to (say ``method="safe"``) are **distinct LRU
-    keys**, so a call site that asks for ``auto`` and one that asks for the
-    resolved backend by name will hold two engines for the same ``(query,
-    pdb)`` and rebuild the shared artefact once each.  Pass methods
-    consistently (ideally always ``auto``) to avoid this cache fragmentation.
+    ``method="auto"`` is resolved to its concrete backend name **before** the
+    key is built (:func:`resolve_auto_backend`, memoised per query), so an
+    ``auto`` call and an explicit call for the backend it resolves to share
+    one engine — and one shared artefact — instead of holding two cache
+    entries for the same ``(query, pdb)``.  The query-level ``circuit``
+    resolution may still degrade to ``counting`` inside the engine when the
+    instance blows the node budget; the key keeps the resolved *request*
+    either way.
 
     Cache correctness rests on the immutability of the key: ``Database`` and
     :class:`repro.data.database.PartitionedDatabase` hold their facts in
@@ -364,18 +475,30 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
     be made stale by in-place mutation (see ``tests/test_api_session.py``).
     """
     global _CACHE_HITS, _CACHE_MISSES
-    key = (query, pdb, method, counting_method, workers, parallel_threshold)
+    plan: "Plan | None" = None
+    resolved = method
+    if method == "auto":
+        try:
+            resolved, plan = _resolved_auto(query)
+        except TypeError:  # unhashable query: the engine resolves privately
+            _CACHE_MISSES += 1
+            return SVCEngine(query, pdb, method, counting_method,
+                             workers, parallel_threshold, circuit_node_budget)
+    key = (query, pdb, resolved, counting_method, workers, parallel_threshold,
+           circuit_node_budget)
     try:
         engine = _ENGINE_CACHE.pop(key)
         _CACHE_HITS += 1
     except KeyError:
         _CACHE_MISSES += 1
-        engine = SVCEngine(query, pdb, method, counting_method,
-                           workers, parallel_threshold)
+        engine = SVCEngine(query, pdb, resolved, counting_method,
+                           workers, parallel_threshold, circuit_node_budget)
+        if plan is not None:
+            engine._plan = plan  # auto already compiled it: don't pay twice
     except TypeError:
         _CACHE_MISSES += 1
-        return SVCEngine(query, pdb, method, counting_method,
-                         workers, parallel_threshold)
+        return SVCEngine(query, pdb, resolved, counting_method,
+                         workers, parallel_threshold, circuit_node_budget)
     _ENGINE_CACHE[key] = engine
     while len(_ENGINE_CACHE) > _ENGINE_CACHE_SIZE:
         _ENGINE_CACHE.popitem(last=False)

@@ -18,7 +18,7 @@ from ..core.svc import shapley_value_via_fgmc
 from ..counting.dnf_counter import clear_caches
 from ..data.atoms import fact
 from ..data.database import PartitionedDatabase
-from ..data.generators import complete_bipartite_s_facts
+from ..data.generators import bipartite_rst_database, complete_bipartite_s_facts
 from ..engine import SVCEngine
 from ..queries.base import BooleanQuery
 from .catalog import q_rst
@@ -43,6 +43,22 @@ def bipartite_attribution_instance(left: int, right: int,
         pad.add(fact("R", f"p{k}"))
         pad.add(fact("S", f"p{k}", f"dead{k}"))
     return PartitionedDatabase(s_facts, r_facts | t_facts | pad)
+
+
+def sparse_endogenous_instance(n_left: int, n_right: int,
+                               edge_probability: float = 0.3,
+                               seed: int = 5) -> PartitionedDatabase:
+    """A sparse bipartite R/S/T instance with **every** fact endogenous.
+
+    The hard-but-structured family of the circuit benchmarks: with R and T
+    facts endogenous too, the ``q_RST`` lineage has three-variable clauses
+    ``{r_i, s_ij, t_j}`` sharing variables along rows and columns — large
+    enough conditioned sub-formulas to make the per-fact counting passes
+    genuinely expensive, yet sparse enough that Shannon expansion with
+    component caching compiles to a small circuit.
+    """
+    return PartitionedDatabase(
+        bipartite_rst_database(n_left, n_right, edge_probability, seed=seed).facts, ())
 
 
 def per_fact_loop(query: BooleanQuery, pdb: PartitionedDatabase) -> dict:
@@ -86,6 +102,57 @@ def run_batch_vs_loop(shapes: "tuple[tuple[int, int], ...]" = ((2, 3), (2, 5), (
             "speedup": f"{loop_time / batch_time:.1f}x" if batch_time else "inf",
             "exact match": loop_values == batch_values,
             "Σ values": str(sum(batch_values.values(), Fraction(0))),
+        })
+    return rows
+
+
+def run_circuit_vs_counting(shapes: "tuple[tuple[int, int], ...]" = ((7, 7), (9, 9), (10, 10)),
+                            edge_probability: float = 0.3,
+                            seed: int = 5,
+                            query: "BooleanQuery | None" = None,
+                            circuit_node_budget: "int | None" = None) -> list[dict]:
+    """Time the compiled-circuit backend against per-fact lineage conditioning.
+
+    Both engines share the same lineage build and Claim A.1 combination step;
+    the difference under measurement is ``n`` conditioned counting passes
+    (``counting``) versus one compilation plus one top-down derivative sweep
+    (``circuit``).  Each row reports both wall times, the circuit size and
+    compile time, the speedup, and whether the value dictionaries are
+    bitwise-identical.  Caches are cleared before each timed run so neither
+    side inherits the other's memoisation.  ``circuit_node_budget`` overrides
+    the engine default; an instance that blows it shows up as a
+    ``backend="counting"`` row (the graceful-fallback path), not an error.
+    """
+    query = query or q_rst()
+    budget_kwargs = ({} if circuit_node_budget is None
+                     else {"circuit_node_budget": circuit_node_budget})
+    rows: list[dict] = []
+    for left, right in shapes:
+        pdb = sparse_endogenous_instance(left, right, edge_probability, seed)
+
+        clear_caches()
+        start = time.perf_counter()
+        counting_values = SVCEngine(query, pdb, method="counting").all_values()
+        counting_time = time.perf_counter() - start
+
+        clear_caches()
+        engine = SVCEngine(query, pdb, method="circuit", **budget_kwargs)
+        start = time.perf_counter()
+        circuit_values = engine.all_values()
+        circuit_time = time.perf_counter() - start
+
+        compile_time = engine.circuit_compile_time_s()
+        rows.append({
+            "|Dn|": len(pdb.endogenous),
+            "lineage clauses": engine.lineage_size(),
+            "backend": engine.backend(),  # "counting" after a budget fallback
+            "circuit nodes": engine.circuit_size(),
+            "compile (s)": "—" if compile_time is None else f"{compile_time:.4f}",
+            "counting engine (s)": f"{counting_time:.4f}",
+            "circuit engine (s)": f"{circuit_time:.4f}",
+            "speedup": f"{counting_time / circuit_time:.1f}x" if circuit_time else "inf",
+            "exact match": counting_values == circuit_values,
+            "Σ values": str(sum(circuit_values.values(), Fraction(0))),
         })
     return rows
 

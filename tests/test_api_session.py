@@ -118,7 +118,7 @@ class TestDispatchPolicy:
 
     def test_hard_query_small_instance_stays_exact(self, rst_exogenous_pdb):
         session = AttributionSession(Q_RST, rst_exogenous_pdb)
-        assert session.backend() in ("counting", "brute")
+        assert session.backend() in ("circuit", "counting", "brute")
         assert session.explanation().verdict.complexity is Complexity.SHARP_P_HARD
         assert session.report().exact
 
@@ -140,7 +140,7 @@ class TestDispatchPolicy:
     def test_on_hard_exact_never_samples(self, rst_exogenous_pdb):
         config = EngineConfig(exact_size_limit=0, on_hard="exact")
         session = AttributionSession(Q_RST, rst_exogenous_pdb, config)
-        assert session.backend() in ("counting", "brute")
+        assert session.backend() in ("circuit", "counting", "brute")
         assert session.report().exact
 
     def test_explicit_override_is_recorded(self, rst_exogenous_pdb):

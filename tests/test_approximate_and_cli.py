@@ -31,6 +31,20 @@ class TestApproximateShapley:
         assert result.estimate == 1
         assert approximate_shapley_value(game, "b", n_samples=50, seed=3).estimate == 0
 
+    def test_players_without_a_common_total_order(self):
+        """Regression: the Player bound is Hashable, not orderable.
+
+        The renaming-determinism fix ordered players with plain ``sorted``;
+        a generic game whose players mix types (no common ``<``) must fall
+        back to a repr order instead of raising ``TypeError``, and stay
+        deterministic for a fixed seed.
+        """
+        players = [1, "a", ("t",)]
+        game = ExplicitGame(players, {frozenset(players): 1})
+        first = approximate_shapley_value(game, 1, n_samples=40, seed=7)
+        again = approximate_shapley_value(game, 1, n_samples=40, seed=7)
+        assert first.estimate == again.estimate
+
     def test_seeded_estimate_invariant_under_order_preserving_renaming(self):
         """Regression: players were ordered by ``str``, not by the fact total order.
 

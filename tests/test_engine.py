@@ -130,17 +130,17 @@ class TestSVCEngine:
         engine.all_values()
         assert engine.backend() == "safe"
 
-    def test_auto_resolves_counting_for_hard_query(self, q_rst, small_pdb):
+    def test_auto_resolves_circuit_for_hard_query(self, q_rst, small_pdb):
         engine = SVCEngine(q_rst, small_pdb)
         engine.all_values()
-        assert engine.backend() == "counting"
+        assert engine.backend() == "circuit"
 
-    def test_auto_resolves_counting_for_rpq(self, tiny_graph_db):
+    def test_auto_resolves_circuit_for_rpq(self, tiny_graph_db):
         from repro.data import purely_endogenous
 
         engine = SVCEngine(rpq("A B C", "a", "b"), purely_endogenous(tiny_graph_db))
         engine.all_values()
-        assert engine.backend() == "counting"
+        assert engine.backend() == "circuit"
 
     def test_safe_method_on_unsafe_query_raises(self, q_rst, small_pdb):
         engine = SVCEngine(q_rst, small_pdb, method="safe")

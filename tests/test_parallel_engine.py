@@ -100,7 +100,7 @@ class TestCatalogParity:
             assert engine.workers_used == min(workers, stripes)
             assert engine.workers_used > 1
 
-    @pytest.mark.parametrize("method", ["counting", "safe", "brute"])
+    @pytest.mark.parametrize("method", ["circuit", "counting", "safe", "brute"])
     def test_explicit_backends_shard_and_agree(self, method):
         query = Q_HIER if method == "safe" else Q_RST
         pdb = bipartite_attribution_instance(2, 4, exogenous_pad=3)
