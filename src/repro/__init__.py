@@ -28,6 +28,12 @@ The package is organised as follows:
 * :mod:`repro.api` — the stable programmatic surface: a dichotomy-aware
   :class:`AttributionSession` façade with typed results, structured
   explanations and a validated :class:`EngineConfig`;
+* :mod:`repro.workspace` — incremental attribution above the session: a
+  long-lived :class:`AttributionWorkspace` over a changing database, with
+  lineage-support-aware delta invalidation and a pluggable
+  :class:`~repro.workspace.ArtifactStore` (in-memory LRU or on-disk pickles
+  keyed by content hashes) so plans, lineages and compiled circuits survive
+  updates and process restarts;
 * :mod:`repro.reductions` — the paper's reductions (Proposition 3.3,
   Lemmas 4.1 / 4.3 / 4.4, Section 6 variants), implemented as oracle
   algorithms over exact rational arithmetic;
@@ -80,6 +86,24 @@ backend     auto picks it when           cost / knobs
 Every exact backend returns bitwise-identical ``Fraction`` values; the choice
 only moves wall-clock time.  Reports record the evidence: ``lineage_size``,
 ``circuit_size``, ``circuit_compile_time_s``, ``workers_used``.
+
+Session or workspace?  A session is one-shot: one immutable ``(query,
+database)`` pair, one attribution — use it for ad-hoc questions and
+reproducible reports.  When the *database changes* and the *queries stand*,
+hold an :class:`AttributionWorkspace` instead: delta operations produce new
+immutable snapshots, ``refresh()`` re-attributes only the queries a delta
+actually invalidates (a delta fact outside a query's lineage support provably
+moves no value), and a :class:`~repro.workspace.DiskStore` keeps the expensive
+artifacts across process restarts::
+
+    from repro.workspace import AttributionWorkspace, DiskStore
+
+    ws = AttributionWorkspace(pdb, store=DiskStore("artifacts/"))
+    ws.register("suspects", q)
+    ws.refresh()                        # cold attribution, artifacts stored
+    ws.insert(fact("S", "a", "b"))      # a new immutable snapshot
+    result = ws.refresh()               # recomputes only what the delta reaches
+    result["suspects"].rank_moves       # typed delta: what actually changed
 
 The legacy free functions (``shapley_values_of_facts``, ...) still work but
 emit ``DeprecationWarning`` and delegate to the session (see the migration
@@ -169,14 +193,23 @@ from .reductions import (
     fgmc_via_svc_lemma_4_4,
     svc_via_fgmc,
 )
+from .workspace import (
+    AttributionDelta,
+    AttributionWorkspace,
+    DiskStore,
+    MemoryStore,
+    WorkspaceRefresh,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "AttributionDelta",
     "AttributionReport",
     "AttributionResult",
     "AttributionSession",
+    "AttributionWorkspace",
     "BooleanQuery",
     "CircuitBudgetError",
     "Complexity",
@@ -194,7 +227,9 @@ __all__ = [
     "Constant",
     "Database",
     "DichotomyVerdict",
+    "DiskStore",
     "Fact",
+    "MemoryStore",
     "PartitionedDatabase",
     "QueryGame",
     "RegularPathQuery",
@@ -203,6 +238,7 @@ __all__ = [
     "TupleIndependentDatabase",
     "UnionOfConjunctiveQueries",
     "Variable",
+    "WorkspaceRefresh",
     "atom",
     "attribute",
     "bipartite_rst_database",

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterator, Mapping
 
-from ..analysis.dichotomy import DichotomyVerdict
+from ..analysis.dichotomy import Complexity, DichotomyVerdict
 from ..data.atoms import Fact
 from .config import EngineConfig
 
@@ -20,6 +20,34 @@ from .config import EngineConfig
 def _fraction_json(value: Fraction) -> dict:
     """Render an exact rational losslessly, with a float convenience field."""
     return {"fraction": str(value), "float": float(value)}
+
+
+def _fraction_from_json(payload: dict) -> Fraction:
+    """Invert :func:`_fraction_json` exactly (the float field is ignored)."""
+    return Fraction(payload["fraction"])
+
+
+def _fact_json(f: Fact) -> dict:
+    """Render a fact with both a display string and a lossless structure.
+
+    ``str(Fact)`` joins arguments with ``", "``, which is ambiguous for
+    constants that themselves contain commas (CSV fields do); ``args`` keeps
+    the exact argument list so deserialisation never has to re-parse it.
+    """
+    return {"fact": str(f), "relation": f.relation,
+            "args": [t.name for t in f.terms]}
+
+
+def _fact_from_json(entry: dict) -> Fact:
+    """Rebuild a fact, preferring the lossless structure over the string."""
+    from ..data.terms import Constant
+
+    if "relation" in entry:
+        return Fact(entry["relation"], tuple(Constant(a) for a in entry["args"]))
+    # Documents written before the structured fields: best-effort re-parse.
+    from ..io.query_text import parse_fact
+
+    return parse_fact(entry["fact"])
 
 
 @dataclass(frozen=True)
@@ -51,6 +79,18 @@ class Explanation:
                 "query_class": self.verdict.query_class,
             },
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "Explanation":
+        """Rebuild an explanation from its :meth:`to_json_dict` rendering."""
+        verdict = payload["verdict"]
+        return cls(
+            backend=payload["backend"],
+            verdict=DichotomyVerdict(Complexity(verdict["complexity"]),
+                                     verdict["reason"], verdict["query_class"]),
+            overridden=payload["overridden"],
+            reason=payload["reason"],
+        )
 
 
 @dataclass(frozen=True)
@@ -97,6 +137,13 @@ class EfficiencyCheck:
     def to_json_dict(self) -> dict:
         return {"total": _fraction_json(self.total),
                 "grand_coalition_value": self.grand_coalition_value, "ok": self.ok}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "EfficiencyCheck":
+        """Rebuild a check from its :meth:`to_json_dict` rendering (exact total)."""
+        return cls(total=_fraction_from_json(payload["total"]),
+                   grand_coalition_value=payload["grand_coalition_value"],
+                   ok=payload["ok"])
 
 
 @dataclass(frozen=True)
@@ -163,7 +210,7 @@ class AttributionReport:
             "workers_used": self.workers_used,
             "efficiency": None if self.efficiency is None else self.efficiency.to_json_dict(),
             "engine_cache": dict(self.cache),
-            "ranking": [{"fact": str(f), "value": _fraction_json(v)}
+            "ranking": [{**_fact_json(f), "value": _fraction_json(v)}
                         for f, v in self.ranking],
         }
 
@@ -171,6 +218,48 @@ class AttributionReport:
         import json
 
         return json.dumps(self.to_json_dict(), indent=indent)
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "AttributionReport":
+        """Rebuild a report from its :meth:`to_json_dict` rendering.
+
+        The round trip is exact: facts are rebuilt from the report's lossless
+        ``relation``/``args`` structure (not re-parsed from display strings),
+        and every Shapley value (and the efficiency total) is reconstructed
+        from its lossless ``fraction`` string — so
+        ``from_json_dict(r.to_json_dict())`` equals ``r`` with a bitwise-
+        identical ``Fraction`` map, the contract that lets stored workspace
+        reports be reloaded and diffed against fresh runs.  The query survives
+        as the string the report already carried.
+        """
+        efficiency = payload.get("efficiency")
+        return cls(
+            query=payload["query"],
+            ranking=tuple((_fact_from_json(entry),
+                           _fraction_from_json(entry["value"]))
+                          for entry in payload["ranking"]),
+            explanation=Explanation.from_json_dict(payload["explanation"]),
+            config=EngineConfig(**payload["config"]),
+            n_endogenous=payload["n_endogenous"],
+            n_exogenous=payload["n_exogenous"],
+            lineage_size=payload["lineage_size"],
+            circuit_size=payload["circuit_size"],
+            circuit_compile_time_s=payload["circuit_compile_time_s"],
+            wall_time_s=payload["wall_time_s"],
+            exact=payload["exact"],
+            n_samples_used=payload["n_samples_used"],
+            workers_used=payload["workers_used"],
+            efficiency=(None if efficiency is None
+                        else EfficiencyCheck.from_json_dict(efficiency)),
+            cache=dict(payload["engine_cache"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AttributionReport":
+        """Rebuild a report from a :meth:`to_json` string (exact ``Fraction``s)."""
+        import json
+
+        return cls.from_json_dict(json.loads(text))
 
 
 __all__ = ["AttributionReport", "AttributionResult", "EfficiencyCheck", "Explanation"]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 import time
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from ..analysis.dichotomy import Complexity, DichotomyVerdict, classify_svc
 from ..core.approximate import ApproximationResult, _approximate_values_of_facts
@@ -35,6 +36,9 @@ from ..errors import ConfigError, IntractableQueryError
 from ..queries.base import BooleanQuery
 from .config import EngineConfig
 from .results import AttributionReport, AttributionResult, EfficiencyCheck, Explanation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..workspace.store import ArtifactStore
 
 #: Engine backends (everything the session runs that is not the sampler).
 _EXACT_BACKENDS = ("safe", "circuit", "counting", "brute")
@@ -59,7 +63,8 @@ class AttributionSession:
     """
 
     def __init__(self, query: BooleanQuery, pdb: PartitionedDatabase,
-                 config: "EngineConfig | None" = None):
+                 config: "EngineConfig | None" = None,
+                 store: "ArtifactStore | None" = None):
         if not isinstance(pdb, PartitionedDatabase):
             raise ConfigError(
                 f"AttributionSession needs a PartitionedDatabase, got {type(pdb).__name__} "
@@ -67,6 +72,11 @@ class AttributionSession:
         self.query = query
         self.pdb = pdb
         self.config = config if config is not None else EngineConfig()
+        #: Optional :class:`repro.workspace.ArtifactStore`: the engine reuses
+        #: stored plans / lineages / circuits and stores fresh ones, so
+        #: sessions sharing a store (or a store directory, for
+        #: :class:`repro.workspace.DiskStore`) share their artefacts.
+        self.store = store
         self._verdict: "DichotomyVerdict | None" = None
         self._explanation: "Explanation | None" = None
         self._engine: "SVCEngine | None" = None
@@ -105,7 +115,8 @@ class AttributionSession:
                                       self.config.counting_method,
                                       self.config.workers,
                                       self.config.parallel_threshold,
-                                      self.config.circuit_node_budget)
+                                      self.config.circuit_node_budget,
+                                      self.store)
         return self._engine
 
     def _dispatch(self) -> Explanation:

@@ -11,6 +11,11 @@ be inspected without writing Python:
 * ``repro svc-all``   — the batched whole-database workload: every Shapley
   value from one shared lineage / safe plan (the :class:`repro.engine.SVCEngine`),
   with an efficiency-axiom check,
+* ``repro workspace`` — incremental attribution: register the query in an
+  :class:`repro.workspace.AttributionWorkspace`, apply a sequence of deltas
+  (insert / remove / repartition facts) and refresh, re-attributing only when
+  a delta actually invalidates the cached values; ``--store-dir`` persists
+  safe plans, lineages and compiled circuits across invocations,
 * ``repro count``     — the FGMC vector / GMC total of a query on a database,
 * ``repro classify``  — the Figure 1b dichotomy verdict for a query,
 * ``repro probability`` — SPPQE: the query probability at a uniform fact probability,
@@ -43,8 +48,10 @@ from .counting.problems import fgmc_vector
 from .data.database import PartitionedDatabase
 from .errors import ReproError, UnsafeQueryError
 from .experiments.tables import format_table
-from .io.query_text import parse_database, parse_query
+from .io.query_text import parse_database, parse_fact, parse_query
 from .io.tables import load_partitioned_csv
+from .workspace import AttributionWorkspace, DiskStore, MemoryStore
+from .workspace.results import AttributionDelta
 from .probability.spqe import sppqe
 from .reductions.island import fgmc_via_svc_lemma_4_1
 from .reductions.oracles import CallCounter, exact_svc_oracle
@@ -152,6 +159,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="node ceiling of the circuit backend's compiled lineage")
     svc_all.set_defaults(handler=_command_svc_all)
 
+    workspace = subparsers.add_parser(
+        "workspace",
+        help="incremental attribution: apply deltas and refresh, recomputing only "
+             "queries the deltas actually invalidate")
+    _add_common_arguments(workspace)
+    workspace.add_argument("--store-dir", dest="store_dir", default=None,
+                           help="directory of the persistent artifact store (safe "
+                                "plans, lineages, circuits survive across runs); "
+                                "omitted = in-memory store")
+    workspace.add_argument("--delta", action="append", default=[], metavar="SPEC",
+                           help="a delta applied (in order) before the refresh: "
+                                "'+R(a)' insert endogenous, '+x:R(a)' insert "
+                                "exogenous, '-R(a)' remove, '>R(a)' make exogenous, "
+                                "'<R(a)' make endogenous (repeatable; write "
+                                "removals as --delta='-R(a)' so the leading '-' "
+                                "is not read as an option)")
+    workspace.add_argument("--method",
+                           choices=["auto", "brute", "circuit", "counting", "safe"],
+                           default=config_defaults["method"],
+                           help="engine backend for the attributions (default: auto)")
+    workspace.add_argument("--json", action="store_true",
+                           help="emit the refresh results as JSON")
+    workspace.set_defaults(handler=_command_workspace)
+
     count = subparsers.add_parser("count", help="FGMC vector and GMC total of the query")
     _add_common_arguments(count)
     count.add_argument("--method", choices=["auto", "brute", "lineage"], default="auto")
@@ -257,6 +288,88 @@ def _command_svc_all(args: argparse.Namespace) -> int:
         print(f"circuit: {report.circuit_size} nodes "
               f"(compiled in {report.circuit_compile_time_s:.4f}s)")
     _print_efficiency(report)
+    return 0
+
+
+#: Delta-spec prefixes of the ``workspace`` command, in try-order.
+_DELTA_PREFIXES = (("+x:", "insert exogenous"), ("+", "insert"),
+                   ("-", "remove"), (">", "make exogenous"),
+                   ("<", "make endogenous"))
+
+
+def _apply_delta(ws: AttributionWorkspace, spec: str) -> str:
+    """Apply one ``--delta`` spec to the workspace; return a description."""
+    spec = spec.strip()
+    for prefix, label in _DELTA_PREFIXES:
+        if spec.startswith(prefix):
+            f = parse_fact(spec[len(prefix):])
+            if prefix == "+x:":
+                ws.insert(f, exogenous=True)
+            elif prefix == "+":
+                ws.insert(f)
+            elif prefix == "-":
+                ws.remove(f)
+            elif prefix == ">":
+                ws.make_exogenous(f)
+            else:
+                ws.make_endogenous(f)
+            return f"{label} {f}"
+    raise ValueError(
+        f"cannot parse delta {spec!r}: expected a '+', '+x:', '-', '>' or '<' "
+        "prefix followed by a fact, e.g. '+S(a, b)'")
+
+
+def _print_attribution_delta(delta: AttributionDelta) -> None:
+    status = "recomputed" if delta.recomputed else "reused cached values"
+    print(f"[{delta.name}] {status} — {delta.reason}")
+    rows = [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
+            for f, v in delta.ranking]
+    print(format_table(rows, title=f"Attribution for {delta.query} "
+                                   f"(backend: {delta.backend})"))
+    if delta.changed_values:
+        changes = ", ".join(
+            f"{c.fact}: {'∅' if c.old is None else c.old} → "
+            f"{'∅' if c.new is None else c.new}"
+            for c in delta.changed_values)
+        print(f"changed values: {changes}")
+    if delta.rank_moves:
+        moves = ", ".join(f"{m.fact}: {m.old_rank or '∅'} → {m.new_rank or '∅'}"
+                          for m in delta.rank_moves)
+        print(f"rank moves: {moves}")
+    if delta.new_null_players:
+        print("new null players: "
+              + ", ".join(str(f) for f in sorted(delta.new_null_players)))
+    if delta.dropped_null_players:
+        print("dropped null players: "
+              + ", ".join(str(f) for f in sorted(delta.dropped_null_players)))
+
+
+def _command_workspace(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    pdb = _load_database(args.database, args.exogenous)
+    store = MemoryStore() if args.store_dir is None else DiskStore(args.store_dir)
+    config = EngineConfig(method=args.method, on_hard="exact")
+    ws = AttributionWorkspace(pdb, config=config, store=store)
+    ws.register("query", query)
+    initial = ws.refresh()
+    applied = [_apply_delta(ws, spec) for spec in args.delta]
+    refresh = ws.refresh() if applied else None
+    if args.json:
+        import json
+
+        payload = {"initial": initial.to_json_dict(),
+                   "deltas": applied,
+                   "refresh": None if refresh is None else refresh.to_json_dict(),
+                   "store": store.stats()}
+        print(json.dumps(payload, indent=2))
+        return 0
+    _print_attribution_delta(initial["query"])
+    if refresh is not None:
+        print()
+        print(f"applied deltas: {'; '.join(applied)}")
+        _print_attribution_delta(refresh["query"])
+        print(f"refresh wall time: {refresh.wall_time_s:.4f}s")
+    print(f"artifact store: {store.stats()}")
     return 0
 
 

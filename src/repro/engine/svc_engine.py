@@ -47,7 +47,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from fractions import Fraction
 from functools import lru_cache
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from ..compile import (
     DEFAULT_NODE_BUDGET,
@@ -66,6 +66,12 @@ from ..queries.cq import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries
 from . import backends, parallel
 from .backends import combine_fgmc_vectors  # noqa: F401  (historic export)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # repro.workspace sits *above* the engine (its workspace module builds on
+    # repro.api, which builds on this module), so the runtime imports of the
+    # store helpers happen lazily inside the artefact methods.
+    from ..workspace.store import ArtifactStore
 
 #: Default smallest ``|Dn|`` for which a multi-worker engine actually spawns a
 #: pool: below it, per-process startup dominates any conceivable speedup
@@ -143,7 +149,8 @@ class SVCEngine:
                  counting_method: CountingMethod = "auto",
                  workers: int = 1,
                  parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
-                 circuit_node_budget: int = DEFAULT_NODE_BUDGET):
+                 circuit_node_budget: int = DEFAULT_NODE_BUDGET,
+                 store: "ArtifactStore | None" = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if parallel_threshold < 0:
@@ -159,6 +166,7 @@ class SVCEngine:
         self.workers = workers
         self.parallel_threshold = parallel_threshold
         self.circuit_node_budget = circuit_node_budget
+        self.store = store
         self._backend: "str | None" = None
         self._plan: "Plan | None" = None
         self._lineage: "Lineage | None" = None
@@ -212,20 +220,67 @@ class SVCEngine:
         if self._plan is None:
             if not isinstance(self.query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
                 raise UnsafeQueryError("the safe pipeline applies to CQs and UCQs only")
-            self._plan = safe_plan(self.query)
+            if self.store is None:
+                self._plan = safe_plan(self.query)
+            else:
+                from ..workspace.store import plan_key
+
+                cached = self.store.get(plan_key(self.query))
+                if isinstance(cached, Plan):
+                    self._plan = cached
+                else:
+                    self._plan = safe_plan(self.query)
+                    self.store.put(plan_key(self.query), self._plan)
         return self._plan
 
     def lineage(self) -> Lineage:
-        """The shared lineage of the query over the database (built once)."""
+        """The shared lineage of the query over the database (built once).
+
+        With an :class:`~repro.workspace.ArtifactStore` attached, the lineage
+        is looked up by content hash of ``(query, database)`` first — a hit
+        skips the homomorphism enumeration entirely — and stored on a miss so
+        later engines (and later processes, for a disk-backed store) reuse it.
+        """
         if self._lineage is None:
-            self._lineage = build_lineage(self.query, self.pdb)
+            if self.store is None:
+                self._lineage = build_lineage(self.query, self.pdb)
+            else:
+                from ..workspace.store import lineage_key
+
+                key = lineage_key(self.query, self.pdb)
+                cached = self.store.get(key)
+                if isinstance(cached, Lineage):
+                    self._lineage = cached
+                else:
+                    self._lineage = build_lineage(self.query, self.pdb)
+                    self.store.put(key, self._lineage)
         return self._lineage
 
     def _ensure_compiled(self) -> CompiledLineage:
-        """The lineage compiled to a circuit (once; raises on budget overrun)."""
+        """The lineage compiled to a circuit (once; raises on budget overrun).
+
+        Circuits are store-keyed by content hash of ``(query, lineage)``: any
+        database snapshot producing the same lineage — in particular one that
+        differs only outside the query's support — reuses one compiled
+        circuit.  A stored circuit larger than this engine's node budget is
+        ignored (the recompile then raises :class:`CircuitBudgetError` exactly
+        as a fresh compilation would).
+        """
         if self._compiled is None:
-            self._compiled = compile_lineage(
-                self.lineage(), node_budget=self.circuit_node_budget)
+            key = None
+            if self.store is not None:
+                from ..workspace.store import circuit_key
+
+                key = circuit_key(self.query, self.lineage())
+            cached = None if key is None else self.store.get(key)
+            if (isinstance(cached, CompiledLineage)
+                    and cached.size <= self.circuit_node_budget):
+                self._compiled = cached
+            else:
+                self._compiled = compile_lineage(
+                    self.lineage(), node_budget=self.circuit_node_budget)
+                if key is not None:
+                    self.store.put(key, self._compiled)
         return self._compiled
 
     def _fgmc_via_plan(self, pdb: PartitionedDatabase) -> list[int]:
@@ -450,15 +505,19 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
                counting_method: CountingMethod = "auto",
                workers: int = 1,
                parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
-               circuit_node_budget: int = DEFAULT_NODE_BUDGET) -> SVCEngine:
+               circuit_node_budget: int = DEFAULT_NODE_BUDGET,
+               store: "ArtifactStore | None" = None) -> SVCEngine:
     """A (possibly cached) engine for the given query, database and backend.
 
     Engines are cached in an LRU keyed by ``(query, pdb, resolved method,
-    counting_method, workers, parallel_threshold, circuit_node_budget)`` so
-    that repeated whole-database workloads — ranking, max-SVC, relevance
-    analysis, CLI invocations — share one lineage / plan / circuit.
+    counting_method, workers, parallel_threshold, circuit_node_budget,
+    store)`` so that repeated whole-database workloads — ranking, max-SVC,
+    relevance analysis, CLI invocations — share one lineage / plan / circuit.
     Unhashable queries fall back to a fresh, uncached engine (counted as a
-    miss in :func:`engine_cache_stats`).
+    miss in :func:`engine_cache_stats`).  ``store`` (an optional
+    :class:`repro.workspace.ArtifactStore`, compared by identity) lets those
+    artefacts additionally persist outside the engine — across engines,
+    workspaces and, for a disk-backed store, across processes.
 
     ``method="auto"`` is resolved to its concrete backend name **before** the
     key is built (:func:`resolve_auto_backend`, memoised per query), so an
@@ -483,22 +542,38 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
         except TypeError:  # unhashable query: the engine resolves privately
             _CACHE_MISSES += 1
             return SVCEngine(query, pdb, method, counting_method,
-                             workers, parallel_threshold, circuit_node_budget)
+                             workers, parallel_threshold, circuit_node_budget,
+                             store)
     key = (query, pdb, resolved, counting_method, workers, parallel_threshold,
-           circuit_node_budget)
+           circuit_node_budget, store)
     try:
         engine = _ENGINE_CACHE.pop(key)
         _CACHE_HITS += 1
     except KeyError:
         _CACHE_MISSES += 1
         engine = SVCEngine(query, pdb, resolved, counting_method,
-                           workers, parallel_threshold, circuit_node_budget)
+                           workers, parallel_threshold, circuit_node_budget,
+                           store)
         if plan is not None:
             engine._plan = plan  # auto already compiled it: don't pay twice
+            if store is not None:
+                # Seeding bypasses _ensure_plan, so persist the plan here —
+                # otherwise auto-dispatched plans never reach the store and
+                # explicit method="safe" callers in other processes recompile.
+                # Guarded by a get: a workspace produces a new snapshot (an
+                # engine miss) per delta, and the plan for a fixed query never
+                # changes, so an unconditional put would rewrite the same
+                # artifact on every refresh.
+                from ..workspace.store import plan_key
+
+                key = plan_key(query)
+                if store.get(key) is None:
+                    store.put(key, plan)
     except TypeError:
         _CACHE_MISSES += 1
         return SVCEngine(query, pdb, resolved, counting_method,
-                         workers, parallel_threshold, circuit_node_budget)
+                         workers, parallel_threshold, circuit_node_budget,
+                         store)
     _ENGINE_CACHE[key] = engine
     while len(_ENGINE_CACHE) > _ENGINE_CACHE_SIZE:
         _ENGINE_CACHE.popitem(last=False)
@@ -506,13 +581,27 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
 
 
 def engine_cache_stats() -> dict[str, int]:
-    """Hit/miss/size counters of the engine LRU (reported by the session metadata)."""
-    return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES, "size": len(_ENGINE_CACHE)}
+    """Counters of the engine LRU (reported by the session metadata).
+
+    ``hits`` / ``misses`` / ``size`` describe the engine LRU itself;
+    ``auto_resolutions`` is the entry count of the memoised ``auto``-backend
+    resolution (which holds compiled safe plans), so a fully cleared cache
+    reports all four as zero.
+    """
+    return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES,
+            "size": len(_ENGINE_CACHE),
+            "auto_resolutions": _resolved_auto.cache_info().currsize}
 
 
 def clear_engine_cache() -> None:
-    """Drop all cached engines and reset the hit/miss counters."""
+    """Drop all cached engines and reset the hit/miss counters.
+
+    Also clears the memoised ``auto``-backend resolution (and with it every
+    safe plan it holds): before this, "cleared" caches silently kept serving
+    plans and backend choices resolved for earlier engines.
+    """
     global _CACHE_HITS, _CACHE_MISSES
     _ENGINE_CACHE.clear()
+    _resolved_auto.cache_clear()
     _CACHE_HITS = 0
     _CACHE_MISSES = 0

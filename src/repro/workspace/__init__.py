@@ -1,0 +1,61 @@
+"""``repro.workspace`` — incremental attribution over a changing database.
+
+The layer above :mod:`repro.api`: where a session is one-shot over an
+immutable ``(query, database)`` pair, an :class:`AttributionWorkspace` holds a
+*standing* set of queries over a snapshot that evolves by deltas
+(``insert`` / ``remove`` / ``make_exogenous`` / ``make_endogenous``), and
+:meth:`~AttributionWorkspace.refresh` re-attributes only the queries a delta
+actually invalidates (lineage-support-aware).  Expensive artifacts — safe
+plans, lineages, compiled circuits — flow through a pluggable
+:class:`ArtifactStore` (:class:`MemoryStore` in-process LRU,
+:class:`DiskStore` content-hash-keyed pickles surviving process restarts).
+
+Quick start::
+
+    from repro.workspace import AttributionWorkspace, DiskStore
+
+    ws = AttributionWorkspace(pdb, store=DiskStore("artifacts/"))
+    ws.register("who-dunnit", query)
+    ws.refresh()                        # cold attribution, artifacts stored
+    ws.insert(fact("S", "a", "b"))      # a new immutable snapshot
+    result = ws.refresh()               # only invalidated queries recompute
+    result["who-dunnit"].rank_moves     # what the delta changed
+"""
+
+from .results import (
+    AttributionDelta,
+    RankMove,
+    ValueChange,
+    WorkspaceDelta,
+    WorkspaceRefresh,
+)
+from .store import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactKey,
+    ArtifactStore,
+    DiskStore,
+    MemoryStore,
+    circuit_key,
+    lineage_key,
+    plan_key,
+    support_key,
+)
+from .workspace import AttributionWorkspace
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactKey",
+    "ArtifactStore",
+    "AttributionDelta",
+    "AttributionWorkspace",
+    "DiskStore",
+    "MemoryStore",
+    "RankMove",
+    "ValueChange",
+    "WorkspaceDelta",
+    "WorkspaceRefresh",
+    "circuit_key",
+    "lineage_key",
+    "plan_key",
+    "support_key",
+]

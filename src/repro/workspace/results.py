@@ -1,0 +1,193 @@
+"""Typed, frozen results of an incremental workspace refresh.
+
+Where :class:`repro.api.AttributionReport` records one cold attribution run,
+the objects here record *what a delta changed*: which registered queries were
+re-attributed (and why), which kept their cached values, and — per query —
+exactly how the value landscape moved (changed values, rank moves, null
+players appearing or disappearing).  Everything is immutable, keeps exact
+:class:`~fractions.Fraction` values, and renders to plain JSON for the CLI
+and service layers, mirroring the conventions of :mod:`repro.api.results`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+from ..api.results import _fact_json
+from ..api.results import _fraction_json as _exact_fraction_json
+from ..data.atoms import Fact
+
+
+def _fraction_json(value: "Fraction | None") -> "dict | None":
+    """The api layer's lossless rendering, extended with ``None`` passthrough."""
+    if value is None:
+        return None
+    return _exact_fraction_json(value)
+
+
+@dataclass(frozen=True)
+class WorkspaceDelta:
+    """One applied delta operation: what happened to which fact.
+
+    ``endogenous`` records the fact's relationship to ``Dn``: for ``insert``
+    whether the fact joined the endogenous part, for ``remove`` whether it
+    left it (the partition moves imply it: ``make_exogenous`` leaves ``Dn``,
+    ``make_endogenous`` joins it).
+    """
+
+    op: str
+    fact: Fact
+    endogenous: bool
+
+    def __str__(self) -> str:
+        part = "Dn" if self.endogenous else "Dx"
+        return f"{self.op}({self.fact} @ {part})"
+
+    def to_json_dict(self) -> dict:
+        return {"op": self.op, **_fact_json(self.fact),
+                "endogenous": self.endogenous}
+
+
+@dataclass(frozen=True)
+class ValueChange:
+    """One fact whose Shapley value differs between two refreshes.
+
+    ``old is None`` means the fact was not an endogenous player before the
+    delta (it was inserted or made endogenous); ``new is None`` means it no
+    longer is one (removed or made exogenous).
+    """
+
+    fact: Fact
+    old: "Fraction | None"
+    new: "Fraction | None"
+
+    def to_json_dict(self) -> dict:
+        return {**_fact_json(self.fact), "old": _fraction_json(self.old),
+                "new": _fraction_json(self.new)}
+
+
+@dataclass(frozen=True)
+class RankMove:
+    """One fact whose position in the responsibility ranking moved.
+
+    Ranks are 1-based; ``None`` marks a fact entering (``old_rank``) or
+    leaving (``new_rank``) the ranking with the delta.
+    """
+
+    fact: Fact
+    old_rank: "int | None"
+    new_rank: "int | None"
+
+    def to_json_dict(self) -> dict:
+        return {**_fact_json(self.fact), "old_rank": self.old_rank,
+                "new_rank": self.new_rank}
+
+
+@dataclass(frozen=True)
+class AttributionDelta:
+    """How one registered query's attribution changed under a refresh.
+
+    ``recomputed`` distinguishes a genuine re-attribution from a cache reuse
+    (the delta batch stayed outside the query's lineage support, so the
+    previous values remained valid and were at most extended/shrunk by
+    membership changes); ``reason`` is the audit trail of that decision.
+    ``ranking`` is the full post-refresh ranking (decreasing value, ties by
+    the library's fact order), from which ``values`` is a derived view.
+    """
+
+    name: str
+    query: str
+    backend: str
+    recomputed: bool
+    reason: str
+    ranking: "tuple[tuple[Fact, Fraction], ...]"
+    changed_values: "tuple[ValueChange, ...]"
+    rank_moves: "tuple[RankMove, ...]"
+    new_null_players: frozenset[Fact]
+    dropped_null_players: frozenset[Fact]
+
+    @property
+    def values(self) -> dict[Fact, Fraction]:
+        """The post-refresh per-fact values (insertion order = ranking order)."""
+        return dict(self.ranking)
+
+    @property
+    def unchanged(self) -> bool:
+        """``True`` when the delta left this query's attribution untouched."""
+        return not (self.changed_values or self.rank_moves
+                    or self.new_null_players or self.dropped_null_players)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "query": self.query,
+            "backend": self.backend,
+            "recomputed": self.recomputed,
+            "reason": self.reason,
+            "ranking": [{**_fact_json(f), "value": _fraction_json(v)}
+                        for f, v in self.ranking],
+            "changed_values": [c.to_json_dict() for c in self.changed_values],
+            "rank_moves": [m.to_json_dict() for m in self.rank_moves],
+            "new_null_players": [_fact_json(f)
+                                 for f in sorted(self.new_null_players)],
+            "dropped_null_players": [_fact_json(f)
+                                     for f in sorted(self.dropped_null_players)],
+        }
+
+
+@dataclass(frozen=True)
+class WorkspaceRefresh:
+    """The outcome of one :meth:`AttributionWorkspace.refresh` call.
+
+    One :class:`AttributionDelta` per registered query (in name order), plus
+    the batch of :class:`WorkspaceDelta` operations the refresh consumed and
+    the wall time the whole refresh took.
+    """
+
+    deltas: "tuple[AttributionDelta, ...]"
+    applied: "tuple[WorkspaceDelta, ...]"
+    wall_time_s: float
+
+    @property
+    def recomputed(self) -> tuple[str, ...]:
+        """Names of the queries that were genuinely re-attributed."""
+        return tuple(d.name for d in self.deltas if d.recomputed)
+
+    @property
+    def reused(self) -> tuple[str, ...]:
+        """Names of the queries whose cached values survived the delta batch."""
+        return tuple(d.name for d in self.deltas if not d.recomputed)
+
+    def __iter__(self) -> Iterator[AttributionDelta]:
+        return iter(self.deltas)
+
+    def __getitem__(self, name: str) -> AttributionDelta:
+        for delta in self.deltas:
+            if delta.name == name:
+                return delta
+        raise KeyError(f"no refreshed query named {name!r}")
+
+    def to_json_dict(self) -> dict:
+        return {
+            "applied": [d.to_json_dict() for d in self.applied],
+            "recomputed": list(self.recomputed),
+            "reused": list(self.reused),
+            "wall_time_s": self.wall_time_s,
+            "deltas": [d.to_json_dict() for d in self.deltas],
+        }
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        import json
+
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+
+__all__ = [
+    "AttributionDelta",
+    "RankMove",
+    "ValueChange",
+    "WorkspaceDelta",
+    "WorkspaceRefresh",
+]

@@ -1,0 +1,322 @@
+"""Pluggable persistent stores for the engine's shared artifacts.
+
+The expensive artifacts of the SVC engine — compiled safe plans, lineage DNFs
+and knowledge-compiled circuits — are pure data: they depend only on the
+*content* of the ``(query, database)`` pair that produced them, never on
+process state.  An :class:`ArtifactStore` exploits that purity: artifacts are
+keyed by stable content hashes (SHA-256 over a canonical text rendering, never
+Python's salted ``hash``), so the same query over the same data maps to the
+same key in every process, on every machine.
+
+Two backends ship with the package:
+
+* :class:`MemoryStore` — a bounded in-process LRU; the default of
+  :class:`repro.workspace.AttributionWorkspace`, sharing artifacts across the
+  engines and sessions of one process,
+* :class:`DiskStore`  — one pickle file per artifact under a directory, so
+  plans, lineages and circuits survive process restarts and are shared
+  between workspaces (and machines, if the directory is).
+
+Robustness contract of every store: ``get`` returns ``None`` — a plain cache
+miss — for absent, corrupted, truncated or version-mismatched entries; it
+never raises.  ``put`` silently skips artifacts that cannot be serialised.
+The caller always recomputes on a miss and overwrites on the next ``put``, so
+a damaged store heals itself.  Values round-trip losslessly: every count and
+Shapley value derived from a stored artifact is a bitwise-identical
+``Fraction`` to one derived from a freshly computed artifact (exact integer /
+rational arithmetic pickles exactly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..counting.lineage import Lineage
+    from ..data.database import PartitionedDatabase
+    from ..queries.base import BooleanQuery
+
+#: Bumped whenever the pickled artifact layout changes incompatibly; stored
+#: entries carrying another version are treated as misses (recompute and
+#: overwrite), never deserialised into the wrong shape.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Field / record separators of the canonical content texts (control
+#: characters that cannot occur in relation or constant renderings).
+_FIELD = "\x1f"
+_RECORD = "\x1e"
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """A typed store key: the artifact kind plus a stable content digest."""
+
+    kind: str
+    digest: str
+
+    @property
+    def filename(self) -> str:
+        """The file name a disk-backed store uses for this key."""
+        return f"{self.kind}-{self.digest}.pkl"
+
+
+def _digest(*parts: str) -> str:
+    return hashlib.sha256(_RECORD.join(parts).encode("utf-8")).hexdigest()
+
+
+def _fact_text(f) -> str:
+    """An *injective* rendering of a fact (unlike ``str``).
+
+    ``str(Fact)`` joins term names with ``", "``, so a unary fact over the
+    constant ``"a, b"`` renders exactly like a binary fact over ``"a"`` and
+    ``"b"`` — and constants with commas arise naturally from CSV fields.
+    Length-prefixing every component makes the concatenation unambiguous for
+    arbitrary relation and constant strings, so distinct facts can never
+    collide on one content hash.
+    """
+    parts = [f.relation] + [t.name for t in f.terms]
+    return "".join(f"{len(p)}:{p}" for p in parts)
+
+
+def query_content_text(query: "BooleanQuery") -> str:
+    """A canonical text rendering of a query.
+
+    Class name + the deterministic ``str`` form, plus the sorted relation
+    names and length-prefixed constants (which disambiguate the ``str``
+    rendering's one weak spot: a constant containing ``", "`` reads like an
+    argument separator).  Equal queries built in different processes produce
+    equal texts — the property the content hash needs.
+    """
+    relations = ",".join(sorted(query.relation_names()))
+    constants = "".join(f"{len(c.name)}:{c.name}"
+                        for c in sorted(query.constants(), key=lambda c: c.name))
+    return _FIELD.join((type(query).__name__, str(query), relations, constants))
+
+
+def database_content_text(pdb: "PartitionedDatabase") -> str:
+    """A canonical rendering of a partitioned database (sorted facts per part)."""
+    endo = _FIELD.join(_fact_text(f) for f in sorted(pdb.endogenous))
+    exo = _FIELD.join(_fact_text(f) for f in sorted(pdb.exogenous))
+    return f"Dn{_FIELD}{endo}{_RECORD}Dx{_FIELD}{exo}"
+
+
+def lineage_content_text(lineage: "Lineage") -> str:
+    """A canonical rendering of a lineage (variable order + sorted clause sets)."""
+    variables = _FIELD.join(_fact_text(f) for f in lineage.variables)
+    clauses = _FIELD.join(
+        ",".join(str(v) for v in sorted(clause))
+        for clause in sorted(lineage.dnf.clauses, key=lambda c: sorted(c)))
+    return f"vars{_FIELD}{variables}{_RECORD}clauses{_FIELD}{clauses}"
+
+
+def plan_key(query: "BooleanQuery") -> ArtifactKey:
+    """The store key of a compiled safe plan (depends on the query alone)."""
+    return ArtifactKey("plan", _digest(query_content_text(query)))
+
+
+def lineage_key(query: "BooleanQuery", pdb: "PartitionedDatabase") -> ArtifactKey:
+    """The store key of a lineage (depends on query and database content)."""
+    return ArtifactKey("lineage", _digest(query_content_text(query),
+                                          database_content_text(pdb)))
+
+
+def support_key(query: "BooleanQuery", pdb: "PartitionedDatabase") -> ArtifactKey:
+    """The store key of a lineage-support union (same content as a lineage key).
+
+    The support union — every fact occurring in some minimal support of the
+    query in the snapshot — drives the workspace's delta invalidation; like
+    the lineage it costs a homomorphism enumeration, so it is stored under
+    the same ``(query, database)`` content and reused across refreshes and
+    processes.
+    """
+    return ArtifactKey("support", _digest(query_content_text(query),
+                                          database_content_text(pdb)))
+
+
+def circuit_key(query: "BooleanQuery", lineage: "Lineage") -> ArtifactKey:
+    """The store key of a compiled circuit: content hash of ``(query, lineage)``.
+
+    Keying by lineage content (not database content) means every database
+    snapshot with the *same* lineage — e.g. one that differs only in facts
+    outside the query's support — reuses one compiled circuit.
+    """
+    return ArtifactKey("circuit", _digest(query_content_text(query),
+                                          lineage_content_text(lineage)))
+
+
+@runtime_checkable
+class ArtifactStore(Protocol):
+    """What the engine needs from a store: get, put, and observability.
+
+    Implementations must make ``get`` total (``None`` on any miss, absence or
+    damage — never an exception) and ``put`` best-effort (silently skip what
+    cannot be stored).  Stores are compared by identity, which is what the
+    engine LRU keys on.
+    """
+
+    def get(self, key: ArtifactKey) -> "object | None":
+        """The stored artifact, or ``None`` on a miss (absent/corrupt/stale)."""
+        ...  # pragma: no cover - protocol
+
+    def put(self, key: ArtifactKey, artifact: object) -> None:
+        """Store an artifact under the key (best-effort, overwriting)."""
+        ...  # pragma: no cover - protocol
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/store counters (surfaced by workspace reports)."""
+        ...  # pragma: no cover - protocol
+
+
+class MemoryStore:
+    """A bounded in-process LRU artifact store (the workspace default).
+
+    Artifacts are held by reference — a hit returns the very object that was
+    put, so reuse is free and trivially bitwise-identical.  ``max_entries``
+    bounds memory: least-recently-used entries are evicted first.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[ArtifactKey, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+
+    def get(self, key: ArtifactKey) -> "object | None":
+        try:
+            artifact = self._entries.pop(key)
+        except KeyError:
+            self._misses += 1
+            return None
+        self._entries[key] = artifact  # re-insert: most recently used
+        self._hits += 1
+        return artifact
+
+    def put(self, key: ArtifactKey, artifact: object) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = artifact
+        self._stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self._hits, "misses": self._misses,
+                "stores": self._stores, "evictions": self._evictions,
+                "entries": len(self._entries)}
+
+
+class DiskStore:
+    """A directory of pickled artifacts, one file per content key.
+
+    Entries are written atomically (temp file + ``os.replace``) and wrapped in
+    a versioned envelope; ``get`` treats everything it cannot fully validate —
+    missing files, truncated or corrupted pickles, foreign payloads, schema
+    version mismatches — as a plain miss and (best-effort) deletes the damaged
+    file so the next ``put`` starts clean.  A ``DiskStore`` therefore never
+    fails a computation: at worst it degrades to recomputing.
+    """
+
+    def __init__(self, directory: "str | os.PathLike[str]"):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._invalid = 0
+        self._put_errors = 0
+
+    def _path(self, key: ArtifactKey) -> Path:
+        return self.directory / key.filename
+
+    def get(self, key: ArtifactKey) -> "object | None":
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._misses += 1
+            return None
+        try:
+            envelope = pickle.loads(raw)
+            version = envelope["version"]
+            kind = envelope["kind"]
+            artifact = envelope["payload"]
+        except Exception:
+            # Truncated file, corrupted bytes, unknown classes, not even a
+            # dict: a damaged entry is a miss, never a crash.
+            self._discard(path)
+            self._misses += 1
+            self._invalid += 1
+            return None
+        if version != ARTIFACT_SCHEMA_VERSION or kind != key.kind:
+            self._discard(path)
+            self._misses += 1
+            self._invalid += 1
+            return None
+        self._hits += 1
+        return artifact
+
+    def put(self, key: ArtifactKey, artifact: object) -> None:
+        try:
+            blob = pickle.dumps({"version": ARTIFACT_SCHEMA_VERSION,
+                                 "kind": key.kind, "payload": artifact})
+        except Exception:
+            self._put_errors += 1  # unpicklable artifact: skip, don't fail
+            return
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, self._path(key))
+            except BaseException:
+                self._discard(Path(tmp_name))
+                raise
+        except OSError:
+            self._put_errors += 1  # full/read-only disk: the store degrades
+            return
+        self._stores += 1
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self._hits, "misses": self._misses,
+                "stores": self._stores, "invalid": self._invalid,
+                "put_errors": self._put_errors}
+
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactKey",
+    "ArtifactStore",
+    "DiskStore",
+    "MemoryStore",
+    "circuit_key",
+    "database_content_text",
+    "lineage_content_text",
+    "lineage_key",
+    "plan_key",
+    "query_content_text",
+    "support_key",
+]

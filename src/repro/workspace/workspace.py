@@ -1,0 +1,381 @@
+"""The incremental attribution workspace: a long-lived service above sessions.
+
+An :class:`repro.api.AttributionSession` is one-shot: one immutable
+``(query, database)`` pair, one attribution.  Production attribution serves
+the opposite shape — a *standing* set of queries over a database that keeps
+changing one fact at a time — and recomputing every query from scratch after
+every delta throws away every safe plan, lineage and compiled circuit the
+previous run paid for.  :class:`AttributionWorkspace` is the standing-state
+API:
+
+* it holds the current :class:`~repro.data.database.PartitionedDatabase`
+  snapshot and a set of registered queries; delta operations (:meth:`insert`,
+  :meth:`remove`, :meth:`make_exogenous`, :meth:`make_endogenous`) replace the
+  snapshot with a new immutable one (snapshots are never mutated in place, so
+  engine caches keyed on them can never go stale);
+* :meth:`refresh` re-attributes **only the queries a delta actually
+  invalidates**, using lineage-support-aware invalidation: the *support* of a
+  query is the union of its minimal supports in the current snapshot, and a
+  delta fact outside that support provably cannot change any Shapley value
+  (it is a dummy player: it joins no support, so ``v(S ∪ {μ}) = v(S)`` for
+  every coalition ``S``, and adding or removing a dummy moves no other
+  player's value).  Cached values are then carried forward — at most extended
+  with a ``0`` for a new dummy or shrunk by a departed one — and the typed
+  :class:`~repro.workspace.results.AttributionDelta` records exactly what
+  moved;
+* the expensive artifacts flow through a pluggable
+  :class:`~repro.workspace.store.ArtifactStore` (in-process LRU by default; a
+  :class:`~repro.workspace.store.DiskStore` makes plans, lineages and circuits
+  survive process restarts and lets independent workspaces share them).
+
+Invalidation is *conservative but exact*: a query is re-attributed whenever
+correctness could require it (any insert whose relation the query inspects,
+any touched fact inside the support, and every delta on queries — e.g. with
+negation — whose support cannot be characterised), and values returned after
+any sequence of deltas are bitwise-identical ``Fraction``s to a cold
+:class:`~repro.api.AttributionSession` on the final snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from fractions import Fraction
+
+from ..api.config import EngineConfig
+from ..api.session import AttributionSession
+from ..data.atoms import Fact
+from ..data.database import PartitionedDatabase
+from ..engine.svc_engine import _ranking_key
+from ..errors import ConfigError
+from ..queries.base import BooleanQuery
+from .results import (
+    AttributionDelta,
+    RankMove,
+    ValueChange,
+    WorkspaceDelta,
+    WorkspaceRefresh,
+)
+from .store import ArtifactStore, MemoryStore, support_key
+
+
+@dataclass(frozen=True)
+class _QueryState:
+    """The cached attribution of one registered query on one snapshot."""
+
+    values: dict[Fact, Fraction]
+    ranking: "tuple[tuple[Fact, Fraction], ...]"
+    #: Union of the query's minimal supports in the snapshot's full fact set
+    #: (partition-independent), or ``None`` when no support characterisation
+    #: exists (non-hom-closed queries) — the conservative "always recompute".
+    support: "frozenset[Fact] | None"
+    backend: str
+
+
+def _ranked(values: dict[Fact, Fraction]) -> "tuple[tuple[Fact, Fraction], ...]":
+    return tuple(sorted(values.items(), key=_ranking_key))
+
+
+class AttributionWorkspace:
+    """Incremental Shapley attribution for a set of queries over one database.
+
+    Usage::
+
+        ws = AttributionWorkspace(pdb, store=DiskStore("artifacts/"))
+        ws.register("suspects", query)
+        ws.refresh()                    # initial attribution of every query
+        ws.insert(fact("S", "a", "b"))  # -> new immutable snapshot
+        ws.remove(fact("R", "c"))
+        result = ws.refresh()           # only invalidated queries recompute
+        result["suspects"].rank_moves   # what the deltas changed
+
+    ``config`` tunes the underlying sessions; the workspace forces exact
+    semantics (``on_hard="exact"``) because cached-value reuse is only sound
+    for exact backends — a ``method="sampled"`` config is rejected outright.
+    """
+
+    def __init__(self, pdb: PartitionedDatabase, *,
+                 config: "EngineConfig | None" = None,
+                 store: "ArtifactStore | None" = None):
+        if not isinstance(pdb, PartitionedDatabase):
+            raise ConfigError(
+                f"AttributionWorkspace needs a PartitionedDatabase, got "
+                f"{type(pdb).__name__} (wrap plain databases with "
+                "repro.data.purely_endogenous or partition_by_relation)")
+        config = config if config is not None else EngineConfig()
+        if config.method == "sampled":
+            raise ConfigError(
+                "AttributionWorkspace requires an exact backend: incremental "
+                "reuse of cached values is only sound when values are exact "
+                "(got EngineConfig(method='sampled'))")
+        if config.on_hard != "exact":
+            config = replace(config, on_hard="exact")
+        self._pdb = pdb
+        self._config = config
+        self._store: ArtifactStore = store if store is not None else MemoryStore()
+        self._queries: dict[str, BooleanQuery] = {}
+        self._states: dict[str, _QueryState] = {}
+        self._pending: list[WorkspaceDelta] = []
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def pdb(self) -> PartitionedDatabase:
+        """The current (immutable) database snapshot."""
+        return self._pdb
+
+    @property
+    def store(self) -> ArtifactStore:
+        """The artifact store plans / lineages / circuits flow through."""
+        return self._store
+
+    @property
+    def config(self) -> EngineConfig:
+        """The (exactness-enforced) session configuration."""
+        return self._config
+
+    def queries(self) -> dict[str, BooleanQuery]:
+        """The registered queries by name (a copy)."""
+        return dict(self._queries)
+
+    def pending_deltas(self) -> "tuple[WorkspaceDelta, ...]":
+        """Deltas applied to the snapshot but not yet refreshed through."""
+        return tuple(self._pending)
+
+    # -- query registration -----------------------------------------------------
+    def register(self, name: str, query: BooleanQuery) -> None:
+        """Register a query under a name; it is attributed on the next refresh.
+
+        Re-registering the same name with an equal query is a no-op (cached
+        state survives); a different query under a taken name is an error —
+        unregister first.
+        """
+        existing = self._queries.get(name)
+        if existing is not None:
+            if existing == query:
+                return
+            raise ValueError(
+                f"a different query is already registered as {name!r}; "
+                "unregister it first")
+        self._queries[name] = query
+
+    def unregister(self, name: str) -> None:
+        """Drop a registered query and its cached attribution."""
+        if name not in self._queries:
+            raise KeyError(f"no query registered as {name!r}")
+        del self._queries[name]
+        self._states.pop(name, None)
+
+    # -- delta operations ---------------------------------------------------------
+    def insert(self, fact: Fact, *, exogenous: bool = False) -> PartitionedDatabase:
+        """Add a new fact (endogenous by default) and return the new snapshot."""
+        if fact in self._pdb.all_facts:
+            raise ValueError(f"{fact} is already in the database")
+        if exogenous:
+            pdb = self._pdb.with_exogenous([fact])
+        else:
+            pdb = self._pdb.with_endogenous([fact])
+        return self._apply(WorkspaceDelta("insert", fact, not exogenous), pdb)
+
+    def remove(self, fact: Fact) -> PartitionedDatabase:
+        """Remove a fact from whichever part holds it; return the new snapshot."""
+        if fact not in self._pdb.all_facts:
+            raise ValueError(f"{fact} is not in the database")
+        endogenous = fact in self._pdb.endogenous
+        return self._apply(WorkspaceDelta("remove", fact, endogenous),
+                           self._pdb.without([fact]))
+
+    def make_exogenous(self, fact: Fact) -> PartitionedDatabase:
+        """Move an endogenous fact to the exogenous part (it stops being a player)."""
+        if fact not in self._pdb.endogenous:
+            raise ValueError(f"{fact} is not an endogenous fact of the database")
+        return self._apply(WorkspaceDelta("make_exogenous", fact, False),
+                           self._pdb.move_to_exogenous([fact]))
+
+    def make_endogenous(self, fact: Fact) -> PartitionedDatabase:
+        """Move an exogenous fact to the endogenous part (it becomes a player)."""
+        if fact not in self._pdb.exogenous:
+            raise ValueError(f"{fact} is not an exogenous fact of the database")
+        pdb = PartitionedDatabase(self._pdb.endogenous | {fact},
+                                  self._pdb.exogenous - {fact})
+        return self._apply(WorkspaceDelta("make_endogenous", fact, True), pdb)
+
+    def _apply(self, delta: WorkspaceDelta,
+               pdb: PartitionedDatabase) -> PartitionedDatabase:
+        self._pdb = pdb
+        self._pending.append(delta)
+        return pdb
+
+    # -- invalidation -------------------------------------------------------------
+    @staticmethod
+    def _delta_invalidates(query: BooleanQuery,
+                           support: "frozenset[Fact] | None",
+                           delta: WorkspaceDelta) -> bool:
+        """Whether a delta can change any of the query's Shapley values.
+
+        A fact over a relation the query never inspects is a dummy player in
+        every coalition, so no delta on it moves any value.  Otherwise an
+        insert may always create new supports (conservative), and a touched
+        existing fact matters exactly when it lies in the support union — a
+        fact in no minimal support joins no support and is likewise a dummy.
+        Without a support characterisation every relation-matching delta
+        invalidates.
+        """
+        if delta.fact.relation not in query.relation_names():
+            return False
+        if delta.op == "insert":
+            return True
+        if support is None:
+            return True
+        return delta.fact in support
+
+    def _support(self, query: BooleanQuery) -> "frozenset[Fact] | None":
+        """The union of the query's minimal supports in the current snapshot.
+
+        ``None`` — "no characterisation, recompute on every relevant delta" —
+        for non-hom-closed queries (removing a fact can *satisfy* a query
+        with negation, so minimal supports do not bound the delta's reach)
+        and for query classes that cannot enumerate supports.
+
+        The enumeration costs as much as a lineage build, so the result is
+        cached in the artifact store under the same ``(query, database)``
+        content key — repeat refreshes over one snapshot and store-warmed
+        fresh processes skip it entirely.
+        """
+        if not query.is_hom_closed:
+            return None
+        key = support_key(query, self._pdb)
+        cached = self._store.get(key)
+        if isinstance(cached, frozenset):
+            return cached
+        try:
+            supports = query.minimal_supports_in(self._pdb.all_facts)
+        except (NotImplementedError, ValueError):
+            return None
+        support = (frozenset().union(*supports) if supports else frozenset())
+        self._store.put(key, support)
+        return support
+
+    # -- refresh ------------------------------------------------------------------
+    def _attribute(self, query: BooleanQuery) -> _QueryState:
+        session = AttributionSession(query, self._pdb, self._config,
+                                     store=self._store)
+        values = session.values()
+        return _QueryState(values=values, ranking=_ranked(values),
+                           support=self._support(query),
+                           backend=session.backend())
+
+    @staticmethod
+    def _carry_forward(state: _QueryState,
+                       applied: "tuple[WorkspaceDelta, ...]") -> _QueryState:
+        """Update cached values for membership changes only (no recompute).
+
+        Every delta reaching this path is a dummy-player move: new endogenous
+        facts enter with value 0, departing ones leave (their cached value was
+        0 — they were in no support), everyone else's value is untouched.
+        """
+        values = dict(state.values)
+        for delta in applied:
+            if delta.op in ("insert", "make_endogenous") and delta.endogenous:
+                values[delta.fact] = Fraction(0)
+            elif delta.op in ("remove", "make_exogenous"):
+                values.pop(delta.fact, None)
+        return _QueryState(values=values, ranking=_ranked(values),
+                           support=state.support, backend=state.backend)
+
+    @staticmethod
+    def _diff(name: str, query: BooleanQuery, old: "_QueryState | None",
+              new: _QueryState, recomputed: bool, reason: str) -> AttributionDelta:
+        old_values = {} if old is None else old.values
+        changed = tuple(
+            ValueChange(f, old_values.get(f), new.values.get(f))
+            for f in sorted(set(old_values) | set(new.values))
+            if old_values.get(f) != new.values.get(f)
+            or (f in old_values) != (f in new.values))
+        old_rank = ({} if old is None
+                    else {f: i + 1 for i, (f, _) in enumerate(old.ranking)})
+        new_rank = {f: i + 1 for i, (f, _) in enumerate(new.ranking)}
+        moves = tuple(
+            RankMove(f, old_rank.get(f), new_rank.get(f))
+            for f in sorted(set(old_rank) | set(new_rank))
+            if old_rank.get(f) != new_rank.get(f))
+        old_nulls = {f for f, v in old_values.items() if v == 0}
+        new_nulls = {f for f, v in new.values.items() if v == 0}
+        return AttributionDelta(
+            name=name, query=str(query), backend=new.backend,
+            recomputed=recomputed, reason=reason, ranking=new.ranking,
+            changed_values=changed, rank_moves=moves,
+            new_null_players=frozenset(new_nulls - old_nulls),
+            dropped_null_players=frozenset(old_nulls - new_nulls))
+
+    def refresh(self) -> WorkspaceRefresh:
+        """Bring every registered query up to date with the current snapshot.
+
+        Consumes the pending delta batch.  Per query: a first-ever refresh
+        attributes cold; otherwise the batch is screened against the query's
+        cached lineage support, and only a query some delta can actually reach
+        is re-attributed (through the artifact store, so unchanged lineages
+        and circuits are still reused) — the rest carry their values forward
+        untouched.  Returns one :class:`AttributionDelta` per query describing
+        exactly what changed.
+
+        The refresh is transactional: cached states and the pending batch are
+        only replaced once every query succeeded, so an attribution error (or
+        an interrupt) midway leaves the workspace exactly as before — the
+        deltas stay pending and a retried ``refresh()`` sees them again,
+        instead of silently serving pre-delta values as fresh.
+        """
+        start = time.perf_counter()
+        applied = tuple(self._pending)
+        deltas: list[AttributionDelta] = []
+        new_states: dict[str, _QueryState] = {}
+        for name in sorted(self._queries):
+            query = self._queries[name]
+            state = self._states.get(name)
+            if state is None:
+                new_state = self._attribute(query)
+                delta = self._diff(name, query, None, new_state, True,
+                                   "initial attribution of a newly registered query")
+            else:
+                triggering = [d for d in applied
+                              if self._delta_invalidates(query, state.support, d)]
+                if triggering:
+                    new_state = self._attribute(query)
+                    culprit = triggering[0]
+                    delta = self._diff(
+                        name, query, state, new_state, True,
+                        f"recomputed: {culprit} reaches the lineage support "
+                        f"({len(triggering)} of {len(applied)} deltas invalidate)")
+                else:
+                    new_state = self._carry_forward(state, applied)
+                    reason = ("reused: no pending deltas" if not applied else
+                              f"reused: all {len(applied)} deltas lie outside "
+                              "the lineage support (dummy players only)")
+                    delta = self._diff(name, query, state, new_state, False, reason)
+            new_states[name] = new_state
+            deltas.append(delta)
+        self._states.update(new_states)
+        # Consume exactly the batch we processed (delta ops cannot run during
+        # the loop, but slicing keeps this correct even if that ever changes).
+        self._pending = self._pending[len(applied):]
+        return WorkspaceRefresh(deltas=tuple(deltas), applied=applied,
+                                wall_time_s=time.perf_counter() - start)
+
+    # -- cached reads -------------------------------------------------------------
+    def values(self, name: str) -> dict[Fact, Fraction]:
+        """The per-fact values of a registered query (refreshing if stale)."""
+        self._ensure_fresh(name)
+        return dict(self._states[name].values)
+
+    def ranking(self, name: str) -> "list[tuple[Fact, Fraction]]":
+        """The ranking of a registered query (refreshing if stale)."""
+        self._ensure_fresh(name)
+        return list(self._states[name].ranking)
+
+    def _ensure_fresh(self, name: str) -> None:
+        if name not in self._queries:
+            raise KeyError(f"no query registered as {name!r}")
+        if self._pending or name not in self._states:
+            self.refresh()
+
+
+__all__ = ["AttributionWorkspace"]

@@ -108,6 +108,65 @@ class TestAutoDispatchParity:
         assert len(decoded["ranking"]) == len(pdb.endogenous)
 
 
+class TestReportRoundTrip:
+    """AttributionReport.from_json / from_json_dict invert serialisation exactly."""
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(catalog_instances())
+    def test_round_trip_is_bitwise_exact(self, instance):
+        entry, pdb = instance
+        report = attribute(entry.query, pdb)
+        reloaded = AttributionReport.from_json(report.to_json())
+        assert len(reloaded.ranking) == len(report.ranking)
+        for (f1, v1), (f2, v2) in zip(reloaded.ranking, report.ranking):
+            assert f1 == f2
+            assert type(v2) is Fraction
+            assert (v1.numerator, v1.denominator) == (v2.numerator, v2.denominator)
+        assert reloaded.values == report.values
+        assert reloaded.explanation == report.explanation
+        assert reloaded.config == report.config
+        assert reloaded == report
+
+    def test_round_trip_through_dict(self, rst_exogenous_pdb):
+        report = attribute(Q_RST, rst_exogenous_pdb)
+        reloaded = AttributionReport.from_json_dict(report.to_json_dict())
+        assert reloaded == report
+        # Reloaded reports serialise back to the identical JSON document.
+        assert reloaded.to_json() == report.to_json()
+
+    def test_round_trip_preserves_efficiency_and_samples(self, rst_exogenous_pdb):
+        config = EngineConfig(method="sampled", n_samples=32, seed=3)
+        report = attribute(Q_RST, rst_exogenous_pdb, config)
+        reloaded = AttributionReport.from_json(report.to_json())
+        assert reloaded.exact is False
+        assert reloaded.n_samples_used == report.n_samples_used
+        assert reloaded.efficiency == report.efficiency
+        assert reloaded.config == config
+
+    def test_round_trip_is_lossless_for_comma_constants(self):
+        # str(Fact) is ambiguous for constants containing ", " (CSV fields);
+        # the JSON carries the argument structure so reloads never re-parse.
+        pdb = PartitionedDatabase(
+            [fact("S", "a", "b, c")],              # one binary fact ...
+            [fact("R", "a"), fact("T", "b, c")])   # ... not R(a) ∧ T(b) ∧ T(c)
+        report = attribute(Q_RST, pdb)
+        reloaded = AttributionReport.from_json(report.to_json())
+        assert reloaded == report
+        (restored,) = reloaded.values
+        assert restored == fact("S", "a", "b, c")
+        assert restored.arity == 2
+
+    def test_reloaded_reports_can_be_diffed(self, rst_exogenous_pdb):
+        # The workspace use case: a stored report reloaded and compared
+        # against a fresh run of the same instance finds no drift.
+        stored = AttributionReport.from_json(
+            attribute(Q_RST, rst_exogenous_pdb).to_json())
+        fresh = attribute(Q_RST, rst_exogenous_pdb)
+        assert stored.values == fresh.values
+        assert [f for f, _ in stored.ranking] == [f for f, _ in fresh.ranking]
+
+
 class TestDispatchPolicy:
     def test_fp_query_routes_to_safe_backend(self, rst_exogenous_pdb):
         session = AttributionSession(Q_HIER, rst_exogenous_pdb)
@@ -334,7 +393,8 @@ class TestEngineCacheHygiene:
 
     def test_cache_stats_count_hits_and_misses(self, rst_exogenous_pdb):
         clear_engine_cache()
-        assert engine_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+        assert engine_cache_stats() == {"hits": 0, "misses": 0, "size": 0,
+                                        "auto_resolutions": 0}
         get_engine(Q_RST, rst_exogenous_pdb)
         stats = engine_cache_stats()
         assert stats["misses"] == 1 and stats["hits"] == 0 and stats["size"] == 1
@@ -342,12 +402,23 @@ class TestEngineCacheHygiene:
         stats = engine_cache_stats()
         assert stats["hits"] == 1 and stats["misses"] == 1
         clear_engine_cache()
-        assert engine_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+        assert engine_cache_stats() == {"hits": 0, "misses": 0, "size": 0,
+                                        "auto_resolutions": 0}
+
+    def test_clear_engine_cache_clears_memoised_auto_resolution(self, rst_exogenous_pdb):
+        # Regression: clear_engine_cache() used to leave the memoised
+        # auto-backend resolution (and the safe plans it holds) populated, so
+        # "cleared" caches kept serving stale resolutions.
+        clear_engine_cache()
+        get_engine(Q_HIER, rst_exogenous_pdb)  # auto -> safe, memoises a plan
+        assert engine_cache_stats()["auto_resolutions"] == 1
+        clear_engine_cache()
+        assert engine_cache_stats()["auto_resolutions"] == 0
 
     def test_report_carries_cache_stats(self, rst_exogenous_pdb):
         clear_engine_cache()
         report = AttributionSession(Q_RST, rst_exogenous_pdb).report()
-        assert set(report.cache) == {"hits", "misses", "size"}
+        assert set(report.cache) == {"hits", "misses", "size", "auto_resolutions"}
         assert report.cache["misses"] >= 1
 
     def test_derived_databases_do_not_alias_cached_engines(self, rst_exogenous_pdb):
