@@ -1,0 +1,39 @@
+"""Shared environment metadata for the ``BENCH_*.json`` writers.
+
+The committed ``BENCH_parallel.json`` of PR 3 was produced inside a 1-core
+container, so its parallel timings record pure pool overhead — and nothing in
+the payload but a prose note said so.  Every benchmark payload now carries the
+machine context (``cpu_count``, ``python``) and a structured ``assertions``
+list in which each perf assertion declares whether it is
+``hardware_independent`` (serial-vs-serial contracts that hold on any box) and
+whether it actually ``ran`` on this machine — a skipped speedup assertion is
+recorded as skipped, never silently passed.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+
+def cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware on Linux)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def environment() -> dict:
+    """The machine context every ``BENCH_*.json`` payload embeds."""
+    return {"cpu_count": cpu_count(), "python": platform.python_version()}
+
+
+def assertion(name: str, *, hardware_independent: bool, ran: bool,
+              detail: "str | None" = None) -> dict:
+    """One entry of a payload's ``assertions`` list."""
+    entry = {"name": name, "hardware_independent": bool(hardware_independent),
+             "ran": bool(ran)}
+    if detail is not None:
+        entry["detail"] = detail
+    return entry

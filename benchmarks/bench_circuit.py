@@ -28,6 +28,7 @@ from pathlib import Path
 
 import pytest
 
+from _perf_env import assertion, environment
 from repro.counting import clear_caches
 from repro.engine import SVCEngine
 from repro.experiments import format_table, q_rst, sparse_endogenous_instance
@@ -98,7 +99,15 @@ def test_circuit_benchmark(capsys):
     payload = {
         "query": str(QUERY),
         "instances": "sparse bipartite q_RST, all facts endogenous",
+        **environment(),
         "rows": rows,
+        "assertions": [
+            assertion("bitwise parity: circuit == counting == brute at "
+                      "brute-feasible size", hardware_independent=True, ran=True),
+            assertion("circuit >= 5x counting at the largest size",
+                      hardware_independent=True, ran=True,
+                      detail="both sides serial on one core"),
+        ],
         "note": ("counting = n conditioned counting passes over one shared "
                  "lineage; circuit = one compilation + one top-down "
                  "derivative sweep pricing all per-fact vector pairs; both "

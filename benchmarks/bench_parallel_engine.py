@@ -1,60 +1,67 @@
 """Benchmark — the process-parallel SVC engine vs. the serial engine.
 
-The per-fact Shapley values of the batched engine are independent
-conditionings of one shared artefact, so the whole-database workload shards
-across worker processes.  This module measures that: the same instances run
-through the serial engine and through pools of 2 and 4 workers, parity is
-asserted on every run (bitwise-identical ``Fraction`` values), and the
-timings are written to ``BENCH_parallel.json`` so the speedup trajectory
-accumulates run over run.
+Two sharding axes are measured against the serial engine and against each
+other, with bitwise ``Fraction`` parity asserted on every run:
 
-The speed story rides on the ``brute`` backend, whose ``2^n`` coalition-table
-fill is the engine's one embarrassingly parallel exponential workload (the
-counting backend's conditionings are sub-millisecond at these sizes — far
-below pool-startup cost, which is exactly why ``parallel_threshold`` exists).
+* **fact striping** (PR 3): the per-fact work of one shared artefact striped
+  across workers.  The committed trajectory shows this *losing* on realistic
+  instances (~0.9x at 12–14 endogenous facts) — the stripes share all the
+  work and every worker deserialises the whole artefact.
+* **component sharding**: the lineage's variable-disjoint islands become the
+  unit of work.  Each worker compiles/counts only its island's sub-lineage
+  (orders of magnitude smaller — Shannon expansion is super-linear), so the
+  sharded plan is *less total work*, not just spread work.  That is why the
+  component axis must beat the serial engine **even at one worker** — a
+  hardware-independent contract asserted on any machine — while the ≥ 2x
+  pool contract is asserted only when the cores exist and recorded as
+  skipped otherwise.
 
-Speedup assertions are conditioned on the hardware actually offering the
-parallelism: a 1-core container cannot make 4 processes faster than 1, so
-there the benchmark only checks the fallback guarantee (a multi-worker engine
-must never be materially slower than the serial one at small sizes) and
-records honest timings with the observed ``cpu_count``.
+Timings go to ``BENCH_parallel.json`` with the machine context and a
+structured ``assertions`` list (see ``_perf_env``), so the trajectory is
+interpretable even when produced inside a 1-core container.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
 import pytest
 
+from _perf_env import assertion, cpu_count, environment
+from repro.counting import clear_caches
 from repro.engine import SVCEngine
-from repro.experiments import bipartite_attribution_instance, format_table, q_rst
+from repro.experiments import (
+    bipartite_attribution_instance,
+    format_table,
+    island_attribution_instance,
+    q_rst,
+)
 
 QUERY = q_rst()
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 
 #: (left, right, exogenous_pad) — |Dn| = left * right endogenous S facts.
 #: n=8 sits below the default parallel_threshold (the fallback regime);
-#: n=12 and n=14 exercise real pools, n=14 is the acceptance instance.
+#: n=12 and n=14 exercise real pools on the brute backend.
 SMALL_SHAPES = ((2, 4, 3),)
 LARGE_SHAPES = ((2, 6, 4), (2, 7, 4))
 
-
-def _cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+#: (n_islands, left, right) — island-rich shapes: n_islands variable-disjoint
+#: q_RST blocks of (left + right + left*right) endogenous facts each.  The
+#: family where fact striping loses and component sharding pays; the last
+#: shape is the acceptance instance of the component-axis contracts.
+ISLAND_SHAPES = ((6, 2, 2), (10, 2, 2), (8, 2, 3))
 
 
 def _timed(make_engine) -> "tuple[float, dict, SVCEngine]":
-    """Best-of-2 wall time: a fresh engine per rep absorbs scheduler jitter
-    (shared CI runners routinely add tens of percent of noise to one-shot
-    timings, which would flake the speedup assertions below)."""
+    """Best-of-2 wall time with cold caches per rep: a fresh engine per rep
+    absorbs scheduler jitter (shared CI runners routinely add tens of percent
+    of noise to one-shot timings, which would flake the assertions below)."""
     best, values, engine = None, None, None
     for _ in range(2):
+        clear_caches()
         engine = make_engine()
         start = time.perf_counter()
         values = engine.all_values()
@@ -63,12 +70,14 @@ def _timed(make_engine) -> "tuple[float, dict, SVCEngine]":
     return best, values, engine
 
 
-def _measure(shape: "tuple[int, int, int]") -> dict:
+def _measure_brute(shape: "tuple[int, int, int]") -> dict:
+    """Fact-striping rows (the brute backend's coalition-table fill)."""
     left, right, pad = shape
     pdb = bipartite_attribution_instance(left, right, exogenous_pad=pad)
     serial_time, serial_values, _ = _timed(
         lambda: SVCEngine(QUERY, pdb, method="brute"))
-    row = {"n_endogenous": len(pdb.endogenous), "serial_s": round(serial_time, 4)}
+    row = {"shard": "fact", "backend": "brute",
+           "n_endogenous": len(pdb.endogenous), "serial_s": round(serial_time, 4)}
     for workers in (2, 4):
         wall, values, engine = _timed(
             lambda workers=workers: SVCEngine(QUERY, pdb, method="brute",
@@ -81,44 +90,129 @@ def _measure(shape: "tuple[int, int, int]") -> dict:
     return row
 
 
+def _measure_islands(shape: "tuple[int, int, int]") -> dict:
+    """Per-shard-axis rows on one island-rich instance (counting backend)."""
+    n_islands, left, right = shape
+    pdb = island_attribution_instance(n_islands, left, right)
+    serial_time, serial_values, _ = _timed(
+        lambda: SVCEngine(QUERY, pdb, method="counting", shard="fact"))
+    comp1_time, comp1_values, comp1_engine = _timed(
+        lambda: SVCEngine(QUERY, pdb, method="counting", shard="component"))
+    comp4_time, comp4_values, comp4_engine = _timed(
+        lambda: SVCEngine(QUERY, pdb, method="counting", shard="component",
+                          workers=4, parallel_threshold=2))
+    fact4_time, fact4_values, fact4_engine = _timed(
+        lambda: SVCEngine(QUERY, pdb, method="counting", shard="fact",
+                          workers=4, parallel_threshold=2))
+    for label, values in (("component x1", comp1_values),
+                          ("component x4", comp4_values),
+                          ("fact striping x4", fact4_values)):
+        assert values == serial_values, \
+            f"{label} diverged from serial on |Dn|={len(pdb.endogenous)}"
+    assert comp1_engine.shard_axis() == "component"
+    assert comp1_engine.n_components() == n_islands
+    return {
+        "shard": "component-vs-fact", "backend": "counting",
+        "n_endogenous": len(pdb.endogenous),
+        "n_components": n_islands,
+        "serial_s": round(serial_time, 4),
+        "component1_s": round(comp1_time, 4),
+        "component4_s": round(comp4_time, 4),
+        "fact4_s": round(fact4_time, 4),
+        "workers_used_component4": comp4_engine.workers_used,
+        "workers_used_fact4": fact4_engine.workers_used,
+        "speedup_component1": round(serial_time / comp1_time, 3) if comp1_time else None,
+        "speedup_component4": round(serial_time / comp4_time, 3) if comp4_time else None,
+        "component4_vs_fact4": round(fact4_time / comp4_time, 3) if comp4_time else None,
+    }
+
+
 def test_parallel_engine_benchmark(capsys):
     """Measure, assert the perf contract, and record ``BENCH_parallel.json``."""
-    cpus = _cpus()
-    rows = [_measure(shape) for shape in SMALL_SHAPES + LARGE_SHAPES]
+    cpus = cpu_count()
+    brute_rows = [_measure_brute(shape) for shape in SMALL_SHAPES + LARGE_SHAPES]
+    island_rows = [_measure_islands(shape) for shape in ISLAND_SHAPES]
+    rows = brute_rows + island_rows
+    assertions = [
+        assertion("small instances stay on the serial path and are never "
+                  "materially slower", hardware_independent=True, ran=True),
+        assertion("component x1 >= 1.2x serial on island-rich shapes "
+                  "(component-wise compute is less total work)",
+                  hardware_independent=True, ran=True),
+        assertion("component x4 beats fact striping x4 on island-rich shapes",
+                  hardware_independent=True, ran=True),
+        assertion("brute x2 faster than serial at the largest size",
+                  hardware_independent=False, ran=cpus >= 2,
+                  detail=f"needs >= 2 cores, have {cpus}"),
+        assertion("brute x4 >= 1.5x serial at the largest size",
+                  hardware_independent=False, ran=cpus >= 4,
+                  detail=f"needs >= 4 cores, have {cpus}"),
+        assertion("component x4 >= 2x serial on the largest island shape",
+                  hardware_independent=False, ran=cpus >= 4,
+                  detail=f"needs >= 4 cores, have {cpus}"),
+    ]
     payload = {
         "query": str(QUERY),
-        "backend": "brute",
-        "cpu_count": cpus,
+        **environment(),
         "rows": rows,
-        "note": ("speedup assertions require as many free cores as workers; "
-                 "with cpu_count == 1 the recorded parallel timings measure "
-                 "pure pool overhead, not the backend's scaling"),
+        "assertions": assertions,
+        "note": ("brute rows: PR 3 fact striping of the coalition-table fill; "
+                 "component-vs-fact rows: the counting backend on island-rich "
+                 "instances, serial vs component sharding (1 and 4 workers) "
+                 "vs fact striping (4 workers); speedup assertions that need "
+                 "more cores than available are recorded as ran=false and "
+                 "skipped, never silently passed"),
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     with capsys.disabled():
         print()
-        print(format_table(rows, title=f"Parallel vs serial SVC engine "
-                                       f"({cpus} CPU(s) available)"))
+        print(format_table(brute_rows, title=f"Fact-striped brute backend "
+                                             f"({cpus} CPU(s) available)"))
+        print(format_table(island_rows,
+                           title="Component sharding vs fact striping "
+                                 "(counting backend, island-rich instances)"))
         print(f"recorded: {RESULTS_PATH}")
 
     # Fallback guarantee, valid on any hardware: below parallel_threshold the
     # multi-worker engine takes the identical serial path, so small instances
     # are never materially slower (1.2x bound with an absolute jitter floor).
-    for row, shape in zip(rows, SMALL_SHAPES):
+    for row, shape in zip(brute_rows, SMALL_SHAPES):
         for workers in (2, 4):
             assert row[f"workers_used_x{workers}"] == 1, \
                 "small instances must stay on the serial path"
             assert row[f"parallel{workers}_s"] <= 1.2 * row["serial_s"] + 0.05, \
                 f"parallel x{workers} materially slower at |Dn|={row['n_endogenous']}"
 
-    largest = rows[-1]
+    # Component-axis contracts, valid on any hardware.  At one worker there is
+    # no pool at all — the speedup is pure algorithmic gain from island-local
+    # compute plus O(m)-convolution recombination, so even a 1-core container
+    # must see it.  And a 4-worker component pool ships a few integer tuples
+    # per island instead of the whole artefact per worker, so it beats fact
+    # striping wherever striping loses — core-starved boxes included.
+    for row in island_rows:
+        assert row["speedup_component1"] >= 1.2, \
+            f"component sharding at 1 worker below 1.2x over serial: {row}"
+        assert row["component4_vs_fact4"] >= 1.0, \
+            f"component axis did not beat fact striping: {row}"
+
+    largest = brute_rows[-1]
     assert largest["workers_used_x4"] == 4, "the acceptance instance must shard"
-    if cpus >= 2:
-        assert largest["speedup_x2"] > 1.0, \
-            f"parallel x2 not faster at the largest size: {largest}"
+    largest_island = island_rows[-1]
     if cpus >= 4:
         assert largest["speedup_x4"] >= 1.5, \
             f"4-worker speedup below 1.5x on the largest instance: {largest}"
+        assert largest_island["speedup_component4"] >= 2.0, \
+            f"component x4 below 2x serial on the largest island shape: {largest_island}"
+    if cpus >= 2:
+        assert largest["speedup_x2"] > 1.0, \
+            f"parallel x2 not faster at the largest size: {largest}"
+    if cpus < 4:
+        # Skip — never silently pass — the pool-scaling assertions a
+        # core-starved machine cannot witness.  BENCH_parallel.json above
+        # records exactly which assertions ran.
+        pytest.skip(f"pool speedup assertions need >= 4 cores, have {cpus}; "
+                    "hardware-independent contracts were asserted, "
+                    "multi-core scaling was not")
 
 
 @pytest.mark.benchmark(group="parallel-engine")
@@ -129,6 +223,19 @@ def test_bench_brute_backend_by_workers(benchmark, workers):
     def run():
         return SVCEngine(QUERY, pdb, method="brute", workers=workers,
                          parallel_threshold=2).all_values()
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(values) == len(pdb.endogenous)
+
+
+@pytest.mark.benchmark(group="parallel-engine")
+@pytest.mark.parametrize("shard", ["fact", "component"])
+def test_bench_island_instance_by_shard(benchmark, shard):
+    pdb = island_attribution_instance(8, 2, 3)
+
+    def run():
+        clear_caches()
+        return SVCEngine(QUERY, pdb, method="counting", shard=shard).all_values()
 
     values = benchmark.pedantic(run, rounds=1, iterations=1)
     assert len(values) == len(pdb.endogenous)

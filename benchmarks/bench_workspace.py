@@ -31,6 +31,7 @@ from pathlib import Path
 
 import pytest
 
+from _perf_env import assertion, environment
 from repro.api import AttributionSession, EngineConfig
 from repro.counting import clear_caches
 from repro.data import fact
@@ -158,8 +159,18 @@ def test_workspace_benchmark(capsys, tmp_path):
     payload = {
         "query": str(QUERY),
         "instances": "sparse bipartite q_RST, all facts endogenous",
+        **environment(),
         "rows": rows,
         "cross_process": cross_process,
+        "assertions": [
+            assertion("bitwise parity: workspace values == cold session on "
+                      "the final snapshot", hardware_independent=True, ran=True),
+            assertion("warm single-fact refresh >= 2x cold recompute at the "
+                      "largest size", hardware_independent=True, ran=True,
+                      detail="both sides serial on one core"),
+            assertion("fresh process reuses DiskStore artifacts (hits, no "
+                      "recompile)", hardware_independent=True, ran=True),
+        ],
         "note": ("cold = full AttributionSession on the post-delta snapshot; "
                  "warm_reuse = workspace refresh after a single-fact delta "
                  "outside the lineage support (cached values provably valid); "

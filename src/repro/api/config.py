@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 from ..compile import DEFAULT_NODE_BUDGET
-from ..engine.svc_engine import DEFAULT_PARALLEL_THRESHOLD
+from ..engine.svc_engine import DEFAULT_PARALLEL_THRESHOLD, SHARD_POLICIES
 from ..errors import ConfigError
 
 #: Backends a caller may request explicitly.  ``auto`` delegates the choice to
@@ -71,6 +71,11 @@ class EngineConfig:
     #: lineage; past it compilation aborts and the engine falls back to
     #: per-fact lineage conditioning (the ``counting`` backend).
     circuit_node_budget: int = DEFAULT_NODE_BUDGET
+    #: Sharding axis of the exact engine's parallelism: ``"fact"`` stripes the
+    #: fact list over workers (the PR 3 behaviour), ``"component"`` ships one
+    #: variable-disjoint lineage island per task, ``"auto"`` picks the
+    #: component axis whenever a cheap pre-pass finds at least two islands.
+    shard: str = "auto"
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -95,10 +100,14 @@ class EngineConfig:
         if self.circuit_node_budget < 1:
             raise ConfigError(
                 f"circuit_node_budget must be >= 1, got {self.circuit_node_budget}")
+        if self.shard not in SHARD_POLICIES:
+            raise ConfigError(f"shard must be one of {SHARD_POLICIES}, "
+                              f"got {self.shard!r}")
 
     def to_json_dict(self) -> dict:
         """A JSON-serialisable rendering (embedded in report metadata)."""
         return asdict(self)
 
 
-__all__ = ["COUNTING_METHODS", "EngineConfig", "METHODS", "ON_HARD_POLICIES"]
+__all__ = ["COUNTING_METHODS", "EngineConfig", "METHODS", "ON_HARD_POLICIES",
+           "SHARD_POLICIES"]

@@ -180,6 +180,15 @@ class AttributionReport:
     workers_used: int
     efficiency: "EfficiencyCheck | None"
     cache: Mapping[str, int]
+    #: Which sharding axis the exact engine resolved to: ``"component"`` when
+    #: per-fact work was recombined from variable-disjoint lineage islands,
+    #: ``"fact"`` for the striped axis, ``None`` when no exact engine ran
+    #: (sampled backend) or the engine predates the field.
+    shard_axis: "str | None" = None
+    #: Island count of the lineage decomposition and the variable count of
+    #: its largest island (``None`` unless the component pre-pass ran).
+    n_components: "int | None" = None
+    largest_component: "int | None" = None
 
     @property
     def values(self) -> dict[Fact, Fraction]:
@@ -208,6 +217,9 @@ class AttributionReport:
             "exact": self.exact,
             "n_samples_used": self.n_samples_used,
             "workers_used": self.workers_used,
+            "shard_axis": self.shard_axis,
+            "n_components": self.n_components,
+            "largest_component": self.largest_component,
             "efficiency": None if self.efficiency is None else self.efficiency.to_json_dict(),
             "engine_cache": dict(self.cache),
             "ranking": [{**_fact_json(f), "value": _fraction_json(v)}
@@ -252,6 +264,10 @@ class AttributionReport:
             efficiency=(None if efficiency is None
                         else EfficiencyCheck.from_json_dict(efficiency)),
             cache=dict(payload["engine_cache"]),
+            # Documents written before the component shard axis: default None.
+            shard_axis=payload.get("shard_axis"),
+            n_components=payload.get("n_components"),
+            largest_component=payload.get("largest_component"),
         )
 
     @classmethod

@@ -116,7 +116,8 @@ class AttributionSession:
                                       self.config.workers,
                                       self.config.parallel_threshold,
                                       self.config.circuit_node_budget,
-                                      self.store)
+                                      self.store,
+                                      self.config.shard)
         return self._engine
 
     def _dispatch(self) -> Explanation:
@@ -297,6 +298,10 @@ class AttributionSession:
             workers_used=1 if self._engine is None else self._engine.workers_used,
             efficiency=self._efficiency_check() if self.config.check_efficiency else None,
             cache=engine_cache_stats(),
+            shard_axis=None if self._engine is None else self._engine.shard_axis(),
+            n_components=None if self._engine is None else self._engine.n_components(),
+            largest_component=(
+                None if self._engine is None else self._engine.largest_component_size()),
         )
 
 

@@ -43,7 +43,7 @@ from dataclasses import fields as dataclass_fields
 
 from .analysis.dichotomy import classify_svc
 from .api import AttributionReport, AttributionSession, EngineConfig
-from .api.config import COUNTING_METHODS, METHODS, ON_HARD_POLICIES
+from .api.config import COUNTING_METHODS, METHODS, ON_HARD_POLICIES, SHARD_POLICIES
 from .counting.problems import fgmc_vector
 from .data.database import PartitionedDatabase
 from .errors import ReproError, UnsafeQueryError
@@ -125,6 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
                            default=config_defaults["circuit_node_budget"],
                            help="node ceiling of the circuit backend's compiled lineage "
                                 "(past it the engine falls back to counting)")
+    attribute.add_argument("--shard", choices=list(SHARD_POLICIES),
+                           default=config_defaults["shard"],
+                           help="sharding axis of the exact engine: component = one "
+                                "variable-disjoint lineage island per task, fact = "
+                                "stripe the fact list, auto = component when the "
+                                "lineage has at least two islands")
     attribute.add_argument("--top", type=int, default=None,
                            help="print only the k most responsible facts")
     attribute.add_argument("--json", action="store_true",
@@ -157,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
     svc_all.add_argument("--circuit-node-budget", dest="circuit_node_budget", type=int,
                          default=config_defaults["circuit_node_budget"],
                          help="node ceiling of the circuit backend's compiled lineage")
+    svc_all.add_argument("--shard", choices=list(SHARD_POLICIES),
+                         default=config_defaults["shard"],
+                         help="sharding axis of the engine's parallelism "
+                              "(component / fact / auto)")
     svc_all.set_defaults(handler=_command_svc_all)
 
     workspace = subparsers.add_parser(
@@ -235,7 +245,8 @@ def _command_attribute(args: argparse.Namespace) -> int:
                           on_hard=args.on_hard, exact_size_limit=args.exact_size_limit,
                           workers=args.workers,
                           parallel_threshold=args.parallel_threshold,
-                          circuit_node_budget=args.circuit_node_budget)
+                          circuit_node_budget=args.circuit_node_budget,
+                          shard=args.shard)
     session = AttributionSession(query, pdb, config)
     report = session.report()
     if args.json:
@@ -252,8 +263,15 @@ def _command_attribute(args: argparse.Namespace) -> int:
     null_players = session.null_players()
     if null_players:
         print(f"null players: {', '.join(str(f) for f in sorted(null_players))}")
+    shard = ""
+    if report.shard_axis is not None:
+        shard = f"shard: {report.shard_axis}"
+        if report.n_components is not None:
+            shard += (f" ({report.n_components} islands, "
+                      f"largest {report.largest_component})")
+        shard += "   "
     print(f"wall time: {report.wall_time_s:.4f}s   workers: {report.workers_used}   "
-          f"engine cache: {dict(report.cache)}")
+          f"{shard}engine cache: {dict(report.cache)}")
     return 0
 
 
@@ -278,7 +296,8 @@ def _command_svc_all(args: argparse.Namespace) -> int:
     config = EngineConfig(method=args.method, counting_method=args.counting_method,
                           on_hard="exact", workers=args.workers,
                           parallel_threshold=args.parallel_threshold,
-                          circuit_node_budget=args.circuit_node_budget)
+                          circuit_node_budget=args.circuit_node_budget,
+                          shard=args.shard)
     report = AttributionSession(query, pdb, config).report()
     print(format_table(_report_rows(report),
                        title=f"Batched Shapley values for {query} "

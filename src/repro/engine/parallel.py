@@ -33,7 +33,7 @@ from fractions import Fraction
 from typing import Any, Sequence
 
 from ..data.atoms import Fact
-from . import backends
+from . import backends, sharding
 
 #: Worker-process state, installed once per pool by :func:`_init_worker`.
 #: ``_STATE`` is ``(kind, artefact)`` where ``kind`` names the backend flavour.
@@ -63,6 +63,25 @@ def _fact_chunk_values(facts: Sequence[Fact]) -> "list[tuple[Fact, Fraction]]":
         return [(f, backends.safe_value_from_plan(query, plan, pdb, full_vector, f))
                 for f in facts]
     raise ValueError(f"unknown worker kind {kind!r}")
+
+
+def _component_chunk(task: "tuple[int, sharding.SubLineage]",
+                     ) -> sharding.ComponentResult:
+    """Worker task: solve one variable-disjoint island of the lineage.
+
+    Unlike the fact-striping tasks, the shared initializer state carries only
+    the solving policy (mode, node budget, whether to ship circuits back);
+    the sub-lineage itself travels with the task — a few tuples of small
+    integers per island, instead of the whole artefact per pool.
+    """
+    kind, policy = _STATE
+    if kind != "component":
+        raise ValueError(f"unknown worker kind {kind!r}")
+    mode, node_budget, keep_circuit = policy
+    index, sub = task
+    return sharding.solve_component(sub, index, mode=mode,
+                                    node_budget=node_budget,
+                                    keep_circuit=keep_circuit)
 
 
 def _coalition_sizes_chunk(sizes: Sequence[int]) -> "dict[Fact, Fraction]":
@@ -122,6 +141,30 @@ def parallel_fact_values(artefact: "tuple[str, Any]", facts: Sequence[Fact],
         return None
 
 
+def parallel_component_results(tasks: "Sequence[tuple[int, sharding.SubLineage]]",
+                               mode: str, node_budget: int, workers: int,
+                               keep_circuits: bool = False,
+                               ) -> "list[sharding.ComponentResult] | None":
+    """Solve lineage islands across a process pool (the component shard axis).
+
+    ``tasks`` pairs each island with its index in the decomposition; every
+    worker runs the same :func:`repro.engine.sharding.solve_component` kernel
+    as the serial path, so recombined values stay bitwise-identical.
+    ``keep_circuits`` asks workers to return compiled circuits alongside the
+    count vectors (the parent persists them in its artifact store).  Returns
+    ``None`` on pickling or pool failure — the engine's serial fallback.
+    """
+    payload = _pickled(("component", (mode, node_budget, keep_circuits)))
+    if payload is None:
+        return None
+    try:
+        with ProcessPoolExecutor(max_workers=workers, initializer=_init_worker,
+                                 initargs=(payload,)) as pool:
+            return list(pool.map(_component_chunk, tasks))
+    except Exception:
+        return None
+
+
 def parallel_brute_values(artefact: "tuple[str, Any]", n_endogenous: int,
                           workers: int) -> "dict[Fact, Fraction] | None":
     """Every Shapley value of the brute backend, strata sharded across a pool.
@@ -149,4 +192,5 @@ def parallel_brute_values(artefact: "tuple[str, Any]", n_endogenous: int,
     return values
 
 
-__all__ = ["parallel_brute_values", "parallel_fact_values"]
+__all__ = ["parallel_brute_values", "parallel_component_results",
+           "parallel_fact_values"]

@@ -1,0 +1,309 @@
+"""Component decomposition of lineage DNFs: the engine's second sharding axis.
+
+The lineage of a hom-closed query over a realistic database splits into
+*variable-disjoint islands* (Section 4.1): groups of clauses sharing no
+endogenous fact.  The recursive counter and the circuit compiler already
+exploit that structure serially — both split on
+:func:`repro.counting.dnf_counter._split_components` and recombine through
+the complement product — but the PR 3 process pool ignored it, striping
+per-fact work over the *whole* formula and shipping the whole artefact to
+every worker.  This module makes the island the unit of sharding:
+
+* :func:`decompose_lineage` splits a lineage DNF into :class:`SubLineage`
+  components (each a self-contained :class:`~repro.counting.dnf_counter.MonotoneDNF`
+  over its own variables) plus the free variables no clause mentions,
+* :func:`solve_component` is the per-component kernel — compile the
+  sub-lineage to a circuit and sweep it, or condition it with the counter —
+  returning every per-fact conditioned model-count pair *local to the
+  component*.  A component's circuit is orders of magnitude smaller than the
+  whole formula's (Shannon expansion is super-linear), so component-wise
+  compute is **less total work**, not just spread work,
+* :func:`combine_component_pairs` recombines the local pairs into the global
+  conditioned FGMC vector pairs of Claim A.1 with the same convolution
+  identity the counter's complement trick uses: non-models of a disjunction
+  of disjoint components are the convolution product of per-component
+  non-models (free variables contribute a binomial row).  Prefix/suffix
+  products make the recombination ``O(m)`` convolutions for ``m`` components
+  instead of ``O(m^2)``.
+
+All arithmetic is exact integer arithmetic computing the same quantities as
+:meth:`MonotoneDNF.conditioned_count_by_size`, so the values fed to the
+unchanged Claim A.1 combiner are bitwise-identical ``Fraction`` inputs — the
+parity contract every sharded backend of this package keeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
+
+from ..compile.compiler import (
+    DEFAULT_NODE_BUDGET,
+    CircuitBudgetError,
+    CompiledDNF,
+    compile_dnf,
+)
+from ..counting.dnf_counter import (
+    MonotoneDNF,
+    _split_components,
+    binomial_row,
+    convolve,
+    pad,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..counting.lineage import Lineage
+    from ..data.atoms import Fact
+
+
+@dataclass(frozen=True)
+class SubLineage:
+    """One variable-disjoint island of a lineage DNF.
+
+    ``variables`` lists the island's *global* variable indices in increasing
+    order; ``dnf`` is the island's clauses re-indexed to the local range
+    ``0 .. len(variables) - 1``.  A sub-lineage is a few tuples of small
+    integers — the cheap, always-picklable unit shipped to pool workers
+    (unlike the whole-artefact payloads of the fact-striping axis).
+    """
+
+    variables: tuple[int, ...]
+    dnf: MonotoneDNF
+
+    @property
+    def n_variables(self) -> int:
+        """Number of endogenous facts in this island."""
+        return len(self.variables)
+
+    def to_lineage(self, facts: "Sequence[Fact]") -> "Lineage":
+        """The island as a real :class:`~repro.counting.lineage.Lineage`.
+
+        ``facts`` is the parent lineage's variable tuple.  The result is what
+        per-component circuits are store-keyed by: its content hash covers
+        exactly the island's facts and clauses, so a database delta that
+        touches one island leaves every other island's key — and its cached
+        circuit — intact.
+        """
+        from ..counting.lineage import Lineage
+
+        return Lineage(tuple(facts[v] for v in self.variables), self.dnf)
+
+
+@dataclass(frozen=True)
+class LineageDecomposition:
+    """A lineage DNF split into variable-disjoint components.
+
+    ``components`` are ordered by their smallest global variable (a
+    deterministic order — :func:`_split_components` iterates sets);
+    ``free_variables`` are the endogenous facts no clause mentions (null
+    players by Claim 5.1).  A trivially *true* DNF decomposes into zero
+    components with ``trivially_true`` set (every subset satisfies it); a
+    trivially *false* DNF into zero components with the flag clear.
+    """
+
+    n_variables: int
+    components: tuple[SubLineage, ...]
+    free_variables: tuple[int, ...]
+    trivially_true: bool = False
+
+    @property
+    def n_components(self) -> int:
+        """Number of variable-disjoint islands."""
+        return len(self.components)
+
+    @property
+    def largest_component(self) -> int:
+        """Variable count of the largest island (``0`` for trivial lineages)."""
+        return max((c.n_variables for c in self.components), default=0)
+
+
+def decompose_dnf(dnf: MonotoneDNF) -> LineageDecomposition:
+    """Split a monotone DNF into variable-disjoint :class:`SubLineage` islands.
+
+    Uses the same component machinery as the recursive counter and the
+    circuit compiler, so the islands here are exactly the factors their
+    complement products range over.
+    """
+    n = dnf.n_variables
+    if dnf.is_trivially_true():
+        return LineageDecomposition(n, (), tuple(range(n)), trivially_true=True)
+    components: list[SubLineage] = []
+    covered: set[int] = set()
+    for clause_group in _split_components(dnf.clauses):
+        variables = tuple(sorted(frozenset().union(*clause_group)))
+        covered.update(variables)
+        local = {v: i for i, v in enumerate(variables)}
+        local_clauses = [frozenset(local[v] for v in clause)
+                         for clause in clause_group]
+        components.append(SubLineage(variables,
+                                     MonotoneDNF(len(variables), local_clauses)))
+    components.sort(key=lambda c: c.variables)
+    free = tuple(v for v in range(n) if v not in covered)
+    return LineageDecomposition(n, tuple(components), free)
+
+
+def decompose_lineage(lineage: "Lineage") -> LineageDecomposition:
+    """The decomposition of a lineage's DNF (the engine's cheap pre-pass)."""
+    return decompose_dnf(lineage.dnf)
+
+
+@dataclass(frozen=True)
+class ComponentResult:
+    """Everything the driver needs back from one solved island.
+
+    ``models`` is the island DNF's model-count vector (length ``n_i + 1``);
+    ``pairs`` maps each *local* variable to its conditioned model-count pair
+    — ``(true_models, false_models)``, each of length ``n_i`` — exactly
+    :meth:`MonotoneDNF.conditioned_count_by_size` of the island DNF.
+    ``compiled`` carries the island's circuit back to the parent only when it
+    asked for it (for store puts); pool workers drop it otherwise so the
+    result transfer stays a few short integer vectors per island.
+    """
+
+    index: int
+    models: tuple[int, ...]
+    pairs: "dict[int, tuple[list[int], list[int]]]" = field(compare=False)
+    mode: str = "counting"
+    circuit_nodes: "int | None" = None
+    compile_time_s: "float | None" = None
+    compiled: "CompiledDNF | None" = field(default=None, compare=False)
+    fallback: "str | None" = None
+
+
+def result_from_compiled(index: int, compiled: CompiledDNF,
+                         compile_time_s: "float | None" = None,
+                         keep_circuit: bool = False) -> ComponentResult:
+    """An island's result read off an (already compiled) circuit.
+
+    One top-down derivative sweep prices every local conditioned pair at once;
+    this is also the path a store hit takes — sweep the cached circuit, never
+    recompile it.
+    """
+    return ComponentResult(
+        index=index,
+        models=tuple(compiled.count_by_size()),
+        pairs=compiled.conditioned_pairs(),
+        mode="circuit",
+        circuit_nodes=compiled.size,
+        compile_time_s=compile_time_s,
+        compiled=compiled if keep_circuit else None)
+
+
+def _result_by_counting(sub: SubLineage, index: int) -> ComponentResult:
+    dnf = sub.dnf
+    return ComponentResult(
+        index=index,
+        models=tuple(dnf.count_by_size()),
+        pairs={v: dnf.conditioned_count_by_size(v)
+               for v in range(sub.n_variables)},
+        mode="counting")
+
+
+def solve_component(sub: SubLineage, index: int, mode: str = "counting",
+                    node_budget: int = DEFAULT_NODE_BUDGET,
+                    keep_circuit: bool = False) -> ComponentResult:
+    """Solve one island: compile-and-sweep (``"circuit"``) or condition (``"counting"``).
+
+    The node budget applies *per component* in circuit mode; an island that
+    blows it is counted instead (recorded in ``fallback``) while the other
+    islands keep their circuits — the graceful degradation the whole-formula
+    compiler can only apply all-or-nothing.
+    """
+    if mode == "circuit":
+        start = time.perf_counter()
+        try:
+            compiled = compile_dnf(sub.dnf, node_budget=node_budget)
+        except CircuitBudgetError as error:
+            return replace(_result_by_counting(sub, index), fallback=str(error))
+        return result_from_compiled(index, compiled,
+                                    compile_time_s=time.perf_counter() - start,
+                                    keep_circuit=keep_circuit)
+    if mode != "counting":
+        raise ValueError(f"unknown component mode {mode!r}")
+    return _result_by_counting(sub, index)
+
+
+def combine_component_pairs(decomposition: LineageDecomposition,
+                            results: "Sequence[ComponentResult]",
+                            ) -> "dict[int, tuple[list[int], list[int]]]":
+    """Recombine per-island pairs into the global conditioned FGMC pairs.
+
+    Returns ``{global_variable: (with_vector, without_vector)}`` with both
+    vectors of length ``n`` (sizes ``0 .. n-1`` over the other ``n-1``
+    variables) — integer for integer what
+    :meth:`MonotoneDNF.conditioned_count_by_size` returns on the whole
+    formula, ready for the unchanged Claim A.1 combiner.
+
+    The identity is the counter's complement trick run in reverse: a subset
+    falsifies the disjunction of disjoint islands iff it falsifies every
+    island, so global non-models are the convolution product of per-island
+    non-models (free variables contribute a binomial row).  Conditioning a
+    variable of island ``i`` replaces only factor ``i``; prefix/suffix
+    products of the island non-model vectors give each island its
+    "product of the others" in ``O(m)`` convolutions total.
+    """
+    n = decomposition.n_variables
+    pairs: "dict[int, tuple[list[int], list[int]]]" = {}
+    if n == 0:
+        return pairs
+    total = binomial_row(n - 1)
+    if decomposition.trivially_true:
+        # Every subset satisfies the formula under either restriction.
+        for v in range(n):
+            pairs[v] = (list(total), list(total))
+        return pairs
+
+    ordered = sorted(results, key=lambda r: r.index)
+    if len(ordered) != decomposition.n_components or any(
+            r.index != i for i, r in enumerate(ordered)):
+        raise ValueError("results do not cover the decomposition's components")
+
+    # Per-island non-model vectors: N_i[k] = C(n_i, k) - M_i[k].
+    nonmodels: list[list[int]] = []
+    for sub, res in zip(decomposition.components, ordered):
+        row = binomial_row(sub.n_variables)
+        nonmodels.append([row[k] - res.models[k]
+                          for k in range(sub.n_variables + 1)])
+    m = len(nonmodels)
+    prefix: list[list[int]] = [[1]]
+    for vector in nonmodels:
+        prefix.append(convolve(prefix[-1], vector))
+    suffix: list[list[int]] = [[1]] * (m + 1)
+    for i in range(m - 1, -1, -1):
+        suffix[i] = convolve(nonmodels[i], suffix[i + 1])
+    free_count = len(decomposition.free_variables)
+    free_row = binomial_row(free_count)
+
+    for i, (sub, res) in enumerate(zip(decomposition.components, ordered)):
+        rest = convolve(convolve(prefix[i], suffix[i + 1]), free_row)
+        ni = sub.n_variables
+        local_total = binomial_row(ni - 1)
+        for local_v, (true_models, false_models) in res.pairs.items():
+            out: list[list[int]] = []
+            for branch in (true_models, false_models):
+                branch_nonmodels = [local_total[k] - branch[k] for k in range(ni)]
+                nm = pad(convolve(branch_nonmodels, rest), n)
+                out.append([total[k] - nm[k] for k in range(n)])
+            pairs[sub.variables[local_v]] = (out[0], out[1])
+
+    if decomposition.free_variables:
+        # Conditioning a free variable leaves the formula unchanged; both
+        # restrictions count its models over the remaining n - 1 variables.
+        nm_free = pad(convolve(prefix[m], binomial_row(free_count - 1)), n)
+        shared = [total[k] - nm_free[k] for k in range(n)]
+        for v in decomposition.free_variables:
+            pairs[v] = (list(shared), list(shared))
+    return pairs
+
+
+__all__ = [
+    "ComponentResult",
+    "LineageDecomposition",
+    "SubLineage",
+    "combine_component_pairs",
+    "decompose_dnf",
+    "decompose_lineage",
+    "result_from_compiled",
+    "solve_component",
+]

@@ -64,7 +64,7 @@ from ..probability.lifted import Plan, UnsafeQueryError, evaluate_plan, safe_pla
 from ..queries.base import BooleanQuery
 from ..queries.cq import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries
-from . import backends, parallel
+from . import backends, parallel, sharding
 from .backends import combine_fgmc_vectors  # noqa: F401  (historic export)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,6 +82,16 @@ DEFAULT_PARALLEL_THRESHOLD = 12
 #: Backend names; ``auto`` resolves to the first applicable of
 #: safe/circuit/brute (circuit degrading to counting on budget overrun).
 EngineBackend = Literal["auto", "brute", "circuit", "counting", "safe"]
+
+#: Sharding policies for the exact backends.  ``"fact"`` stripes per-fact
+#: work over the whole shared artefact (the PR 3 axis); ``"component"``
+#: decomposes the lineage into variable-disjoint islands and solves each
+#: island independently (less total work, and the unit that parallelises);
+#: ``"auto"`` picks the component axis whenever a cheap decomposition
+#: pre-pass finds at least two islands.  Backends without a lineage (safe,
+#: brute) always use the fact axis.
+ShardPolicy = Literal["auto", "component", "fact"]
+SHARD_POLICIES = ("auto", "component", "fact")
 
 
 def resolve_auto_backend(query: BooleanQuery) -> "tuple[str, Plan | None]":
@@ -150,7 +160,8 @@ class SVCEngine:
                  workers: int = 1,
                  parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
                  circuit_node_budget: int = DEFAULT_NODE_BUDGET,
-                 store: "ArtifactStore | None" = None):
+                 store: "ArtifactStore | None" = None,
+                 shard: ShardPolicy = "auto"):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if parallel_threshold < 0:
@@ -159,6 +170,9 @@ class SVCEngine:
         if circuit_node_budget < 1:
             raise ValueError(
                 f"circuit_node_budget must be >= 1, got {circuit_node_budget}")
+        if shard not in SHARD_POLICIES:
+            raise ValueError(
+                f"shard must be one of {SHARD_POLICIES}, got {shard!r}")
         self.query = query
         self.pdb = pdb
         self.method = method
@@ -167,6 +181,7 @@ class SVCEngine:
         self.parallel_threshold = parallel_threshold
         self.circuit_node_budget = circuit_node_budget
         self.store = store
+        self.shard = shard
         self._backend: "str | None" = None
         self._plan: "Plan | None" = None
         self._lineage: "Lineage | None" = None
@@ -177,6 +192,8 @@ class SVCEngine:
         self._values: dict[Fact, Fraction] = {}
         self._counting_resolved: "str | None" = None
         self._workers_used: int = 1
+        self._decomposition_memo: "sharding.LineageDecomposition | None" = None
+        self._component_results_memo: "tuple[sharding.ComponentResult, ...] | None" = None
 
     # -- backend resolution -----------------------------------------------------
     def backend(self) -> str:
@@ -203,11 +220,19 @@ class SVCEngine:
         return name
 
     def _resolve_circuit(self) -> str:
-        """``circuit`` when the lineage compiles under the node budget, else ``counting``."""
+        """``circuit`` when the lineage compiles under the node budget, else ``counting``.
+
+        On the component shard axis no whole-formula circuit is built at all:
+        each island compiles under its own budget inside the component path
+        (with a *per-island* counting fallback), so resolution only has to
+        run the cheap decomposition pre-pass.
+        """
         if not self.query.is_hom_closed:
             raise ValueError(
                 "the circuit backend requires a (C-)hom-closed query; "
                 f"{type(self.query).__name__} is not")
+        if self._component_axis_for("circuit"):
+            return "circuit"
         try:
             self._ensure_compiled()
         except CircuitBudgetError as error:
@@ -337,6 +362,114 @@ class SVCEngine:
         return backends.brute_value_from_table(self._coalition_table(),
                                                self.pdb, fact)
 
+    # -- component shard axis -----------------------------------------------------
+    def _decomposition(self) -> "sharding.LineageDecomposition":
+        """The lineage's island decomposition (the cheap sharding pre-pass)."""
+        if self._decomposition_memo is None:
+            self._decomposition_memo = sharding.decompose_lineage(self.lineage())
+        return self._decomposition_memo
+
+    def _component_axis_for(self, backend: str) -> bool:
+        """Whether the component shard axis applies to the given backend.
+
+        Only the lineage-based exact backends decompose (safe plans and the
+        coalition table have no island structure to exploit); an explicit
+        ``shard="component"`` request on the other backends degrades
+        gracefully to the fact axis, mirroring how the circuit backend
+        degrades to counting on a blown budget.  ``shard="auto"`` takes the
+        component axis only when the pre-pass finds at least two islands —
+        one island means component-wise compute *is* whole-formula compute.
+        """
+        if self.shard == "fact" or backend not in ("circuit", "counting"):
+            return False
+        if backend == "counting" and (
+                not self.query.is_hom_closed
+                or self._resolved_counting_method() != "lineage"):
+            return False
+        if self.shard == "component":
+            return True
+        return self._decomposition().n_components >= 2
+
+    def _component_results(self) -> "tuple[sharding.ComponentResult, ...]":
+        """Every island solved — store hits swept, misses solved (pool or serial).
+
+        With an artifact store attached and the circuit mode active, each
+        island's circuit is keyed by the content hash of ``(query,
+        sub-lineage)``: a database delta inside the lineage support
+        recompiles only the island it touches, every other island is a store
+        hit swept without recompilation.
+        """
+        if self._component_results_memo is not None:
+            return self._component_results_memo
+        decomposition = self._decomposition()
+        mode = "circuit" if self.backend() == "circuit" else "counting"
+        count = decomposition.n_components
+        results: "list[sharding.ComponentResult | None]" = [None] * count
+        keys = [None] * count
+        if self.store is not None and mode == "circuit":
+            from ..workspace.store import circuit_key
+
+            facts = self.lineage().variables
+            for i, sub in enumerate(decomposition.components):
+                keys[i] = circuit_key(self.query, sub.to_lineage(facts))
+                cached = self.store.get(keys[i])
+                if (isinstance(cached, CompiledLineage)
+                        and cached.size <= self.circuit_node_budget):
+                    results[i] = sharding.result_from_compiled(
+                        i, cached.compiled, cached.compile_time_s)
+        pending = [i for i in range(count) if results[i] is None]
+        keep = self.store is not None and mode == "circuit"
+        if (len(pending) >= 2 and self.workers > 1
+                and len(self.pdb.endogenous) >= self.parallel_threshold):
+            solved = parallel.parallel_component_results(
+                [(i, decomposition.components[i]) for i in pending],
+                mode, self.circuit_node_budget, self.workers,
+                keep_circuits=keep)
+            if solved is not None:
+                for result in solved:
+                    results[result.index] = result
+                self._workers_used = min(self.workers, len(pending))
+                pending = []
+        for i in pending:
+            results[i] = sharding.solve_component(
+                decomposition.components[i], i, mode,
+                self.circuit_node_budget, keep_circuit=keep)
+        fallbacks = [r for r in results if r.fallback is not None]
+        if fallbacks and self._circuit_fallback is None:
+            self._circuit_fallback = (
+                f"{len(fallbacks)} of {count} components fell back to "
+                f"counting: {fallbacks[0].fallback}")
+        if keep:
+            # Only freshly compiled islands carry a circuit (store hits and
+            # counting fallbacks do not) — persist exactly those.
+            facts = self.lineage().variables
+            for i, result in enumerate(results):
+                if result.compiled is not None and keys[i] is not None:
+                    sub_lineage = decomposition.components[i].to_lineage(facts)
+                    self.store.put(keys[i], CompiledLineage(
+                        sub_lineage, result.compiled,
+                        result.compile_time_s or 0.0))
+        self._component_results_memo = tuple(results)
+        return self._component_results_memo
+
+    def _value_sharded(self, fact: Fact) -> Fraction:
+        """Every pending value from the solved islands (then read one off).
+
+        Like the circuit sweep, the island recombination prices all per-fact
+        conditioned pairs at once, so the first request fills the memo for
+        every pending fact.
+        """
+        pending = [f for f in sorted(self.pdb.endogenous)
+                   if f not in self._values]
+        pairs = sharding.combine_component_pairs(self._decomposition(),
+                                                 self._component_results())
+        lineage = self.lineage()
+        n = lineage.n_variables
+        self._values.update(
+            {f: combine_fgmc_vectors(*pairs[lineage.index_of(f)], n)
+             for f in pending})
+        return self._values[fact]
+
     # -- parallel execution -------------------------------------------------------
     @property
     def workers_used(self) -> int:
@@ -406,7 +539,9 @@ class SVCEngine:
             raise ValueError(f"{fact} is not an endogenous fact of the database")
         if fact not in self._values:
             backend = self.backend()
-            if backend == "safe":
+            if self._component_axis_for(backend):
+                value = self._value_sharded(fact)
+            elif backend == "safe":
                 value = self._value_safe(fact)
             elif backend == "circuit":
                 value = self._value_circuit(fact)
@@ -435,7 +570,10 @@ class SVCEngine:
         facts = sorted(self.pdb.endogenous)
         pending = [f for f in facts if f not in self._values]
         if (pending and self.workers > 1
-                and len(self.pdb.endogenous) >= self.parallel_threshold):
+                and len(self.pdb.endogenous) >= self.parallel_threshold
+                and not self._component_axis_for(self.backend())):
+            # The component axis parallelises inside _component_results
+            # (one task per island), not by fact striping.
             self._compute_parallel(pending)
         return {fact: self.value_of(fact) for fact in facts}
 
@@ -453,21 +591,66 @@ class SVCEngine:
         """Node count of the compiled circuit, or ``None`` if none was compiled.
 
         Like :meth:`lineage_size` this reads the memoised artefact only, so it
-        is safe report metadata on every backend.
+        is safe report metadata on every backend.  On the component shard
+        axis this is the **sum** of the island circuits' node counts — the
+        total compiled footprint, directly comparable to (and typically far
+        below) a whole-formula compilation.
         """
-        if self._compiled is None:
-            return None
-        return self._compiled.size
+        if self._compiled is not None:
+            return self._compiled.size
+        if self._component_results_memo is not None:
+            nodes = [r.circuit_nodes for r in self._component_results_memo
+                     if r.circuit_nodes is not None]
+            return sum(nodes) if nodes else None
+        return None
 
     def circuit_compile_time_s(self) -> "float | None":
-        """Wall time of the lineage compilation, or ``None`` if none ran."""
-        if self._compiled is None:
-            return None
-        return self._compiled.compile_time_s
+        """Wall time of the lineage compilation, or ``None`` if none ran.
+
+        On the component shard axis: the summed compile time of the islands
+        compiled *by this engine* (store hits contribute the recorded time of
+        their original compilation).
+        """
+        if self._compiled is not None:
+            return self._compiled.compile_time_s
+        if self._component_results_memo is not None:
+            times = [r.compile_time_s for r in self._component_results_memo
+                     if r.compile_time_s is not None]
+            return sum(times) if times else None
+        return None
 
     def circuit_fallback_reason(self) -> "str | None":
-        """Why the circuit backend degraded to counting (``None`` when it did not)."""
+        """Why the circuit backend degraded to counting (``None`` when it did not).
+
+        On the component shard axis the backend never degrades wholesale;
+        this records instead when individual islands blew the node budget
+        and were counted (the others keep their circuits).
+        """
         return self._circuit_fallback
+
+    def shard_axis(self) -> str:
+        """The resolved sharding axis: ``"component"`` or ``"fact"``.
+
+        The resolution of the ``shard`` policy against the backend and (for
+        ``"auto"``) the island pre-pass — what a report's ``shard_axis``
+        field records.
+        """
+        return "component" if self._component_axis_for(self.backend()) else "fact"
+
+    def n_components(self) -> "int | None":
+        """Island count of the lineage decomposition, or ``None`` if no pre-pass ran.
+
+        Reads the memoised decomposition only (safe metadata on any backend).
+        """
+        if self._decomposition_memo is None:
+            return None
+        return self._decomposition_memo.n_components
+
+    def largest_component_size(self) -> "int | None":
+        """Variable count of the largest island, or ``None`` if no pre-pass ran."""
+        if self._decomposition_memo is None:
+            return None
+        return self._decomposition_memo.largest_component
 
     def ranking(self) -> list[tuple[Fact, Fraction]]:
         """Facts sorted by decreasing Shapley value (ties broken by fact order)."""
@@ -506,12 +689,13 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
                workers: int = 1,
                parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
                circuit_node_budget: int = DEFAULT_NODE_BUDGET,
-               store: "ArtifactStore | None" = None) -> SVCEngine:
+               store: "ArtifactStore | None" = None,
+               shard: ShardPolicy = "auto") -> SVCEngine:
     """A (possibly cached) engine for the given query, database and backend.
 
     Engines are cached in an LRU keyed by ``(query, pdb, resolved method,
     counting_method, workers, parallel_threshold, circuit_node_budget,
-    store)`` so that repeated whole-database workloads — ranking, max-SVC,
+    store, shard)`` so that repeated whole-database workloads — ranking, max-SVC,
     relevance analysis, CLI invocations — share one lineage / plan / circuit.
     Unhashable queries fall back to a fresh, uncached engine (counted as a
     miss in :func:`engine_cache_stats`).  ``store`` (an optional
@@ -543,9 +727,13 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
             _CACHE_MISSES += 1
             return SVCEngine(query, pdb, method, counting_method,
                              workers, parallel_threshold, circuit_node_budget,
-                             store)
+                             store, shard)
+    # The *requested* shard policy is keyed (resolving "auto" to an axis
+    # needs the lineage, far too expensive at key time); an "auto" call and
+    # an explicit "component" call therefore hold separate engines even when
+    # auto resolves to the component axis.
     key = (query, pdb, resolved, counting_method, workers, parallel_threshold,
-           circuit_node_budget, store)
+           circuit_node_budget, store, shard)
     try:
         engine = _ENGINE_CACHE.pop(key)
         _CACHE_HITS += 1
@@ -553,7 +741,7 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
         _CACHE_MISSES += 1
         engine = SVCEngine(query, pdb, resolved, counting_method,
                            workers, parallel_threshold, circuit_node_budget,
-                           store)
+                           store, shard)
         if plan is not None:
             engine._plan = plan  # auto already compiled it: don't pay twice
             if store is not None:
@@ -573,7 +761,7 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
         _CACHE_MISSES += 1
         return SVCEngine(query, pdb, resolved, counting_method,
                          workers, parallel_threshold, circuit_node_budget,
-                         store)
+                         store, shard)
     _ENGINE_CACHE[key] = engine
     while len(_ENGINE_CACHE) > _ENGINE_CACHE_SIZE:
         _ENGINE_CACHE.popitem(last=False)

@@ -45,6 +45,35 @@ def bipartite_attribution_instance(left: int, right: int,
     return PartitionedDatabase(s_facts, r_facts | t_facts | pad)
 
 
+def island_attribution_instance(n_islands: int, left: int = 2, right: int = 2,
+                                exogenous_pad: int = 0) -> PartitionedDatabase:
+    """Many variable-disjoint ``q_RST`` islands in one database, all facts endogenous.
+
+    Island ``k`` is a complete bipartite R/S/T block over its own constants
+    (``i<k>l*`` / ``i<k>r*``), so its lineage clauses ``{r_i, s_ij, t_j}``
+    share no fact with any other island: the lineage splits into exactly
+    ``n_islands`` components of ``left + right + left * right`` variables
+    each.  This is the million-user corpus shape in miniature — one database,
+    many small independent stories — and the family where sharding by
+    component pays while per-fact striping does not.  ``exogenous_pad`` adds
+    dead-end exogenous facts outside every support, as in
+    :func:`bipartite_attribution_instance`.
+    """
+    endogenous = set()
+    for k in range(n_islands):
+        for i in range(left):
+            endogenous.add(fact("R", f"i{k}l{i}"))
+            for j in range(right):
+                endogenous.add(fact("S", f"i{k}l{i}", f"i{k}r{j}"))
+        for j in range(right):
+            endogenous.add(fact("T", f"i{k}r{j}"))
+    pad = set()
+    for k in range(exogenous_pad):
+        pad.add(fact("R", f"p{k}"))
+        pad.add(fact("S", f"p{k}", f"dead{k}"))
+    return PartitionedDatabase(endogenous, pad)
+
+
 def sparse_endogenous_instance(n_left: int, n_right: int,
                                edge_probability: float = 0.3,
                                seed: int = 5) -> PartitionedDatabase:

@@ -218,6 +218,10 @@ class MemoryStore:
                 "stores": self._stores, "evictions": self._evictions,
                 "entries": len(self._entries)}
 
+    def store_stats(self) -> dict:
+        """The counters plus the store's capacity configuration."""
+        return {**self.stats(), "max_entries": self.max_entries}
+
 
 class DiskStore:
     """A directory of pickled artifacts, one file per content key.
@@ -228,16 +232,27 @@ class DiskStore:
     version mismatches — as a plain miss and (best-effort) deletes the damaged
     file so the next ``put`` starts clean.  A ``DiskStore`` therefore never
     fails a computation: at worst it degrades to recomputing.
+
+    ``max_bytes`` bounds the directory: after every successful ``put`` the
+    least-recently-*used* entries (by file mtime — a ``get`` hit touches the
+    file, so recency survives process restarts) are evicted until the total
+    size fits.  ``None`` (the default) keeps the store unbounded, the
+    pre-existing behaviour.
     """
 
-    def __init__(self, directory: "str | os.PathLike[str]"):
+    def __init__(self, directory: "str | os.PathLike[str]",
+                 max_bytes: "int | None" = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self._hits = 0
         self._misses = 0
         self._stores = 0
         self._invalid = 0
         self._put_errors = 0
+        self._evictions = 0
 
     def _path(self, key: ArtifactKey) -> Path:
         return self.directory / key.filename
@@ -266,6 +281,10 @@ class DiskStore:
             self._misses += 1
             self._invalid += 1
             return None
+        try:
+            os.utime(path)  # touch: mtime is the eviction recency signal
+        except OSError:
+            pass
         self._hits += 1
         return artifact
 
@@ -289,6 +308,41 @@ class DiskStore:
             self._put_errors += 1  # full/read-only disk: the store degrades
             return
         self._stores += 1
+        self._evict_to_budget()
+
+    def _entries_by_recency(self) -> "list[tuple[float, int, Path]]":
+        """``(mtime, size, path)`` of every entry, least recently used first.
+
+        Entries that vanish mid-scan (another process evicting the shared
+        directory) are simply skipped.
+        """
+        entries = []
+        for path in self.directory.glob("*.pkl"):
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+        entries.sort()
+        return entries
+
+    def _evict_to_budget(self) -> None:
+        """Drop least-recently-used entries until the directory fits ``max_bytes``.
+
+        The entry just written carries the newest mtime, so it is evicted only
+        when it alone exceeds the budget — an over-budget store never grows,
+        even under adversarial artifact sizes.
+        """
+        if self.max_bytes is None:
+            return
+        entries = self._entries_by_recency()
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            self._discard(path)
+            self._evictions += 1
+            total -= size
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -300,10 +354,19 @@ class DiskStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.pkl"))
 
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of the store's entries."""
+        return sum(size for _, size, _ in self._entries_by_recency())
+
     def stats(self) -> dict[str, int]:
         return {"hits": self._hits, "misses": self._misses,
                 "stores": self._stores, "invalid": self._invalid,
-                "put_errors": self._put_errors}
+                "put_errors": self._put_errors, "evictions": self._evictions}
+
+    def store_stats(self) -> dict:
+        """The counters plus the store's size and capacity configuration."""
+        return {**self.stats(), "entries": len(self),
+                "total_bytes": self.total_bytes(), "max_bytes": self.max_bytes}
 
 
 __all__ = [

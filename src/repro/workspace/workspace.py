@@ -377,5 +377,15 @@ class AttributionWorkspace:
         if self._pending or name not in self._states:
             self.refresh()
 
+    def store_stats(self) -> dict:
+        """Observability of the artifact store: counters plus capacity/size.
+
+        Uses the store's richer ``store_stats()`` view when it offers one
+        (both bundled stores do) and degrades to the protocol's ``stats()``
+        for custom implementations.
+        """
+        richer = getattr(self._store, "store_stats", None)
+        return richer() if callable(richer) else dict(self._store.stats())
+
 
 __all__ = ["AttributionWorkspace"]

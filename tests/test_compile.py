@@ -268,7 +268,10 @@ class TestCircuitBackend:
                 engine.all_values()
 
     def test_circuit_metadata_exposed(self, q_rst, rst_exogenous_pdb):
-        engine = SVCEngine(q_rst, rst_exogenous_pdb, method="circuit")
+        # shard="fact" pins the whole-formula circuit this test inspects; the
+        # component axis sums per-island sizes (covered in test_sharding.py).
+        engine = SVCEngine(q_rst, rst_exogenous_pdb, method="circuit",
+                           shard="fact")
         engine.all_values()
         assert engine.circuit_size() == engine._compiled.size > 0
         assert engine.circuit_compile_time_s() >= 0.0
@@ -292,19 +295,24 @@ class TestCircuitBackend:
 class TestBudgetFallback:
     def test_explicit_circuit_falls_back_to_counting(self, q_rst, rst_exogenous_pdb):
         reference = SVCEngine(q_rst, rst_exogenous_pdb, method="counting").all_values()
+        # shard="fact" pins whole-formula compilation, whose budget abort
+        # degrades the backend; the component axis instead falls back island
+        # by island and keeps backend "circuit" (covered in test_sharding.py).
         engine = SVCEngine(q_rst, rst_exogenous_pdb, method="circuit",
-                           circuit_node_budget=1)
+                           circuit_node_budget=1, shard="fact")
         assert engine.backend() == "counting"
         assert engine.all_values() == reference
         assert "node budget" in engine.circuit_fallback_reason()
         assert engine.circuit_size() is None  # no circuit survived the abort
 
     def test_auto_falls_back_to_counting(self, q_rst, rst_exogenous_pdb):
-        engine = SVCEngine(q_rst, rst_exogenous_pdb, circuit_node_budget=1)
+        engine = SVCEngine(q_rst, rst_exogenous_pdb, circuit_node_budget=1,
+                           shard="fact")
         assert engine.backend() == "counting"
 
     def test_session_reports_fallback_backend(self, q_rst, rst_exogenous_pdb):
-        config = EngineConfig(method="circuit", circuit_node_budget=1, on_hard="exact")
+        config = EngineConfig(method="circuit", circuit_node_budget=1,
+                              on_hard="exact", shard="fact")
         session = AttributionSession(q_rst, rst_exogenous_pdb, config)
         report = session.report()
         assert report.backend == "counting"

@@ -83,10 +83,13 @@ class TestCatalogParity:
     @pytest.mark.parametrize("workers", [2, 4])
     @pytest.mark.parametrize("entry", CATALOG, ids=[e.name for e in CATALOG])
     def test_parallel_matches_serial_on_catalog(self, entry, workers):
+        # shard="fact" pins the striping axis this file is about; the
+        # component axis has its own parity suite in tests/test_sharding.py.
         pdb = _catalog_instance(entry.query)
-        serial_engine = SVCEngine(entry.query, pdb)
+        serial_engine = SVCEngine(entry.query, pdb, shard="fact")
         serial = serial_engine.all_values()
-        engine = SVCEngine(entry.query, pdb, workers=workers, parallel_threshold=0)
+        engine = SVCEngine(entry.query, pdb, workers=workers, parallel_threshold=0,
+                           shard="fact")
         _assert_bitwise_parity(serial, engine.all_values())
         assert engine.ranking() == serial_engine.ranking()
         assert engine.backend() == serial_engine.backend()
@@ -215,7 +218,7 @@ class TestSerialFallback:
         monkeypatch.setattr(parallel, "parallel_fact_values", boom)
         pdb = bipartite_attribution_instance(2, 4)  # |Dn| = 8
         engine = SVCEngine(Q_RST, pdb, method="counting", workers=4,
-                           parallel_threshold=8)
+                           parallel_threshold=8, shard="fact")
         facts = sorted(pdb.endogenous)
         for f in facts[:-1]:
             engine.value_of(f)
@@ -229,7 +232,8 @@ class TestSerialFallback:
         monkeypatch.setattr(parallel, "parallel_fact_values",
                             lambda *args, **kwargs: None)
         pdb = bipartite_attribution_instance(2, 3)
-        engine = SVCEngine(Q_RST, pdb, workers=2, parallel_threshold=0)
+        engine = SVCEngine(Q_RST, pdb, workers=2, parallel_threshold=0,
+                           shard="fact")
         assert engine.all_values() == SVCEngine(Q_RST, pdb).all_values()
         assert engine.workers_used == 1
 

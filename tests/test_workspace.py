@@ -239,6 +239,89 @@ class TestDiskStore:
 
 
 # ---------------------------------------------------------------------------
+# DiskStore size bound (max_bytes LRU eviction)
+# ---------------------------------------------------------------------------
+
+def _distinct_keys(count: int) -> list:
+    """Distinct plan keys (distinct queries hash to distinct digests)."""
+    keys = []
+    for i in range(count):
+        query = cq(atom(f"R{i}", X), name=f"q_{i}")
+        keys.append(plan_key(query))
+    return keys
+
+
+class TestDiskStoreEviction:
+    def test_unbounded_by_default(self, tmp_path):
+        store = DiskStore(tmp_path)
+        for key in _distinct_keys(10):
+            store.put(key, "x" * 4096)
+        assert len(store) == 10
+        assert store.stats()["evictions"] == 0
+
+    def test_rejects_nonpositive_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskStore(tmp_path, max_bytes=0)
+
+    def test_put_evicts_oldest_first(self, tmp_path):
+        keys = _distinct_keys(6)
+        # Each entry is ~4 KiB; a 20 KiB budget holds at most 4–5 of them.
+        store = DiskStore(tmp_path, max_bytes=20 * 1024)
+        for i, key in enumerate(keys):
+            store.put(key, "x" * 4096)
+            os.utime(tmp_path / key.filename, (1_000_000 + i, 1_000_000 + i))
+        assert store.total_bytes() <= 20 * 1024
+        assert store.stats()["evictions"] >= 1
+        # The oldest entries went first; the newest survived.
+        assert store.get(keys[0]) is None
+        assert store.get(keys[-1]) is not None
+
+    def test_get_hit_refreshes_recency(self, tmp_path):
+        keys = _distinct_keys(6)
+        store = DiskStore(tmp_path, max_bytes=20 * 1024)
+        for i, key in enumerate(keys[:4]):
+            store.put(key, "x" * 4096)
+            os.utime(tmp_path / key.filename, (1_000_000 + i, 1_000_000 + i))
+        assert store.get(keys[0]) is not None  # touch: now most recently used
+        store.put(keys[4], "x" * 4096)
+        store.put(keys[5], "x" * 4096)
+        # keys[1] (the coldest untouched entry) was evicted before keys[0].
+        assert store.get(keys[0]) is not None
+        assert store.get(keys[1]) is None
+
+    def test_store_stats_surface(self, tmp_path):
+        store = DiskStore(tmp_path, max_bytes=1 << 20)
+        store.put(plan_key(Q_HIER), "payload")
+        surface = store.store_stats()
+        assert surface["entries"] == 1
+        assert surface["total_bytes"] > 0
+        assert surface["max_bytes"] == 1 << 20
+        assert surface["stores"] == 1
+        memory = MemoryStore(max_entries=7)
+        assert memory.store_stats()["max_entries"] == 7
+
+    def test_bounded_store_stays_bounded_under_refresh_churn(self, tmp_path):
+        """Workspace refresh churn cannot grow a bounded store past its budget."""
+        budget = 32 * 1024
+        store = DiskStore(tmp_path, max_bytes=budget)
+        pdb = small_rst_pdb()
+        ws = AttributionWorkspace(pdb, store=store)
+        ws.register("rst", Q_RST)
+        reference = AttributionSession(Q_RST, pdb).values()
+        _assert_bitwise(ws.values("rst"), reference)
+        for i in range(8):
+            # In-vocabulary churn: every round invalidates and re-attributes,
+            # pushing fresh plans / lineages / circuits through the store.
+            ws.insert(fact("S", "a", f"n{i}"))
+            ws.refresh()
+            assert store.total_bytes() <= budget
+        assert ws.store_stats()["max_bytes"] == budget
+        # Values after churn still match a cold session on the final snapshot.
+        _assert_bitwise(ws.values("rst"),
+                        AttributionSession(Q_RST, ws.pdb).values())
+
+
+# ---------------------------------------------------------------------------
 # Engine / session store threading
 # ---------------------------------------------------------------------------
 
