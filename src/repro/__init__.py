@@ -34,6 +34,11 @@ The package is organised as follows:
   :class:`~repro.workspace.ArtifactStore` (in-memory LRU or on-disk pickles
   keyed by content hashes) so plans, lineages and compiled circuits survive
   updates and process restarts;
+* :mod:`repro.serve` — the serving tier above workspaces: an asyncio
+  :class:`~repro.serve.AttributionService` with request coalescing,
+  dichotomy-driven admission control, per-tenant workspaces over one shared
+  artifact store, a stdlib HTTP/JSON API (``repro serve``) and a live
+  ``/stats`` metrics surface;
 * :mod:`repro.reductions` — the paper's reductions (Proposition 3.3,
   Lemmas 4.1 / 4.3 / 4.4, Section 6 variants), implemented as oracle
   algorithms over exact rational arithmetic;
@@ -113,13 +118,37 @@ core (``BENCH_parallel.json``); per-island circuits are store-keyed by
 ``(query, sub-lineage)`` content hashes, so an in-support delta recompiles
 only the touched island.
 
-Session or workspace?  A session is one-shot: one immutable ``(query,
-database)`` pair, one attribution — use it for ad-hoc questions and
-reproducible reports.  When the *database changes* and the *queries stand*,
-hold an :class:`AttributionWorkspace` instead: delta operations produce new
-immutable snapshots, ``refresh()`` re-attributes only the queries a delta
-actually invalidates (a delta fact outside a query's lineage support provably
-moves no value), and a :class:`~repro.workspace.DiskStore` keeps the expensive
+Session, workspace, or service?
+
+===========  =============================  ==================================
+layer        the workload it owns           what it adds
+===========  =============================  ==================================
+ session     one immutable ``(query,        dichotomy-aware dispatch, typed
+             database)`` pair, one          report, structured explanation
+             attribution (ad-hoc
+             questions, reproducible
+             reports)
+ workspace   standing queries over a        delta ops on immutable snapshots,
+             *changing* database, one       lineage-support invalidation
+             caller                         (recompute only what a delta can
+                                            reach), persistent artifact store
+ service     *many concurrent callers*,     request coalescing (N identical
+             many tenants, one process      concurrent requests, 1 compile),
+                                            admission control (Figure 1b as a
+                                            load shedder: fast / pooled /
+                                            degraded / rejected lanes,
+                                            deadlines that free the pool),
+                                            per-tenant workspaces over one
+                                            shared store, HTTP API + /stats
+===========  =============================  ==================================
+
+A session is one-shot: one immutable ``(query, database)`` pair, one
+attribution — use it for ad-hoc questions and reproducible reports.  When the
+*database changes* and the *queries stand*, hold an
+:class:`AttributionWorkspace` instead: delta operations produce new immutable
+snapshots, ``refresh()`` re-attributes only the queries a delta actually
+invalidates (a delta fact outside a query's lineage support provably moves no
+value), and a :class:`~repro.workspace.DiskStore` keeps the expensive
 artifacts across process restarts::
 
     from repro.workspace import AttributionWorkspace, DiskStore
@@ -130,6 +159,20 @@ artifacts across process restarts::
     ws.insert(fact("S", "a", "b"))      # a new immutable snapshot
     result = ws.refresh()               # recomputes only what the delta reaches
     result["suspects"].rank_moves       # typed delta: what actually changed
+
+When many callers hit the same process — the serving shape — wrap the
+workspaces in an :class:`~repro.serve.AttributionService` (or run
+``repro serve`` for the HTTP front; ``examples/serve_quickstart.py`` walks
+through the whole surface)::
+
+    from repro.serve import AttributionService
+
+    service = AttributionService(store=DiskStore("artifacts/"))
+    service.register_tenant("acme", pdb)
+    served = await service.attribute("acme", q)     # coalesces duplicates
+    served.report.ranking                           # exact values, provenance
+    await service.refresh_tenant("acme", ["+S(a, b)"])
+    service.stats()                                 # the live metrics surface
 
 The legacy free functions (``shapley_values_of_facts``, ...) still work but
 emit ``DeprecationWarning`` and delegate to the session (see the migration
@@ -197,7 +240,16 @@ from .data import (
     var,
 )
 from .engine import SVCEngine, clear_engine_cache, engine_cache_stats, get_engine
-from .errors import ConfigError, IntractableQueryError, ReproError, UnsafeQueryError
+from .errors import (
+    ConfigError,
+    DeadlineExceededError,
+    IntractableQueryError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadError,
+    UnknownTenantError,
+    UnsafeQueryError,
+)
 from .probability import TupleIndependentDatabase, probability_of_query, spqe, sppqe
 from .queries import (
     BooleanQuery,
@@ -219,6 +271,12 @@ from .reductions import (
     fgmc_via_svc_lemma_4_4,
     svc_via_fgmc,
 )
+from .serve import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AttributionService,
+    ServedAttribution,
+)
 from .workspace import (
     AttributionDelta,
     AttributionWorkspace,
@@ -230,10 +288,13 @@ from .workspace import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "Atom",
     "AttributionDelta",
     "AttributionReport",
     "AttributionResult",
+    "AttributionService",
     "AttributionSession",
     "AttributionWorkspace",
     "BooleanQuery",
@@ -242,10 +303,15 @@ __all__ = [
     "CompiledDNF",
     "CompiledLineage",
     "ConfigError",
+    "DeadlineExceededError",
     "EngineConfig",
     "Explanation",
     "IntractableQueryError",
     "ReproError",
+    "ServedAttribution",
+    "ServiceError",
+    "ServiceOverloadError",
+    "UnknownTenantError",
     "UnsafeQueryError",
     "ConjunctiveQuery",
     "ConjunctiveQueryWithNegation",

@@ -16,6 +16,10 @@ be inspected without writing Python:
   (insert / remove / repartition facts) and refresh, re-attributing only when
   a delta actually invalidates the cached values; ``--store-dir`` persists
   safe plans, lineages and compiled circuits across invocations,
+* ``repro serve``     — the async multi-tenant attribution service over HTTP:
+  request coalescing, dichotomy-driven admission control, per-tenant
+  workspaces over one shared artifact store, and a live ``/stats`` surface
+  (see :mod:`repro.serve`),
 * ``repro count``     — the FGMC vector / GMC total of a query on a database,
 * ``repro classify``  — the Figure 1b dichotomy verdict for a query,
 * ``repro probability`` — SPPQE: the query probability at a uniform fact probability,
@@ -48,8 +52,11 @@ from .counting.problems import fgmc_vector
 from .data.database import PartitionedDatabase
 from .errors import ReproError, UnsafeQueryError
 from .experiments.tables import format_table
-from .io.query_text import parse_database, parse_fact, parse_query
+from .io.query_text import parse_database, parse_query
 from .io.tables import load_partitioned_csv
+from .serve import AdmissionPolicy, AttributionService
+from .serve import serve as serve_http
+from .serve.service import DELTA_PREFIXES, apply_delta_spec
 from .workspace import AttributionWorkspace, DiskStore, MemoryStore
 from .workspace.results import AttributionDelta
 from .probability.spqe import sppqe
@@ -193,6 +200,47 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit the refresh results as JSON")
     workspace.set_defaults(handler=_command_workspace)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async multi-tenant attribution service over HTTP "
+             "(request coalescing, admission control, /stats)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8480,
+                       help="port to bind (0 = ephemeral; default: 8480)")
+    serve.add_argument("--tenant", default=None,
+                       help="pre-register one tenant under this name from "
+                            "--database / --exogenous (more tenants via "
+                            "POST /v1/tenants)")
+    serve.add_argument("--database", "-d", default=None,
+                       help="database of the pre-registered tenant (facts file "
+                            "or CSV directory)")
+    serve.add_argument("--exogenous", "-x", nargs="*", default=[],
+                       help="relation names whose facts are exogenous")
+    serve.add_argument("--store-dir", dest="store_dir", default=None,
+                       help="directory of the shared persistent artifact store "
+                            "(omitted = in-memory store)")
+    serve.add_argument("--max-inflight", dest="max_inflight", type=int, default=4,
+                       help="concurrently running pooled/degraded requests")
+    serve.add_argument("--max-queued", dest="max_queued", type=int, default=64,
+                       help="pooled requests allowed to wait for a slot before "
+                            "capacity 503s start")
+    serve.add_argument("--exact-size-limit", dest="exact_size_limit", type=int,
+                       default=config_defaults["exact_size_limit"],
+                       help="largest |Dn| admitted to exact exponential work "
+                            "on hard queries")
+    serve.add_argument("--circuit-node-budget", dest="circuit_node_budget",
+                       type=int, default=config_defaults["circuit_node_budget"],
+                       help="worst-case circuit size still admitted to the "
+                            "pooled lane (and enforced at compile time)")
+    serve.add_argument("--deadline", dest="default_deadline_s", type=float,
+                       default=None,
+                       help="default per-request deadline in seconds "
+                            "(omitted = none)")
+    serve.add_argument("--workers", type=int, default=config_defaults["workers"],
+                       help="worker processes per exact attribution (1 = serial)")
+    serve.set_defaults(handler=_command_serve)
+
     count = subparsers.add_parser("count", help="FGMC vector and GMC total of the query")
     _add_common_arguments(count)
     count.add_argument("--method", choices=["auto", "brute", "lineage"], default="auto")
@@ -310,32 +358,15 @@ def _command_svc_all(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Delta-spec prefixes of the ``workspace`` command, in try-order.
-_DELTA_PREFIXES = (("+x:", "insert exogenous"), ("+", "insert"),
-                   ("-", "remove"), (">", "make exogenous"),
-                   ("<", "make endogenous"))
+#: Delta-spec prefixes of the ``workspace`` command, in try-order.  One spec
+#: syntax everywhere: the table and parser live in :mod:`repro.serve.service`,
+#: shared with the HTTP API's ``POST /v1/deltas``.
+_DELTA_PREFIXES = DELTA_PREFIXES
 
 
 def _apply_delta(ws: AttributionWorkspace, spec: str) -> str:
     """Apply one ``--delta`` spec to the workspace; return a description."""
-    spec = spec.strip()
-    for prefix, label in _DELTA_PREFIXES:
-        if spec.startswith(prefix):
-            f = parse_fact(spec[len(prefix):])
-            if prefix == "+x:":
-                ws.insert(f, exogenous=True)
-            elif prefix == "+":
-                ws.insert(f)
-            elif prefix == "-":
-                ws.remove(f)
-            elif prefix == ">":
-                ws.make_exogenous(f)
-            else:
-                ws.make_endogenous(f)
-            return f"{label} {f}"
-    raise ValueError(
-        f"cannot parse delta {spec!r}: expected a '+', '+x:', '-', '>' or '<' "
-        "prefix followed by a fact, e.g. '+S(a, b)'")
+    return apply_delta_spec(ws, spec)
 
 
 def _print_attribution_delta(delta: AttributionDelta) -> None:
@@ -389,6 +420,37 @@ def _command_workspace(args: argparse.Namespace) -> int:
         _print_attribution_delta(refresh["query"])
         print(f"refresh wall time: {refresh.wall_time_s:.4f}s")
     print(f"artifact store: {store.stats()}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if (args.tenant is None) != (args.database is None):
+        raise ValueError("--tenant and --database go together: both or neither")
+    store = (MemoryStore() if args.store_dir is None
+             else DiskStore(args.store_dir))
+    policy = AdmissionPolicy(exact_size_limit=args.exact_size_limit,
+                             circuit_node_budget=args.circuit_node_budget,
+                             max_inflight=args.max_inflight,
+                             max_queued=args.max_queued,
+                             default_deadline_s=args.default_deadline_s)
+    config = EngineConfig(exact_size_limit=args.exact_size_limit,
+                          circuit_node_budget=args.circuit_node_budget,
+                          workers=args.workers, on_hard="exact")
+    with AttributionService(store=store, config=config,
+                            policy=policy) as service:
+        if args.tenant is not None:
+            pdb = _load_database(args.database, args.exogenous)
+            service.register_tenant(args.tenant, pdb)
+            print(f"tenant {args.tenant!r}: |Dn| = {len(pdb.endogenous)}, "
+                  f"|Dx| = {len(pdb.exogenous)}")
+        print(f"serving on http://{args.host}:{args.port} "
+              "(GET /stats for the metrics surface; Ctrl-C to stop)")
+        try:
+            asyncio.run(serve_http(service, host=args.host, port=args.port))
+        except KeyboardInterrupt:
+            print("stopped")
     return 0
 
 

@@ -44,6 +44,7 @@ be created.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from fractions import Fraction
 from functools import lru_cache
@@ -681,6 +682,13 @@ _ENGINE_CACHE: "OrderedDict[tuple, SVCEngine]" = OrderedDict()
 _ENGINE_CACHE_SIZE = 128
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
+#: Guards the LRU's pop/insert/evict sequences and the counters: the serving
+#: tier calls :func:`get_engine` from several executor threads at once, and an
+#: unguarded ``OrderedDict`` corrupts under concurrent structural mutation.
+#: Engine *construction* happens outside the lock (it can compile), so two
+#: threads missing on one key may both build — the later insert wins, which
+#: only costs duplicated work, never a wrong result.
+_ENGINE_CACHE_LOCK = threading.Lock()
 
 
 def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
@@ -724,7 +732,8 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
         try:
             resolved, plan = _resolved_auto(query)
         except TypeError:  # unhashable query: the engine resolves privately
-            _CACHE_MISSES += 1
+            with _ENGINE_CACHE_LOCK:
+                _CACHE_MISSES += 1
             return SVCEngine(query, pdb, method, counting_method,
                              workers, parallel_threshold, circuit_node_budget,
                              store, shard)
@@ -735,36 +744,42 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
     key = (query, pdb, resolved, counting_method, workers, parallel_threshold,
            circuit_node_budget, store, shard)
     try:
-        engine = _ENGINE_CACHE.pop(key)
-        _CACHE_HITS += 1
-    except KeyError:
-        _CACHE_MISSES += 1
-        engine = SVCEngine(query, pdb, resolved, counting_method,
-                           workers, parallel_threshold, circuit_node_budget,
-                           store, shard)
-        if plan is not None:
-            engine._plan = plan  # auto already compiled it: don't pay twice
-            if store is not None:
-                # Seeding bypasses _ensure_plan, so persist the plan here —
-                # otherwise auto-dispatched plans never reach the store and
-                # explicit method="safe" callers in other processes recompile.
-                # Guarded by a get: a workspace produces a new snapshot (an
-                # engine miss) per delta, and the plan for a fixed query never
-                # changes, so an unconditional put would rewrite the same
-                # artifact on every refresh.
-                from ..workspace.store import plan_key
-
-                key = plan_key(query)
-                if store.get(key) is None:
-                    store.put(key, plan)
+        with _ENGINE_CACHE_LOCK:
+            try:
+                engine = _ENGINE_CACHE.pop(key)
+                _CACHE_HITS += 1
+                _ENGINE_CACHE[key] = engine  # re-insert: most recently used
+                return engine
+            except KeyError:
+                _CACHE_MISSES += 1
     except TypeError:
-        _CACHE_MISSES += 1
+        with _ENGINE_CACHE_LOCK:
+            _CACHE_MISSES += 1
         return SVCEngine(query, pdb, resolved, counting_method,
                          workers, parallel_threshold, circuit_node_budget,
                          store, shard)
-    _ENGINE_CACHE[key] = engine
-    while len(_ENGINE_CACHE) > _ENGINE_CACHE_SIZE:
-        _ENGINE_CACHE.popitem(last=False)
+    engine = SVCEngine(query, pdb, resolved, counting_method,
+                       workers, parallel_threshold, circuit_node_budget,
+                       store, shard)
+    if plan is not None:
+        engine._plan = plan  # auto already compiled it: don't pay twice
+        if store is not None:
+            # Seeding bypasses _ensure_plan, so persist the plan here —
+            # otherwise auto-dispatched plans never reach the store and
+            # explicit method="safe" callers in other processes recompile.
+            # Guarded by a get: a workspace produces a new snapshot (an
+            # engine miss) per delta, and the plan for a fixed query never
+            # changes, so an unconditional put would rewrite the same
+            # artifact on every refresh.
+            from ..workspace.store import plan_key
+
+            pkey = plan_key(query)
+            if store.get(pkey) is None:
+                store.put(pkey, plan)
+    with _ENGINE_CACHE_LOCK:
+        _ENGINE_CACHE[key] = engine
+        while len(_ENGINE_CACHE) > _ENGINE_CACHE_SIZE:
+            _ENGINE_CACHE.popitem(last=False)
     return engine
 
 
@@ -776,9 +791,10 @@ def engine_cache_stats() -> dict[str, int]:
     resolution (which holds compiled safe plans), so a fully cleared cache
     reports all four as zero.
     """
-    return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES,
-            "size": len(_ENGINE_CACHE),
-            "auto_resolutions": _resolved_auto.cache_info().currsize}
+    with _ENGINE_CACHE_LOCK:
+        return {"hits": _CACHE_HITS, "misses": _CACHE_MISSES,
+                "size": len(_ENGINE_CACHE),
+                "auto_resolutions": _resolved_auto.cache_info().currsize}
 
 
 def clear_engine_cache() -> None:
@@ -789,7 +805,8 @@ def clear_engine_cache() -> None:
     plans and backend choices resolved for earlier engines.
     """
     global _CACHE_HITS, _CACHE_MISSES
-    _ENGINE_CACHE.clear()
-    _resolved_auto.cache_clear()
-    _CACHE_HITS = 0
-    _CACHE_MISSES = 0
+    with _ENGINE_CACHE_LOCK:
+        _ENGINE_CACHE.clear()
+        _resolved_auto.cache_clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0

@@ -11,7 +11,11 @@ The hierarchy::
     ReproError
     ├── UnsafeQueryError        no safe plan exists (lifted inference)
     ├── IntractableQueryError   exact computation refused on a hard query
-    └── ConfigError             invalid configuration value
+    ├── ConfigError             invalid configuration value
+    └── ServiceError            serving-tier failures (repro.serve)
+        ├── ServiceOverloadError    admission control refused the request
+        ├── DeadlineExceededError   the request's deadline elapsed
+        └── UnknownTenantError      no such tenant registered
 """
 
 from __future__ import annotations
@@ -54,9 +58,94 @@ class ConfigError(ReproError, ValueError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class of the serving-tier errors raised by :mod:`repro.serve`.
+
+    Every subclass renders to a structured JSON payload via
+    :meth:`to_json_dict`, so the HTTP layer can ship the same typed error a
+    programmatic caller would catch.
+    """
+
+    #: The HTTP status code the serving layer maps this error to.
+    http_status = 500
+
+    def to_json_dict(self) -> dict:
+        """The structured payload the HTTP layer serialises for clients."""
+        return {"error": type(self).__name__, "message": str(self)}
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when admission control refuses a request (the 503 of the service).
+
+    Carries the structured evidence of the refusal: the Figure 1b ``verdict``
+    that classified the query, the admission ``reason``, and an advisory
+    ``retry_after_s`` (``None`` when retrying cannot help — e.g. the query is
+    too hard for the service's budgets no matter the load).
+    """
+
+    http_status = 503
+
+    def __init__(self, message: str, *, verdict=None,
+                 reason: str = "overloaded",
+                 retry_after_s: "float | None" = None):
+        super().__init__(message)
+        #: The :class:`repro.analysis.dichotomy.DichotomyVerdict` consulted by
+        #: admission control (``None`` for pure capacity rejections).
+        self.verdict = verdict
+        #: Machine-readable refusal category (``"capacity"`` / ``"budget"``).
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+    def to_json_dict(self) -> dict:
+        payload = {"error": type(self).__name__, "message": str(self),
+                   "reason": self.reason, "retry_after_s": self.retry_after_s}
+        if self.verdict is not None:
+            payload["verdict"] = {"complexity": self.verdict.complexity.value,
+                                  "reason": self.verdict.reason,
+                                  "query_class": self.verdict.query_class}
+        return payload
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's deadline elapses before its attribution completes.
+
+    A request that was still *queued* (waiting for a pool slot) when its
+    deadline passed never occupies a worker at all — the deadline frees the
+    pool rather than merely abandoning the response.
+    """
+
+    http_status = 504
+
+    def __init__(self, message: str, *, deadline_s: "float | None" = None):
+        super().__init__(message)
+        #: The deadline the request carried, in seconds.
+        self.deadline_s = deadline_s
+
+    def to_json_dict(self) -> dict:
+        return {"error": type(self).__name__, "message": str(self),
+                "deadline_s": self.deadline_s}
+
+
+class UnknownTenantError(ServiceError, KeyError):
+    """Raised when a request names a tenant the service has not registered.
+
+    Inherits ``KeyError`` because the tenant registry is mapping-shaped and
+    callers may already guard lookups that way.
+    """
+
+    http_status = 404
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message plain
+        return self.args[0] if self.args else ""
+
+
 __all__ = [
     "ConfigError",
+    "DeadlineExceededError",
     "IntractableQueryError",
     "ReproError",
+    "ServiceError",
+    "ServiceOverloadError",
+    "UnknownTenantError",
     "UnsafeQueryError",
 ]

@@ -1,0 +1,46 @@
+"""repro.serve — the async multi-tenant attribution service.
+
+The serving tier above sessions and workspaces: an asyncio
+:class:`AttributionService` that runs the exact kernels on executor threads,
+**coalesces** concurrent identical requests onto one computation, **admits**
+requests through the paper's Figure 1b dichotomy plus a worst-case
+circuit-size estimate (fast / pooled / degraded / rejected lanes, per-request
+deadlines that free the pool), keeps per-tenant
+:class:`~repro.workspace.AttributionWorkspace` state over one shared
+content-addressed artifact store, and exposes everything through a
+stdlib-only HTTP/JSON API (:class:`AttributionHTTPServer`, ``repro serve``)
+plus a live ``/stats`` metrics surface.
+"""
+
+from .admission import (
+    LANES,
+    AdmissionDecision,
+    AdmissionPolicy,
+    admit,
+    estimate_circuit_nodes,
+)
+from .http import AttributionHTTPServer, serve
+from .metrics import ServiceMetrics
+from .results import ServedAttribution
+from .service import (
+    AttributionService,
+    apply_delta_spec,
+    request_key,
+    request_logger,
+)
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AttributionHTTPServer",
+    "AttributionService",
+    "LANES",
+    "ServedAttribution",
+    "ServiceMetrics",
+    "admit",
+    "apply_delta_spec",
+    "estimate_circuit_nodes",
+    "request_key",
+    "request_logger",
+    "serve",
+]

@@ -1,0 +1,256 @@
+"""A stdlib-only HTTP/JSON front for :class:`~repro.serve.AttributionService`.
+
+No web framework: a small HTTP/1.1 server over ``asyncio.start_server``,
+enough for the service's needs — every payload the service produces
+(:class:`~repro.api.AttributionReport`, workspace refreshes, admission
+decisions, the metrics surface) is already JSON-serialisable, and every
+:class:`~repro.errors.ServiceError` carries its HTTP status and structured
+body, so the transport layer is a thin, dependency-free shell.
+
+Endpoints::
+
+    GET  /healthz       liveness: {"status": "ok"}
+    GET  /stats         the live metrics surface (AttributionService.stats())
+    POST /v1/tenants    register a tenant:
+                        {"tenant": "acme",
+                         "endogenous": ["S(a, b)", ...],
+                         "exogenous":  ["R(a)", ...]}
+    POST /v1/attribute  serve one attribution:
+                        {"tenant": "acme", "query": "R(x), S(x, y)",
+                         "variables": ["x", "y"],          # optional
+                         "allow_degraded": true,           # optional
+                         "deadline_s": 2.5}                # optional
+    POST /v1/deltas     apply delta specs and refresh:
+                        {"tenant": "acme", "deltas": ["+S(a, c)", "-R(a)"]}
+
+Errors come back as the matching status (400 on malformed input, 404 unknown
+tenant/route, 503 admission rejection, 504 deadline) with the error's
+``to_json_dict()`` payload, so HTTP clients see the same typed refusal a
+programmatic caller would catch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+
+from ..data.database import PartitionedDatabase
+from ..errors import ReproError, ServiceError
+from ..io.query_text import parse_fact, parse_query
+from .service import AttributionService
+
+logger = logging.getLogger("repro.serve.http")
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable", 504: "Gateway Timeout"}
+
+#: Request bodies above this size are refused (the API's payloads are small).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """Internal: a client error that maps to a 400 with its message."""
+
+
+def _encode_response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload, indent=2).encode("utf-8")
+    reason = _REASONS.get(status, "Error")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n")
+    return head.encode("ascii") + body
+
+
+def _parse_database(payload: dict) -> PartitionedDatabase:
+    endogenous = payload.get("endogenous", [])
+    exogenous = payload.get("exogenous", [])
+    if not isinstance(endogenous, list) or not isinstance(exogenous, list):
+        raise _BadRequest("'endogenous' and 'exogenous' must be lists of "
+                          "fact strings like 'S(a, b)'")
+    return PartitionedDatabase(
+        frozenset(parse_fact(text) for text in endogenous),
+        frozenset(parse_fact(text) for text in exogenous))
+
+
+def _require(payload: dict, field: str, kind=str):
+    value = payload.get(field)
+    if not isinstance(value, kind):
+        raise _BadRequest(f"request body needs a {kind.__name__!s} field "
+                          f"{field!r}")
+    return value
+
+
+class AttributionHTTPServer:
+    """The asyncio HTTP server wrapping one :class:`AttributionService`.
+
+    Usage::
+
+        server = AttributionHTTPServer(service, host="127.0.0.1", port=0)
+        await server.start()          # server.port is the bound port
+        ...
+        await server.stop()
+
+    ``port=0`` binds an ephemeral port (what tests use); connections are
+    handled one request at a time (``Connection: close``), which keeps the
+    transport trivial — concurrency lives in the service, not the parser.
+    """
+
+    def __init__(self, service: AttributionService, *,
+                 host: str = "127.0.0.1", port: int = 8480):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: "asyncio.AbstractServer | None" = None
+
+    async def start(self) -> "AttributionHTTPServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("serving on http://%s:%d", self.host, self.port)
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- request handling ---------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            response = await self._handle_request(reader)
+        except Exception:  # noqa: BLE001 - last-resort: never kill the server
+            logger.exception("unhandled error while serving a request")
+            response = _encode_response(500, {"error": "InternalError",
+                                              "message": "internal error"})
+        try:
+            writer.write(response)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away: nothing to deliver the response to
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader) -> bytes:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return _encode_response(400, {"error": "BadRequest",
+                                              "message": "malformed request line"})
+            method, path = parts[0].upper(), parts[1]
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        return _encode_response(
+                            400, {"error": "BadRequest",
+                                  "message": "malformed Content-Length"})
+            if content_length > MAX_BODY_BYTES:
+                return _encode_response(
+                    400, {"error": "BadRequest",
+                          "message": f"body exceeds {MAX_BODY_BYTES} bytes"})
+            raw = (await reader.readexactly(content_length)
+                   if content_length else b"")
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return _encode_response(400, {"error": "BadRequest",
+                                          "message": "truncated request"})
+        try:
+            status, payload = await self._dispatch(method, path, raw)
+            return _encode_response(status, payload)
+        except ServiceError as error:
+            return _encode_response(error.http_status, error.to_json_dict())
+        except _BadRequest as error:
+            return _encode_response(400, {"error": "BadRequest",
+                                          "message": str(error)})
+        except (ReproError, ValueError, KeyError) as error:
+            return _encode_response(400, {"error": type(error).__name__,
+                                          "message": str(error)})
+
+    async def _dispatch(self, method: str, path: str,
+                        raw: bytes) -> "tuple[int, dict]":
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok"}
+        if path == "/stats" and method == "GET":
+            return 200, self.service.stats()
+        if path == "/v1/tenants" and method == "POST":
+            payload = self._json_body(raw)
+            tenant = _require(payload, "tenant")
+            workspace = self.service.register_tenant(tenant,
+                                                     _parse_database(payload))
+            return 200, {"tenant": tenant,
+                         "n_endogenous": len(workspace.pdb.endogenous),
+                         "n_exogenous": len(workspace.pdb.exogenous),
+                         "snapshot_digest": workspace.snapshot_digest()}
+        if path == "/v1/attribute" and method == "POST":
+            payload = self._json_body(raw)
+            tenant = _require(payload, "tenant")
+            variables = payload.get("variables")
+            query = parse_query(_require(payload, "query"),
+                                frozenset(variables) if variables else None)
+            kwargs = {}
+            if "allow_degraded" in payload:
+                kwargs["allow_degraded"] = bool(payload["allow_degraded"])
+            if "deadline_s" in payload:
+                kwargs["deadline_s"] = payload["deadline_s"]
+            served = await self.service.attribute(tenant, query, **kwargs)
+            return 200, served.to_json_dict()
+        if path == "/v1/deltas" and method == "POST":
+            payload = self._json_body(raw)
+            tenant = _require(payload, "tenant")
+            deltas = _require(payload, "deltas", list)
+            refresh = await self.service.refresh_tenant(tenant, deltas)
+            return 200, {"tenant": tenant,
+                         "snapshot_digest":
+                             self.service.workspace(tenant).snapshot_digest(),
+                         "refresh": refresh.to_json_dict()}
+        if path in ("/healthz", "/stats", "/v1/tenants", "/v1/attribute",
+                    "/v1/deltas"):
+            return 405, {"error": "MethodNotAllowed",
+                         "message": f"{method} not supported on {path}"}
+        return 404, {"error": "NotFound", "message": f"no route {path!r}"}
+
+    @staticmethod
+    def _json_body(raw: bytes) -> dict:
+        if not raw:
+            raise _BadRequest("request body must be a JSON object")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+
+async def serve(service: AttributionService, *, host: str = "127.0.0.1",
+                port: int = 8480) -> None:
+    """Run the HTTP server until cancelled (what ``repro serve`` calls)."""
+    server = await AttributionHTTPServer(service, host=host, port=port).start()
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+__all__ = ["AttributionHTTPServer", "MAX_BODY_BYTES", "serve"]

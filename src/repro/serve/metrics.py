@@ -1,0 +1,94 @@
+"""Thread-safe counters of the serving tier — the live ``/stats`` surface.
+
+The service handles requests on an asyncio loop but runs the exact kernels on
+executor threads, so every counter here is guarded by one lock; ``snapshot()``
+returns a consistent point-in-time copy (plain ints and dicts, directly JSON-
+serialisable).  The counters are deliberately low-cardinality — by admission
+lane, by dichotomy verdict, by outcome — so the surface stays cheap no matter
+how many tenants or distinct queries the service sees.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class ServiceMetrics:
+    """Request, coalescing and admission counters of one :class:`AttributionService`.
+
+    ``record(...)`` is called once per finished request (whatever its
+    outcome); ``record_rejection`` / ``record_deadline`` count the admission
+    and deadline failure paths.  All methods are safe to call from any thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._coalesced = 0
+        self._computed = 0
+        self._by_lane: dict[str, int] = {}
+        self._by_verdict: dict[str, int] = {}
+        self._by_outcome: dict[str, int] = {}
+        self._rejected_capacity = 0
+        self._rejected_budget = 0
+        self._deadline_exceeded = 0
+        self._errors = 0
+        self._wall_time_s = 0.0
+        self._peak_inflight = 0
+
+    # -- recording ------------------------------------------------------------
+    def record(self, *, lane: str, verdict: str, coalesced: bool,
+               outcome: str, wall_time_s: float) -> None:
+        """Count one finished request (served, degraded, or failed)."""
+        with self._lock:
+            self._requests += 1
+            self._by_lane[lane] = self._by_lane.get(lane, 0) + 1
+            self._by_verdict[verdict] = self._by_verdict.get(verdict, 0) + 1
+            self._by_outcome[outcome] = self._by_outcome.get(outcome, 0) + 1
+            if coalesced:
+                self._coalesced += 1
+            else:
+                self._computed += 1
+            if outcome == "deadline":
+                self._deadline_exceeded += 1
+            elif outcome == "error":
+                self._errors += 1
+            self._wall_time_s += wall_time_s
+
+    def record_rejection(self, reason: str) -> None:
+        """Count one admission refusal (``"capacity"`` or ``"budget"``)."""
+        with self._lock:
+            self._requests += 1
+            self._by_outcome["rejected"] = self._by_outcome.get("rejected", 0) + 1
+            if reason == "capacity":
+                self._rejected_capacity += 1
+            else:
+                self._rejected_budget += 1
+
+    def observe_inflight(self, inflight: int) -> None:
+        """Track the high-water mark of concurrently admitted pool work."""
+        with self._lock:
+            if inflight > self._peak_inflight:
+                self._peak_inflight = inflight
+
+    # -- reading --------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A consistent, JSON-serialisable copy of every counter."""
+        with self._lock:
+            return {
+                "requests": self._requests,
+                "coalesced": self._coalesced,
+                "computed": self._computed,
+                "by_lane": dict(self._by_lane),
+                "by_verdict": dict(self._by_verdict),
+                "by_outcome": dict(self._by_outcome),
+                "rejected_capacity": self._rejected_capacity,
+                "rejected_budget": self._rejected_budget,
+                "deadline_exceeded": self._deadline_exceeded,
+                "errors": self._errors,
+                "wall_time_s": round(self._wall_time_s, 6),
+                "peak_inflight": self._peak_inflight,
+            }
+
+
+__all__ = ["ServiceMetrics"]

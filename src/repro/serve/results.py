@@ -1,0 +1,64 @@
+"""Typed, frozen response objects of the serving tier.
+
+A served attribution wraps the session's :class:`repro.api.AttributionReport`
+— already lossless and JSON-serialisable — with the *serving* facts a client
+needs and the report cannot know: which tenant asked, the content-hash request
+key (the coalescing identity), which admission lane the request took, whether
+the response was coalesced onto another request's computation, and the
+queue + compute wall time as seen by the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api.results import AttributionReport
+from .admission import AdmissionDecision
+
+
+@dataclass(frozen=True)
+class ServedAttribution:
+    """One served request: the attribution report plus its serving envelope.
+
+    ``coalesced`` is ``True`` when this response awaited another in-flight
+    computation for the same ``(tenant, query, snapshot)`` content key instead
+    of computing; coalesced responses carry the *same*
+    :class:`~repro.api.AttributionReport` object (hence bitwise-identical
+    values) as the request that computed.  ``wall_time_s`` is the service-side
+    latency of *this* request — for a coalesced request that is mostly
+    waiting, and typically far below the report's own compute time.
+    """
+
+    tenant: str
+    query: str
+    request_key: str
+    lane: str
+    coalesced: bool
+    report: AttributionReport
+    admission: AdmissionDecision
+    wall_time_s: float
+
+    @property
+    def backend(self) -> str:
+        """The backend that produced the values (from the report)."""
+        return self.report.backend
+
+    def to_json_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "query": self.query,
+            "request_key": self.request_key,
+            "lane": self.lane,
+            "coalesced": self.coalesced,
+            "wall_time_s": self.wall_time_s,
+            "admission": self.admission.to_json_dict(),
+            "report": self.report.to_json_dict(),
+        }
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        import json
+
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+
+__all__ = ["ServedAttribution"]

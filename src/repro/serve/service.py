@@ -1,0 +1,506 @@
+"""The async multi-tenant attribution service.
+
+:class:`AttributionService` is the serving façade over the layers below: each
+tenant holds an :class:`~repro.workspace.AttributionWorkspace` (standing
+snapshot + delta ops), every attribution runs through an
+:class:`~repro.api.AttributionSession` on an executor thread (the asyncio loop
+never blocks on exact kernels; with ``EngineConfig(workers > 1)`` the kernels
+additionally shard across the existing process pool), and all tenants share
+ONE artifact store — content-hash keys make safe plans, lineages and compiled
+circuits identical queries produce identical artifacts, so tenant B's request
+reuses what tenant A's compiled.
+
+Three serving mechanisms live here:
+
+* **Request coalescing** — concurrent requests for the same
+  ``(tenant, query, snapshot)`` content key await one in-flight computation;
+  all of them receive the *same* :class:`~repro.api.AttributionReport` object.
+  The duplicate-burst workload ("millions of users" asking the trending
+  question) costs one compile, not N.
+* **Admission control** — every request is classified by the Figure 1b
+  machinery plus a worst-case circuit-size estimate *before* any engine work
+  (:mod:`repro.serve.admission`): FP queries take the fast lane, bounded
+  exponential work takes a pool slot, over-budget work degrades to the
+  sampled backend when the client allows, and is otherwise refused with a
+  structured :class:`~repro.errors.ServiceOverloadError`.  A capacity gate
+  bounds concurrently admitted pool work, so a burst of hard queries gets
+  503s instead of an unbounded queue.
+* **Deadlines** — a request may carry ``deadline_s``; a request still queued
+  for a pool slot when its deadline passes never occupies a worker (the
+  deadline *frees* the pool), and one already computing stops blocking its
+  client.
+
+Every served request emits one JSON line on the ``repro.serve.request``
+logger — tenant, query hash, verdict, lane, backend, shard axis,
+coalesced-or-computed, wall time, outcome — the observability seed the
+``/stats`` counters aggregate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import logging
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from ..api.config import EngineConfig
+from ..api.results import AttributionReport
+from ..api.session import AttributionSession
+from ..analysis.dichotomy import DichotomyVerdict, classify_svc
+from ..data.database import PartitionedDatabase
+from ..engine.svc_engine import engine_cache_stats
+from ..errors import (
+    ConfigError,
+    DeadlineExceededError,
+    ServiceOverloadError,
+    UnknownTenantError,
+)
+from ..io.query_text import parse_fact
+from ..queries.base import BooleanQuery
+from ..workspace.results import WorkspaceRefresh
+from ..workspace.store import (
+    ArtifactStore,
+    MemoryStore,
+    database_digest,
+    query_content_text,
+)
+from ..workspace.workspace import AttributionWorkspace
+from .admission import AdmissionDecision, AdmissionPolicy, admit
+from .metrics import ServiceMetrics
+from .results import ServedAttribution
+
+#: One JSON line per served request lands here (stdlib logging; attach a
+#: handler — or let it propagate to the root logger — to collect them).
+request_logger = logging.getLogger("repro.serve.request")
+
+#: Sentinel distinguishing "no deadline passed" (use the policy default) from
+#: an explicit ``deadline_s=None`` ("this request really has no deadline").
+_UNSET = object()
+
+
+def request_key(tenant: str, query: BooleanQuery,
+                snapshot: PartitionedDatabase, lane: str) -> str:
+    """The coalescing identity of a request: a stable content hash.
+
+    Two requests coalesce exactly when they agree on tenant, query *content*
+    (not object identity), snapshot content, and admission lane — the inputs
+    that fully determine the report an exact backend will produce.  Built
+    from the same injective renderings as the artifact-store keys, so the key
+    is stable across processes.
+    """
+    text = "\x1e".join((tenant, query_content_text(query),
+                        database_digest(snapshot), lane))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+#: Delta-spec prefixes shared by the HTTP API and the ``repro workspace`` CLI,
+#: in try-order (``+x:`` must precede ``+``).
+DELTA_PREFIXES = (("+x:", "insert exogenous"), ("+", "insert"),
+                  ("-", "remove"), (">", "make exogenous"),
+                  ("<", "make endogenous"))
+
+
+def apply_delta_spec(workspace: AttributionWorkspace, spec: str) -> str:
+    """Apply one textual delta spec to a workspace; return a description.
+
+    The spec syntax of the ``repro workspace`` CLI: ``'+F(a)'`` insert
+    endogenous, ``'+x:F(a)'`` insert exogenous, ``'-F(a)'`` remove,
+    ``'>F(a)'`` make exogenous, ``'<F(a)'`` make endogenous.
+    """
+    spec = spec.strip()
+    for prefix, label in DELTA_PREFIXES:
+        if spec.startswith(prefix):
+            f = parse_fact(spec[len(prefix):])
+            if prefix == "+x:":
+                workspace.insert(f, exogenous=True)
+            elif prefix == "+":
+                workspace.insert(f)
+            elif prefix == "-":
+                workspace.remove(f)
+            elif prefix == ">":
+                workspace.make_exogenous(f)
+            else:
+                workspace.make_endogenous(f)
+            return f"{label} {f}"
+    raise ValueError(
+        f"cannot parse delta {spec!r}: expected a '+', '+x:', '-', '>' or '<' "
+        "prefix followed by a fact, e.g. '+S(a, b)'")
+
+
+class AttributionService:
+    """Async, multi-tenant Shapley attribution over shared artifacts.
+
+    Usage::
+
+        service = AttributionService(store=DiskStore("artifacts/"))
+        service.register_tenant("acme", pdb)
+        served = await service.attribute("acme", query)
+        served.report.ranking          # exact values, full provenance
+        await service.refresh_tenant("acme", ["+S(a, b)"])   # tenant deltas
+        service.stats()                # the live metrics surface
+
+    ``config`` tunes the underlying sessions (backend override, workers,
+    budgets); the sampled backend is reserved for the degraded lane, so a
+    service-wide ``method="sampled"`` is rejected.  All tenants share the one
+    ``store`` — safe because artifacts are content-addressed — while each
+    holds its own workspace, so deltas never leak across tenants.
+    """
+
+    def __init__(self, *, store: "ArtifactStore | None" = None,
+                 config: "EngineConfig | None" = None,
+                 policy: "AdmissionPolicy | None" = None,
+                 executor_workers: "int | None" = None):
+        config = config if config is not None else EngineConfig()
+        if config.method == "sampled":
+            raise ConfigError(
+                "AttributionService reserves the sampled backend for the "
+                "degraded admission lane; configure budgets via "
+                "AdmissionPolicy instead of EngineConfig(method='sampled')")
+        self._config = replace(config, on_hard="exact")
+        self._policy = policy if policy is not None else AdmissionPolicy(
+            exact_size_limit=config.exact_size_limit,
+            circuit_node_budget=config.circuit_node_budget)
+        self._store: ArtifactStore = store if store is not None else MemoryStore()
+        self._tenants: dict[str, AttributionWorkspace] = {}
+        self._tenant_locks: dict[str, asyncio.Lock] = {}
+        self._verdicts: dict[BooleanQuery, DichotomyVerdict] = {}
+        self._inflight: "dict[str, asyncio.Future[AttributionReport]]" = {}
+        self._coalesce = True
+        self._pending_pooled = 0
+        self._slots: "asyncio.Semaphore | None" = None  # created lazily on a loop
+        self._metrics = ServiceMetrics()
+        workers = executor_workers if executor_workers is not None \
+            else self._policy.max_inflight + 2
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the executor down (idempotent); pending work is not awaited."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "AttributionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- tenancy ----------------------------------------------------------------
+    def register_tenant(self, tenant: str,
+                        pdb: PartitionedDatabase) -> AttributionWorkspace:
+        """Create a tenant: its own workspace over the shared artifact store."""
+        if not tenant:
+            raise ConfigError("tenant names must be non-empty")
+        if tenant in self._tenants:
+            raise ConfigError(f"tenant {tenant!r} is already registered")
+        workspace = AttributionWorkspace(pdb, config=self._config,
+                                         store=self._store)
+        self._tenants[tenant] = workspace
+        return workspace
+
+    def unregister_tenant(self, tenant: str) -> None:
+        """Drop a tenant and its workspace (shared store entries remain)."""
+        if tenant not in self._tenants:
+            raise UnknownTenantError(f"no tenant registered as {tenant!r}")
+        del self._tenants[tenant]
+        self._tenant_locks.pop(tenant, None)
+
+    def tenants(self) -> tuple[str, ...]:
+        """The registered tenant names, sorted."""
+        return tuple(sorted(self._tenants))
+
+    def workspace(self, tenant: str) -> AttributionWorkspace:
+        """The tenant's workspace (for programmatic delta ops and reads)."""
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise UnknownTenantError(
+                f"no tenant registered as {tenant!r}") from None
+
+    def _tenant_lock(self, tenant: str) -> asyncio.Lock:
+        lock = self._tenant_locks.get(tenant)
+        if lock is None:
+            lock = self._tenant_locks.setdefault(tenant, asyncio.Lock())
+        return lock
+
+    async def refresh_tenant(self, tenant: str,
+                             deltas: "list[str] | tuple[str, ...]" = ()
+                             ) -> WorkspaceRefresh:
+        """Apply textual delta specs to one tenant and refresh its workspace.
+
+        Runs on the executor (a refresh re-attributes invalidated standing
+        queries); per-tenant serialisation makes concurrent delta batches on
+        one tenant apply in arrival order.  Other tenants' snapshots — and
+        concurrent :meth:`attribute` calls, which read an immutable snapshot
+        at admission time — are unaffected.
+        """
+        workspace = self.workspace(tenant)
+        loop = asyncio.get_running_loop()
+        async with self._tenant_lock(tenant):
+            def apply_and_refresh() -> WorkspaceRefresh:
+                for spec in deltas:
+                    apply_delta_spec(workspace, spec)
+                return workspace.refresh()
+            return await loop.run_in_executor(self._executor, apply_and_refresh)
+
+    # -- the serving path ---------------------------------------------------------
+    def _verdict(self, query: BooleanQuery) -> DichotomyVerdict:
+        """The memoised Figure 1b verdict (classification runs once per query)."""
+        try:
+            verdict = self._verdicts.get(query)
+        except TypeError:           # unhashable query: classify per request
+            return classify_svc(query)
+        if verdict is None:
+            verdict = classify_svc(query)
+            self._verdicts[query] = verdict
+        return verdict
+
+    def _resolve_deadline(self, deadline_s) -> "tuple[float | None, float | None]":
+        """``(deadline_s, absolute monotonic deadline)`` for one request."""
+        if deadline_s is _UNSET:
+            deadline_s = self._policy.default_deadline_s
+        if deadline_s is None:
+            return None, None
+        if deadline_s <= 0:
+            raise ConfigError(f"deadline_s must be positive, got {deadline_s}")
+        return deadline_s, time.monotonic() + deadline_s
+
+    def _session_config(self, lane: str) -> EngineConfig:
+        if lane == "degraded":
+            return replace(self._config, method="sampled", on_hard="sample")
+        return self._config
+
+    def _compute_report(self, query: BooleanQuery, snapshot: PartitionedDatabase,
+                        lane: str, deadline_at: "float | None") -> AttributionReport:
+        """The blocking attribution (executor thread).
+
+        The deadline is re-checked here: a computation that waited in the
+        executor queue past its deadline aborts before touching any engine
+        work, so expired requests cannot occupy a worker.
+        """
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            raise DeadlineExceededError(
+                "request deadline elapsed before computation started")
+        session = AttributionSession(query, snapshot,
+                                     self._session_config(lane),
+                                     store=self._store)
+        return session.report()
+
+    async def _compute_task(self, future: "asyncio.Future[AttributionReport]",
+                            query: BooleanQuery, snapshot: PartitionedDatabase,
+                            lane: str, deadline_at: "float | None") -> None:
+        """Drive one (owner) computation: slot acquisition, executor run, result.
+
+        Pooled/degraded lanes take a semaphore slot; with a deadline the slot
+        wait itself is bounded, so a request whose deadline passes while
+        queued resolves to :class:`DeadlineExceededError` without ever
+        holding a slot — the pool is freed for live requests.
+        """
+        loop = asyncio.get_running_loop()
+        acquired = False
+        try:
+            if lane in ("pooled", "degraded"):
+                assert self._slots is not None
+                if deadline_at is None:
+                    await self._slots.acquire()
+                else:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            "request deadline elapsed while queued for a pool slot")
+                    try:
+                        await asyncio.wait_for(self._slots.acquire(), remaining)
+                    except asyncio.TimeoutError:
+                        raise DeadlineExceededError(
+                            "request deadline elapsed while queued for a pool "
+                            "slot") from None
+                acquired = True
+                self._metrics.observe_inflight(
+                    self._policy.max_inflight - self._slots._value)
+            report = await loop.run_in_executor(
+                self._executor, self._compute_report,
+                query, snapshot, lane, deadline_at)
+            if not future.done():
+                future.set_result(report)
+        except BaseException as error:  # noqa: BLE001 - relayed to awaiters
+            if not future.done():
+                future.set_exception(error)
+            if isinstance(error, asyncio.CancelledError):
+                raise
+        finally:
+            if acquired:
+                self._slots.release()
+
+    def _log_request(self, *, tenant: str, key: str, decision: AdmissionDecision,
+                     lane: str, backend: "str | None", shard_axis: "str | None",
+                     coalesced: bool, wall_time_s: float, outcome: str) -> None:
+        """Emit the one structured JSON log line every request produces."""
+        request_logger.info(json.dumps({
+            "event": "serve.request",
+            "tenant": tenant,
+            "query_key": key[:16],
+            "verdict": decision.verdict.complexity.value,
+            "lane": lane,
+            "backend": backend,
+            "shard_axis": shard_axis,
+            "coalesced": coalesced,
+            "wall_time_s": round(wall_time_s, 6),
+            "outcome": outcome,
+        }, sort_keys=True))
+
+    async def attribute(self, tenant: str, query: BooleanQuery, *,
+                        allow_degraded: bool = True,
+                        deadline_s=_UNSET) -> ServedAttribution:
+        """Serve one attribution request (the service's main entry point).
+
+        Admission runs first (cheap, classifier-only): a rejected request
+        raises :class:`~repro.errors.ServiceOverloadError` before any engine
+        work.  Admitted requests coalesce onto an identical in-flight
+        computation when one exists; otherwise they compute on the executor,
+        through the shared artifact store.  ``deadline_s`` bounds the whole
+        request (queue + compute); ``allow_degraded`` lets over-budget
+        requests fall back to the sampled backend instead of being refused.
+        """
+        start = time.perf_counter()
+        workspace = self.workspace(tenant)
+        snapshot = workspace.pdb
+        decision = admit(query, len(snapshot.endogenous), self._policy,
+                         allow_degraded=allow_degraded,
+                         verdict=self._verdict(query))
+        key = request_key(tenant, query, snapshot, decision.lane)
+        if decision.lane == "rejected":
+            self._metrics.record_rejection("budget")
+            self._log_request(tenant=tenant, key=key, decision=decision,
+                              lane="rejected", backend=None, shard_axis=None,
+                              coalesced=False,
+                              wall_time_s=time.perf_counter() - start,
+                              outcome="rejected")
+            raise ServiceOverloadError(decision.reason, verdict=decision.verdict,
+                                       reason="budget")
+        deadline_s, deadline_at = self._resolve_deadline(deadline_s)
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self._policy.max_inflight)
+        loop = asyncio.get_running_loop()
+
+        existing = self._inflight.get(key) if self._coalesce else None
+        coalesced = existing is not None
+        if coalesced:
+            future = existing
+        else:
+            if (decision.lane in ("pooled", "degraded")
+                    and self._pending_pooled
+                    >= self._policy.max_inflight + self._policy.max_queued):
+                self._metrics.record_rejection("capacity")
+                self._log_request(tenant=tenant, key=key, decision=decision,
+                                  lane=decision.lane, backend=None,
+                                  shard_axis=None, coalesced=False,
+                                  wall_time_s=time.perf_counter() - start,
+                                  outcome="rejected")
+                raise ServiceOverloadError(
+                    f"{self._pending_pooled} pooled requests already admitted "
+                    f"(max_inflight={self._policy.max_inflight} + "
+                    f"max_queued={self._policy.max_queued}); retry shortly",
+                    verdict=decision.verdict, reason="capacity",
+                    retry_after_s=1.0)
+            future = loop.create_future()
+            # Suppress "exception was never retrieved" when every awaiter
+            # timed out before the computation failed.
+            future.add_done_callback(
+                lambda f: f.cancelled() or f.exception())
+            self._inflight[key] = future
+            if decision.lane in ("pooled", "degraded"):
+                self._pending_pooled += 1
+            task = asyncio.ensure_future(self._compute_task(
+                future, query, snapshot, decision.lane, deadline_at))
+
+            def _cleanup(_task, key=key, lane=decision.lane) -> None:
+                if self._inflight.get(key) is future:
+                    del self._inflight[key]
+                if lane in ("pooled", "degraded"):
+                    self._pending_pooled -= 1
+            task.add_done_callback(_cleanup)
+
+        outcome = "ok"
+        backend = shard_axis = None
+        try:
+            if deadline_at is None:
+                report = await asyncio.shield(future)
+            else:
+                remaining = deadline_at - time.monotonic()
+                try:
+                    report = await asyncio.wait_for(asyncio.shield(future),
+                                                    max(remaining, 0.0))
+                except asyncio.TimeoutError:
+                    raise DeadlineExceededError(
+                        f"request deadline of {deadline_s}s elapsed",
+                        deadline_s=deadline_s) from None
+            backend = report.backend
+            shard_axis = report.shard_axis
+        except DeadlineExceededError as error:
+            if error.deadline_s is None and deadline_s is not None:
+                error.deadline_s = deadline_s
+            outcome = "deadline"
+            raise
+        except BaseException:
+            outcome = "error"
+            raise
+        finally:
+            wall = time.perf_counter() - start
+            self._metrics.record(lane=decision.lane,
+                                 verdict=decision.verdict.complexity.value,
+                                 coalesced=coalesced, outcome=outcome,
+                                 wall_time_s=wall)
+            self._log_request(tenant=tenant, key=key, decision=decision,
+                              lane=decision.lane, backend=backend,
+                              shard_axis=shard_axis, coalesced=coalesced,
+                              wall_time_s=wall, outcome=outcome)
+        return ServedAttribution(tenant=tenant, query=str(query),
+                                 request_key=key, lane=decision.lane,
+                                 coalesced=coalesced, report=report,
+                                 admission=decision,
+                                 wall_time_s=time.perf_counter() - start)
+
+    # -- observability ------------------------------------------------------------
+    def set_coalescing(self, enabled: bool) -> None:
+        """Toggle request coalescing (benchmarks measure both regimes)."""
+        self._coalesce = bool(enabled)
+
+    def store_stats(self) -> dict:
+        """The shared store's counters (richer ``store_stats`` when offered)."""
+        richer = getattr(self._store, "store_stats", None)
+        return richer() if callable(richer) else dict(self._store.stats())
+
+    def stats(self) -> dict:
+        """The live metrics surface (what ``GET /stats`` serves).
+
+        Aggregates the service's own request/coalescing/admission counters
+        with the engine-LRU counters, the shared store's counters, and a
+        per-tenant snapshot summary — every cache layer a request can hit,
+        in one JSON-serialisable payload.
+        """
+        return {
+            "service": self._metrics.snapshot(),
+            "admission_policy": self._policy.to_json_dict(),
+            "coalescing": {"enabled": self._coalesce,
+                           "inflight": len(self._inflight)},
+            "engine_cache": engine_cache_stats(),
+            "store": self.store_stats(),
+            "tenants": {
+                name: {"n_endogenous": len(ws.pdb.endogenous),
+                       "n_exogenous": len(ws.pdb.exogenous),
+                       "registered_queries": sorted(ws.queries()),
+                       "pending_deltas": len(ws.pending_deltas()),
+                       "snapshot_digest": ws.snapshot_digest()[:16]}
+                for name, ws in sorted(self._tenants.items())
+            },
+        }
+
+
+__all__ = ["AttributionService", "DELTA_PREFIXES", "apply_delta_spec",
+           "request_key", "request_logger"]

@@ -33,6 +33,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -105,6 +106,11 @@ def database_content_text(pdb: "PartitionedDatabase") -> str:
     endo = _FIELD.join(_fact_text(f) for f in sorted(pdb.endogenous))
     exo = _FIELD.join(_fact_text(f) for f in sorted(pdb.exogenous))
     return f"Dn{_FIELD}{endo}{_RECORD}Dx{_FIELD}{exo}"
+
+
+def database_digest(pdb: "PartitionedDatabase") -> str:
+    """The stable content hash of a snapshot (what serving keys requests on)."""
+    return _digest(database_content_text(pdb))
 
 
 def lineage_content_text(lineage: "Lineage") -> str:
@@ -180,6 +186,10 @@ class MemoryStore:
     Artifacts are held by reference — a hit returns the very object that was
     put, so reuse is free and trivially bitwise-identical.  ``max_entries``
     bounds memory: least-recently-used entries are evicted first.
+
+    All operations are thread-safe: the serving tier runs attributions on
+    executor threads that share one store, so the LRU reordering, eviction
+    loop and counters sit under one lock.
     """
 
     def __init__(self, max_entries: int = 256):
@@ -187,36 +197,41 @@ class MemoryStore:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[ArtifactKey, object]" = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._stores = 0
         self._evictions = 0
 
     def get(self, key: ArtifactKey) -> "object | None":
-        try:
-            artifact = self._entries.pop(key)
-        except KeyError:
-            self._misses += 1
-            return None
-        self._entries[key] = artifact  # re-insert: most recently used
-        self._hits += 1
-        return artifact
+        with self._lock:
+            try:
+                artifact = self._entries.pop(key)
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries[key] = artifact  # re-insert: most recently used
+            self._hits += 1
+            return artifact
 
     def put(self, key: ArtifactKey, artifact: object) -> None:
-        self._entries.pop(key, None)
-        self._entries[key] = artifact
-        self._stores += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = artifact
+            self._stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self._hits, "misses": self._misses,
-                "stores": self._stores, "evictions": self._evictions,
-                "entries": len(self._entries)}
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "stores": self._stores, "evictions": self._evictions,
+                    "entries": len(self._entries)}
 
     def store_stats(self) -> dict:
         """The counters plus the store's capacity configuration."""
@@ -238,6 +253,12 @@ class DiskStore:
     file, so recency survives process restarts) are evicted until the total
     size fits.  ``None`` (the default) keeps the store unbounded, the
     pre-existing behaviour.
+
+    Thread-safe: counters and the eviction pass sit under one lock, and the
+    file operations themselves already tolerate concurrent eviction (writes
+    are atomic replaces; reads, stats and unlinks treat a vanished file as a
+    miss/skip) — several serving threads, or several processes, can hammer
+    one directory.
     """
 
     def __init__(self, directory: "str | os.PathLike[str]",
@@ -247,6 +268,7 @@ class DiskStore:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._stores = 0
@@ -257,12 +279,16 @@ class DiskStore:
     def _path(self, key: ArtifactKey) -> Path:
         return self.directory / key.filename
 
+    def _count(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + by)
+
     def get(self, key: ArtifactKey) -> "object | None":
         path = self._path(key)
         try:
             raw = path.read_bytes()
         except OSError:
-            self._misses += 1
+            self._count("_misses")
             return None
         try:
             envelope = pickle.loads(raw)
@@ -273,19 +299,19 @@ class DiskStore:
             # Truncated file, corrupted bytes, unknown classes, not even a
             # dict: a damaged entry is a miss, never a crash.
             self._discard(path)
-            self._misses += 1
-            self._invalid += 1
+            self._count("_misses")
+            self._count("_invalid")
             return None
         if version != ARTIFACT_SCHEMA_VERSION or kind != key.kind:
             self._discard(path)
-            self._misses += 1
-            self._invalid += 1
+            self._count("_misses")
+            self._count("_invalid")
             return None
         try:
             os.utime(path)  # touch: mtime is the eviction recency signal
         except OSError:
             pass
-        self._hits += 1
+        self._count("_hits")
         return artifact
 
     def put(self, key: ArtifactKey, artifact: object) -> None:
@@ -293,7 +319,7 @@ class DiskStore:
             blob = pickle.dumps({"version": ARTIFACT_SCHEMA_VERSION,
                                  "kind": key.kind, "payload": artifact})
         except Exception:
-            self._put_errors += 1  # unpicklable artifact: skip, don't fail
+            self._count("_put_errors")  # unpicklable artifact: skip, don't fail
             return
         try:
             fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
@@ -305,9 +331,9 @@ class DiskStore:
                 self._discard(Path(tmp_name))
                 raise
         except OSError:
-            self._put_errors += 1  # full/read-only disk: the store degrades
+            self._count("_put_errors")  # full/read-only disk: the store degrades
             return
-        self._stores += 1
+        self._count("_stores")
         self._evict_to_budget()
 
     def _entries_by_recency(self) -> "list[tuple[float, int, Path]]":
@@ -335,14 +361,15 @@ class DiskStore:
         """
         if self.max_bytes is None:
             return
-        entries = self._entries_by_recency()
-        total = sum(size for _, size, _ in entries)
-        for _, size, path in entries:
-            if total <= self.max_bytes:
-                break
-            self._discard(path)
-            self._evictions += 1
-            total -= size
+        with self._lock:
+            entries = self._entries_by_recency()
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                self._discard(path)
+                self._evictions += 1
+                total -= size
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -359,9 +386,11 @@ class DiskStore:
         return sum(size for _, size, _ in self._entries_by_recency())
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self._hits, "misses": self._misses,
-                "stores": self._stores, "invalid": self._invalid,
-                "put_errors": self._put_errors, "evictions": self._evictions}
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "stores": self._stores, "invalid": self._invalid,
+                    "put_errors": self._put_errors,
+                    "evictions": self._evictions}
 
     def store_stats(self) -> dict:
         """The counters plus the store's size and capacity configuration."""
@@ -377,6 +406,7 @@ __all__ = [
     "MemoryStore",
     "circuit_key",
     "database_content_text",
+    "database_digest",
     "lineage_content_text",
     "lineage_key",
     "plan_key",

@@ -56,7 +56,7 @@ from .results import (
     WorkspaceDelta,
     WorkspaceRefresh,
 )
-from .store import ArtifactStore, MemoryStore, support_key
+from .store import ArtifactStore, MemoryStore, database_digest, support_key
 
 
 @dataclass(frozen=True)
@@ -136,6 +136,15 @@ class AttributionWorkspace:
     def queries(self) -> dict[str, BooleanQuery]:
         """The registered queries by name (a copy)."""
         return dict(self._queries)
+
+    def snapshot_digest(self) -> str:
+        """The stable content hash of the current snapshot.
+
+        Equal across processes for equal database content — the serving tier
+        keys request coalescing on it, and clients can use it to tell which
+        snapshot a response was computed against.
+        """
+        return database_digest(self._pdb)
 
     def pending_deltas(self) -> "tuple[WorkspaceDelta, ...]":
         """Deltas applied to the snapshot but not yet refreshed through."""

@@ -322,6 +322,94 @@ class TestDiskStoreEviction:
 
 
 # ---------------------------------------------------------------------------
+# Store thread-safety (the serving tier hammers one store from many threads)
+# ---------------------------------------------------------------------------
+
+class TestStoreThreadSafety:
+    def test_two_threads_hammering_one_disk_store(self, tmp_path):
+        """Concurrent put/get under a tight budget: evictions race, nothing breaks.
+
+        Regression for the serving tier: two executor threads share one
+        ``DiskStore`` whose budget forces evictions *while* the other thread
+        reads — vanished files must read as plain misses and the counters
+        must stay consistent (no lost updates from unguarded ``+=``).
+        """
+        import threading
+
+        rounds, workers = 60, 2
+        store = DiskStore(tmp_path, max_bytes=16 * 1024)  # ~4 entries of 4 KiB
+        keys = _distinct_keys(8)
+        errors = []
+
+        def hammer(seed):
+            try:
+                for i in range(rounds):
+                    key = keys[(seed + i) % len(keys)]
+                    store.put(key, "x" * 4096)
+                    value = store.get(keys[(seed + i + 3) % len(keys)])
+                    assert value is None or value == "x" * 4096
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(s,))
+                   for s in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = store.stats()
+        # Exact counter conservation despite the concurrency: every get was
+        # a hit or a miss, every put was stored or failed.
+        assert stats["hits"] + stats["misses"] == workers * rounds
+        assert stats["stores"] + stats["put_errors"] == workers * rounds
+        assert store.total_bytes() <= 16 * 1024
+
+    def test_two_threads_hammering_one_memory_store(self):
+        import threading
+
+        rounds, workers = 500, 2
+        store = MemoryStore(max_entries=4)
+        keys = _distinct_keys(8)
+        errors = []
+
+        def hammer(seed):
+            try:
+                for i in range(rounds):
+                    store.put(keys[(seed + i) % len(keys)], i)
+                    store.get(keys[(seed + i + 5) % len(keys)])
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(s,))
+                   for s in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = store.stats()
+        assert stats["hits"] + stats["misses"] == workers * rounds
+        assert stats["stores"] == workers * rounds
+        assert len(store) <= 4
+
+    def test_entry_vanishing_mid_scan_is_tolerated(self, tmp_path):
+        """Another process evicting the shared directory never breaks a scan."""
+        store = DiskStore(tmp_path, max_bytes=64 * 1024)
+        keys = _distinct_keys(4)
+        for key in keys:
+            store.put(key, "x" * 1024)
+        # Simulate a concurrent evictor: delete files behind the store's back.
+        for key in keys[:2]:
+            (tmp_path / key.filename).unlink()
+        assert store.get(keys[0]) is None          # a plain miss, no crash
+        assert store.get(keys[2]) == "x" * 1024
+        assert store.total_bytes() > 0             # scan skipped the ghosts
+        store.put(keys[0], "y")                    # eviction pass still works
+        assert store.get(keys[0]) == "y"
+
+
+# ---------------------------------------------------------------------------
 # Engine / session store threading
 # ---------------------------------------------------------------------------
 
