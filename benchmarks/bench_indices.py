@@ -1,0 +1,301 @@
+"""Benchmark — one compiled circuit, many value indices.
+
+The PR-8 contract: a lineage compiled once into the decision circuit serves
+every workload that used to recompile it — Shapley and Banzhaf attribution,
+probability evaluation, and batched what-if conditioning.  This module
+measures the amortisation on the circuit benchmark's instances, asserts the
+parity contracts (bitwise-identical ``Fraction``s against independent
+recomputes) on every run, and records the timings in ``BENCH_indices.json``.
+
+The acceptance contracts asserted here:
+
+* **Banzhaf >= 5x**: a Banzhaf session against a store already holding the
+  circuit (compiled by an earlier Shapley session) is at least 5x faster
+  than an independent counting-backend recompute at the largest size.
+* **What-if batch >= 3x**: a batch of ``k`` single-fact scenarios priced by
+  conditioning the standing circuit is at least 3x faster than ``k`` cold
+  sessions (plus ``k`` cold PQE evaluations) on a multi-island instance.
+* **Circuit-backed PQE parity** (hardware-independent): ``method="circuit"``
+  probabilities equal the brute-force and lineage references, and equal the
+  lifted plan on a safe query.
+
+Both sides of every speedup run serially on one core, so the floors are
+hardware-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from _perf_env import assertion, environment
+from repro.api import AttributionSession, EngineConfig
+from repro.counting import clear_caches
+from repro.data import PartitionedDatabase, fact
+from repro.engine import clear_engine_cache
+from repro.experiments import (
+    format_table,
+    q_hierarchical,
+    q_rst,
+    sparse_endogenous_instance,
+)
+from repro.experiments.batch_engine import bipartite_attribution_instance
+from repro.probability import TupleIndependentDatabase, probability_of_query, sppqe
+from repro.workspace import AttributionWorkspace, MemoryStore
+
+QUERY = q_rst()
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_indices.json"
+
+#: (n_left, n_right, edge_probability, seed) — the circuit benchmark's
+#: hard-but-structured family, all facts endogenous.  The last shape is the
+#: acceptance instance of the >= 5x amortised-Banzhaf contract.
+BANZHAF_SHAPES = ((7, 7, 0.35, 5), (9, 9, 0.33, 5))
+
+#: (blocks, n_left, n_right, edge_probability, seed) for the what-if batch:
+#: variable-disjoint R/S/T blocks make the compiled circuit a decomposable
+#: AND over island factors, so each scenario resweeps only the island it
+#: touches while the batch sweeps every factor exactly once.
+WHAT_IF_SHAPE = (6, 5, 5, 0.4, 7)
+WHAT_IF_SCENARIOS = 12
+
+
+def _assert_bitwise(left: dict, right: dict) -> None:
+    assert left == right
+    for f, value in left.items():
+        assert type(value) is Fraction
+        assert (value.numerator, value.denominator) == (
+            right[f].numerator, right[f].denominator)
+
+
+def _multi_block(blocks: int, left: int, right: int, p: float,
+                 seed: int) -> PartitionedDatabase:
+    """``blocks`` variable-disjoint sparse bipartite R/S/T instances."""
+    rng = random.Random(seed)
+    facts = set()
+    for b in range(blocks):
+        for i in range(left):
+            facts.add(fact("R", f"b{b}l{i}"))
+        for j in range(right):
+            facts.add(fact("T", f"b{b}r{j}"))
+        for i in range(left):
+            for j in range(right):
+                if rng.random() < p:
+                    facts.add(fact("S", f"b{b}l{i}", f"b{b}r{j}"))
+    return PartitionedDatabase(frozenset(facts), ())
+
+
+def _measure_banzhaf(shape: "tuple[int, int, float, int]") -> dict:
+    """Amortised Banzhaf (circuit store hit) vs independent recompute."""
+    left, right, p, seed = shape
+    pdb = sparse_endogenous_instance(left, right, p, seed)
+    store = MemoryStore()
+
+    # A Shapley session compiles the circuit and populates the store.
+    clear_caches()
+    clear_engine_cache()
+    circuit_config = EngineConfig(method="circuit", shard="fact",
+                                  on_hard="exact")
+    AttributionSession(QUERY, pdb, circuit_config, store=store).values()
+
+    # The amortised side: same store, Banzhaf index, engine caches dropped
+    # so only the persistent artefacts carry over.
+    clear_caches()
+    clear_engine_cache()
+    start = time.perf_counter()
+    amortised = AttributionSession(
+        QUERY, pdb,
+        EngineConfig(method="circuit", shard="fact", on_hard="exact",
+                     index="banzhaf"),
+        store=store).values()
+    amortised_s = time.perf_counter() - start
+
+    # The independent side: a cold counting-backend Banzhaf recompute.
+    clear_caches()
+    clear_engine_cache()
+    start = time.perf_counter()
+    independent = AttributionSession(
+        QUERY, pdb,
+        EngineConfig(method="counting", on_hard="exact",
+                     index="banzhaf")).values()
+    independent_s = time.perf_counter() - start
+
+    _assert_bitwise(amortised, independent)
+    return {
+        "workload": "banzhaf",
+        "n_endogenous": len(pdb.endogenous),
+        "amortised_s": round(amortised_s, 4),
+        "independent_s": round(independent_s, 4),
+        "speedup": round(independent_s / amortised_s, 1) if amortised_s else None,
+    }
+
+
+def _measure_what_if() -> dict:
+    """A conditioned what-if batch vs one cold session per scenario."""
+    blocks, left, right, p, seed = WHAT_IF_SHAPE
+    pdb = _multi_block(blocks, left, right, p, seed)
+    ordered = sorted(pdb.endogenous, key=str)
+    stride = max(1, len(ordered) // WHAT_IF_SCENARIOS)
+    picks = [ordered[i] for i in range(0, len(ordered), stride)]
+    picks = picks[:WHAT_IF_SCENARIOS]
+    scenarios = [f"-{f}" for f in picks]
+
+    # Batch side, best of 2: a fresh standing workspace per rep (refresh
+    # excluded from the timing — the standing artefacts amortise across
+    # every later batch), then one conditioned what_if call.
+    best, batch = None, None
+    for _ in range(2):
+        clear_caches()
+        clear_engine_cache()
+        ws = AttributionWorkspace(
+            pdb, config=EngineConfig(method="circuit", shard="fact",
+                                     on_hard="exact"),
+            store=MemoryStore())
+        ws.register("standing", QUERY)
+        ws.refresh()
+        start = time.perf_counter()
+        batch = ws.what_if(scenarios)
+        wall = time.perf_counter() - start
+        best = wall if best is None else min(best, wall)
+    assert batch.recompiled == (), \
+        "every removal scenario must be priced off the standing circuit"
+
+    # Cold side: per scenario a fresh session (caches cleared) plus the
+    # scenario's PQE — the work the batch result also delivers.
+    cold_total = 0.0
+    for f, result in zip(picks, batch):
+        hypothetical = PartitionedDatabase(pdb.endogenous - {f},
+                                           pdb.exogenous)
+        clear_caches()
+        clear_engine_cache()
+        start = time.perf_counter()
+        cold_values = AttributionSession(
+            QUERY, hypothetical, EngineConfig(on_hard="exact")).values()
+        cold_probability = sppqe(QUERY, hypothetical, Fraction(1, 2))
+        cold_total += time.perf_counter() - start
+        _assert_bitwise(result.values, cold_values)
+        assert result.probability == cold_probability
+        assert result.satisfiable
+
+    return {
+        "workload": "what-if",
+        "n_endogenous": len(pdb.endogenous),
+        "scenarios": len(scenarios),
+        "batch_s": round(best, 4),
+        "cold_total_s": round(cold_total, 4),
+        "speedup": round(cold_total / best, 1) if best else None,
+    }
+
+
+def _pqe_parity() -> dict:
+    """Circuit-backed PQE equals the brute/lineage/lifted references."""
+    # Small on purpose: the brute reference enumerates all 2^n worlds.
+    pdb = sparse_endogenous_instance(3, 3, 0.6, 3)
+    checked = 0
+    for p in (Fraction(1, 4), Fraction(1, 2), Fraction(2, 3)):
+        tid = TupleIndependentDatabase.from_partitioned(
+            pdb, endogenous_probability=p)
+        circuit = probability_of_query(QUERY, tid, method="circuit")
+        assert circuit == probability_of_query(QUERY, tid, method="brute")
+        assert circuit == probability_of_query(QUERY, tid, method="lineage")
+        checked += 1
+    safe = q_hierarchical()
+    tid = TupleIndependentDatabase.from_partitioned(
+        bipartite_attribution_instance(2, 2),
+        endogenous_probability=Fraction(1, 3))
+    assert (probability_of_query(safe, tid, method="circuit")
+            == probability_of_query(safe, tid, method="lifted"))
+    return {"uniform_points": checked, "lifted_parity": True}
+
+
+def test_indices_benchmark(capsys):
+    """Measure, assert the perf + parity contracts, record ``BENCH_indices.json``."""
+    rows = [_measure_banzhaf(shape) for shape in BANZHAF_SHAPES]
+    rows.append(_measure_what_if())
+    pqe = _pqe_parity()
+    payload = {
+        "query": str(QUERY),
+        "instances": ("sparse bipartite q_RST (banzhaf, pqe); "
+                      "variable-disjoint multi-block q_RST (what-if)"),
+        **environment(),
+        "rows": rows,
+        "pqe_parity": pqe,
+        "assertions": [
+            assertion("bitwise parity: amortised Banzhaf == independent "
+                      "counting recompute", hardware_independent=True,
+                      ran=True),
+            assertion("circuit-amortised Banzhaf >= 5x over an independent "
+                      "recompute at the largest size",
+                      hardware_independent=True, ran=True,
+                      detail="both sides serial on one core"),
+            assertion("bitwise parity: conditioned what-if batch == cold "
+                      "sessions + PQE per scenario",
+                      hardware_independent=True, ran=True),
+            assertion(f"what-if batch of {WHAT_IF_SCENARIOS} scenarios >= 3x "
+                      "over as many cold sessions",
+                      hardware_independent=True, ran=True,
+                      detail="multi-island instance; batch best-of-2, both "
+                             "sides serial on one core"),
+            assertion("circuit-backed PQE parity with the brute, lineage "
+                      "and lifted references", hardware_independent=True,
+                      ran=True),
+        ],
+        "note": ("amortised = Banzhaf session against a store already "
+                 "holding the circuit compiled by a Shapley session "
+                 "(engine caches cleared, persistent artefacts only); "
+                 "independent = cold counting-backend Banzhaf session; "
+                 "what-if batch = ConditioningPlan over the standing "
+                 "circuit's island factors (refresh excluded — it "
+                 "amortises across batches), cold = per-scenario fresh "
+                 "session plus sppqe with all caches cleared"),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                            encoding="utf-8")
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="One circuit, many indices (q_RST)"))
+        print(f"pqe parity: {pqe}")
+        print(f"recorded: {RESULTS_PATH}")
+
+    banzhaf = rows[len(BANZHAF_SHAPES) - 1]
+    assert banzhaf["speedup"] >= 5.0, \
+        f"amortised Banzhaf only {banzhaf['speedup']}x at the largest size: {banzhaf}"
+    what_if = rows[-1]
+    assert what_if["speedup"] >= 3.0, \
+        f"what-if batch only {what_if['speedup']}x over cold sessions: {what_if}"
+
+
+@pytest.mark.benchmark(group="indices")
+@pytest.mark.parametrize("regime", ["independent-banzhaf", "amortised-banzhaf"])
+def test_bench_banzhaf(benchmark, regime):
+    pdb = sparse_endogenous_instance(7, 7, 0.35, 5)
+    if regime == "independent-banzhaf":
+        def run():
+            clear_caches()
+            clear_engine_cache()
+            return AttributionSession(
+                QUERY, pdb,
+                EngineConfig(method="counting", on_hard="exact",
+                             index="banzhaf")).values()
+    else:
+        store = MemoryStore()
+        AttributionSession(
+            QUERY, pdb,
+            EngineConfig(method="circuit", shard="fact", on_hard="exact"),
+            store=store).values()
+
+        def run():
+            clear_caches()
+            clear_engine_cache()
+            return AttributionSession(
+                QUERY, pdb,
+                EngineConfig(method="circuit", shard="fact", on_hard="exact",
+                             index="banzhaf"),
+                store=store).values()
+
+    values = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(values) == len(pdb.endogenous)

@@ -93,6 +93,36 @@ only moves wall-clock time.  Reports record the evidence: ``lineage_size``,
 ``circuit_size``, ``circuit_compile_time_s``, ``workers_used``,
 ``shard_axis`` / ``n_components`` / ``largest_component``.
 
+Index-selection matrix — every backend produces the same *conditioned
+coalition-count vectors*; ``EngineConfig(index=...)`` picks the
+:mod:`repro.values` combiner applied to them, so switching index reuses every
+compiled artefact (plans, lineages, circuits):
+
+===============  ==============================  ===========================
+index            the question it answers         properties
+===============  ==============================  ===========================
+ shapley         fair division of the query's    efficient (values sum to
+ (default)       truth over the endogenous       v(Dn)), symmetric, the
+                 facts — order-weighted          paper's SVC; the only index
+                 marginal contributions          the Monte-Carlo sampler
+                                                 estimates
+ banzhaf         raw swing power: in how many    not efficient (no
+                 coalitions is the fact          sum identity); semivalue,
+                 decisive, uniformly over        uniform coalition weights
+                 subsets
+ responsibility  Chockler–Halpern degree of      not additive, not a
+                 responsibility 1/(1+k): how     semivalue; piecewise
+                 far from decisive is the        1/(1+k) scale, good for
+                 fact (k = minimal side moves)   ranked blame, coarser ties
+===============  ==============================  ===========================
+
+All three agree on *null players* (a fact has zero value under one index iff
+under all — the conditioned vectors coincide), so ``null_players()`` and
+support-based invalidation are index-independent.  Probability workloads
+(``sppqe(..., method="circuit")``) and ``workspace.what_if`` batches evaluate
+the *same* compiled circuit with a weighted bottom-up sweep — one compilation
+serves attribution under every index, PQE, and what-if analysis.
+
 Sharding-selection matrix — how ``EngineConfig.shard`` splits the work when
 ``workers > 1`` (and, for ``"component"``, even at one worker):
 
@@ -159,6 +189,12 @@ artifacts across process restarts::
     ws.insert(fact("S", "a", "b"))      # a new immutable snapshot
     result = ws.refresh()               # recomputes only what the delta reaches
     result["suspects"].rank_moves       # typed delta: what actually changed
+
+    batch = ws.what_if(["-S(a, b)",     # hypotheticals: snapshot NOT modified
+                        [">R(a)", "-S(a, b)"]])
+    batch[0].probability                # Pr(q) under the scenario, exact
+    batch[0].values                     # per-fact values by conditioning the
+    batch.recompiled                    # standing circuit (() = no recompiles)
 
 When many callers hit the same process — the serving shape — wrap the
 workspaces in an :class:`~repro.serve.AttributionService` (or run
@@ -250,7 +286,24 @@ from .errors import (
     UnknownTenantError,
     UnsafeQueryError,
 )
-from .probability import TupleIndependentDatabase, probability_of_query, spqe, sppqe
+from .probability import (
+    TupleIndependentDatabase,
+    probability_of_query,
+    spqe,
+    sppqe,
+    uniform_probability,
+)
+from .values import (
+    BANZHAF,
+    INDICES,
+    RESPONSIBILITY,
+    SHAPLEY,
+    BanzhafIndex,
+    ResponsibilityIndex,
+    ShapleyIndex,
+    ValueIndex,
+    get_index,
+)
 from .queries import (
     BooleanQuery,
     ConjunctiveQuery,
@@ -291,6 +344,14 @@ __all__ = [
     "AdmissionDecision",
     "AdmissionPolicy",
     "Atom",
+    "BANZHAF",
+    "BanzhafIndex",
+    "INDICES",
+    "RESPONSIBILITY",
+    "ResponsibilityIndex",
+    "SHAPLEY",
+    "ShapleyIndex",
+    "ValueIndex",
     "AttributionDelta",
     "AttributionReport",
     "AttributionResult",
@@ -352,6 +413,7 @@ __all__ = [
     "fixed_size_model_count",
     "generalized_model_count",
     "get_engine",
+    "get_index",
     "is_hierarchical",
     "is_pseudo_connected",
     "is_safe_ucq",
@@ -376,5 +438,6 @@ __all__ = [
     "sppqe",
     "svc_via_fgmc",
     "ucq",
+    "uniform_probability",
     "var",
 ]

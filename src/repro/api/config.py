@@ -14,6 +14,7 @@ from dataclasses import asdict, dataclass
 from ..compile import DEFAULT_NODE_BUDGET
 from ..engine.svc_engine import DEFAULT_PARALLEL_THRESHOLD, SHARD_POLICIES
 from ..errors import ConfigError
+from ..values import INDICES
 
 #: Backends a caller may request explicitly.  ``auto`` delegates the choice to
 #: the dichotomy-aware dispatch of :class:`repro.api.AttributionSession`; the
@@ -76,6 +77,12 @@ class EngineConfig:
     #: variable-disjoint lineage island per task, ``"auto"`` picks the
     #: component axis whenever a cheap pre-pass finds at least two islands.
     shard: str = "auto"
+    #: Power index the conditioned vector pairs are combined into:
+    #: ``"shapley"`` (the paper's Claim A.1 weighting, the default),
+    #: ``"banzhaf"`` (swing count over ``2^(n-1)``) or ``"responsibility"``
+    #: (Chockler–Halpern ``1/(1+k)``).  The compiled artefacts are shared
+    #: across indices; only the final weighting differs.
+    index: str = "shapley"
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -103,11 +110,18 @@ class EngineConfig:
         if self.shard not in SHARD_POLICIES:
             raise ConfigError(f"shard must be one of {SHARD_POLICIES}, "
                               f"got {self.shard!r}")
+        if self.index not in INDICES:
+            raise ConfigError(f"index must be one of {INDICES}, "
+                              f"got {self.index!r}")
+        if self.index != "shapley" and self.method == "sampled":
+            raise ConfigError(
+                "the Monte-Carlo estimator samples Shapley permutations only; "
+                f"index={self.index!r} requires an exact method")
 
     def to_json_dict(self) -> dict:
         """A JSON-serialisable rendering (embedded in report metadata)."""
         return asdict(self)
 
 
-__all__ = ["COUNTING_METHODS", "EngineConfig", "METHODS", "ON_HARD_POLICIES",
-           "SHARD_POLICIES"]
+__all__ = ["COUNTING_METHODS", "EngineConfig", "INDICES", "METHODS",
+           "ON_HARD_POLICIES", "SHARD_POLICIES"]

@@ -200,6 +200,17 @@ class AttributionReport:
         """The backend that produced the values (from the explanation)."""
         return self.explanation.backend
 
+    @property
+    def index(self) -> str:
+        """The value index the ranking carries (from the config).
+
+        Reports serialised before the pluggable index layer load as
+        ``"shapley"`` — the only index that existed then — because
+        :meth:`from_json_dict` rebuilds the config through
+        :class:`~repro.api.EngineConfig`, whose ``index`` field defaults.
+        """
+        return self.config.index
+
     def __iter__(self) -> Iterator[tuple[Fact, Fraction]]:
         return iter(self.ranking)
 

@@ -45,7 +45,11 @@ _EXACT_BACKENDS = ("safe", "circuit", "counting", "brute")
 
 
 class AttributionSession:
-    """Shapley-value attribution for one ``(query, database)`` pair.
+    """Fact attribution for one ``(query, database)`` pair.
+
+    Values are Shapley by default; ``EngineConfig(index="banzhaf")`` or
+    ``index="responsibility"`` swaps the final combination step while every
+    compiled artefact (plan, lineage, circuit) stays shared across indices.
 
     Construction is free: classification, backend resolution and the first
     value computation all happen lazily and are memoised on the session.
@@ -117,7 +121,8 @@ class AttributionSession:
                                       self.config.parallel_threshold,
                                       self.config.circuit_node_budget,
                                       self.store,
-                                      self.config.shard)
+                                      self.config.shard,
+                                      self.config.index)
         return self._engine
 
     def _dispatch(self) -> Explanation:
@@ -162,6 +167,16 @@ class AttributionSession:
                 f"exact_size_limit = {config.exact_size_limit}; "
                 "set on_hard='sample' or 'exact', or raise exact_size_limit",
                 verdict=verdict)
+        if config.index != "shapley":
+            # The Monte-Carlo fallback samples Shapley permutations only;
+            # other indices have no estimator here, so refusing beats
+            # silently estimating the wrong index.
+            raise IntractableQueryError(
+                f"query is {hardness} and |Dn| = {n} > exact_size_limit = "
+                f"{config.exact_size_limit}, but the Monte-Carlo fallback "
+                f"estimates Shapley values only; index={config.index!r} needs "
+                "on_hard='exact' or a larger exact_size_limit",
+                verdict=verdict)
         return Explanation(
             backend="sampled", verdict=verdict, overridden=False,
             reason=f"query is {hardness} and |Dn| = {n} > exact_size_limit = "
@@ -187,11 +202,12 @@ class AttributionSession:
         return self._values
 
     def values(self) -> dict[Fact, Fraction]:
-        """The Shapley value of every endogenous fact (exact, or ``(ε, δ)`` estimates)."""
+        """The configured index's value of every endogenous fact (exact, or
+        ``(ε, δ)`` estimates on the Shapley-only sampled backend)."""
         return dict(self._compute_values())
 
     def ranking(self) -> list[tuple[Fact, Fraction]]:
-        """Facts by decreasing Shapley value; equal values follow the fact total order."""
+        """Facts by decreasing value; equal values follow the fact total order."""
         return sorted(self._compute_values().items(), key=_ranking_key)
 
     def top(self, k: int) -> list[tuple[Fact, Fraction]]:
@@ -201,7 +217,7 @@ class AttributionSession:
         return self.ranking()[:k]
 
     def max(self) -> tuple[Fact, Fraction]:
-        """``max-SVC``: a fact of maximum Shapley value and that value."""
+        """``max-SVC``: a fact of maximum value and that value."""
         if not self.pdb.endogenous:
             raise ConfigError("the database has no endogenous fact")
         return self.ranking()[0]
@@ -234,7 +250,7 @@ class AttributionSession:
                                  backend=self.backend())
 
     def null_players(self) -> frozenset[Fact]:
-        """Endogenous facts whose (estimated) Shapley value is zero.
+        """Endogenous facts whose (estimated) value is zero.
 
         On exact backends this is the instance-level null-player set of
         Claim 5.1; on the sampled backend a zero estimate only certifies a
@@ -296,7 +312,11 @@ class AttributionSession:
             exact=exact,
             n_samples_used=samples_used,
             workers_used=1 if self._engine is None else self._engine.workers_used,
-            efficiency=self._efficiency_check() if self.config.check_efficiency else None,
+            # The efficiency axiom (Σ values = v(Dn)) is Shapley-specific:
+            # Banzhaf is not efficient and responsibility is not even additive.
+            efficiency=(self._efficiency_check()
+                        if self.config.check_efficiency
+                        and self.config.index == "shapley" else None),
             cache=engine_cache_stats(),
             shard_axis=None if self._engine is None else self._engine.shard_axis(),
             n_components=None if self._engine is None else self._engine.n_components(),

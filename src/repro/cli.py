@@ -20,11 +20,19 @@ be inspected without writing Python:
   request coalescing, dichotomy-driven admission control, per-tenant
   workspaces over one shared artifact store, and a live ``/stats`` surface
   (see :mod:`repro.serve`),
+* ``repro what-if``   — evaluate batches of hypothetical scenarios (remove a
+  fact, make it exogenous, insert one, ...) against a standing query by
+  conditioning the compiled circuit — the snapshot itself is never modified,
 * ``repro count``     — the FGMC vector / GMC total of a query on a database,
 * ``repro classify``  — the Figure 1b dichotomy verdict for a query,
 * ``repro probability`` — SPPQE: the query probability at a uniform fact probability,
 * ``repro reduce``    — run the Lemma 4.1 reduction (FGMC from an SVC oracle)
   and report the oracle calls, as a demonstration of the paper's construction.
+
+Value-producing commands (``attribute``, ``svc-all``, ``workspace``,
+``what-if``, ``serve``) accept ``--index {shapley,banzhaf,responsibility}``:
+every index is computed from the same conditioned coalition-count vectors, so
+switching index reuses all compiled artifacts.
 
 Databases are read either from a directory of ``<relation>.csv`` files (see
 :mod:`repro.io.tables`) or from a text file with one fact per line (see
@@ -47,7 +55,13 @@ from dataclasses import fields as dataclass_fields
 
 from .analysis.dichotomy import classify_svc
 from .api import AttributionReport, AttributionSession, EngineConfig
-from .api.config import COUNTING_METHODS, METHODS, ON_HARD_POLICIES, SHARD_POLICIES
+from .api.config import (
+    COUNTING_METHODS,
+    INDICES,
+    METHODS,
+    ON_HARD_POLICIES,
+    SHARD_POLICIES,
+)
 from .counting.problems import fgmc_vector
 from .data.database import PartitionedDatabase
 from .errors import ReproError, UnsafeQueryError
@@ -138,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "variable-disjoint lineage island per task, fact = "
                                 "stripe the fact list, auto = component when the "
                                 "lineage has at least two islands")
+    attribute.add_argument("--index", choices=list(INDICES),
+                           default=config_defaults["index"],
+                           help="value index computed from the conditioned counts: "
+                                "shapley (order-weighted), banzhaf (uniform over "
+                                "coalitions), responsibility (1/(1+k) criticality)")
     attribute.add_argument("--top", type=int, default=None,
                            help="print only the k most responsible facts")
     attribute.add_argument("--json", action="store_true",
@@ -174,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default=config_defaults["shard"],
                          help="sharding axis of the engine's parallelism "
                               "(component / fact / auto)")
+    svc_all.add_argument("--index", choices=list(INDICES),
+                         default=config_defaults["index"],
+                         help="value index to combine the conditioned counts with")
     svc_all.set_defaults(handler=_command_svc_all)
 
     workspace = subparsers.add_parser(
@@ -196,9 +218,40 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["auto", "brute", "circuit", "counting", "safe"],
                            default=config_defaults["method"],
                            help="engine backend for the attributions (default: auto)")
+    workspace.add_argument("--index", choices=list(INDICES),
+                           default=config_defaults["index"],
+                           help="value index to combine the conditioned counts with")
     workspace.add_argument("--json", action="store_true",
                            help="emit the refresh results as JSON")
     workspace.set_defaults(handler=_command_workspace)
+
+    what_if = subparsers.add_parser(
+        "what-if",
+        help="evaluate hypothetical scenarios against a standing query by "
+             "conditioning the compiled circuit (the database is never modified)")
+    _add_common_arguments(what_if)
+    what_if.add_argument("--scenario", action="append", default=[], metavar="SPEC",
+                         help="one hypothetical scenario: delta specs joined by "
+                              "';' — '-R(a)' remove, '>R(a)' make exogenous, "
+                              "'+R(a)' insert, '+x:R(a)' insert exogenous, "
+                              "'<R(a)' make endogenous (repeatable; e.g. "
+                              "--scenario='-S(a, b); >R(a)')")
+    what_if.add_argument("--p", default="1/2",
+                         help="uniform probability of each surviving endogenous "
+                              "fact in the scenario probabilities (default 1/2)")
+    what_if.add_argument("--index", choices=list(INDICES),
+                         default=config_defaults["index"],
+                         help="value index to combine the conditioned counts with")
+    what_if.add_argument("--method",
+                         choices=["auto", "brute", "circuit", "counting", "safe"],
+                         default=config_defaults["method"],
+                         help="engine backend of the standing attribution")
+    what_if.add_argument("--store-dir", dest="store_dir", default=None,
+                         help="directory of the persistent artifact store "
+                              "(omitted = in-memory store)")
+    what_if.add_argument("--json", action="store_true",
+                         help="emit the what-if batch as JSON")
+    what_if.set_defaults(handler=_command_what_if)
 
     serve = subparsers.add_parser(
         "serve",
@@ -239,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(omitted = none)")
     serve.add_argument("--workers", type=int, default=config_defaults["workers"],
                        help="worker processes per exact attribution (1 = serial)")
+    serve.add_argument("--index", choices=list(INDICES),
+                       default=config_defaults["index"],
+                       help="default value index of served attributions "
+                            "(requests may override per call)")
     serve.set_defaults(handler=_command_serve)
 
     count = subparsers.add_parser("count", help="FGMC vector and GMC total of the query")
@@ -255,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(probability)
     probability.add_argument("--p", default="1/2",
                              help="probability of each endogenous fact (a fraction, default 1/2)")
+    probability.add_argument("--method",
+                             choices=["auto", "brute", "lineage", "lifted", "circuit"],
+                             default="auto",
+                             help="PQE backend: circuit evaluates the weighted "
+                                  "bottom-up sweep of the compiled lineage "
+                                  "(shares artefacts with attribution)")
     probability.set_defaults(handler=_command_probability)
 
     reduce_parser = subparsers.add_parser(
@@ -265,10 +328,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _value_label(index: str) -> str:
+    """Column label of a value index ('shapley' keeps the historical name)."""
+    return f"{index.capitalize()} value"
+
+
 def _report_rows(report: AttributionReport, top: "int | None" = None) -> list[dict]:
     ranking = report.ranking if top is None else report.ranking[:top]
     if report.exact:
-        return [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
+        label = _value_label(report.index)
+        return [{"fact": str(f), label: str(v), "≈": f"{float(v):.4f}"}
                 for f, v in ranking]
     return [{"fact": str(f), "estimate": f"{float(v):.4f}",
              "samples": report.n_samples_used}
@@ -294,7 +363,7 @@ def _command_attribute(args: argparse.Namespace) -> int:
                           workers=args.workers,
                           parallel_threshold=args.parallel_threshold,
                           circuit_node_budget=args.circuit_node_budget,
-                          shard=args.shard)
+                          shard=args.shard, index=args.index)
     session = AttributionSession(query, pdb, config)
     report = session.report()
     if args.json:
@@ -345,10 +414,10 @@ def _command_svc_all(args: argparse.Namespace) -> int:
                           on_hard="exact", workers=args.workers,
                           parallel_threshold=args.parallel_threshold,
                           circuit_node_budget=args.circuit_node_budget,
-                          shard=args.shard)
+                          shard=args.shard, index=args.index)
     report = AttributionSession(query, pdb, config).report()
     print(format_table(_report_rows(report),
-                       title=f"Batched Shapley values for {query} "
+                       title=f"Batched {report.index.capitalize()} values for {query} "
                              f"(backend: {report.backend}, "
                              f"workers: {report.workers_used})"))
     if report.circuit_size is not None:
@@ -358,9 +427,10 @@ def _command_svc_all(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Delta-spec prefixes of the ``workspace`` command, in try-order.  One spec
-#: syntax everywhere: the table and parser live in :mod:`repro.serve.service`,
-#: shared with the HTTP API's ``POST /v1/deltas``.
+#: Delta-spec prefixes of the ``workspace`` / ``what-if`` commands, in
+#: try-order.  One spec syntax everywhere: the table and parser live in
+#: :mod:`repro.workspace.workspace`, shared with the HTTP API's
+#: ``POST /v1/deltas`` and ``POST /v1/what-if``.
 _DELTA_PREFIXES = DELTA_PREFIXES
 
 
@@ -369,10 +439,12 @@ def _apply_delta(ws: AttributionWorkspace, spec: str) -> str:
     return apply_delta_spec(ws, spec)
 
 
-def _print_attribution_delta(delta: AttributionDelta) -> None:
+def _print_attribution_delta(delta: AttributionDelta,
+                             index: str = "shapley") -> None:
     status = "recomputed" if delta.recomputed else "reused cached values"
     print(f"[{delta.name}] {status} — {delta.reason}")
-    rows = [{"fact": str(f), "Shapley value": str(v), "≈": f"{float(v):.4f}"}
+    label = _value_label(index)
+    rows = [{"fact": str(f), label: str(v), "≈": f"{float(v):.4f}"}
             for f, v in delta.ranking]
     print(format_table(rows, title=f"Attribution for {delta.query} "
                                    f"(backend: {delta.backend})"))
@@ -398,7 +470,7 @@ def _command_workspace(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     pdb = _load_database(args.database, args.exogenous)
     store = MemoryStore() if args.store_dir is None else DiskStore(args.store_dir)
-    config = EngineConfig(method=args.method, on_hard="exact")
+    config = EngineConfig(method=args.method, on_hard="exact", index=args.index)
     ws = AttributionWorkspace(pdb, config=config, store=store)
     ws.register("query", query)
     initial = ws.refresh()
@@ -413,13 +485,52 @@ def _command_workspace(args: argparse.Namespace) -> int:
                    "store": store.stats()}
         print(json.dumps(payload, indent=2))
         return 0
-    _print_attribution_delta(initial["query"])
+    _print_attribution_delta(initial["query"], args.index)
     if refresh is not None:
         print()
         print(f"applied deltas: {'; '.join(applied)}")
-        _print_attribution_delta(refresh["query"])
+        _print_attribution_delta(refresh["query"], args.index)
         print(f"refresh wall time: {refresh.wall_time_s:.4f}s")
     print(f"artifact store: {store.stats()}")
+    return 0
+
+
+def _command_what_if(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    pdb = _load_database(args.database, args.exogenous)
+    store = MemoryStore() if args.store_dir is None else DiskStore(args.store_dir)
+    config = EngineConfig(method=args.method, on_hard="exact", index=args.index)
+    ws = AttributionWorkspace(pdb, config=config, store=store)
+    ws.register("query", query)
+    ws.refresh()
+    scenarios = [[part.strip() for part in spec.split(";") if part.strip()]
+                 for spec in args.scenario]
+    if not scenarios:
+        raise ValueError("give at least one --scenario (e.g. --scenario='-R(a)')")
+    batch = ws.what_if(scenarios, probability=args.p)
+    if args.json:
+        print(batch.to_json())
+        return 0
+    print(f"what-if over {batch.query} — index: {batch.index}, "
+          f"p = {batch.endogenous_probability}, "
+          f"base Pr(q) = {batch.base_probability} "
+          f"(≈ {float(batch.base_probability):.4f})")
+    label = _value_label(batch.index)
+    for result in batch:
+        path = "recompiled" if result.recompiled else "conditioned"
+        print()
+        print(f"scenario: {result.description}  [{path}]")
+        print(f"  satisfiable: {result.satisfiable}   "
+              f"Pr(q) = {result.probability} (≈ {float(result.probability):.4f})")
+        rows = [{"fact": str(f), label: str(v), "≈": f"{float(v):.4f}"}
+                for f, v in result.ranking]
+        if rows:
+            print(format_table(rows))
+        else:
+            print("  (no endogenous facts remain)")
+    print()
+    print(f"wall time: {batch.wall_time_s:.4f}s   "
+          f"artifact store: {store.stats()}")
     return 0
 
 
@@ -437,7 +548,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                              default_deadline_s=args.default_deadline_s)
     config = EngineConfig(exact_size_limit=args.exact_size_limit,
                           circuit_node_budget=args.circuit_node_budget,
-                          workers=args.workers, on_hard="exact")
+                          workers=args.workers, on_hard="exact",
+                          index=args.index)
     with AttributionService(store=store, config=config,
                             policy=policy) as service:
         if args.tenant is not None:
@@ -475,7 +587,7 @@ def _command_probability(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     pdb = _load_database(args.database, args.exogenous)
     p = Fraction(args.p)
-    value = sppqe(query, pdb, p)
+    value = sppqe(query, pdb, p, method=args.method)
     print(f"Pr(D |= q) with every endogenous fact at probability {p}: {value} (≈ {float(value):.6f})")
     return 0
 

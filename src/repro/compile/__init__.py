@@ -14,6 +14,7 @@ from .compiler import (
     CircuitBudgetError,
     CompiledDNF,
     CompiledLineage,
+    ConditioningPlan,
     compile_dnf,
     compile_lineage,
     first_variable,
@@ -28,6 +29,7 @@ __all__ = [
     "CircuitInvariantError",
     "CompiledDNF",
     "CompiledLineage",
+    "ConditioningPlan",
     "DEFAULT_NODE_BUDGET",
     "ORDERINGS",
     "compile_dnf",

@@ -38,7 +38,8 @@ ascending id order is topological and descending order is reverse-topological.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
 
 from ..counting.dnf_counter import add_vectors, binomial_row, convolve, pad
 
@@ -199,8 +200,47 @@ class Circuit:
             raise ValueError("circuit has no root")
         return self.count_vectors()[self.root]
 
+    def probability(self, probabilities: Mapping[int, Fraction]) -> Fraction:
+        """Satisfaction probability under independent variables, in one sweep.
+
+        The weighted generalisation of :meth:`count_vectors`: instead of the
+        generating polynomial in a formal size variable, each node evaluates
+        to the probability that a random assignment — variable ``v`` true
+        independently with probability ``probabilities[v]`` — satisfies it.
+        Smoothness and decomposability make this sound: FREE gadgets evaluate
+        to ``Π (p + (1-p)) = 1``, decomposable ANDs multiply independent
+        events, and decisions mix ``p·hi + (1-p)·lo`` over disjoint branches.
+        Every variable of the root scope must be priced; exact ``Fraction``
+        arithmetic throughout.
+        """
+        if self.root < 0:
+            raise ValueError("circuit has no root")
+        missing = [v for v in self.scope[self.root] if v not in probabilities]
+        if missing:
+            raise ValueError(
+                f"no probability given for variables {sorted(missing)}")
+        weights = {v: Fraction(probabilities[v]) for v in self.scope[self.root]}
+        values: list[Fraction] = []
+        for i, kind in enumerate(self.kind):
+            if kind == FALSE:
+                values.append(Fraction(0))
+            elif kind in (TRUE, FREE):
+                values.append(Fraction(1))
+            elif kind == AND:
+                value = Fraction(1)
+                for child in self.children[i]:
+                    value *= values[child]
+                values.append(value)
+            else:  # DECISION: p * hi + (1 - p) * lo
+                hi, lo = self.children[i]
+                p = weights[self.var[i]]
+                values.append(p * values[hi] + (1 - p) * values[lo])
+        return values[self.root]
+
     # -- top-down derivative sweep -----------------------------------------------
-    def conditioned_pairs(self, variables: "Iterable[int] | None" = None,
+    def conditioned_pairs(self, variables: "Iterable[int] | None" = None, *,
+                          root: "int | None" = None,
+                          vectors: "list[list[int]] | None" = None,
                           ) -> dict[int, tuple[list[int], list[int]]]:
         """``{v: (true_vector, false_vector)}`` for every requested variable, in one sweep.
 
@@ -217,19 +257,27 @@ class Circuit:
         decision nodes (``ctx ⊛ branch vector``) and inside FREE gadgets
         (``ctx ⊛ C(m-1, ·)``, the gadget with one variable removed); smoothness
         guarantees the total is the full conditioned count.
+
+        ``root`` sweeps the subcircuit rooted at that node instead of the
+        circuit root — the factor-local view used to amortise what-if batches
+        over the root conjunction's factors.  ``vectors`` accepts a
+        precomputed :meth:`count_vectors` list so several factor sweeps share
+        one bottom-up pass.
         """
-        if self.root < 0:
+        start = self.root if root is None else root
+        if start < 0:
             raise ValueError("circuit has no root")
-        wanted = self.scope[self.root] if variables is None else (
-            frozenset(variables) & self.scope[self.root])
-        vectors = self.count_vectors()
+        wanted = self.scope[start] if variables is None else (
+            frozenset(variables) & self.scope[start])
+        if vectors is None:
+            vectors = self.count_vectors()
         n_nodes = len(self.kind)
         ctx: list["list[int] | None"] = [None] * n_nodes
-        ctx[self.root] = [1]
+        ctx[start] = [1]
         pairs: dict[int, tuple[list[int], list[int]]] = {
             v: ([0], [0]) for v in wanted}
 
-        for i in range(n_nodes - 1, -1, -1):
+        for i in range(start, -1, -1):
             c = ctx[i]
             if c is None:
                 continue
@@ -271,9 +319,77 @@ class Circuit:
                                     add_vectors(false_vec, contribution))
             # constants: nothing to propagate.
 
-        length = len(self.scope[self.root])  # |scope| - 1 variables + 1 entries
+        length = len(self.scope[start])  # |scope| - 1 variables + 1 entries
         return {v: (pad(true_vec, length), pad(false_vec, length))
                 for v, (true_vec, false_vec) in pairs.items()}
+
+    # -- restriction --------------------------------------------------------------
+    def restrict(self, assignment: Mapping[int, bool], *,
+                 root: "int | None" = None) -> "Circuit":
+        """The circuit with every assigned variable fixed, over the *remaining* scope.
+
+        A fixed variable leaves the player set entirely: its decision nodes
+        collapse to the chosen branch **without** the ``z``-shift (the variable
+        no longer contributes to subset sizes), and FREE gadgets drop it from
+        their scope (both polarities of an unconstrained variable contribute
+        the same ``(1+z)^(m-1)`` factor, so removal is exact for either fixed
+        value).  Every surviving node's scope is its old scope minus the
+        assigned variables, so smoothness and decomposability are preserved
+        over the reduced variable set — the restricted circuit is a standing
+        artefact in its own right, answering count, probability and
+        conditioned-pair sweeps for the hypothetical world.  Variable ids keep
+        their **original** numbering, so an enclosing lineage's fact-to-index
+        map still addresses the remaining variables.  ``root`` restricts the
+        subcircuit rooted at that node instead (the returned circuit's root is
+        its image) — the per-factor restriction of the what-if batch.
+        """
+        start = self.root if root is None else root
+        if start < 0:
+            raise ValueError("circuit has no root")
+        fixed = {int(v): bool(b) for v, b in assignment.items()}
+        n_nodes = len(self.kind)
+        # Top-down reachability in the *restricted* circuit: a collapsed
+        # decision only needs its chosen branch, so the other subtree is
+        # never rebuilt (descending id order is reverse-topological).
+        needed = [False] * n_nodes
+        needed[start] = True
+        for i in range(start, -1, -1):
+            if not needed[i]:
+                continue
+            kind = self.kind[i]
+            if kind == DECISION and self.var[i] in fixed:
+                hi, lo = self.children[i]
+                needed[hi if fixed[self.var[i]] else lo] = True
+            else:
+                for child in self.children[i]:
+                    needed[child] = True
+        out = Circuit()
+        mapping: dict[int, int] = {}
+        for i in range(n_nodes):
+            if not needed[i]:
+                continue
+            kind = self.kind[i]
+            if kind == FALSE:
+                node = out.add_false()
+            elif kind == TRUE:
+                node = out.add_true()
+            elif kind == FREE:
+                node = out.add_free(self.scope[i] - fixed.keys())
+            elif kind == AND:
+                children = tuple(
+                    mapped for mapped in (mapping[c] for c in self.children[i])
+                    if out.kind[mapped] != TRUE)
+                node = out.add_and(children) if children else out.add_true()
+            else:  # DECISION
+                v = self.var[i]
+                hi, lo = self.children[i]
+                if v in fixed:
+                    node = mapping[hi if fixed[v] else lo]
+                else:
+                    node = out.add_decision(v, mapping[hi], mapping[lo])
+            mapping[i] = node
+        out.root = mapping[start]
+        return out
 
     # -- reporting ---------------------------------------------------------------
     def stats(self) -> dict[str, int]:

@@ -46,7 +46,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import TYPE_CHECKING, Callable, Mapping
+from math import lcm
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..counting.dnf_counter import (
     MonotoneDNF,
@@ -57,7 +58,7 @@ from ..counting.dnf_counter import (
     pad,
 )
 from ..errors import ReproError
-from .circuit import Circuit
+from .circuit import AND, Circuit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..counting.lineage import Lineage
@@ -277,6 +278,46 @@ class CompiledDNF:
                         [total[k] - false_models[k] for k in range(n)])
         return pairs
 
+    def restrict(self, assignment: "Mapping[int, bool]") -> "CompiledDNF":
+        """The compiled DNF with every assigned variable fixed true/false.
+
+        Restriction commutes with complementation, so fixing variables in the
+        stored complement circuit (:meth:`Circuit.restrict`) yields exactly the
+        compiled form of ``F`` restricted — **without recompiling**.  The fixed
+        variables leave the player set (``n_variables`` shrinks accordingly)
+        while the survivors keep their original ids, so the accessors above
+        answer counts, conditioned pairs and probabilities for the restricted
+        formula with the same binomial bookkeeping (pass the surviving ids to
+        :meth:`conditioned_pairs` explicitly — its default range assumes dense
+        numbering).  This is the what-if
+        batch's workhorse: one standing compilation, one cheap restriction plus
+        one derivative sweep per hypothetical world.
+        """
+        fixed = dict(assignment)
+        out_of_range = [v for v in fixed if not 0 <= v < self.n_variables]
+        if out_of_range:
+            raise ValueError(
+                f"assignment fixes unknown variables {sorted(out_of_range)}")
+        return CompiledDNF(n_variables=self.n_variables - len(fixed),
+                           circuit=self.circuit.restrict(fixed),
+                           ordering=self.ordering)
+
+    def probability(self, probabilities: Mapping[int, Fraction]) -> Fraction:
+        """``Pr(F)`` under independent variables, from one weighted circuit sweep.
+
+        ``probabilities[v]`` is the probability that variable ``v`` is true;
+        variables outside the circuit's scope are unconstrained (they
+        contribute a factor 1 regardless of their probability, so entries for
+        them are accepted and ignored).  The circuit represents ``¬F``, so
+        ``Pr(F) = 1 - sweep(¬F)`` — exactly
+        :meth:`MonotoneDNF.probability`, but evaluated on the compiled
+        artefact instead of re-recursing per evaluation.
+        """
+        root_scope = self.circuit.scope[self.circuit.root]
+        return 1 - self.circuit.probability(
+            {v: Fraction(probabilities[v]) for v in root_scope
+             if v in probabilities})
+
 
 def compile_dnf(dnf: MonotoneDNF, *, ordering: "str | OrderingHeuristic" = DEFAULT_ORDERING,
                 node_budget: int = DEFAULT_NODE_BUDGET) -> CompiledDNF:
@@ -291,6 +332,211 @@ def compile_dnf(dnf: MonotoneDNF, *, ordering: "str | OrderingHeuristic" = DEFAU
     compiler.circuit.root = compiler.compile(dnf.clauses)
     return CompiledDNF(n_variables=dnf.n_variables, circuit=compiler.circuit,
                        ordering=ordering if isinstance(ordering, str) else "custom")
+
+
+class ConditioningPlan:
+    """Amortised conditioning of one compiled DNF across a what-if batch.
+
+    When the formula splits into variable-disjoint islands, the compiler
+    emits the complement as a decomposable AND over per-island factor
+    subcircuits.  This plan sweeps each factor **once** (lazily, shared by
+    every restriction of the batch); a restriction then resweeps only the
+    factors whose variables it fixes and recomposes every surviving
+    variable's conditioned pair by convolving its factor-local pair with the
+    product of the other factors' cached complement vectors — per-scenario
+    cost proportional to the *touched island*, not the whole formula.  On a
+    single-island formula the plan degrades gracefully to one restricted
+    sweep per scenario (still recompiling nothing).
+
+    All arithmetic happens in complement space (factor vectors count
+    non-models) and flips to model counts at the very end with the same
+    binomial bookkeeping as :meth:`CompiledDNF.conditioned_pairs`, so the
+    composed pairs are bitwise-identical to a fresh compile-and-sweep of the
+    restricted formula.
+    """
+
+    def __init__(self, compiled: CompiledDNF):
+        self.compiled = compiled
+        circuit = compiled.circuit
+        if circuit.root < 0:
+            raise ValueError("circuit has no root")
+        self._circuit = circuit
+        self._vectors = circuit.count_vectors()
+        root = circuit.root
+        self._factors: "list[int]" = (
+            list(circuit.children[root]) if circuit.kind[root] == AND
+            else [root])
+        self._scopes = [circuit.scope[f] for f in self._factors]
+        self._factor_of = {v: i for i, scope in enumerate(self._scopes)
+                           for v in scope}
+        self._internal: "dict[int, dict[int, tuple[list[int], list[int]]]]" = {}
+
+    @property
+    def n_factors(self) -> int:
+        """Number of root factors (islands) the plan shards conditioning over."""
+        return len(self._factors)
+
+    def _standing_internal(self, i: int) -> "dict[int, tuple[list[int], list[int]]]":
+        """Factor ``i``'s complement-space conditioned pairs (swept once, cached)."""
+        pairs = self._internal.get(i)
+        if pairs is None:
+            pairs = self._internal[i] = self._circuit.conditioned_pairs(
+                root=self._factors[i], vectors=self._vectors)
+        return pairs
+
+    def restricted_pairs(self, assignment: "Mapping[int, bool]",
+                         ) -> "tuple[dict[int, tuple[list[int], list[int]]], bool, list[int]]":
+        """Conditioned pairs of the DNF restricted by ``assignment``.
+
+        Returns ``({v: (with_vector, without_vector)}, satisfiable, models)``
+        for every *surviving* variable, each vector of length
+        ``n_variables - len(assignment)`` — exactly what
+        ``CompiledDNF.restrict(assignment).conditioned_pairs(survivors)``
+        yields, but resweeping only the touched factors.  ``satisfiable`` is
+        the restricted monotone formula's satisfiability (its value on the
+        all-true world) and ``models`` its model-count-by-size vector
+        (length ``n_rem + 1``) — the FGMC vector probability workloads
+        interpolate, read off the batch's standing products for free.
+        """
+        state = self._restricted_state(assignment)
+        (fixed, n_rem, factor_pairs, prefix, suffix, free_count,
+         all_nonmodels, satisfiable, models) = state
+        pairs: "dict[int, tuple[list[int], list[int]]]" = {}
+        if n_rem == 0:
+            return pairs, satisfiable, models
+        total = binomial_row(n_rem - 1)
+        for i in range(len(factor_pairs)):
+            others = convolve(convolve(prefix[i], suffix[i + 1]),
+                              binomial_row(free_count))
+            for v, (true_c, _) in factor_pairs[i].items():
+                # One convolution per variable: the without-``v`` non-models
+                # follow from partitioning ``all_nonmodels`` by membership of
+                # ``v`` — a size-``k`` non-model either contains ``v`` (its
+                # conditioned world has size ``k - 1``) or it does not.
+                nm_true = pad(convolve(true_c, others), n_rem)
+                pairs[v] = (
+                    [total[k] - nm_true[k] for k in range(n_rem)],
+                    [total[k] - all_nonmodels[k]
+                     + (nm_true[k - 1] if k else 0) for k in range(n_rem)])
+        survivors_outside = self._survivors_outside(fixed)
+        if survivors_outside:
+            # Unconstrained variables: either restriction leaves the formula
+            # unchanged over the remaining n_rem - 1 variables.
+            nm_free = pad(convolve(prefix[-1], binomial_row(free_count - 1)),
+                          n_rem)
+            shared = [total[k] - nm_free[k] for k in range(n_rem)]
+            for v in survivors_outside:
+                pairs[v] = (list(shared), list(shared))
+        return pairs, satisfiable, models
+
+    def restricted_semivalues(self, assignment: "Mapping[int, bool]",
+                              weights: "Sequence[Fraction]",
+                              ) -> "tuple[dict[int, Fraction], bool, list[int]]":
+        """Per-variable semivalue of the restricted DNF, without pair vectors.
+
+        For a semivalue with per-coalition-size weights ``w(k, n_rem)``
+        (``weights[k]``, one per coalition size of the *other* facts) the
+        value is linear in the conditioned pair, so the composition never
+        needs the per-variable length-``n_rem`` vectors that
+        :meth:`restricted_pairs` materialises: with ``nm_true`` the
+        with-``v`` non-model vector,
+
+        ``value(v) = Σ_k w_k·all_nm[k] - Σ_k w_k·(nm_true[k-1] + nm_true[k])``
+
+        and the second sum transposes onto the factor-local vector —
+        ``Σ_a true_c[a]·(U[a] + U[a+1])`` with ``U[a] = Σ_b others[b]·w_{a+b}``
+        computed once per factor.  Per-variable cost drops from one
+        length-``n_rem`` convolution to a dot product of island length.
+        Arithmetic runs over the weights' common denominator, so the values
+        are exactly the ``Fraction``s ``index.combine`` would produce.
+
+        Returns ``({v: value}, satisfiable, models)`` as in
+        :meth:`restricted_pairs`.
+        """
+        state = self._restricted_state(assignment)
+        (fixed, n_rem, factor_pairs, prefix, suffix, free_count,
+         all_nonmodels, satisfiable, models) = state
+        values: "dict[int, Fraction]" = {}
+        if n_rem == 0:
+            return values, satisfiable, models
+        if len(weights) != n_rem:
+            raise ValueError(
+                f"need one weight per coalition size: {n_rem}, got {len(weights)}")
+        denominator = 1
+        for w in weights:
+            denominator = lcm(denominator, w.denominator)
+        scaled = [int(w * denominator) for w in weights]
+
+        def weight_at(k: int) -> int:
+            return scaled[k] if 0 <= k < n_rem else 0
+
+        shared = sum(scaled[k] * all_nonmodels[k] for k in range(n_rem))
+        for i in range(len(factor_pairs)):
+            pairs = factor_pairs[i]
+            if not pairs:
+                continue
+            others = convolve(convolve(prefix[i], suffix[i + 1]),
+                              binomial_row(free_count))
+            width = max(len(true_c) for true_c, _ in pairs.values())
+            transform = [sum(count * weight_at(a + b)
+                             for b, count in enumerate(others))
+                         for a in range(width + 1)]
+            for v, (true_c, _) in pairs.items():
+                dot = sum(count * (transform[a] + transform[a + 1])
+                          for a, count in enumerate(true_c))
+                values[v] = Fraction(shared - dot, denominator)
+        for v in self._survivors_outside(fixed):
+            values[v] = Fraction(0)        # null player: with == without
+        return values, satisfiable, models
+
+    def _survivors_outside(self, fixed: "dict[int, bool]") -> "list[int]":
+        """Surviving variables no root factor constrains."""
+        return [v for v in range(self.compiled.n_variables)
+                if v not in fixed and v not in self._factor_of]
+
+    def _restricted_state(self, assignment: "Mapping[int, bool]"):
+        """The shared composition state behind both ``restricted_*`` views."""
+        fixed = {int(v): bool(b) for v, b in assignment.items()}
+        out_of_range = [v for v in fixed if not 0 <= v < self.compiled.n_variables]
+        if out_of_range:
+            raise ValueError(
+                f"assignment fixes unknown variables {sorted(out_of_range)}")
+        n_rem = self.compiled.n_variables - len(fixed)
+        circuit = self._circuit
+        touched: "dict[int, dict[int, bool]]" = {}
+        for v, value in fixed.items():
+            factor = self._factor_of.get(v)
+            if factor is not None:
+                touched.setdefault(factor, {})[v] = value
+
+        factor_vectors: "list[list[int]]" = []
+        factor_pairs: "list[dict[int, tuple[list[int], list[int]]]]" = []
+        used = 0
+        for i, factor in enumerate(self._factors):
+            if i in touched:
+                sub = circuit.restrict(touched[i], root=factor)
+                factor_vectors.append(sub.root_count())
+                factor_pairs.append(sub.conditioned_pairs())
+            else:
+                factor_vectors.append(self._vectors[factor])
+                factor_pairs.append(self._standing_internal(i))
+            used += len(factor_vectors[-1]) - 1
+
+        m = len(factor_vectors)
+        prefix: "list[list[int]]" = [[1]]
+        for vector in factor_vectors:
+            prefix.append(convolve(prefix[-1], vector))
+        suffix: "list[list[int]]" = [[1]] * (m + 1)
+        for i in range(m - 1, -1, -1):
+            suffix[i] = convolve(factor_vectors[i], suffix[i + 1])
+        free_count = n_rem - used
+        all_nonmodels = pad(convolve(prefix[m], binomial_row(free_count)),
+                            n_rem + 1)
+        satisfiable = all_nonmodels[n_rem] == 0
+        whole = binomial_row(n_rem)
+        models = [whole[k] - all_nonmodels[k] for k in range(n_rem + 1)]
+        return (fixed, n_rem, factor_pairs, prefix, suffix, free_count,
+                all_nonmodels, satisfiable, models)
 
 
 @dataclass(frozen=True)
@@ -331,6 +577,23 @@ class CompiledLineage:
         pairs = self.compiled.conditioned_pairs(wanted)
         return {variables[v]: vectors for v, vectors in pairs.items()}
 
+    def probability(self, probabilities: "Mapping[Fact, Fraction]") -> Fraction:
+        """Query probability when each endogenous fact is kept independently.
+
+        The fact-level view of :meth:`CompiledDNF.probability`: the circuit's
+        weighted sweep with ``probabilities[μ]`` priced at μ's variable.
+        Fixing a fact's probability to ``0`` or ``1`` conditions the standing
+        circuit on its absence/presence — the primitive behind the what-if
+        batch evaluation.  Facts missing from the mapping default to
+        probability 0, mirroring :meth:`repro.counting.Lineage.probability`.
+        """
+        index = self.lineage._index
+        by_index = {index[f]: Fraction(p) for f, p in probabilities.items()
+                    if f in index}
+        root_scope = self.compiled.circuit.scope[self.compiled.circuit.root]
+        weights = {v: by_index.get(v, Fraction(0)) for v in root_scope}
+        return self.compiled.probability(weights)
+
 
 def compile_lineage(lineage: "Lineage", *,
                     ordering: "str | OrderingHeuristic" = DEFAULT_ORDERING,
@@ -345,17 +608,21 @@ def compile_lineage(lineage: "Lineage", *,
 
 
 def uniform_probability(compiled: CompiledDNF, p: Fraction) -> Fraction:
-    """Probability that the DNF holds when every variable is true with probability ``p``.
+    """Deprecated import path — use :func:`repro.probability.uniform_probability`.
 
-    Reads the satisfaction probability off the already-computed count vector —
-    a convenience showing the "every derived quantity off one circuit" payoff
-    (cf. :meth:`MonotoneDNF.probability` which re-recurses per evaluation).
+    The canonical implementation (one count-vector read-off shared by
+    lineages, DNFs and compiled circuits alike) moved to
+    :mod:`repro.probability.uniform`; this shim delegates and warns.
     """
-    p = Fraction(p)
-    vector = compiled.count_by_size()
-    n = compiled.n_variables
-    return sum((Fraction(count) * p ** k * (1 - p) ** (n - k)
-                for k, count in enumerate(vector)), Fraction(0))
+    import warnings
+
+    from ..probability.uniform import uniform_probability as _canonical
+
+    warnings.warn(
+        "repro.compile.uniform_probability is deprecated; use "
+        "repro.probability.uniform_probability (works on lineages, DNFs and "
+        "compiled circuits alike)", DeprecationWarning, stacklevel=2)
+    return _canonical(compiled, p)
 
 
 __all__ = [
@@ -364,6 +631,7 @@ __all__ = [
     "CircuitBudgetError",
     "CompiledDNF",
     "CompiledLineage",
+    "ConditioningPlan",
     "ORDERINGS",
     "compile_dnf",
     "compile_lineage",

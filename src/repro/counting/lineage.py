@@ -66,8 +66,15 @@ class Lineage:
         return self.dnf.probability(by_index)
 
     def uniform_probability(self, p: Fraction) -> Fraction:
-        """Probability when every endogenous fact has the same probability ``p``."""
-        return self.dnf.probability({i: Fraction(p) for i in range(self.n_variables)})
+        """Probability when every endogenous fact has the same probability ``p``.
+
+        Delegates to the canonical count-vector read-off of
+        :func:`repro.probability.uniform_probability`, shared with the
+        compiled-circuit route — one implementation, bitwise-identical results.
+        """
+        from ..probability.uniform import uniform_probability
+
+        return uniform_probability(self, p)
 
     def evaluate(self, chosen: "frozenset[Fact] | set[Fact]") -> bool:
         """Whether the subset of endogenous facts satisfies the query (with ``Dx``)."""

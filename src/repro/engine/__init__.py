@@ -1,8 +1,9 @@
-"""Batched Shapley value computation (the SVC engine subsystem).
+"""Batched value computation (the SVC engine subsystem).
 
 One shared lineage / safe plan / coalition table per ``(query, database)``
-pair, all per-fact Shapley values derived from it by conditioning.  See
-:mod:`repro.engine.svc_engine` for the design notes.
+pair, all per-fact values — Shapley, Banzhaf or responsibility, per the
+configured :class:`repro.values.ValueIndex` — derived from it by
+conditioning.  See :mod:`repro.engine.svc_engine` for the design notes.
 """
 
 from .sharding import (

@@ -1,4 +1,4 @@
-"""Pure per-fact value functions of the three engine backends.
+"""Pure per-fact value functions of the engine backends.
 
 These are the computational kernels of :class:`repro.engine.SVCEngine`,
 factored out as module-level functions of the *shared artefact* (lineage, safe
@@ -8,6 +8,13 @@ same functions, so the parallel backend is bitwise-identical to the serial one
 by construction: there is exactly one implementation of each backend's
 arithmetic.
 
+Every kernel ends at the same seam: a per-fact *conditioned vector pair*
+(strata of coalitions satisfying with/without the fact) handed to one
+:class:`repro.values.ValueIndex` — Shapley by default, Banzhaf or
+responsibility when the engine is configured with a different index.  The
+artefacts themselves are index-independent; only this final combination step
+varies.
+
 Everything here is side-effect free and operates on picklable inputs only —
 a requirement for shipping the artefact to worker processes once per pool.
 """
@@ -16,28 +23,18 @@ from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
-from ..linalg import shapley_subset_weight
 from ..probability.interpolation import fgmc_vector_via_pqe
 from ..probability.lifted import Plan, evaluate_plan
+from ..values import SHAPLEY, ValueIndex
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..compile import CompiledLineage
     from ..counting.lineage import Lineage
     from ..queries.base import BooleanQuery
-
-
-@lru_cache(maxsize=4096)
-def _factorials(n: int) -> tuple[int, ...]:
-    """``(0!, 1!, ..., n!)`` — the numerator table of Claim A.1's weights."""
-    out = [1] * (n + 1)
-    for i in range(1, n + 1):
-        out[i] = out[i - 1] * i
-    return tuple(out)
 
 
 def combine_fgmc_vectors(with_fact_exogenous: "list[int]", without_fact: "list[int]",
@@ -48,37 +45,29 @@ def combine_fgmc_vectors(with_fact_exogenous: "list[int]", without_fact: "list[i
     ``(Dn \\ {μ}, Dx ∪ {μ})``; ``without_fact[j]`` in ``(Dn \\ {μ}, Dx)``;
     ``n_endogenous`` is ``|Dn|`` (including μ).
 
-    The weights ``j! (n - j - 1)! / n!`` share the denominator ``n!``, so the
-    sum accumulates as one integer over it and builds a single ``Fraction``
-    at the end — one gcd normalisation per fact instead of one per non-zero
-    size stratum.  ``Fraction`` reduces to lowest terms either way, so the
-    result is bitwise-identical to the per-term accumulation.
+    The canonical implementation now lives in
+    :class:`repro.values.ShapleyIndex` (the weighting became a pluggable
+    :class:`~repro.values.ValueIndex`); this historical entry point delegates
+    verbatim — one integer numerator over the shared ``n!`` denominator, one
+    ``Fraction`` at the end, bitwise-identical to the per-term accumulation.
     """
-    if n_endogenous == 0:
-        return Fraction(0)
-    factorials = _factorials(n_endogenous)
-    numerator = 0
-    for j in range(n_endogenous):
-        plus = with_fact_exogenous[j] if j < len(with_fact_exogenous) else 0
-        minus = without_fact[j] if j < len(without_fact) else 0
-        if plus != minus:
-            numerator += factorials[j] * factorials[n_endogenous - 1 - j] * (plus - minus)
-    return Fraction(numerator, factorials[n_endogenous])
+    return SHAPLEY.combine(with_fact_exogenous, without_fact, n_endogenous)
 
 
 # ---------------------------------------------------------------------------
 # counting backend
 # ---------------------------------------------------------------------------
 
-def counting_value_from_lineage(lineage: "Lineage", fact: Fact) -> Fraction:
-    """The Shapley value of one fact by conditioning the shared lineage DNF."""
+def counting_value_from_lineage(lineage: "Lineage", fact: Fact,
+                                index: ValueIndex = SHAPLEY) -> Fraction:
+    """The index value of one fact by conditioning the shared lineage DNF."""
     with_vec, without_vec = lineage.conditioned_vectors(fact)
-    return combine_fgmc_vectors(with_vec, without_vec, lineage.n_variables)
+    return index.combine(with_vec, without_vec, lineage.n_variables)
 
 
 def counting_value_brute(query: "BooleanQuery", pdb: PartitionedDatabase,
-                         fact: Fact) -> Fraction:
-    """The Shapley value of one fact from brute-force FGMC vectors of the two
+                         fact: Fact, index: ValueIndex = SHAPLEY) -> Fraction:
+    """The index value of one fact from brute-force FGMC vectors of the two
     derived databases (the counting backend when no lineage applies)."""
     from ..counting.problems import fgmc_vector
 
@@ -86,7 +75,7 @@ def counting_value_brute(query: "BooleanQuery", pdb: PartitionedDatabase,
     without_pdb = PartitionedDatabase(pdb.endogenous - {fact}, pdb.exogenous)
     with_vec = fgmc_vector(query, with_pdb, method="brute")
     without_vec = fgmc_vector(query, without_pdb, method="brute")
-    return combine_fgmc_vectors(with_vec, without_vec, len(pdb.endogenous))
+    return index.combine(with_vec, without_vec, len(pdb.endogenous))
 
 
 # ---------------------------------------------------------------------------
@@ -94,19 +83,21 @@ def counting_value_brute(query: "BooleanQuery", pdb: PartitionedDatabase,
 # ---------------------------------------------------------------------------
 
 def circuit_values_from_compiled(compiled: "CompiledLineage",
-                                 facts: "Sequence[Fact]") -> "dict[Fact, Fraction]":
-    """Shapley values of ``facts`` from the shared compiled circuit.
+                                 facts: "Sequence[Fact]",
+                                 index: ValueIndex = SHAPLEY
+                                 ) -> "dict[Fact, Fraction]":
+    """Index values of ``facts`` from the shared compiled circuit.
 
     One top-down derivative sweep prices every requested per-fact conditioned
     vector pair at once (:meth:`repro.compile.CompiledLineage.conditioned_vector_pairs`);
-    the Claim A.1 combination step is then identical to the other backends.
-    Serial engine and pool workers both run exactly this function — a worker
+    the combination step is then identical to the other backends.  Serial
+    engine and pool workers both run exactly this function — a worker
     computing one stripe of facts still pays the context sweep only once, and
     restricts the per-fact accumulation (the ``· n`` factor) to its stripe.
     """
     n = compiled.n_variables
     pairs = compiled.conditioned_vector_pairs(list(facts))
-    return {fact: combine_fgmc_vectors(with_vec, without_vec, n)
+    return {fact: index.combine(with_vec, without_vec, n)
             for fact, (with_vec, without_vec) in pairs.items()}
 
 
@@ -115,8 +106,9 @@ def circuit_values_from_compiled(compiled: "CompiledLineage",
 # ---------------------------------------------------------------------------
 
 def safe_value_from_plan(query: "BooleanQuery", plan: Plan, pdb: PartitionedDatabase,
-                         full_vector: "list[int]", fact: Fact) -> Fraction:
-    """The Shapley value of one fact from the shared safe plan.
+                         full_vector: "list[int]", fact: Fact,
+                         index: ValueIndex = SHAPLEY) -> Fraction:
+    """The index value of one fact from the shared safe plan.
 
     ``full_vector`` is the FGMC vector of the full database, interpolated once
     per engine; only the "fact removed" vector is interpolated here, the "fact
@@ -132,7 +124,7 @@ def safe_value_from_plan(query: "BooleanQuery", plan: Plan, pdb: PartitionedData
     # (a size-(j+1) support of (Dn \ {μ}, Dx)).
     with_vec = [full_vector[j + 1] - (without_vec[j + 1] if j + 1 < len(without_vec) else 0)
                 for j in range(n)]
-    return combine_fgmc_vectors(with_vec, without_vec, n)
+    return index.combine(with_vec, without_vec, n)
 
 
 # ---------------------------------------------------------------------------
@@ -154,59 +146,69 @@ def coalition_values_of_size(query: "BooleanQuery", pdb: PartitionedDatabase,
             for coalition in itertools.combinations(players, size)}
 
 
-def brute_partials_for_sizes(query: "BooleanQuery", pdb: PartitionedDatabase,
-                             sizes: "list[int]") -> "dict[Fact, Fraction]":
-    """Per-fact partial Shapley sums over whole coalition-size strata.
+def brute_pair_partials_for_sizes(query: "BooleanQuery", pdb: PartitionedDatabase,
+                                  sizes: "list[int]"
+                                  ) -> "dict[Fact, tuple[list[int], list[int]]]":
+    """Per-fact conditioned-vector-pair partials over whole coalition-size strata.
 
-    Rewrites the brute-force Shapley sum as a sum over *all* coalitions ``T``:
-    a coalition of size ``s`` contributes ``+w(s-1) · v(T)`` to every fact in
-    ``T`` and ``-w(s) · v(T)`` to every fact outside it.  Each worker evaluates
-    the query game only on its strata and returns one (exact) ``Fraction`` per
-    fact, so nothing the size of the ``2^n`` table ever crosses a process
-    boundary, and the read-off work shards along with the fill.  Summing the
-    strata partials over all sizes ``0..n`` recovers every Shapley value
-    exactly (``Fraction`` arithmetic is associative and lossless).
+    Rewrites the brute-force enumeration as a sum over *all* coalitions ``T``:
+    a coalition of size ``s`` with game value ``v(T)`` contributes ``v(T)`` to
+    stratum ``s - 1`` of the *with* vector of every fact in ``T`` (there
+    ``T = S ∪ {μ}``) and ``v(T)`` to stratum ``s`` of the *without* vector of
+    every fact outside it (there ``T = S``).  Each worker evaluates the query
+    game only on its strata and returns integer pair partials, so nothing the
+    size of the ``2^n`` table ever crosses a process boundary and the payload
+    stays **index-agnostic** — the parent sums the strata componentwise and
+    applies the configured :class:`~repro.values.ValueIndex` exactly once.
     """
     from ..core.games import QueryGame
 
     game = QueryGame(query, pdb)
     players = sorted(pdb.endogenous)
     n = len(players)
-    partials = {f: Fraction(0) for f in players}
+    partials = {f: ([0] * n, [0] * n) for f in players}
     for size in sizes:
-        weight_inside = shapley_subset_weight(size - 1, n) if size > 0 else None
-        weight_outside = shapley_subset_weight(size, n) if size < n else None
         for coalition in itertools.combinations(players, size):
             value = game.value(frozenset(coalition))
             if value == 0:
                 continue
-            if weight_inside is not None:
-                for f in coalition:
-                    partials[f] += weight_inside * value
-            if weight_outside is not None:
-                inside = set(coalition)
+            inside = set(coalition)
+            for f in coalition:
+                partials[f][0][size - 1] += value
+            if size < n:
                 for f in players:
                     if f not in inside:
-                        partials[f] -= weight_outside * value
+                        partials[f][1][size] += value
     return partials
 
 
-def brute_value_from_table(table: "dict[frozenset[Fact], int]",
-                           pdb: PartitionedDatabase, fact: Fact) -> Fraction:
-    """The Shapley value of one fact read off the shared coalition table."""
+def brute_pairs_from_table(table: "dict[frozenset[Fact], int]",
+                           pdb: PartitionedDatabase,
+                           fact: Fact) -> "tuple[list[int], list[int]]":
+    """One fact's conditioned vector pair read off the shared coalition table."""
     others = sorted(pdb.endogenous - {fact})
     n = len(pdb.endogenous)
-    total = Fraction(0)
+    plus = [0] * n
+    minus = [0] * n
     for size in range(len(others) + 1):
-        weight = shapley_subset_weight(size, n)
         for coalition in itertools.combinations(others, size):
             before = frozenset(coalition)
-            total += weight * (table[before | {fact}] - table[before])
-    return total
+            plus[size] += table[before | {fact}]
+            minus[size] += table[before]
+    return plus, minus
+
+
+def brute_value_from_table(table: "dict[frozenset[Fact], int]",
+                           pdb: PartitionedDatabase, fact: Fact,
+                           index: ValueIndex = SHAPLEY) -> Fraction:
+    """The index value of one fact read off the shared coalition table."""
+    plus, minus = brute_pairs_from_table(table, pdb, fact)
+    return index.combine(plus, minus, len(pdb.endogenous))
 
 
 __all__ = [
-    "brute_partials_for_sizes",
+    "brute_pair_partials_for_sizes",
+    "brute_pairs_from_table",
     "brute_value_from_table",
     "circuit_values_from_compiled",
     "coalition_values_of_size",

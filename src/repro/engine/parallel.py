@@ -1,10 +1,9 @@
 """Process-pool sharding of the batched SVC engine.
 
-The paper's batched reduction makes every per-fact Shapley value an
-independent conditioning of one shared artefact — a lineage DNF, a compiled
-safe plan, or a coalition table — which is exactly the shape that shards
-across workers.  This module is the execution layer behind
-:class:`repro.engine.SVCEngine`:
+The paper's batched reduction makes every per-fact value an independent
+conditioning of one shared artefact — a lineage DNF, a compiled safe plan, or
+a coalition table — which is exactly the shape that shards across workers.
+This module is the execution layer behind :class:`repro.engine.SVCEngine`:
 
 * the parent pickles the shared artefact **once per pool** and ships it
   through the pool initializer (not per task), so each worker deserialises it
@@ -18,6 +17,11 @@ across workers.  This module is the execution layer behind
 * every worker runs the *same* per-fact kernels as the serial engine
   (:mod:`repro.engine.backends`), so parallel results are bitwise-identical
   ``Fraction`` values by construction.
+
+The configured :class:`repro.values.ValueIndex` travels by *name* in the
+initializer payload of the fact-striping kinds; the brute and component kinds
+stay index-agnostic — their workers return integer conditioned-vector-pair
+partials, and the parent applies the index exactly once.
 
 Both drivers degrade gracefully: if the artefact fails to pickle, or the pool
 itself fails (e.g. a sandbox forbids ``fork``), they return ``None`` and the
@@ -33,11 +37,14 @@ from fractions import Fraction
 from typing import Any, Sequence
 
 from ..data.atoms import Fact
+from ..values import SHAPLEY, ValueIndex, get_index
 from . import backends, sharding
 
 #: Worker-process state, installed once per pool by :func:`_init_worker`.
-#: ``_STATE`` is ``(kind, artefact)`` where ``kind`` names the backend flavour.
-_STATE: "tuple[str, Any] | None" = None
+#: ``_STATE`` is ``(kind, artefact, index_name)`` where ``kind`` names the
+#: backend flavour and ``index_name`` the value index the fact-striping kinds
+#: combine with (``None`` for the pair-producing brute / component kinds).
+_STATE: "tuple[str, Any, str | None] | None" = None
 
 
 def _init_worker(payload: bytes) -> None:
@@ -47,20 +54,25 @@ def _init_worker(payload: bytes) -> None:
 
 
 def _fact_chunk_values(facts: Sequence[Fact]) -> "list[tuple[Fact, Fraction]]":
-    """Worker task: per-fact Shapley values for one stripe of the fact list."""
-    kind, artefact = _STATE
+    """Worker task: per-fact index values for one stripe of the fact list."""
+    kind, artefact, index_name = _STATE
+    index = get_index(index_name)
     if kind == "circuit":
         compiled = artefact
-        return list(backends.circuit_values_from_compiled(compiled, facts).items())
+        return list(backends.circuit_values_from_compiled(compiled, facts,
+                                                          index).items())
     if kind == "counting-lineage":
         lineage = artefact
-        return [(f, backends.counting_value_from_lineage(lineage, f)) for f in facts]
+        return [(f, backends.counting_value_from_lineage(lineage, f, index))
+                for f in facts]
     if kind == "counting-brute":
         query, pdb = artefact
-        return [(f, backends.counting_value_brute(query, pdb, f)) for f in facts]
+        return [(f, backends.counting_value_brute(query, pdb, f, index))
+                for f in facts]
     if kind == "safe":
         query, plan, pdb, full_vector = artefact
-        return [(f, backends.safe_value_from_plan(query, plan, pdb, full_vector, f))
+        return [(f, backends.safe_value_from_plan(query, plan, pdb, full_vector,
+                                                  f, index))
                 for f in facts]
     raise ValueError(f"unknown worker kind {kind!r}")
 
@@ -72,9 +84,10 @@ def _component_chunk(task: "tuple[int, sharding.SubLineage]",
     Unlike the fact-striping tasks, the shared initializer state carries only
     the solving policy (mode, node budget, whether to ship circuits back);
     the sub-lineage itself travels with the task — a few tuples of small
-    integers per island, instead of the whole artefact per pool.
+    integers per island, instead of the whole artefact per pool.  Islands
+    produce conditioned *vectors*, not values, so the task is index-agnostic.
     """
-    kind, policy = _STATE
+    kind, policy, _ = _STATE
     if kind != "component":
         raise ValueError(f"unknown worker kind {kind!r}")
     mode, node_budget, keep_circuit = policy
@@ -84,24 +97,27 @@ def _component_chunk(task: "tuple[int, sharding.SubLineage]",
                                     keep_circuit=keep_circuit)
 
 
-def _coalition_sizes_chunk(sizes: Sequence[int]) -> "dict[Fact, Fraction]":
-    """Worker task: per-fact partial Shapley sums for one stripe of sizes.
+def _coalition_sizes_chunk(sizes: Sequence[int]
+                           ) -> "dict[Fact, tuple[list[int], list[int]]]":
+    """Worker task: per-fact conditioned-pair partials for one stripe of sizes.
 
-    Returning partial sums instead of the raw table strata keeps the result
-    transfer at ``n`` Fractions per worker (the ``2^n`` table never crosses a
-    process boundary) and shards the per-fact read-off along with the fill.
+    Returning integer pair partials instead of the raw table strata keeps the
+    result transfer at ``2n`` integers per fact per worker (the ``2^n`` table
+    never crosses a process boundary), shards the per-fact read-off along
+    with the fill, and keeps the payload index-agnostic — the parent sums the
+    strata and applies the configured index once.
     """
-    kind, artefact = _STATE
+    kind, artefact, _ = _STATE
     if kind != "brute":
         raise ValueError(f"unknown worker kind {kind!r}")
     query, pdb = artefact
-    return backends.brute_partials_for_sizes(query, pdb, list(sizes))
+    return backends.brute_pair_partials_for_sizes(query, pdb, list(sizes))
 
 
-def _pickled(artefact: "tuple[str, Any]") -> "bytes | None":
-    """The artefact payload, or ``None`` when it cannot be pickled."""
+def _pickled(payload: object) -> "bytes | None":
+    """The pickled payload, or ``None`` when it cannot be pickled."""
     try:
-        return pickle.dumps(artefact)
+        return pickle.dumps(payload)
     except Exception:
         return None
 
@@ -118,15 +134,18 @@ def _stripes(items: Sequence, workers: int) -> "list[list]":
 
 
 def parallel_fact_values(artefact: "tuple[str, Any]", facts: Sequence[Fact],
-                         workers: int) -> "dict[Fact, Fraction] | None":
-    """Per-fact Shapley values of ``facts``, sharded across a process pool.
+                         workers: int,
+                         index_name: str = "shapley"
+                         ) -> "dict[Fact, Fraction] | None":
+    """Per-fact index values of ``facts``, sharded across a process pool.
 
     ``artefact`` is ``(kind, payload)`` as understood by
-    :func:`_fact_chunk_values`.  Returns ``None`` when the artefact cannot be
+    :func:`_fact_chunk_values`; ``index_name`` selects the value index every
+    worker combines with.  Returns ``None`` when the artefact cannot be
     pickled or the pool fails, signalling the engine to fall back to its
     serial path.
     """
-    payload = _pickled(artefact)
+    payload = _pickled((artefact[0], artefact[1], index_name))
     if payload is None:
         return None
     try:
@@ -154,7 +173,7 @@ def parallel_component_results(tasks: "Sequence[tuple[int, sharding.SubLineage]]
     count vectors (the parent persists them in its artifact store).  Returns
     ``None`` on pickling or pool failure — the engine's serial fallback.
     """
-    payload = _pickled(("component", (mode, node_budget, keep_circuits)))
+    payload = _pickled(("component", (mode, node_budget, keep_circuits), None))
     if payload is None:
         return None
     try:
@@ -166,16 +185,19 @@ def parallel_component_results(tasks: "Sequence[tuple[int, sharding.SubLineage]]
 
 
 def parallel_brute_values(artefact: "tuple[str, Any]", n_endogenous: int,
-                          workers: int) -> "dict[Fact, Fraction] | None":
-    """Every Shapley value of the brute backend, strata sharded across a pool.
+                          workers: int,
+                          index: ValueIndex = SHAPLEY
+                          ) -> "dict[Fact, Fraction] | None":
+    """Every index value of the brute backend, strata sharded across a pool.
 
     The ``2^n`` coalition evaluations are chunked by coalition size; each
-    worker returns per-fact partial sums over its strata, which add up (in
-    exact ``Fraction`` arithmetic, so summation order is irrelevant) to the
-    same values the serial table read-off produces.  Returns ``None`` on
+    worker returns per-fact integer pair partials over its strata, which add
+    up componentwise (integer addition — summation order is irrelevant) to
+    the same conditioned vector pairs the serial table read-off produces; the
+    parent then applies ``index`` once per fact.  Returns ``None`` on
     pickling or pool failure (serial fallback).
     """
-    payload = _pickled(artefact)
+    payload = _pickled((artefact[0], artefact[1], None))
     if payload is None:
         return None
     sizes = list(range(n_endogenous + 1))
@@ -185,11 +207,19 @@ def parallel_brute_values(artefact: "tuple[str, Any]", n_endogenous: int,
             results = list(pool.map(_coalition_sizes_chunk, _stripes(sizes, workers)))
     except Exception:
         return None
-    values: dict[Fact, Fraction] = {}
+    pairs: "dict[Fact, tuple[list[int], list[int]]]" = {}
     for partial in results:
-        for f, v in partial.items():
-            values[f] = values.get(f, Fraction(0)) + v
-    return values
+        for f, (plus, minus) in partial.items():
+            if f not in pairs:
+                pairs[f] = (list(plus), list(minus))
+            else:
+                total_plus, total_minus = pairs[f]
+                for j, v in enumerate(plus):
+                    total_plus[j] += v
+                for j, v in enumerate(minus):
+                    total_minus[j] += v
+    return {f: index.combine(plus, minus, n_endogenous)
+            for f, (plus, minus) in pairs.items()}
 
 
 __all__ = ["parallel_brute_values", "parallel_component_results",

@@ -28,10 +28,17 @@ per-fact vector pair from **one** shared artefact per ``(query, database)``:
 alone (:func:`resolve_auto_backend`); the circuit choice degrades to
 ``counting`` at artefact-build time when compilation blows the node budget.
 A module-level LRU keyed by ``(query, pdb, resolved method, counting_method,
-workers, parallel_threshold, circuit_node_budget)`` lets independent call
-sites (ranking, max-SVC, relevance analysis, CLI) reuse the same engine and
-its artefacts; ``auto`` is resolved to its concrete backend *before* keying,
-so an ``auto`` call and an explicit call share one engine.
+workers, parallel_threshold, circuit_node_budget, store, shard, index)`` lets
+independent call sites (ranking, max-SVC, relevance analysis, CLI) reuse the
+same engine and its artefacts; ``auto`` is resolved to its concrete backend
+*before* keying, so an ``auto`` call and an explicit call share one engine.
+
+Every backend ends at the same seam — a per-fact conditioned vector pair —
+combined by a pluggable :class:`repro.values.ValueIndex` (``index=``:
+Shapley by default, Banzhaf or responsibility on request).  The artefacts
+are index-independent: engines for different indices hold distinct LRU
+entries but share plans, lineages and circuits through an attached
+:class:`~repro.workspace.ArtifactStore`.
 
 Because every per-fact value is an independent conditioning of the shared
 artefact, the whole-database workload shards across worker processes: with
@@ -65,6 +72,7 @@ from ..probability.lifted import Plan, UnsafeQueryError, evaluate_plan, safe_pla
 from ..queries.base import BooleanQuery
 from ..queries.cq import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries
+from ..values import ValueIndex, get_index
 from . import backends, parallel, sharding
 from .backends import combine_fgmc_vectors  # noqa: F401  (historic export)
 
@@ -162,7 +170,8 @@ class SVCEngine:
                  parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
                  circuit_node_budget: int = DEFAULT_NODE_BUDGET,
                  store: "ArtifactStore | None" = None,
-                 shard: ShardPolicy = "auto"):
+                 shard: ShardPolicy = "auto",
+                 index: "str | ValueIndex" = "shapley"):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if parallel_threshold < 0:
@@ -183,6 +192,8 @@ class SVCEngine:
         self.circuit_node_budget = circuit_node_budget
         self.store = store
         self.shard = shard
+        self._index: ValueIndex = get_index(index)  # raises on unknown names
+        self.index = self._index.name
         self._backend: "str | None" = None
         self._plan: "Plan | None" = None
         self._lineage: "Lineage | None" = None
@@ -340,12 +351,15 @@ class SVCEngine:
 
     def _value_counting(self, fact: Fact) -> Fraction:
         if self._resolved_counting_method() == "lineage":
-            return backends.counting_value_from_lineage(self.lineage(), fact)
-        return backends.counting_value_brute(self.query, self.pdb, fact)
+            return backends.counting_value_from_lineage(self.lineage(), fact,
+                                                        self._index)
+        return backends.counting_value_brute(self.query, self.pdb, fact,
+                                             self._index)
 
     def _value_safe(self, fact: Fact) -> Fraction:
         return backends.safe_value_from_plan(self.query, self._ensure_plan(),
-                                             self.pdb, self._full_fgmc(), fact)
+                                             self.pdb, self._full_fgmc(), fact,
+                                             self._index)
 
     def _value_circuit(self, fact: Fact) -> Fraction:
         """Every pending value from one derivative sweep (then read one off).
@@ -356,12 +370,12 @@ class SVCEngine:
         """
         pending = [f for f in sorted(self.pdb.endogenous) if f not in self._values]
         self._values.update(backends.circuit_values_from_compiled(
-            self._ensure_compiled(), pending))
+            self._ensure_compiled(), pending, self._index))
         return self._values[fact]
 
     def _value_brute(self, fact: Fact) -> Fraction:
         return backends.brute_value_from_table(self._coalition_table(),
-                                               self.pdb, fact)
+                                               self.pdb, fact, self._index)
 
     # -- component shard axis -----------------------------------------------------
     def _decomposition(self) -> "sharding.LineageDecomposition":
@@ -467,7 +481,7 @@ class SVCEngine:
         lineage = self.lineage()
         n = lineage.n_variables
         self._values.update(
-            {f: combine_fgmc_vectors(*pairs[lineage.index_of(f)], n)
+            {f: self._index.combine(*pairs[lineage.index_of(f)], n)
              for f in pending})
         return self._values[fact]
 
@@ -517,7 +531,8 @@ class SVCEngine:
                 # A serial value_of already paid for the full table; reading
                 # the remaining facts off it beats re-evaluating 2^n coalitions.
                 return False
-            values = parallel.parallel_brute_values(artefact, n, self.workers)
+            values = parallel.parallel_brute_values(artefact, n, self.workers,
+                                                    self._index)
             used = min(self.workers, n + 1)  # one stripe per coalition size
         else:
             if len(facts) < self.parallel_threshold:
@@ -525,7 +540,8 @@ class SVCEngine:
                 # is too small to amortise a pool (the brute case differs —
                 # its 2^n fill is all-or-nothing, so |Dn| is the right gate).
                 return False
-            values = parallel.parallel_fact_values(artefact, facts, self.workers)
+            values = parallel.parallel_fact_values(artefact, facts, self.workers,
+                                                   self.index)
             used = min(self.workers, len(facts))
         if values is None:
             return False
@@ -535,7 +551,7 @@ class SVCEngine:
 
     # -- public API ---------------------------------------------------------------
     def value_of(self, fact: Fact) -> Fraction:
-        """The Shapley value of one endogenous fact, from the shared artefacts."""
+        """The configured index's value of one endogenous fact, from the shared artefacts."""
         if fact not in self.pdb.endogenous:
             raise ValueError(f"{fact} is not an endogenous fact of the database")
         if fact not in self._values:
@@ -698,12 +714,13 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
                parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
                circuit_node_budget: int = DEFAULT_NODE_BUDGET,
                store: "ArtifactStore | None" = None,
-               shard: ShardPolicy = "auto") -> SVCEngine:
+               shard: ShardPolicy = "auto",
+               index: str = "shapley") -> SVCEngine:
     """A (possibly cached) engine for the given query, database and backend.
 
     Engines are cached in an LRU keyed by ``(query, pdb, resolved method,
     counting_method, workers, parallel_threshold, circuit_node_budget,
-    store, shard)`` so that repeated whole-database workloads — ranking, max-SVC,
+    store, shard, index)`` so that repeated whole-database workloads — ranking, max-SVC,
     relevance analysis, CLI invocations — share one lineage / plan / circuit.
     Unhashable queries fall back to a fresh, uncached engine (counted as a
     miss in :func:`engine_cache_stats`).  ``store`` (an optional
@@ -736,13 +753,13 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
                 _CACHE_MISSES += 1
             return SVCEngine(query, pdb, method, counting_method,
                              workers, parallel_threshold, circuit_node_budget,
-                             store, shard)
+                             store, shard, index)
     # The *requested* shard policy is keyed (resolving "auto" to an axis
     # needs the lineage, far too expensive at key time); an "auto" call and
     # an explicit "component" call therefore hold separate engines even when
     # auto resolves to the component axis.
     key = (query, pdb, resolved, counting_method, workers, parallel_threshold,
-           circuit_node_budget, store, shard)
+           circuit_node_budget, store, shard, index)
     try:
         with _ENGINE_CACHE_LOCK:
             try:
@@ -757,10 +774,10 @@ def get_engine(query: BooleanQuery, pdb: PartitionedDatabase,
             _CACHE_MISSES += 1
         return SVCEngine(query, pdb, resolved, counting_method,
                          workers, parallel_threshold, circuit_node_budget,
-                         store, shard)
+                         store, shard, index)
     engine = SVCEngine(query, pdb, resolved, counting_method,
                        workers, parallel_threshold, circuit_node_budget,
-                       store, shard)
+                       store, shard, index)
     if plan is not None:
         engine._plan = plan  # auto already compiled it: don't pay twice
         if store is not None:

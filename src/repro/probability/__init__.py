@@ -23,10 +23,12 @@ from .pqe import (
     probability_half,
     probability_half_one,
     probability_of_query,
+    probability_via_circuit,
     probability_via_lineage,
 )
 from .spqe import classify_pqe_restriction, spqe, sppqe
 from .tid import TupleIndependentDatabase
+from .uniform import probability_from_count_vector, uniform_probability
 
 __all__ = [
     "FactLeafPlan",
@@ -45,11 +47,14 @@ __all__ = [
     "lifted_probability",
     "plan_description",
     "probability_brute_force",
+    "probability_from_count_vector",
     "probability_half",
     "probability_half_one",
     "probability_of_query",
+    "probability_via_circuit",
     "probability_via_lineage",
     "safe_plan",
     "spqe",
     "sppqe",
+    "uniform_probability",
 ]

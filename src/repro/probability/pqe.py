@@ -9,7 +9,13 @@ database satisfies the query ``q``.  Three implementations are provided:
   facts and evaluate its probability with the decomposition-based engine
   (hom-closed queries only),
 * ``method="lifted"`` — compile and evaluate a safe plan (safe (U)CQs only,
-  polynomial time).
+  polynomial time),
+* ``method="circuit"`` — compile the lineage into a decision circuit and run
+  its weighted bottom-up sweep (hom-closed queries only).  With a shared
+  :class:`repro.workspace.ArtifactStore` the lineage and circuit are fetched
+  from (and stored into) the same cache the attribution engines use, so a
+  probability evaluation rides on the artefacts an attribution already paid
+  for — zero recompiles.
 
 ``method="auto"`` tries lifted inference for (U)CQs, then lineage, then brute
 force.
@@ -19,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from ..counting.lineage import build_lineage
 from ..queries.base import BooleanQuery
@@ -28,7 +34,10 @@ from ..queries.ucq import UnionOfConjunctiveQueries
 from .lifted import UnsafeQueryError, lifted_probability
 from .tid import TupleIndependentDatabase
 
-PQEMethod = Literal["auto", "brute", "lineage", "lifted"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..workspace.store import ArtifactStore
+
+PQEMethod = Literal["auto", "brute", "lineage", "lifted", "circuit"]
 
 
 def probability_brute_force(query: BooleanQuery, tid: TupleIndependentDatabase) -> Fraction:
@@ -57,13 +66,55 @@ def probability_via_lineage(query: BooleanQuery, tid: TupleIndependentDatabase) 
     return lineage.probability({f: tid.probability(f) for f in pdb.endogenous})
 
 
+def probability_via_circuit(query: BooleanQuery, tid: TupleIndependentDatabase,
+                            store: "ArtifactStore | None" = None,
+                            node_budget: "int | None" = None) -> Fraction:
+    """Circuit-backed ``Pr(D |= q)``: one weighted sweep of the compiled lineage.
+
+    With ``store`` given, the lineage and the compiled circuit are looked up
+    in the shared artifact store first and stored there on a miss — an
+    attribution session over the same ``(query, database)`` content leaves
+    exactly the artefacts this evaluation needs, and vice versa.  Raises
+    :class:`repro.compile.CircuitBudgetError` when a fresh compilation would
+    exceed ``node_budget`` (default :data:`repro.compile.DEFAULT_NODE_BUDGET`).
+    """
+    from ..compile import DEFAULT_NODE_BUDGET, compile_lineage
+    from ..workspace.store import circuit_key, lineage_key
+
+    pdb = tid.to_partitioned()
+    lineage = None
+    if store is not None:
+        lineage = store.get(lineage_key(query, pdb))
+    if lineage is None:
+        lineage = build_lineage(query, pdb)
+        if store is not None:
+            store.put(lineage_key(query, pdb), lineage)
+    compiled = None
+    if store is not None:
+        compiled = store.get(circuit_key(query, lineage))
+    if compiled is None:
+        budget = DEFAULT_NODE_BUDGET if node_budget is None else node_budget
+        compiled = compile_lineage(lineage, node_budget=budget)
+        if store is not None:
+            store.put(circuit_key(query, lineage), compiled)
+    return compiled.probability({f: tid.probability(f)
+                                 for f in pdb.endogenous})
+
+
 def probability_of_query(query: BooleanQuery, tid: TupleIndependentDatabase,
-                         method: PQEMethod = "auto") -> Fraction:
-    """``PQE_q``: the probability that the probabilistic database satisfies the query."""
+                         method: PQEMethod = "auto",
+                         store: "ArtifactStore | None" = None) -> Fraction:
+    """``PQE_q``: the probability that the probabilistic database satisfies the query.
+
+    ``store`` only matters to the ``circuit`` method (artefact reuse); the
+    other methods ignore it.
+    """
     if method == "brute":
         return probability_brute_force(query, tid)
     if method == "lineage":
         return probability_via_lineage(query, tid)
+    if method == "circuit":
+        return probability_via_circuit(query, tid, store=store)
     if method == "lifted":
         if not isinstance(query, (ConjunctiveQuery, UnionOfConjunctiveQueries)):
             raise ValueError("lifted inference applies to CQs and UCQs only")

@@ -11,30 +11,37 @@ functions based on the ``(1+z)^n`` generating-function identity live in
 from __future__ import annotations
 
 from fractions import Fraction
+from typing import TYPE_CHECKING
 
 from ..data.database import Database, PartitionedDatabase, purely_endogenous
 from ..queries.base import BooleanQuery
 from .pqe import PQEMethod, probability_of_query
 from .tid import TupleIndependentDatabase
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..workspace.store import ArtifactStore
+
 
 def sppqe(query: BooleanQuery, pdb: PartitionedDatabase,
           probability: "Fraction | int | float | str",
-          method: PQEMethod = "auto") -> Fraction:
+          method: PQEMethod = "auto",
+          store: "ArtifactStore | None" = None) -> Fraction:
     """``SPPQE_q``: probability of the query when every endogenous fact has probability ``p``.
 
     The exogenous facts of ``pdb`` are the deterministic (probability-1) facts.
+    ``store`` lets ``method="circuit"`` reuse attribution artefacts.
     """
     p = Fraction(probability)
     if not (0 < p <= 1):
         raise ValueError(f"probability must be in (0, 1], got {p}")
     tid = TupleIndependentDatabase.from_partitioned(pdb, endogenous_probability=p)
-    return probability_of_query(query, tid, method)
+    return probability_of_query(query, tid, method, store=store)
 
 
 def spqe(query: BooleanQuery, db: "Database | PartitionedDatabase",
          probability: "Fraction | int | float | str",
-         method: PQEMethod = "auto") -> Fraction:
+         method: PQEMethod = "auto",
+         store: "ArtifactStore | None" = None) -> Fraction:
     """``SPQE_q``: probability of the query when *every* fact has probability ``p``.
 
     The input database must have no exogenous facts (SPQE is the restriction of
@@ -47,7 +54,7 @@ def spqe(query: BooleanQuery, db: "Database | PartitionedDatabase",
         pdb = db
     else:
         pdb = purely_endogenous(db)
-    return sppqe(query, pdb, p, method)
+    return sppqe(query, pdb, p, method, store=store)
 
 
 def classify_pqe_restriction(tid: TupleIndependentDatabase) -> str:

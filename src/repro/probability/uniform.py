@@ -1,0 +1,70 @@
+"""The canonical single-probability evaluation over count vectors.
+
+Historically the library grew *two* implementations of "probability of the
+query when every fact is true with the same probability ``p``": one on
+:class:`repro.counting.Lineage` (delegating to the DNF's per-variable
+decomposition engine) and one on :class:`repro.compile.CompiledDNF` (reading
+the count vector off the circuit).  Both evaluate the same generating-function
+identity, so this module is now the single entry point both delegate to:
+
+    ``Pr(F) = Σ_k  count[k] · p^k · (1-p)^(n-k)``
+
+where ``count`` is the size-stratified model-count (FGMC) vector — the
+Proposition 3.3 bridge between counting and single-probability evaluation.
+Any object exposing ``count_by_size()`` and ``n_variables`` qualifies:
+lineages, monotone DNFs, compiled DNFs and compiled lineages alike.  Exact
+``Fraction`` arithmetic throughout, so every route to the same count vector
+produces bitwise-identical probabilities.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class _Countable(Protocol):
+    """Anything with a size-stratified model count over ``n_variables``."""
+
+    n_variables: int
+
+    def count_by_size(self) -> "list[int]":
+        ...  # pragma: no cover - protocol
+
+
+def probability_from_count_vector(vector: Sequence[int], n_variables: int,
+                                  p: "Fraction | int | float | str") -> Fraction:
+    """``Σ_k vector[k] · p^k · (1-p)^(n-k)`` — the generating-function identity.
+
+    ``vector[k]`` counts the satisfying assignments with exactly ``k`` of the
+    ``n_variables`` variables true; missing trailing entries count as zero.
+    """
+    p = Fraction(p)
+    if not (0 <= p <= 1):
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+    n = n_variables
+    return sum((Fraction(count) * p ** k * (1 - p) ** (n - k)
+                for k, count in enumerate(vector) if count), Fraction(0))
+
+
+def uniform_probability(countable: _Countable,
+                        p: "Fraction | int | float | str") -> Fraction:
+    """Probability that ``countable`` holds when every variable is true with
+    probability ``p``.
+
+    Accepts any object with ``count_by_size()`` and ``n_variables`` — a
+    :class:`repro.counting.Lineage`, a :class:`repro.counting.MonotoneDNF`, a
+    :class:`repro.compile.CompiledDNF` or a
+    :class:`repro.compile.CompiledLineage` — and reads the probability off
+    its count vector, so compiled and uncompiled routes agree exactly.
+    """
+    if not isinstance(countable, _Countable):
+        raise TypeError(
+            "uniform_probability needs an object with count_by_size() and "
+            f"n_variables, got {type(countable).__name__}")
+    return probability_from_count_vector(countable.count_by_size(),
+                                         countable.n_variables, p)
+
+
+__all__ = ["probability_from_count_vector", "uniform_probability"]

@@ -10,6 +10,13 @@ deadlines that free the pool), keeps per-tenant
 content-addressed artifact store, and exposes everything through a
 stdlib-only HTTP/JSON API (:class:`AttributionHTTPServer`, ``repro serve``)
 plus a live ``/stats`` metrics surface.
+
+Requests may name any value index (``"shapley"``, ``"banzhaf"``,
+``"responsibility"``): the index is part of the coalescing key — a Shapley
+and a Banzhaf request for the same query never share a result — while the
+compiled artifacts they consume *are* shared through the store.  The
+``POST /v1/what-if`` endpoint evaluates batches of hypothetical scenarios
+against a tenant's standing circuit without mutating the snapshot.
 """
 
 from .admission import (

@@ -18,10 +18,16 @@ Endpoints::
     POST /v1/attribute  serve one attribution:
                         {"tenant": "acme", "query": "R(x), S(x, y)",
                          "variables": ["x", "y"],          # optional
+                         "index": "banzhaf",               # optional
                          "allow_degraded": true,           # optional
                          "deadline_s": 2.5}                # optional
     POST /v1/deltas     apply delta specs and refresh:
                         {"tenant": "acme", "deltas": ["+S(a, c)", "-R(a)"]}
+    POST /v1/what-if    evaluate hypothetical scenarios (snapshot untouched):
+                        {"tenant": "acme", "query": "R(x), S(x, y)",
+                         "scenarios": ["-S(a, b)", [">R(a)", "-S(a, b)"]],
+                         "probability": "1/2",             # optional
+                         "index": "responsibility"}        # optional
 
 Errors come back as the matching status (400 on malformed input, 404 unknown
 tenant/route, 503 admission rejection, 504 deadline) with the error's
@@ -211,6 +217,8 @@ class AttributionHTTPServer:
                 kwargs["allow_degraded"] = bool(payload["allow_degraded"])
             if "deadline_s" in payload:
                 kwargs["deadline_s"] = payload["deadline_s"]
+            if "index" in payload:
+                kwargs["index"] = _require(payload, "index")
             served = await self.service.attribute(tenant, query, **kwargs)
             return 200, served.to_json_dict()
         if path == "/v1/deltas" and method == "POST":
@@ -222,8 +230,26 @@ class AttributionHTTPServer:
                          "snapshot_digest":
                              self.service.workspace(tenant).snapshot_digest(),
                          "refresh": refresh.to_json_dict()}
+        if path == "/v1/what-if" and method == "POST":
+            payload = self._json_body(raw)
+            tenant = _require(payload, "tenant")
+            scenarios = _require(payload, "scenarios", list)
+            kwargs = {}
+            if "query" in payload:
+                variables = payload.get("variables")
+                kwargs["query"] = parse_query(
+                    _require(payload, "query"),
+                    frozenset(variables) if variables else None)
+            if "name" in payload:
+                kwargs["name"] = _require(payload, "name")
+            if "probability" in payload:
+                kwargs["probability"] = payload["probability"]
+            if "index" in payload:
+                kwargs["index"] = _require(payload, "index")
+            batch = await self.service.what_if(tenant, scenarios, **kwargs)
+            return 200, {"tenant": tenant, **batch.to_json_dict()}
         if path in ("/healthz", "/stats", "/v1/tenants", "/v1/attribute",
-                    "/v1/deltas"):
+                    "/v1/deltas", "/v1/what-if"):
             return 405, {"error": "MethodNotAllowed",
                          "message": f"{method} not supported on {path}"}
         return 404, {"error": "NotFound", "message": f"no route {path!r}"}

@@ -46,7 +46,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 
-from ..api.config import EngineConfig
+from ..api.config import INDICES, EngineConfig
 from ..api.results import AttributionReport
 from ..api.session import AttributionSession
 from ..analysis.dichotomy import DichotomyVerdict, classify_svc
@@ -58,9 +58,9 @@ from ..errors import (
     ServiceOverloadError,
     UnknownTenantError,
 )
-from ..io.query_text import parse_fact
 from ..queries.base import BooleanQuery
-from ..workspace.results import WorkspaceRefresh
+from ..workspace.results import WhatIfBatch, WorkspaceRefresh
+from ..workspace.workspace import DELTA_PREFIXES, parse_delta_spec
 from ..workspace.store import (
     ArtifactStore,
     MemoryStore,
@@ -82,52 +82,40 @@ _UNSET = object()
 
 
 def request_key(tenant: str, query: BooleanQuery,
-                snapshot: PartitionedDatabase, lane: str) -> str:
+                snapshot: PartitionedDatabase, lane: str,
+                index: str = "shapley") -> str:
     """The coalescing identity of a request: a stable content hash.
 
     Two requests coalesce exactly when they agree on tenant, query *content*
-    (not object identity), snapshot content, and admission lane — the inputs
-    that fully determine the report an exact backend will produce.  Built
-    from the same injective renderings as the artifact-store keys, so the key
-    is stable across processes.
+    (not object identity), snapshot content, admission lane, and value
+    ``index`` — the inputs that fully determine the report an exact backend
+    will produce.  The index component keeps a Shapley and a Banzhaf request
+    over the same snapshot from ever coalescing onto one report (their
+    *artefacts* are still shared through the store; only the reports differ).
+    Built from the same injective renderings as the artifact-store keys, so
+    the key is stable across processes.
     """
     text = "\x1e".join((tenant, query_content_text(query),
-                        database_digest(snapshot), lane))
+                        database_digest(snapshot), lane, index))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
-
-
-#: Delta-spec prefixes shared by the HTTP API and the ``repro workspace`` CLI,
-#: in try-order (``+x:`` must precede ``+``).
-DELTA_PREFIXES = (("+x:", "insert exogenous"), ("+", "insert"),
-                  ("-", "remove"), (">", "make exogenous"),
-                  ("<", "make endogenous"))
 
 
 def apply_delta_spec(workspace: AttributionWorkspace, spec: str) -> str:
     """Apply one textual delta spec to a workspace; return a description.
 
-    The spec syntax of the ``repro workspace`` CLI: ``'+F(a)'`` insert
-    endogenous, ``'+x:F(a)'`` insert exogenous, ``'-F(a)'`` remove,
-    ``'>F(a)'`` make exogenous, ``'<F(a)'`` make endogenous.
+    The spec syntax of the ``repro workspace`` CLI (parsed by the shared
+    :func:`repro.workspace.parse_delta_spec`): ``'+F(a)'`` insert endogenous,
+    ``'+x:F(a)'`` insert exogenous, ``'-F(a)'`` remove, ``'>F(a)'`` make
+    exogenous, ``'<F(a)'`` make endogenous.
     """
-    spec = spec.strip()
-    for prefix, label in DELTA_PREFIXES:
-        if spec.startswith(prefix):
-            f = parse_fact(spec[len(prefix):])
-            if prefix == "+x:":
-                workspace.insert(f, exogenous=True)
-            elif prefix == "+":
-                workspace.insert(f)
-            elif prefix == "-":
-                workspace.remove(f)
-            elif prefix == ">":
-                workspace.make_exogenous(f)
-            else:
-                workspace.make_endogenous(f)
-            return f"{label} {f}"
-    raise ValueError(
-        f"cannot parse delta {spec!r}: expected a '+', '+x:', '-', '>' or '<' "
-        "prefix followed by a fact, e.g. '+S(a, b)'")
+    op, f, label = parse_delta_spec(spec)
+    if op == "insert_exogenous":
+        workspace.insert(f, exogenous=True)
+    elif op == "insert":
+        workspace.insert(f)
+    else:
+        getattr(workspace, op)(f)
+    return label
 
 
 class AttributionService:
@@ -249,6 +237,29 @@ class AttributionService:
                 return workspace.refresh()
             return await loop.run_in_executor(self._executor, apply_and_refresh)
 
+    async def what_if(self, tenant: str, scenarios, *,
+                      query: "BooleanQuery | None" = None,
+                      name: "str | None" = None,
+                      probability="1/2",
+                      index: "str | None" = None) -> WhatIfBatch:
+        """Evaluate hypothetical scenarios against one tenant's standing snapshot.
+
+        Delegates to :meth:`repro.workspace.AttributionWorkspace.what_if` on
+        the executor: each scenario (a delta spec or a list of them) is
+        answered by *conditioning* the tenant's standing lineage and circuit
+        — fetched from the shared artifact store, so a batch following an
+        attribution recompiles nothing — and the snapshot itself is never
+        modified.  Per-tenant serialisation keeps scenario evaluation from
+        interleaving with delta batches on the same tenant.
+        """
+        workspace = self.workspace(tenant)
+        loop = asyncio.get_running_loop()
+        async with self._tenant_lock(tenant):
+            def run() -> WhatIfBatch:
+                return workspace.what_if(scenarios, query=query, name=name,
+                                         probability=probability, index=index)
+            return await loop.run_in_executor(self._executor, run)
+
     # -- the serving path ---------------------------------------------------------
     def _verdict(self, query: BooleanQuery) -> DichotomyVerdict:
         """The memoised Figure 1b verdict (classification runs once per query)."""
@@ -271,13 +282,19 @@ class AttributionService:
             raise ConfigError(f"deadline_s must be positive, got {deadline_s}")
         return deadline_s, time.monotonic() + deadline_s
 
-    def _session_config(self, lane: str) -> EngineConfig:
+    def _session_config(self, lane: str, index: "str | None" = None) -> EngineConfig:
+        config = self._config
+        if index is not None and index != config.index:
+            config = replace(config, index=index)
         if lane == "degraded":
-            return replace(self._config, method="sampled", on_hard="sample")
-        return self._config
+            # Only reachable with index="shapley": attribute() disables the
+            # degraded lane for other indices (the sampler is Shapley-only).
+            return replace(config, method="sampled", on_hard="sample")
+        return config
 
     def _compute_report(self, query: BooleanQuery, snapshot: PartitionedDatabase,
-                        lane: str, deadline_at: "float | None") -> AttributionReport:
+                        lane: str, deadline_at: "float | None",
+                        index: "str | None" = None) -> AttributionReport:
         """The blocking attribution (executor thread).
 
         The deadline is re-checked here: a computation that waited in the
@@ -288,13 +305,14 @@ class AttributionService:
             raise DeadlineExceededError(
                 "request deadline elapsed before computation started")
         session = AttributionSession(query, snapshot,
-                                     self._session_config(lane),
+                                     self._session_config(lane, index),
                                      store=self._store)
         return session.report()
 
     async def _compute_task(self, future: "asyncio.Future[AttributionReport]",
                             query: BooleanQuery, snapshot: PartitionedDatabase,
-                            lane: str, deadline_at: "float | None") -> None:
+                            lane: str, deadline_at: "float | None",
+                            index: "str | None" = None) -> None:
         """Drive one (owner) computation: slot acquisition, executor run, result.
 
         Pooled/degraded lanes take a semaphore slot; with a deadline the slot
@@ -325,7 +343,7 @@ class AttributionService:
                     self._policy.max_inflight - self._slots._value)
             report = await loop.run_in_executor(
                 self._executor, self._compute_report,
-                query, snapshot, lane, deadline_at)
+                query, snapshot, lane, deadline_at, index)
             if not future.done():
                 future.set_result(report)
         except BaseException as error:  # noqa: BLE001 - relayed to awaiters
@@ -356,7 +374,8 @@ class AttributionService:
 
     async def attribute(self, tenant: str, query: BooleanQuery, *,
                         allow_degraded: bool = True,
-                        deadline_s=_UNSET) -> ServedAttribution:
+                        deadline_s=_UNSET,
+                        index: "str | None" = None) -> ServedAttribution:
         """Serve one attribution request (the service's main entry point).
 
         Admission runs first (cheap, classifier-only): a rejected request
@@ -366,14 +385,23 @@ class AttributionService:
         through the shared artifact store.  ``deadline_s`` bounds the whole
         request (queue + compute); ``allow_degraded`` lets over-budget
         requests fall back to the sampled backend instead of being refused.
+        ``index`` overrides the service's configured value index for this
+        request (``"shapley"`` / ``"banzhaf"`` / ``"responsibility"``); the
+        degraded (sampled) lane is Shapley-only, so a non-Shapley request
+        never degrades — over budget, it is refused instead.
         """
         start = time.perf_counter()
+        if index is not None and index not in INDICES:
+            raise ConfigError(f"index must be one of {INDICES}, got {index!r}")
+        effective_index = index if index is not None else self._config.index
         workspace = self.workspace(tenant)
         snapshot = workspace.pdb
         decision = admit(query, len(snapshot.endogenous), self._policy,
-                         allow_degraded=allow_degraded,
+                         allow_degraded=(allow_degraded
+                                         and effective_index == "shapley"),
                          verdict=self._verdict(query))
-        key = request_key(tenant, query, snapshot, decision.lane)
+        key = request_key(tenant, query, snapshot, decision.lane,
+                          effective_index)
         if decision.lane == "rejected":
             self._metrics.record_rejection("budget")
             self._log_request(tenant=tenant, key=key, decision=decision,
@@ -417,7 +445,8 @@ class AttributionService:
             if decision.lane in ("pooled", "degraded"):
                 self._pending_pooled += 1
             task = asyncio.ensure_future(self._compute_task(
-                future, query, snapshot, decision.lane, deadline_at))
+                future, query, snapshot, decision.lane, deadline_at,
+                effective_index))
 
             def _cleanup(_task, key=key, lane=decision.lane) -> None:
                 if self._inflight.get(key) is future:

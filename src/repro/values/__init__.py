@@ -1,0 +1,34 @@
+"""repro.values — pluggable power indices over conditioned vector pairs.
+
+The combiner layer extracted from the engine's Claim A.1 weighting: every
+exact backend produces, per fact, one pair of size-stratified counts, and a
+:class:`ValueIndex` (``shapley`` / ``banzhaf`` / ``responsibility``) turns
+that pair into an exact :class:`~fractions.Fraction`.  Select an index with
+:class:`repro.api.EngineConfig(index=...) <repro.api.EngineConfig>`; the
+compiled artefacts (safe plans, lineages, circuits) are index-independent and
+shared across indices through the :class:`~repro.workspace.ArtifactStore`.
+"""
+
+from .indexes import (
+    BANZHAF,
+    BanzhafIndex,
+    INDICES,
+    RESPONSIBILITY,
+    ResponsibilityIndex,
+    SHAPLEY,
+    ShapleyIndex,
+    ValueIndex,
+    get_index,
+)
+
+__all__ = [
+    "BANZHAF",
+    "BanzhafIndex",
+    "INDICES",
+    "RESPONSIBILITY",
+    "ResponsibilityIndex",
+    "SHAPLEY",
+    "ShapleyIndex",
+    "ValueIndex",
+    "get_index",
+]

@@ -26,6 +26,8 @@ from .results import (
     AttributionDelta,
     RankMove,
     ValueChange,
+    WhatIfBatch,
+    WhatIfResult,
     WorkspaceDelta,
     WorkspaceRefresh,
 )
@@ -40,7 +42,7 @@ from .store import (
     plan_key,
     support_key,
 )
-from .workspace import AttributionWorkspace
+from .workspace import AttributionWorkspace, parse_delta_spec
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
@@ -52,10 +54,13 @@ __all__ = [
     "MemoryStore",
     "RankMove",
     "ValueChange",
+    "WhatIfBatch",
+    "WhatIfResult",
     "WorkspaceDelta",
     "WorkspaceRefresh",
     "circuit_key",
     "lineage_key",
+    "parse_delta_spec",
     "plan_key",
     "support_key",
 ]

@@ -138,6 +138,98 @@ class AttributionDelta:
 
 
 @dataclass(frozen=True)
+class WhatIfResult:
+    """One hypothetical scenario's outcome against a standing query.
+
+    ``scenario`` is the normalised tuple of delta specs that define the
+    hypothesis (``'-F(a)'`` remove, ``'>F(a)'`` make exogenous, ``'+F(a)'``
+    insert, ...); nothing was applied to the workspace — the snapshot is
+    untouched.  ``recompiled`` is ``False`` when the scenario was evaluated
+    by *conditioning* the standing lineage and circuit (the cheap path:
+    removals and exogenous moves of existing endogenous facts) and ``True``
+    when it needed a fresh session on a hypothetical snapshot (inserts,
+    endogenous moves, non-hom-closed queries).  ``probability`` is the query
+    probability under the scenario with every surviving endogenous fact kept
+    independently at the batch's uniform ``p``; ``satisfiable`` says whether
+    the query can hold at all with every surviving fact present.
+    """
+
+    scenario: "tuple[str, ...]"
+    description: str
+    index: str
+    satisfiable: bool
+    probability: Fraction
+    ranking: "tuple[tuple[Fact, Fraction], ...]"
+    recompiled: bool
+
+    @property
+    def values(self) -> dict[Fact, Fraction]:
+        """The per-fact values under the scenario (ranking order)."""
+        return dict(self.ranking)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "scenario": list(self.scenario),
+            "description": self.description,
+            "index": self.index,
+            "satisfiable": self.satisfiable,
+            "probability": _fraction_json(self.probability),
+            "recompiled": self.recompiled,
+            "ranking": [{**_fact_json(f), "value": _fraction_json(v)}
+                        for f, v in self.ranking],
+        }
+
+
+@dataclass(frozen=True)
+class WhatIfBatch:
+    """The outcome of one :meth:`AttributionWorkspace.what_if` batch.
+
+    One :class:`WhatIfResult` per scenario, in input order, plus the baseline
+    probability of the *unmodified* snapshot at the same uniform ``p`` (what
+    each scenario's probability should be compared against) and the wall time
+    of the whole batch.
+    """
+
+    name: str
+    query: str
+    index: str
+    endogenous_probability: Fraction
+    base_probability: Fraction
+    results: "tuple[WhatIfResult, ...]"
+    wall_time_s: float
+
+    @property
+    def recompiled(self) -> tuple[int, ...]:
+        """Indexes of the scenarios that needed a fresh session."""
+        return tuple(i for i, r in enumerate(self.results) if r.recompiled)
+
+    def __iter__(self) -> Iterator[WhatIfResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, i: int) -> WhatIfResult:
+        return self.results[i]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "query": self.query,
+            "index": self.index,
+            "endogenous_probability": _fraction_json(self.endogenous_probability),
+            "base_probability": _fraction_json(self.base_probability),
+            "wall_time_s": self.wall_time_s,
+            "results": [r.to_json_dict() for r in self.results],
+        }
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        import json
+
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+
+@dataclass(frozen=True)
 class WorkspaceRefresh:
     """The outcome of one :meth:`AttributionWorkspace.refresh` call.
 
@@ -188,6 +280,8 @@ __all__ = [
     "AttributionDelta",
     "RankMove",
     "ValueChange",
+    "WhatIfBatch",
+    "WhatIfResult",
     "WorkspaceDelta",
     "WorkspaceRefresh",
 ]

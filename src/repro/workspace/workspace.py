@@ -53,10 +53,48 @@ from .results import (
     AttributionDelta,
     RankMove,
     ValueChange,
+    WhatIfBatch,
+    WhatIfResult,
     WorkspaceDelta,
     WorkspaceRefresh,
 )
-from .store import ArtifactStore, MemoryStore, database_digest, support_key
+from .store import (
+    ArtifactStore,
+    MemoryStore,
+    circuit_key,
+    database_digest,
+    lineage_key,
+    support_key,
+)
+
+#: Delta-spec prefixes shared by the what-if batch, the HTTP API and the
+#: ``repro workspace`` CLI, in try-order (``+x:`` must precede ``+``).
+DELTA_PREFIXES = (("+x:", "insert_exogenous", "insert exogenous"),
+                  ("+", "insert", "insert"),
+                  ("-", "remove", "remove"),
+                  (">", "make_exogenous", "make exogenous"),
+                  ("<", "make_endogenous", "make endogenous"))
+
+
+def parse_delta_spec(spec: str) -> "tuple[str, Fact, str]":
+    """Parse one textual delta spec into ``(op, fact, label)``.
+
+    The spec syntax shared by scenarios, the service API and the CLI:
+    ``'+F(a)'`` insert endogenous, ``'+x:F(a)'`` insert exogenous, ``'-F(a)'``
+    remove, ``'>F(a)'`` make exogenous, ``'<F(a)'`` make endogenous.  ``op``
+    is the canonical operation name (the workspace method name), ``label`` a
+    human-readable description.
+    """
+    from ..io.query_text import parse_fact
+
+    spec = spec.strip()
+    for prefix, op, label in DELTA_PREFIXES:
+        if spec.startswith(prefix):
+            f = parse_fact(spec[len(prefix):])
+            return op, f, f"{label} {f}"
+    raise ValueError(
+        f"cannot parse delta {spec!r}: expected a '+', '+x:', '-', '>' or '<' "
+        "prefix followed by a fact, e.g. '+S(a, b)'")
 
 
 @dataclass(frozen=True)
@@ -368,6 +406,222 @@ class AttributionWorkspace:
         self._pending = self._pending[len(applied):]
         return WorkspaceRefresh(deltas=tuple(deltas), applied=applied,
                                 wall_time_s=time.perf_counter() - start)
+
+    # -- what-if batches ----------------------------------------------------------
+    def _standing_artifacts(self, query: BooleanQuery):
+        """The standing ``(lineage, compiled circuit)`` of a query, via the store.
+
+        Both are fetched from the shared artifact store first and stored there
+        on a miss, so a what-if batch following an attribution pays zero
+        lineage builds and zero compilations.  ``(None, None)`` for
+        non-hom-closed queries; ``(lineage, None)`` when compilation exceeds
+        the configured node budget.
+        """
+        if not query.is_hom_closed:
+            return None, None
+        from ..counting.lineage import build_lineage
+
+        lineage = self._store.get(lineage_key(query, self._pdb))
+        if lineage is None:
+            lineage = build_lineage(query, self._pdb)
+            self._store.put(lineage_key(query, self._pdb), lineage)
+        from ..compile import CircuitBudgetError, compile_lineage
+
+        compiled = self._store.get(circuit_key(query, lineage))
+        if compiled is None:
+            try:
+                compiled = compile_lineage(
+                    lineage, node_budget=self._config.circuit_node_budget)
+            except CircuitBudgetError:
+                return lineage, None
+            self._store.put(circuit_key(query, lineage), compiled)
+        return lineage, compiled
+
+    def _hypothetical_snapshot(self, ops) -> PartitionedDatabase:
+        """The snapshot a scenario describes, built without touching ``self``."""
+        pdb = self._pdb
+        for op, fact, label in ops:
+            if op in ("insert", "insert_exogenous"):
+                if fact in pdb.all_facts:
+                    raise ValueError(f"{fact} is already in the database")
+                pdb = (pdb.with_exogenous([fact]) if op == "insert_exogenous"
+                       else pdb.with_endogenous([fact]))
+            elif op == "remove":
+                if fact not in pdb.all_facts:
+                    raise ValueError(f"{fact} is not in the database")
+                pdb = pdb.without([fact])
+            elif op == "make_exogenous":
+                if fact not in pdb.endogenous:
+                    raise ValueError(
+                        f"{fact} is not an endogenous fact of the database")
+                pdb = pdb.move_to_exogenous([fact])
+            else:  # make_endogenous
+                if fact not in pdb.exogenous:
+                    raise ValueError(
+                        f"{fact} is not an exogenous fact of the database")
+                pdb = PartitionedDatabase(pdb.endogenous | {fact},
+                                          pdb.exogenous - {fact})
+        return pdb
+
+    def what_if(self, scenarios, *, name: "str | None" = None,
+                query: "BooleanQuery | None" = None,
+                probability: "Fraction | int | float | str" = Fraction(1, 2),
+                index: "str | None" = None) -> WhatIfBatch:
+        """Evaluate a batch of hypothetical scenarios without touching the snapshot.
+
+        Each scenario is a delta spec (``'-F(a)'``, ``'>F(a)'``, ``'+F(a)'``,
+        ...) or a list of them, describing a hypothetical snapshot.  For every
+        scenario the batch answers: is the query still satisfiable, what is
+        its probability when every surviving endogenous fact is kept
+        independently with the uniform ``probability``, and how do the
+        per-fact values (under the workspace's configured index) redistribute?
+
+        Scenarios made of removals and exogenous moves of existing endogenous
+        facts evaluate by **conditioning the standing artefacts**: the
+        standing circuit is restricted (``remove`` ⇒ ``x_μ := false``,
+        ``make_exogenous`` ⇒ ``x_μ := true``) and one derivative sweep of the
+        restricted circuit prices every surviving fact's conditioned pair,
+        while the scenario's probability is the standing circuit's weighted
+        sweep with μ priced at 0 respectively 1 — one compile amortised
+        across the whole batch, zero recompiles.  Without a compiled circuit
+        (lineage-only standing artefacts) the same conditioning runs on the
+        lineage DNF per fact.  Scenarios that
+        change the fact *set* (inserts, endogenous moves) or run against
+        non-hom-closed queries fall back to a fresh session per scenario,
+        flagged ``recompiled=True`` in the result.
+
+        The target query is ``query`` (ad hoc), the registered ``name``, or —
+        when exactly one query is registered — that one.  ``index`` overrides
+        the workspace's configured value index for this batch only (the
+        standing artefacts are index-independent, so no extra compilation).
+        """
+        start = time.perf_counter()
+        if query is not None:
+            target, label = query, (name if name is not None else str(query))
+        elif name is not None:
+            if name not in self._queries:
+                raise KeyError(f"no query registered as {name!r}")
+            target, label = self._queries[name], name
+        elif len(self._queries) == 1:
+            label = next(iter(self._queries))
+            target = self._queries[label]
+        else:
+            raise ConfigError(
+                "what_if needs a target: pass query=..., name=..., or register "
+                "exactly one query")
+        p = Fraction(probability)
+        if not (0 < p <= 1):
+            raise ValueError(f"probability must be in (0, 1], got {p}")
+        if self._pending:
+            # Scenarios are hypotheses about the *current* snapshot; applied-
+            # but-unrefreshed deltas would make "standing" ambiguous.
+            self.refresh()
+
+        parsed = []
+        for scenario in scenarios:
+            specs = (scenario,) if isinstance(scenario, str) else tuple(scenario)
+            parsed.append((specs, [parse_delta_spec(s) for s in specs]))
+
+        from ..engine import backends
+        from ..values import get_index
+
+        index_name = self._config.index if index is None else index
+        config = (self._config if index_name == self._config.index
+                  else replace(self._config, index=index_name))
+        value_index = get_index(index_name)
+        lineage, compiled = self._standing_artifacts(target)
+        if compiled is not None:
+            base = compiled.probability({f: p for f in lineage.variables})
+        elif lineage is not None:
+            base = lineage.probability({f: p for f in lineage.variables})
+        else:
+            from ..probability.spqe import sppqe
+
+            base = sppqe(target, self._pdb, p)
+
+        results: list[WhatIfResult] = []
+        plan = None
+        for specs, ops in parsed:
+            conditionable = (
+                lineage is not None
+                and len({f for _, f, _ in ops}) == len(ops)
+                and all(op in ("remove", "make_exogenous")
+                        and f in self._pdb.endogenous for op, f, _ in ops))
+            description = "; ".join(label for _, _, label in ops)
+            if conditionable:
+                fixed: "dict[int, bool]" = {}
+                for op, f, _ in ops:
+                    fixed[lineage.index_of(f)] = op == "make_exogenous"
+                if compiled is not None:
+                    # The standing circuit, never recompiled: the plan sweeps
+                    # each root factor once for the whole batch, and each
+                    # scenario resweeps only the factors it touches.  The
+                    # scenario's probability interpolates the restricted
+                    # model-count vector the same composition yields.
+                    if plan is None:
+                        from ..compile import ConditioningPlan
+
+                        plan = ConditioningPlan(compiled.compiled)
+                    n_rem = lineage.n_variables - len(fixed)
+                    if value_index.is_semivalue:
+                        # Semivalues are linear in the pair, so the plan
+                        # composes the values directly — no per-variable
+                        # vectors.
+                        raw, satisfiable, models = plan.restricted_semivalues(
+                            fixed, [value_index.subset_weight(k, n_rem)
+                                    for k in range(n_rem)])
+                        values = {lineage.variables[v]: value
+                                  for v, value in raw.items()}
+                    else:
+                        pairs, satisfiable, models = plan.restricted_pairs(
+                            fixed)
+                        values = {lineage.variables[v]: value_index.combine(
+                                      with_vec, without_vec, n_rem)
+                                  for v, (with_vec, without_vec)
+                                  in pairs.items()}
+                    from ..probability.interpolation import (
+                        sppqe_from_fgmc_vector,
+                    )
+
+                    prob = sppqe_from_fgmc_vector(models, p)
+                else:
+                    weights = {f: p for f in lineage.variables}
+                    for op, f, _ in ops:
+                        weights[f] = Fraction(
+                            1 if op == "make_exogenous" else 0)
+                    restricted = lineage
+                    for op, f, _ in ops:
+                        restricted = restricted.restricted(
+                            f, op == "make_exogenous")
+                    values = {f: backends.counting_value_from_lineage(
+                                  restricted, f, value_index)
+                              for f in restricted.variables}
+                    prob = lineage.probability(weights)
+                    satisfiable = restricted.evaluate(
+                        frozenset(restricted.variables))
+                recompiled = False
+            else:
+                pdb = self._hypothetical_snapshot(ops)
+                session = AttributionSession(target, pdb, config,
+                                             store=self._store)
+                values = session.values()
+                satisfiable = target.evaluate(pdb.all_facts)
+                from ..probability.spqe import sppqe
+
+                prob = (sppqe(target, pdb, p, store=self._store)
+                        if pdb.endogenous else
+                        Fraction(1 if satisfiable else 0))
+                recompiled = True
+            results.append(WhatIfResult(
+                scenario=specs, description=description,
+                index=index_name, satisfiable=satisfiable,
+                probability=prob, ranking=_ranked(values),
+                recompiled=recompiled))
+        return WhatIfBatch(name=label, query=str(target),
+                           index=index_name,
+                           endogenous_probability=p, base_probability=base,
+                           results=tuple(results),
+                           wall_time_s=time.perf_counter() - start)
 
     # -- cached reads -------------------------------------------------------------
     def values(self, name: str) -> dict[Fact, Fraction]:

@@ -17,6 +17,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.api import AttributionSession, ConfigError, EngineConfig
+from repro.probability import uniform_probability
 from repro.compile import (
     Circuit,
     CircuitBudgetError,
@@ -24,7 +25,6 @@ from repro.compile import (
     ORDERINGS,
     compile_dnf,
     compile_lineage,
-    uniform_probability,
 )
 from repro.counting import MonotoneDNF, build_lineage
 from repro.data import PartitionedDatabase, atom, fact, var
@@ -435,3 +435,158 @@ def test_combine_fgmc_vectors_matches_per_term_accumulation(case):
 
 def test_combine_fgmc_vectors_empty_database():
     assert combine_fgmc_vectors([], [], 0) == Fraction(0)
+
+
+# ---------------------------------------------------------------------------
+# circuit restriction and the batch conditioning plan
+# ---------------------------------------------------------------------------
+
+def _reindexed_after(dnf: MonotoneDNF, fixed: "dict[int, bool]") -> MonotoneDNF:
+    """``dnf`` with the fixed variables restricted away (the counter's reference)."""
+    out = dnf
+    for v in sorted(fixed, reverse=True):  # high-to-low keeps lower indices stable
+        out = out.restrict(v, fixed[v])
+    return out
+
+
+def _survivor_map(n: int, fixed: "dict[int, bool]") -> "dict[int, int]":
+    """original variable id -> reindexed id in the restricted reference DNF."""
+    survivors = [v for v in range(n) if v not in fixed]
+    return {v: i for i, v in enumerate(survivors)}
+
+
+class TestRestriction:
+    """``Circuit.restrict`` / ``CompiledDNF.restrict`` against the counter."""
+
+    @pytest.mark.parametrize("dnf", _example_dnfs())
+    def test_counts_match_restricted_dnf(self, dnf):
+        compiled = compile_dnf(dnf)
+        for v in range(dnf.n_variables):
+            for value in (True, False):
+                restricted = compiled.restrict({v: value})
+                assert restricted.n_variables == dnf.n_variables - 1
+                assert restricted.count_by_size() == \
+                    dnf.restrict(v, value).count_by_size()
+
+    @pytest.mark.parametrize("dnf", _example_dnfs())
+    def test_restricted_circuit_keeps_invariants(self, dnf):
+        compiled = compile_dnf(dnf)
+        for v in range(dnf.n_variables):
+            restricted = compiled.restrict({v: v % 2 == 0})
+            assert restricted.circuit.check_invariants()
+
+    def test_conditioned_pairs_keep_original_numbering(self):
+        dnf = MonotoneDNF(5, [frozenset({0, 1}), frozenset({1, 2}),
+                              frozenset({3, 4})])
+        compiled = compile_dnf(dnf)
+        fixed = {1: False, 3: True}
+        restricted = compiled.restrict(fixed)
+        survivors = [v for v in range(5) if v not in fixed]
+        pairs = restricted.conditioned_pairs(survivors)
+        reference = _reindexed_after(dnf, fixed)
+        remap = _survivor_map(5, fixed)
+        assert set(pairs) == set(survivors)
+        for v in survivors:
+            assert pairs[v] == reference.conditioned_count_by_size(remap[v])
+
+    def test_multi_variable_restriction_composes(self):
+        dnf = MonotoneDNF(6, [frozenset({0, 1, 2}), frozenset({2, 3}),
+                              frozenset({4})])
+        compiled = compile_dnf(dnf)
+        fixed = {2: True, 4: False}
+        once = compiled.restrict(fixed)
+        twice = compiled.restrict({2: True}).restrict({4: False})
+        assert once.count_by_size() == twice.count_by_size()
+        assert once.count_by_size() == _reindexed_after(dnf, fixed).count_by_size()
+
+    def test_out_of_range_assignment_rejected(self):
+        compiled = compile_dnf(MonotoneDNF(2, [frozenset({0, 1})]))
+        with pytest.raises(ValueError, match="unknown variables"):
+            compiled.restrict({5: True})
+
+
+class TestConditioningPlan:
+    """The batch plan matches a full restricted sweep, factor by factor."""
+
+    @pytest.mark.parametrize("dnf", _example_dnfs())
+    def test_matches_full_restricted_sweep(self, dnf):
+        from repro.compile import ConditioningPlan
+
+        compiled = compile_dnf(dnf)
+        plan = ConditioningPlan(compiled)
+        for v in range(dnf.n_variables):
+            fixed = {v: v % 2 == 0}
+            pairs, satisfiable, models = plan.restricted_pairs(fixed)
+            restricted = compiled.restrict(fixed)
+            survivors = [u for u in range(dnf.n_variables) if u not in fixed]
+            assert pairs == restricted.conditioned_pairs(survivors)
+            assert models == restricted.count_by_size()
+            n_rem = restricted.n_variables
+            assert satisfiable == (restricted.count_by_size()[n_rem] > 0)
+
+    def test_multi_island_factors_and_parity(self):
+        from repro.compile import ConditioningPlan
+
+        dnf = MonotoneDNF(7, [frozenset({0, 1}), frozenset({2, 3}),
+                              frozenset({4, 5})])  # 6 is unconstrained
+        compiled = compile_dnf(dnf)
+        plan = ConditioningPlan(compiled)
+        assert plan.n_factors == 3
+        for fixed in ({0: False}, {2: True, 5: False}, {6: False},
+                      {0: True, 2: True, 4: True}):
+            pairs, satisfiable, models = plan.restricted_pairs(fixed)
+            restricted = compiled.restrict(fixed)
+            survivors = [u for u in range(7) if u not in fixed]
+            assert pairs == restricted.conditioned_pairs(survivors)
+            assert models == restricted.count_by_size()
+            n_rem = restricted.n_variables
+            assert satisfiable == (restricted.count_by_size()[n_rem] > 0)
+
+    def test_fully_fixed_formula(self):
+        from repro.compile import ConditioningPlan
+
+        dnf = MonotoneDNF(2, [frozenset({0, 1})])
+        plan = ConditioningPlan(compile_dnf(dnf))
+        pairs, satisfiable, models = plan.restricted_pairs({0: True, 1: True})
+        assert pairs == {}
+        assert satisfiable is True
+        assert models == [1]
+        pairs, satisfiable, models = plan.restricted_pairs({0: True, 1: False})
+        assert pairs == {}
+        assert satisfiable is False
+        assert models == [0]
+
+    def test_out_of_range_assignment_rejected(self):
+        from repro.compile import ConditioningPlan
+
+        plan = ConditioningPlan(compile_dnf(MonotoneDNF(2, [frozenset({0})])))
+        with pytest.raises(ValueError, match="unknown variables"):
+            plan.restricted_pairs({2: False})
+
+    @pytest.mark.parametrize("index_name", ["shapley", "banzhaf"])
+    @pytest.mark.parametrize("dnf", _example_dnfs())
+    def test_semivalues_match_pair_combination(self, dnf, index_name):
+        from repro.compile import ConditioningPlan
+        from repro.values import get_index
+
+        index = get_index(index_name)
+        plan = ConditioningPlan(compile_dnf(dnf))
+        for v in range(dnf.n_variables):
+            fixed = {v: v % 2 == 1}
+            n_rem = dnf.n_variables - len(fixed)
+            weights = [index.subset_weight(k, n_rem) for k in range(n_rem)]
+            values, satisfiable, models = plan.restricted_semivalues(
+                fixed, weights)
+            pairs, pair_sat, pair_models = plan.restricted_pairs(fixed)
+            assert (satisfiable, models) == (pair_sat, pair_models)
+            assert set(values) == set(pairs)
+            for u, (with_vec, without_vec) in pairs.items():
+                assert values[u] == index.combine(with_vec, without_vec, n_rem)
+
+    def test_semivalues_need_one_weight_per_size(self):
+        from repro.compile import ConditioningPlan
+
+        dnf = MonotoneDNF(3, [frozenset({0, 1})])
+        plan = ConditioningPlan(compile_dnf(dnf))
+        with pytest.raises(ValueError, match="one weight per coalition size"):
+            plan.restricted_semivalues({0: True}, [Fraction(1, 2)])

@@ -239,9 +239,9 @@ class TestLaneRouting:
                 service.register_tenant("acme", pdb)
                 original = service._compute_report
 
-                def slow(query, snapshot, lane, deadline_at):
+                def slow(query, snapshot, lane, deadline_at, index=None):
                     release.wait(timeout=5)
-                    return original(query, snapshot, lane, deadline_at)
+                    return original(query, snapshot, lane, deadline_at, index)
 
                 service._compute_report = slow
                 occupier = asyncio.ensure_future(
@@ -289,10 +289,10 @@ class TestDeadlines:
                 service.register_tenant("other", other)
                 original = service._compute_report
 
-                def slow(query, snapshot, lane, deadline_at):
+                def slow(query, snapshot, lane, deadline_at, index=None):
                     if snapshot is pdb:   # only the occupier is slowed
                         release.wait(timeout=5)
-                    return original(query, snapshot, lane, deadline_at)
+                    return original(query, snapshot, lane, deadline_at, index)
 
                 service._compute_report = slow
                 occupier = asyncio.ensure_future(
