@@ -39,6 +39,12 @@ The package is organised as follows:
   dichotomy-driven admission control, per-tenant workspaces over one shared
   artifact store, a stdlib HTTP/JSON API (``repro serve``) and a live
   ``/stats`` metrics surface;
+* :mod:`repro.reliability` — fault injection and resilience: the seeded,
+  deterministic :class:`FaultPlan` / :class:`FaultInjector` harness whose
+  named injection points are threaded through the store, the pools, the
+  compiler and the serving executor; bounded :class:`RetryPolicy` backoff;
+  the per-tenant/lane :class:`CircuitBreaker` behind the serving tier's
+  degradation ladder;
 * :mod:`repro.reductions` — the paper's reductions (Proposition 3.3,
   Lemmas 4.1 / 4.3 / 4.4, Section 6 variants), implemented as oracle
   algorithms over exact rational arithmetic;
@@ -210,6 +216,39 @@ through the whole surface)::
     await service.refresh_tenant("acme", ["+S(a, b)"])
     service.stats()                                 # the live metrics surface
 
+Reliability — the paper's promise is *exactness*, so the failure contract is
+**no silent corruption**: every fault anywhere in the stack resolves to either
+a bitwise-correct answer or a typed error, never a silently wrong ``Fraction``.
+The moving parts (all in :mod:`repro.reliability`):
+
+* **checksummed store** — :class:`~repro.workspace.DiskStore` entries are
+  SHA-256-checksummed envelopes verified *before* unpickling; a corrupted or
+  truncated entry is moved to ``quarantine/`` exactly once and reads as a
+  plain miss (``store_stats()`` counts ``quarantined`` / ``put_failures`` /
+  ``tmp_swept``); writes retry transient ``OSError`` with bounded backoff;
+* **per-island retry-then-degrade** — a crashed pool worker's island is
+  resubmitted to a fresh pool, and an island that keeps failing is solved
+  in-process (bitwise-identical either way, audited as ``pool→in-process``);
+* **circuit breakers** — repeated failures on one tenant/lane trip a
+  breaker: Shapley requests reroute to the sampled lane (audited as
+  ``breaker→sampled``), exactness-insisting requests get a structured 503
+  with ``retry_after_s`` (a real ``Retry-After`` header over HTTP), and a
+  half-open probe recovers the lane; ``GET /healthz`` rolls breaker states,
+  pool saturation and store error rates into ok / degraded / unhealthy;
+* **audit trail** — every rung a request descends is recorded in
+  ``AttributionReport.degradation_reason``;
+* **fault harness** — the same machinery is testable on a reproducible
+  schedule (free when disabled — see ``BENCH_resilience.json``)::
+
+    from repro.reliability import FaultPlan, FaultRule, injected
+
+    plan = FaultPlan(seed=7, rules=(
+        FaultRule(point="store.put.write", kind="oserror", times=2),
+        FaultRule(point="parallel.worker", kind="crash", after=2, times=1)))
+    with injected(plan):                   # deterministic: same plan, same faults
+        session = AttributionSession(q, pdb, store=DiskStore("artifacts/"))
+        session.values()                   # exact despite the injected faults
+
 The legacy free functions (``shapley_values_of_facts``, ...) still work but
 emit ``DeprecationWarning`` and delegate to the session (see the migration
 table in ``CHANGES.md``).
@@ -277,6 +316,7 @@ from .data import (
 )
 from .engine import SVCEngine, clear_engine_cache, engine_cache_stats, get_engine
 from .errors import (
+    CircuitOpenError,
     ConfigError,
     DeadlineExceededError,
     IntractableQueryError,
@@ -285,6 +325,17 @@ from .errors import (
     ServiceOverloadError,
     UnknownTenantError,
     UnsafeQueryError,
+)
+from .reliability import (
+    BreakerRegistry,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    RetryPolicy,
+    call_with_retry,
+    injected,
 )
 from .probability import (
     TupleIndependentDatabase,
@@ -359,7 +410,10 @@ __all__ = [
     "AttributionSession",
     "AttributionWorkspace",
     "BooleanQuery",
+    "BreakerRegistry",
+    "CircuitBreaker",
     "CircuitBudgetError",
+    "CircuitOpenError",
     "Complexity",
     "CompiledDNF",
     "CompiledLineage",
@@ -367,8 +421,13 @@ __all__ = [
     "DeadlineExceededError",
     "EngineConfig",
     "Explanation",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "IntractableQueryError",
     "ReproError",
+    "RetryPolicy",
     "ServedAttribution",
     "ServiceError",
     "ServiceOverloadError",
@@ -395,6 +454,7 @@ __all__ = [
     "atom",
     "attribute",
     "bipartite_rst_database",
+    "call_with_retry",
     "classify_svc",
     "clear_engine_cache",
     "compile_dnf",
@@ -414,6 +474,7 @@ __all__ = [
     "generalized_model_count",
     "get_engine",
     "get_index",
+    "injected",
     "is_hierarchical",
     "is_pseudo_connected",
     "is_safe_ucq",

@@ -189,6 +189,13 @@ class AttributionReport:
     #: its largest island (``None`` unless the component pre-pass ran).
     n_components: "int | None" = None
     largest_component: "int | None" = None
+    #: The degradation ladder's audit trail: one human-readable entry per rung
+    #: this run descended (``"circuit→counting: ..."``,
+    #: ``"pool→in-process: ..."``, ``"exact→sampled: ..."``, breaker
+    #: reroutes).  Empty on a run that took its first-choice path everywhere —
+    #: a non-empty trail means the values are still trustworthy (exact rungs)
+    #: or explicitly flagged estimates, never silently degraded.
+    degradation_reason: "tuple[str, ...]" = ()
 
     @property
     def values(self) -> dict[Fact, Fraction]:
@@ -231,6 +238,7 @@ class AttributionReport:
             "shard_axis": self.shard_axis,
             "n_components": self.n_components,
             "largest_component": self.largest_component,
+            "degradation_reason": list(self.degradation_reason),
             "efficiency": None if self.efficiency is None else self.efficiency.to_json_dict(),
             "engine_cache": dict(self.cache),
             "ranking": [{**_fact_json(f), "value": _fraction_json(v)}
@@ -279,6 +287,8 @@ class AttributionReport:
             shard_axis=payload.get("shard_axis"),
             n_components=payload.get("n_components"),
             largest_component=payload.get("largest_component"),
+            # Documents written before the degradation audit trail: empty.
+            degradation_reason=tuple(payload.get("degradation_reason", ())),
         )
 
     @classmethod

@@ -297,10 +297,18 @@ class AttributionSession:
         if self._estimates:
             # One shared RNG, one count: every per-fact estimator uses it.
             samples_used = next(iter(self._estimates.values())).samples
+        explanation = self.explanation()
+        degradation: "list[str]" = []
+        if self._engine is not None:
+            degradation.extend(self._engine.degradation_reasons())
+        if explanation.backend == "sampled" and not explanation.overridden:
+            # The dispatch itself descended a rung: exact work was refused by
+            # the budgets, so the run carries (ε, δ) estimates instead.
+            degradation.append(f"exact→sampled: {explanation.reason}")
         return AttributionReport(
             query=str(self.query),
             ranking=ranking,
-            explanation=self.explanation(),
+            explanation=explanation,
             config=self.config,
             n_endogenous=len(self.pdb.endogenous),
             n_exogenous=len(self.pdb.exogenous),
@@ -322,6 +330,7 @@ class AttributionSession:
             n_components=None if self._engine is None else self._engine.n_components(),
             largest_component=(
                 None if self._engine is None else self._engine.largest_component_size()),
+            degradation_reason=tuple(degradation),
         )
 
 

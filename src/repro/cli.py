@@ -290,6 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="default per-request deadline in seconds "
                             "(omitted = none)")
+    serve.add_argument("--breaker-failures", dest="breaker_failure_threshold",
+                       type=int, default=5,
+                       help="consecutive failures on one tenant/lane before "
+                            "its circuit breaker opens")
+    serve.add_argument("--breaker-reset", dest="breaker_reset_s", type=float,
+                       default=30.0,
+                       help="seconds an open breaker waits before letting a "
+                            "half-open probe through (also the Retry-After "
+                            "hint on its 503s)")
     serve.add_argument("--workers", type=int, default=config_defaults["workers"],
                        help="worker processes per exact attribution (1 = serial)")
     serve.add_argument("--index", choices=list(INDICES),
@@ -545,7 +554,9 @@ def _command_serve(args: argparse.Namespace) -> int:
                              circuit_node_budget=args.circuit_node_budget,
                              max_inflight=args.max_inflight,
                              max_queued=args.max_queued,
-                             default_deadline_s=args.default_deadline_s)
+                             default_deadline_s=args.default_deadline_s,
+                             breaker_failure_threshold=args.breaker_failure_threshold,
+                             breaker_reset_s=args.breaker_reset_s)
     config = EngineConfig(exact_size_limit=args.exact_size_limit,
                           circuit_node_budget=args.circuit_node_budget,
                           workers=args.workers, on_hard="exact",

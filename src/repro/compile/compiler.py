@@ -58,6 +58,7 @@ from ..counting.dnf_counter import (
     pad,
 )
 from ..errors import ReproError
+from ..reliability import faults
 from .circuit import AND, Circuit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -327,6 +328,7 @@ def compile_dnf(dnf: MonotoneDNF, *, ordering: "str | OrderingHeuristic" = DEFAU
     ``node_budget`` nodes (the engine's cue to fall back to per-fact
     conditioning) and ``ValueError`` on an unknown heuristic name.
     """
+    faults.check("compile.circuit")
     heuristic = _resolve_ordering(ordering)
     compiler = _Compiler(heuristic, node_budget)
     compiler.circuit.root = compiler.compile(dnf.clauses)

@@ -23,20 +23,32 @@ initializer payload of the fact-striping kinds; the brute and component kinds
 stay index-agnostic — their workers return integer conditioned-vector-pair
 partials, and the parent applies the index exactly once.
 
-Both drivers degrade gracefully: if the artefact fails to pickle, or the pool
+All drivers degrade gracefully: if the artefact fails to pickle, or the pool
 itself fails (e.g. a sandbox forbids ``fork``), they return ``None`` and the
-engine falls back to the serial path.  Correctness therefore never depends on
-the pool; only wall-clock time does.
+engine falls back to the serial path.  The component driver goes further —
+a failed island task is resubmitted to a fresh pool once, and an island still
+failing after the retry round is solved *in-process*, so one crashed worker
+degrades one island, not the whole batch
+(:class:`ComponentPoolOutcome` records what happened).  Correctness therefore
+never depends on the pool; only wall-clock time does.
+
+Fault injection: when a :mod:`repro.reliability.faults` plan is active in the
+parent, the pool initializer ships it into every worker process, so
+``"crash"`` rules at the ``"parallel.worker"`` point kill *real* workers —
+the failure mode the retry-then-degrade path exists for.
 """
 
 from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Sequence
 
 from ..data.atoms import Fact
+from ..reliability import faults
+from ..reliability.retry import RetryPolicy
 from ..values import SHAPLEY, ValueIndex, get_index
 from . import backends, sharding
 
@@ -46,15 +58,32 @@ from . import backends, sharding
 #: combine with (``None`` for the pair-producing brute / component kinds).
 _STATE: "tuple[str, Any, str | None] | None" = None
 
+#: The component driver's resubmission policy: one retry round, tiny backoff
+#: (a crashed worker needs a fresh pool, not patience), then in-process.
+POOL_RETRY = RetryPolicy(max_attempts=2, backoff_s=0.0)
+
 
 def _init_worker(payload: bytes) -> None:
-    """Pool initializer: deserialise the shared artefact once per worker."""
+    """Pool initializer: deserialise the shared artefact once per worker.
+
+    The payload's optional fourth element is the parent's active fault plan;
+    installing it here makes worker processes obey the same seeded schedule
+    (fresh per-process counters — a ``times=1`` rule fires once per worker).
+    """
     global _STATE
-    _STATE = pickle.loads(payload)
+    state = pickle.loads(payload)
+    if len(state) == 4:
+        kind, artefact, index_name, plan = state
+        if plan is not None:
+            faults.activate(plan)
+        _STATE = (kind, artefact, index_name)
+    else:
+        _STATE = state
 
 
 def _fact_chunk_values(facts: Sequence[Fact]) -> "list[tuple[Fact, Fraction]]":
     """Worker task: per-fact index values for one stripe of the fact list."""
+    faults.check("parallel.worker")
     kind, artefact, index_name = _STATE
     index = get_index(index_name)
     if kind == "circuit":
@@ -87,6 +116,7 @@ def _component_chunk(task: "tuple[int, sharding.SubLineage]",
     integers per island, instead of the whole artefact per pool.  Islands
     produce conditioned *vectors*, not values, so the task is index-agnostic.
     """
+    faults.check("parallel.worker")
     kind, policy, _ = _STATE
     if kind != "component":
         raise ValueError(f"unknown worker kind {kind!r}")
@@ -107,6 +137,7 @@ def _coalition_sizes_chunk(sizes: Sequence[int]
     with the fill, and keeps the payload index-agnostic — the parent sums the
     strata and applies the configured index once.
     """
+    faults.check("parallel.worker")
     kind, artefact, _ = _STATE
     if kind != "brute":
         raise ValueError(f"unknown worker kind {kind!r}")
@@ -120,6 +151,12 @@ def _pickled(payload: object) -> "bytes | None":
         return pickle.dumps(payload)
     except Exception:
         return None
+
+
+def _initializer_payload(kind: str, artefact: Any,
+                         index_name: "str | None") -> "bytes | None":
+    """The pool-initializer payload, carrying the active fault plan along."""
+    return _pickled((kind, artefact, index_name, faults.active_plan()))
 
 
 def _stripes(items: Sequence, workers: int) -> "list[list]":
@@ -145,7 +182,7 @@ def parallel_fact_values(artefact: "tuple[str, Any]", facts: Sequence[Fact],
     pickled or the pool fails, signalling the engine to fall back to its
     serial path.
     """
-    payload = _pickled((artefact[0], artefact[1], index_name))
+    payload = _initializer_payload(artefact[0], artefact[1], index_name)
     if payload is None:
         return None
     try:
@@ -160,28 +197,85 @@ def parallel_fact_values(artefact: "tuple[str, Any]", facts: Sequence[Fact],
         return None
 
 
+@dataclass(frozen=True)
+class ComponentPoolOutcome:
+    """What the component pool actually did: results plus the failure ledger.
+
+    ``retried`` counts island tasks resubmitted to a fresh pool after a first
+    failure; ``degraded`` counts islands the pool never delivered, solved
+    in-process by the parent instead.  ``retried == degraded == 0`` is the
+    happy path; anything else surfaces in the engine's degradation reasons.
+    """
+
+    results: "tuple[sharding.ComponentResult, ...]"
+    retried: int = 0
+    degraded: int = 0
+
+
 def parallel_component_results(tasks: "Sequence[tuple[int, sharding.SubLineage]]",
                                mode: str, node_budget: int, workers: int,
                                keep_circuits: bool = False,
-                               ) -> "list[sharding.ComponentResult] | None":
+                               retry: "RetryPolicy | None" = None,
+                               ) -> "ComponentPoolOutcome | None":
     """Solve lineage islands across a process pool (the component shard axis).
 
     ``tasks`` pairs each island with its index in the decomposition; every
     worker runs the same :func:`repro.engine.sharding.solve_component` kernel
     as the serial path, so recombined values stay bitwise-identical.
     ``keep_circuits`` asks workers to return compiled circuits alongside the
-    count vectors (the parent persists them in its artifact store).  Returns
-    ``None`` on pickling or pool failure — the engine's serial fallback.
+    count vectors (the parent persists them in its artifact store).
+
+    Failure containment is per island, not per batch: tasks are submitted
+    individually, a failed island is resubmitted to a *fresh* pool (one crash
+    poisons a ``ProcessPoolExecutor`` wholesale, so retry rounds re-fork),
+    and an island that still fails is solved in-process by the parent — where
+    a deterministic error re-raises with full context instead of silently
+    degrading.  Returns ``None`` only when the policy payload cannot be
+    pickled (the engine's wholesale serial fallback).
     """
-    payload = _pickled(("component", (mode, node_budget, keep_circuits), None))
+    payload = _initializer_payload("component",
+                                   (mode, node_budget, keep_circuits), None)
     if payload is None:
         return None
-    try:
-        with ProcessPoolExecutor(max_workers=workers, initializer=_init_worker,
-                                 initargs=(payload,)) as pool:
-            return list(pool.map(_component_chunk, tasks))
-    except Exception:
-        return None
+    policy = retry if retry is not None else POOL_RETRY
+    done: "dict[int, sharding.ComponentResult]" = {}
+    pending = list(tasks)
+    retried = 0
+    for round_index in range(policy.max_attempts):
+        if not pending:
+            break
+        if round_index > 0:
+            retried += len(pending)
+        failed: "list[tuple[int, sharding.SubLineage]]" = []
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     initializer=_init_worker,
+                                     initargs=(payload,)) as pool:
+                futures = [(pool.submit(_component_chunk, task), task)
+                           for task in pending]
+                for future, task in futures:
+                    try:
+                        result = future.result()
+                        done[result.index] = result
+                    except Exception:
+                        # A worker crash breaks every sibling future of the
+                        # round; collect them all for the next fresh pool.
+                        failed.append(task)
+        except Exception:
+            # The pool itself would not start (fork forbidden) or tore down
+            # uncleanly: everything not yet delivered goes to the next round.
+            failed = [task for task in pending if task[0] not in done]
+        pending = failed
+    degraded = len(pending)
+    for index, sub in pending:
+        # The last line of defence runs in-process: bitwise the same kernel,
+        # and a deterministic error now propagates instead of being retried.
+        done[index] = sharding.solve_component(sub, index, mode=mode,
+                                               node_budget=node_budget,
+                                               keep_circuit=keep_circuits)
+    return ComponentPoolOutcome(
+        results=tuple(done[index] for index, _ in tasks),
+        retried=retried, degraded=degraded)
 
 
 def parallel_brute_values(artefact: "tuple[str, Any]", n_endogenous: int,
@@ -197,7 +291,7 @@ def parallel_brute_values(artefact: "tuple[str, Any]", n_endogenous: int,
     parent then applies ``index`` once per fact.  Returns ``None`` on
     pickling or pool failure (serial fallback).
     """
-    payload = _pickled((artefact[0], artefact[1], None))
+    payload = _initializer_payload(artefact[0], artefact[1], None)
     if payload is None:
         return None
     sizes = list(range(n_endogenous + 1))
@@ -222,5 +316,5 @@ def parallel_brute_values(artefact: "tuple[str, Any]", n_endogenous: int,
             for f, (plus, minus) in pairs.items()}
 
 
-__all__ = ["parallel_brute_values", "parallel_component_results",
-           "parallel_fact_values"]
+__all__ = ["ComponentPoolOutcome", "POOL_RETRY", "parallel_brute_values",
+           "parallel_component_results", "parallel_fact_values"]

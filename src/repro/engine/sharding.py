@@ -51,6 +51,7 @@ from ..counting.dnf_counter import (
     convolve,
     pad,
 )
+from ..reliability import faults
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..counting.lineage import Lineage
@@ -210,6 +211,7 @@ def solve_component(sub: SubLineage, index: int, mode: str = "counting",
     islands keep their circuits — the graceful degradation the whole-formula
     compiler can only apply all-or-nothing.
     """
+    faults.check("engine.solve_component")
     if mode == "circuit":
         start = time.perf_counter()
         try:

@@ -199,6 +199,7 @@ class SVCEngine:
         self._lineage: "Lineage | None" = None
         self._compiled: "CompiledLineage | None" = None
         self._circuit_fallback: "str | None" = None
+        self._pool_fallback: "str | None" = None
         self._full_vector: "list[int] | None" = None
         self._value_table: "dict[frozenset[Fact], int] | None" = None
         self._values: dict[Fact, Fraction] = {}
@@ -436,15 +437,24 @@ class SVCEngine:
         keep = self.store is not None and mode == "circuit"
         if (len(pending) >= 2 and self.workers > 1
                 and len(self.pdb.endogenous) >= self.parallel_threshold):
-            solved = parallel.parallel_component_results(
+            outcome = parallel.parallel_component_results(
                 [(i, decomposition.components[i]) for i in pending],
                 mode, self.circuit_node_budget, self.workers,
                 keep_circuits=keep)
-            if solved is not None:
-                for result in solved:
+            if outcome is not None:
+                for result in outcome.results:
                     results[result.index] = result
                 self._workers_used = min(self.workers, len(pending))
+                if outcome.retried or outcome.degraded:
+                    self._pool_fallback = (
+                        f"pool→in-process: {outcome.retried} island task(s) "
+                        f"resubmitted after worker failure, {outcome.degraded} "
+                        f"of {len(pending)} island(s) solved in the parent")
                 pending = []
+            else:
+                self._pool_fallback = (
+                    "pool→serial: the process pool was unavailable; every "
+                    "island solved in-process")
         for i in pending:
             results[i] = sharding.solve_component(
                 decomposition.components[i], i, mode,
@@ -544,6 +554,9 @@ class SVCEngine:
                                                    self.index)
             used = min(self.workers, len(facts))
         if values is None:
+            self._pool_fallback = (
+                "pool→serial: the process pool was unavailable or failed; "
+                "per-fact work computed serially")
             return False
         self._values.update(values)
         self._workers_used = used
@@ -644,6 +657,23 @@ class SVCEngine:
         and were counted (the others keep their circuits).
         """
         return self._circuit_fallback
+
+    def degradation_reasons(self) -> "tuple[str, ...]":
+        """The engine's rungs of the degradation ladder, in the order taken.
+
+        Entries are human-readable audit lines: ``"circuit→counting: ..."``
+        when the compiler's node budget forced lineage conditioning (still
+        exact), and ``"pool→..."`` when worker failures pushed islands back
+        onto the parent or the pool was unavailable outright (still exact,
+        serial).  Empty on a clean run; surfaced as
+        :attr:`repro.api.AttributionReport.degradation_reason`.
+        """
+        reasons = []
+        if self._circuit_fallback is not None:
+            reasons.append(f"circuit→counting: {self._circuit_fallback}")
+        if self._pool_fallback is not None:
+            reasons.append(self._pool_fallback)
+        return tuple(reasons)
 
     def shard_axis(self) -> str:
         """The resolved sharding axis: ``"component"`` or ``"fact"``.

@@ -12,8 +12,11 @@ The hierarchy::
     ├── UnsafeQueryError        no safe plan exists (lifted inference)
     ├── IntractableQueryError   exact computation refused on a hard query
     ├── ConfigError             invalid configuration value
+    ├── InjectedFault           a deliberately injected, unabsorbed fault
+    │                           (repro.reliability.faults; defined there)
     └── ServiceError            serving-tier failures (repro.serve)
         ├── ServiceOverloadError    admission control refused the request
+        │   └── CircuitOpenError    a tripped circuit breaker refused it
         ├── DeadlineExceededError   the request's deadline elapsed
         └── UnknownTenantError      no such tenant registered
 """
@@ -106,6 +109,31 @@ class ServiceOverloadError(ServiceError):
         return payload
 
 
+class CircuitOpenError(ServiceOverloadError):
+    """Raised when a tripped circuit breaker refuses a request.
+
+    A per-tenant/lane breaker opens after repeated failures or timeouts on
+    that lane (:mod:`repro.reliability.breaker`); while open, requests that
+    cannot be degraded to the sampled lane are refused with this error.
+    ``retry_after_s`` is the time until the breaker half-opens — over HTTP it
+    is also surfaced as a real ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, tenant: "str | None" = None,
+                 lane: "str | None" = None,
+                 retry_after_s: "float | None" = None):
+        super().__init__(message, reason="circuit_open",
+                         retry_after_s=retry_after_s)
+        #: The failure domain the open breaker guards.
+        self.tenant = tenant
+        self.lane = lane
+
+    def to_json_dict(self) -> dict:
+        payload = super().to_json_dict()
+        payload.update(tenant=self.tenant, lane=self.lane)
+        return payload
+
+
 class DeadlineExceededError(ServiceError):
     """Raised when a request's deadline elapses before its attribution completes.
 
@@ -140,6 +168,7 @@ class UnknownTenantError(ServiceError, KeyError):
 
 
 __all__ = [
+    "CircuitOpenError",
     "ConfigError",
     "DeadlineExceededError",
     "IntractableQueryError",

@@ -1,0 +1,64 @@
+"""Fault injection and resilience primitives (PR 9).
+
+The paper's promise is *exactness*: every attribution is a bitwise-exact
+``Fraction`` (Claim A.1), so a fault anywhere in the stack must resolve to
+either a correct exact answer or a typed error — never a silently wrong
+number.  This package holds both halves of that guarantee:
+
+* :mod:`repro.reliability.faults` — the deterministic, seeded fault-injection
+  harness (:class:`FaultPlan` / :class:`FaultInjector`) whose named injection
+  points are threaded through the disk store, the process pools, the circuit
+  compiler and the serving executor,
+* :mod:`repro.reliability.retry` — bounded deterministic retry-with-backoff
+  (:class:`RetryPolicy`), used by ``DiskStore.put`` and the per-island pool
+  driver,
+* :mod:`repro.reliability.breaker` — the per-tenant/lane
+  :class:`CircuitBreaker` (closed → open → half-open) behind the serving
+  tier's degradation ladder.
+
+The degradation ladder, formalised (each rung keeps an exactness guarantee or
+says so in the report's ``degradation_reason`` audit trail):
+
+====================  ====================================================
+rung                  what degrades, what survives
+====================  ====================================================
+circuit → counting    a per-island node-budget overrun falls back to
+                      lineage conditioning: still bitwise-exact, slower
+pool → in-process     a crashed worker's island is resubmitted once, then
+                      solved serially in the parent: still bitwise-exact
+breaker → sampled     a tripped tenant/lane breaker reroutes Shapley
+                      requests to the Monte-Carlo lane: (ε, δ) estimates,
+                      flagged ``exact=False``
+breaker → 503         non-degradable requests get a structured
+                      ``CircuitOpenError`` with ``retry_after_s`` (and a
+                      real ``Retry-After`` header over HTTP)
+====================  ====================================================
+"""
+
+from .breaker import STATES, BreakerRegistry, CircuitBreaker
+from .faults import (
+    FAULT_KINDS,
+    INJECTION_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    injected,
+)
+from .retry import NO_RETRY, RetryPolicy, call_with_retry
+
+__all__ = [
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "INJECTION_POINTS",
+    "InjectedFault",
+    "NO_RETRY",
+    "RetryPolicy",
+    "STATES",
+    "call_with_retry",
+    "injected",
+]

@@ -1,0 +1,174 @@
+"""A circuit breaker: stop hammering a failing path, probe until it heals.
+
+The classic three-state machine, tuned for the serving tier's per-tenant /
+per-lane use:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive* failures
+  trip the breaker,
+* **open** — requests are refused instantly (the serving layer turns this
+  into a structured 503 with ``retry_after_s``, or degrades the request one
+  rung down the ladder); after ``reset_timeout_s`` the breaker half-opens,
+* **half-open** — exactly ONE probe request is let through; its success
+  closes the breaker (full recovery), its failure re-opens it for another
+  full timeout.
+
+The clock is injectable (``clock=time.monotonic`` by default) so the whole
+trip → wait → half-open → recover cycle is testable deterministically,
+without sleeping.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import ConfigError
+
+#: The breaker states, for reference.
+STATES = ("closed", "open", "half_open")
+
+
+class CircuitBreaker:
+    """One failure domain's breaker (e.g. one ``tenant/lane`` pair)."""
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout_s <= 0:
+            raise ConfigError(
+                f"reset_timeout_s must be positive, got {reset_timeout_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: "float | None" = None
+        self._probing = False
+        self._trips = 0
+        self._successes = 0
+        self._failures = 0
+
+    def _tick(self) -> None:
+        """open → half_open once the reset timeout has elapsed (lock held)."""
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.reset_timeout_s):
+            self._state = "half_open"
+            self._probing = False
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._probing = False
+        self._trips += 1
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half_open"`` (time-aware)."""
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may proceed now.
+
+        Closed: always.  Open: never (until the timeout half-opens it).
+        Half-open: the first caller gets the probe slot, everyone else is
+        refused until the probe reports back.
+        """
+        with self._lock:
+            self._tick()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request succeeded: reset to closed (a probe success heals fully)."""
+        with self._lock:
+            self._successes += 1
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A request failed: count toward the trip, or re-open a failed probe."""
+        with self._lock:
+            self._tick()
+            self._failures += 1
+            if self._state == "half_open":
+                self._trip()        # the probe failed: back to open, full wait
+                return
+            self._consecutive_failures += 1
+            if (self._state == "closed"
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._trip()
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker half-opens (0 when not open)."""
+        with self._lock:
+            self._tick()
+            if self._state != "open":
+                return 0.0
+            return max(0.0, self.reset_timeout_s
+                       - (self._clock() - self._opened_at))
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable view (state, counters, time to half-open)."""
+        with self._lock:
+            self._tick()
+            remaining = 0.0
+            if self._state == "open":
+                remaining = max(0.0, self.reset_timeout_s
+                                - (self._clock() - self._opened_at))
+            return {"state": self._state,
+                    "consecutive_failures": self._consecutive_failures,
+                    "trips": self._trips,
+                    "successes": self._successes,
+                    "failures": self._failures,
+                    "retry_after_s": round(remaining, 6)}
+
+
+class BreakerRegistry:
+    """Lazily created breakers by key (the service keys on ``tenant/lane``).
+
+    One shared configuration; breakers materialise on first use so idle
+    tenant/lane pairs cost nothing and the ``/healthz`` surface only lists
+    domains that have actually served traffic.
+    """
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0, clock=time.monotonic):
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout_s=self.reset_timeout_s, clock=self._clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def snapshot(self) -> dict[str, dict]:
+        """Every materialised breaker's snapshot, keyed and sorted."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {key: breakers[key].snapshot() for key in sorted(breakers)}
+
+    def states(self) -> dict[str, str]:
+        """Just the states (what health rollups consume)."""
+        return {key: snap["state"] for key, snap in self.snapshot().items()}
+
+
+__all__ = ["BreakerRegistry", "CircuitBreaker", "STATES"]

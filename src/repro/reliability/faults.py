@@ -1,0 +1,267 @@
+"""A deterministic, seeded fault-injection harness.
+
+The production layers of this package — the disk-backed artifact store, the
+process-pool sharding, the circuit compiler, the serving executor — each carry
+*named injection points*: one cheap :func:`check` (or :func:`mangle`) call at
+the exact place where the real world fails.  With no injector active the call
+is a module-global ``None`` test and costs nothing measurable
+(``benchmarks/bench_resilience.py`` asserts < 5 % on the serving shapes).
+With an active :class:`FaultInjector`, each point consults a seeded schedule
+and injects the corresponding failure *mode*, not a mock of it:
+
+* ``"oserror"``  — raise a genuine :class:`OSError` (what a full disk, a
+  revoked mount or a flaky NFS read produces),
+* ``"corrupt"`` / ``"truncate"`` — silently mangle the bytes about to be
+  written (the store must *detect* this later, not crash on it),
+* ``"error"``    — raise :class:`InjectedFault` (a typed
+  :class:`~repro.errors.ReproError`): an unexpected exception inside a
+  compute path,
+* ``"crash"``    — ``os._exit(13)``: a worker process dying mid-task,
+* ``"sleep"``    — delay by ``sleep_s``: a slow or hung computation.
+
+Determinism: every rule draws from its own ``random.Random`` seeded by
+``(plan.seed, rule position)``, and fires against a per-rule call counter —
+the same plan over the same call sequence injects the same faults, which is
+what lets the chaos property test replay a failing schedule by seed.
+
+Plans are plain frozen dataclasses of primitives, hence picklable: the
+process-pool initializer ships the active plan into worker processes
+(:mod:`repro.engine.parallel`), so ``"crash"`` rules kill *real* workers.
+
+Usage::
+
+    from repro.reliability import FaultPlan, FaultRule, injected
+
+    plan = FaultPlan(seed=7, rules=(
+        FaultRule(point="store.put.write", kind="oserror", times=1),
+        FaultRule(point="parallel.worker", kind="crash", probability=0.2),
+    ))
+    with injected(plan):
+        ...   # every named injection point now follows the schedule
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+#: Every named injection point threaded through the package, for reference
+#: (rules may also name points added later; unknown points simply never fire).
+INJECTION_POINTS = (
+    "store.get.read",        # DiskStore.get, before the file read
+    "store.put.write",       # DiskStore.put, around the tmp-write + replace
+    "compile.circuit",       # compile_dnf, before compilation
+    "engine.solve_component",  # sharding.solve_component, per island
+    "parallel.worker",       # worker-process task entry (crash kills a real worker)
+    "serve.compute",         # AttributionService executor, before session work
+)
+
+#: The failure modes a rule may inject.
+FAULT_KINDS = ("oserror", "corrupt", "truncate", "error", "crash", "sleep")
+
+
+class InjectedFault(ReproError):
+    """The typed surface of a deliberately injected ``"error"`` fault.
+
+    Subclasses :class:`~repro.errors.ReproError` so the no-silent-corruption
+    contract stays one ``except`` clause: a fault that no resilience layer
+    absorbed must reach the caller as a typed error, never as a wrong value.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault schedule: *where*, *what*, *when*.
+
+    ``point`` matches an injection-point name exactly, or as a prefix when it
+    ends in ``"*"`` (``"store.*"`` covers both store points).  ``probability``
+    is drawn from the rule's own seeded RNG per matching call; ``times`` caps
+    how often the rule fires in one process (``None`` = unlimited); ``after``
+    skips the first ``after`` matching calls — "fail the third write" is
+    ``after=2, times=1, probability=1.0``, fully deterministic.
+    """
+
+    point: str
+    kind: str
+    probability: float = 1.0
+    times: "int | None" = None
+    after: int = 0
+    sleep_s: float = 0.001
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.sleep_s < 0:
+            raise ValueError(f"sleep_s must be >= 0, got {self.sleep_s}")
+
+    def matches(self, point: str) -> bool:
+        if self.point.endswith("*"):
+            return point.startswith(self.point[:-1])
+        return point == self.point
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible fault schedule: a seed plus an ordered rule list."""
+
+    seed: int = 0
+    rules: "tuple[FaultRule, ...]" = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+
+class FaultInjector:
+    """The live counterpart of a :class:`FaultPlan`: counters, RNGs, firing.
+
+    Thread-safe (the serving tier calls injection points from executor
+    threads); one injector is installed per process via :func:`activate` /
+    :func:`injected`, and worker processes receive the *plan* (fresh counters)
+    through the pool initializer.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._seen = [0] * len(plan.rules)      # matching calls per rule
+        self._fired = [0] * len(plan.rules)     # injections per rule
+        # Integer-only derived seeds: tuple seeding falls back to hash(),
+        # which is salted for strings — ints keep the schedule reproducible
+        # across processes and PYTHONHASHSEED values.
+        self._rngs = [random.Random(plan.seed * 1_000_003 + i)
+                      for i in range(len(plan.rules))]
+
+    def _select(self, point: str, kinds: "tuple[str, ...]") -> "FaultRule | None":
+        """The first rule that fires at ``point`` among the given kinds."""
+        with self._lock:
+            for i, rule in enumerate(self.plan.rules):
+                if rule.kind not in kinds or not rule.matches(point):
+                    continue
+                self._seen[i] += 1
+                if self._seen[i] <= rule.after:
+                    continue
+                if rule.times is not None and self._fired[i] >= rule.times:
+                    continue
+                if rule.probability < 1.0 and \
+                        self._rngs[i].random() >= rule.probability:
+                    continue
+                self._fired[i] += 1
+                return rule
+        return None
+
+    def fired(self) -> int:
+        """Total injections so far (all rules), for harness introspection."""
+        with self._lock:
+            return sum(self._fired)
+
+    # -- the two hook flavours -------------------------------------------------
+    def check(self, point: str) -> None:
+        """Raise / crash / sleep if a raising-kind rule fires at ``point``."""
+        rule = self._select(point, ("oserror", "error", "crash", "sleep"))
+        if rule is None:
+            return
+        if rule.kind == "sleep":
+            time.sleep(rule.sleep_s)
+            return
+        if rule.kind == "crash":
+            os._exit(13)
+        if rule.kind == "oserror":
+            raise OSError(f"{rule.message} (injected at {point})")
+        raise InjectedFault(f"{rule.message} (injected at {point})")
+
+    def mangle(self, point: str, blob: bytes) -> bytes:
+        """The bytes a byte-kind rule at ``point`` silently corrupts (or not)."""
+        rule = self._select(point, ("corrupt", "truncate"))
+        if rule is None:
+            return blob
+        if rule.kind == "truncate":
+            return blob[: max(0, len(blob) // 2)]
+        if len(blob) == 0:
+            return b"\x00"
+        # Flip a byte mid-blob: past any pickle header, inside the payload.
+        position = len(blob) // 2
+        return blob[:position] + bytes([blob[position] ^ 0xFF]) + blob[position + 1:]
+
+
+#: The process-wide active injector (``None`` = harness disabled, the hot path).
+_INJECTOR: "FaultInjector | None" = None
+
+
+def activate(injector: "FaultInjector | FaultPlan") -> FaultInjector:
+    """Install an injector (or a plan, wrapped) process-wide; returns it."""
+    global _INJECTOR
+    if isinstance(injector, FaultPlan):
+        injector = FaultInjector(injector)
+    _INJECTOR = injector
+    return injector
+
+
+def deactivate() -> None:
+    """Remove the active injector (idempotent)."""
+    global _INJECTOR
+    _INJECTOR = None
+
+
+def active() -> "FaultInjector | None":
+    """The process-wide injector, or ``None`` when the harness is disabled."""
+    return _INJECTOR
+
+
+def active_plan() -> "FaultPlan | None":
+    """The active injector's plan (what pool initializers ship to workers)."""
+    return None if _INJECTOR is None else _INJECTOR.plan
+
+
+@contextmanager
+def injected(plan: "FaultPlan | FaultInjector"):
+    """Context manager: activate a fault plan, always deactivate on exit."""
+    injector = activate(plan)
+    try:
+        yield injector
+    finally:
+        deactivate()
+
+
+def check(point: str) -> None:
+    """The raising injection hook — a no-op unless an injector is active."""
+    injector = _INJECTOR
+    if injector is not None:
+        injector.check(point)
+
+
+def mangle(point: str, blob: bytes) -> bytes:
+    """The byte-mangling injection hook — identity unless an injector is active."""
+    injector = _INJECTOR
+    if injector is not None:
+        return injector.mangle(point, blob)
+    return blob
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "INJECTION_POINTS",
+    "InjectedFault",
+    "activate",
+    "active",
+    "active_plan",
+    "check",
+    "deactivate",
+    "injected",
+    "mangle",
+]

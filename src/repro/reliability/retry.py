@@ -1,0 +1,79 @@
+"""Bounded, deterministic retry-with-backoff.
+
+Transient faults — a full disk that a log rotation is about to free, an NFS
+hiccup, a worker process the OS reaped — deserve a *bounded* number of
+retries with a *deterministic* backoff: unbounded retries turn one fault into
+a hang, and randomised jitter turns a reproducible failure schedule into a
+flaky one (the fault-injection harness replays schedules by seed, so the
+retry layer must be replayable too).
+
+:class:`RetryPolicy` is pure data (frozen, picklable — it rides into worker
+pools); :func:`call_with_retry` is the one execution helper, used by
+``DiskStore.put`` and the per-island pool driver.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a transient failure.
+
+    ``max_attempts`` counts the *total* tries (1 = no retry at all);
+    backoff before retry ``k`` (0-based) is ``backoff_s * factor**k``, capped
+    at ``max_backoff_s`` — exponential, deterministic, no jitter.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.01
+    factor: float = 2.0
+    max_backoff_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ConfigError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.factor < 1.0:
+            raise ConfigError(f"factor must be >= 1, got {self.factor}")
+        if self.max_backoff_s < 0:
+            raise ConfigError(
+                f"max_backoff_s must be >= 0, got {self.max_backoff_s}")
+
+    def delay_s(self, attempt: int) -> float:
+        """The backoff before retry ``attempt`` (0-based, after a failure)."""
+        return min(self.backoff_s * self.factor ** attempt, self.max_backoff_s)
+
+
+#: No retries at all (callers that want plain single-shot semantics).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def call_with_retry(fn, policy: RetryPolicy, *,
+                    retry_on: "tuple[type[BaseException], ...]" = (OSError,),
+                    on_retry=None, sleep=time.sleep):
+    """Run ``fn()`` under the policy; re-raise the last error when exhausted.
+
+    ``on_retry(attempt, error)`` is called before each backoff (counters,
+    logging); ``sleep`` is injectable so tests run at full speed.
+    """
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retry_on as error:
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            delay = policy.delay_s(attempt)
+            if delay > 0:
+                sleep(delay)
+
+
+__all__ = ["NO_RETRY", "RetryPolicy", "call_with_retry"]

@@ -55,6 +55,11 @@ class AdmissionPolicy:
     ``max_queued`` bounds how many more may wait for a slot before capacity
     rejections start.  ``default_deadline_s`` applies when a request carries
     no deadline of its own (``None`` = no deadline).
+
+    ``breaker_failure_threshold`` consecutive failures (errors or deadline
+    misses) on one ``tenant/lane`` trip that lane's circuit breaker
+    (:class:`repro.reliability.CircuitBreaker`); after ``breaker_reset_s``
+    the breaker half-opens and lets one probe through.
     """
 
     exact_size_limit: int = 16
@@ -62,6 +67,8 @@ class AdmissionPolicy:
     max_inflight: int = 4
     max_queued: int = 64
     default_deadline_s: "float | None" = None
+    breaker_failure_threshold: int = 5
+    breaker_reset_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.exact_size_limit < 0:
@@ -77,13 +84,21 @@ class AdmissionPolicy:
         if self.default_deadline_s is not None and self.default_deadline_s <= 0:
             raise ConfigError(
                 f"default_deadline_s must be positive or None, got {self.default_deadline_s}")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigError(
+                f"breaker_failure_threshold must be >= 1, got {self.breaker_failure_threshold}")
+        if self.breaker_reset_s <= 0:
+            raise ConfigError(
+                f"breaker_reset_s must be positive, got {self.breaker_reset_s}")
 
     def to_json_dict(self) -> dict:
         return {"exact_size_limit": self.exact_size_limit,
                 "circuit_node_budget": self.circuit_node_budget,
                 "max_inflight": self.max_inflight,
                 "max_queued": self.max_queued,
-                "default_deadline_s": self.default_deadline_s}
+                "default_deadline_s": self.default_deadline_s,
+                "breaker_failure_threshold": self.breaker_failure_threshold,
+                "breaker_reset_s": self.breaker_reset_s}
 
 
 @dataclass(frozen=True)
@@ -179,5 +194,20 @@ def admit(query: BooleanQuery, n_endogenous: int, policy: AdmissionPolicy,
         n_endogenous=n_endogenous, estimated_nodes=nodes)
 
 
+def degrade_decision(decision: AdmissionDecision,
+                     reason: str) -> AdmissionDecision:
+    """Reroute an admitted decision to the ``degraded`` (sampled) lane.
+
+    Used by the service when a tripped circuit breaker forecloses the
+    decision's original lane: the verdict and cost estimates stand, only the
+    lane changes, and ``reason`` records why (it also lands in the report's
+    ``degradation_reason`` audit trail).
+    """
+    return AdmissionDecision(
+        lane="degraded", verdict=decision.verdict, reason=reason,
+        n_endogenous=decision.n_endogenous,
+        estimated_nodes=decision.estimated_nodes)
+
+
 __all__ = ["AdmissionDecision", "AdmissionPolicy", "LANES", "admit",
-           "estimate_circuit_nodes"]
+           "degrade_decision", "estimate_circuit_nodes"]

@@ -9,7 +9,9 @@ body, so the transport layer is a thin, dependency-free shell.
 
 Endpoints::
 
-    GET  /healthz       liveness: {"status": "ok"}
+    GET  /healthz       health rollup: {"status": "ok"|"degraded"|"unhealthy",
+                        "components": {...}} from breaker states, pool
+                        saturation and store error rates (503 when unhealthy)
     GET  /stats         the live metrics surface (AttributionService.stats())
     POST /v1/tenants    register a tenant:
                         {"tenant": "acme",
@@ -40,6 +42,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 
 from ..data.database import PartitionedDatabase
 from ..errors import ReproError, ServiceError
@@ -60,14 +63,26 @@ class _BadRequest(Exception):
     """Internal: a client error that maps to a 400 with its message."""
 
 
-def _encode_response(status: int, payload: dict) -> bytes:
+def _encode_response(status: int, payload: dict,
+                     headers: "dict[str, str] | None" = None) -> bytes:
     body = json.dumps(payload, indent=2).encode("utf-8")
     reason = _REASONS.get(status, "Error")
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in (headers or {}).items())
     head = (f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n")
     return head.encode("ascii") + body
+
+
+def _error_headers(error: ServiceError) -> "dict[str, str] | None":
+    """A real ``Retry-After`` header when the error carries a retry hint."""
+    retry_after_s = getattr(error, "retry_after_s", None)
+    if retry_after_s is None:
+        return None
+    return {"Retry-After": str(max(1, math.ceil(retry_after_s)))}
 
 
 def _parse_database(payload: dict) -> PartitionedDatabase:
@@ -183,7 +198,8 @@ class AttributionHTTPServer:
             status, payload = await self._dispatch(method, path, raw)
             return _encode_response(status, payload)
         except ServiceError as error:
-            return _encode_response(error.http_status, error.to_json_dict())
+            return _encode_response(error.http_status, error.to_json_dict(),
+                                    headers=_error_headers(error))
         except _BadRequest as error:
             return _encode_response(400, {"error": "BadRequest",
                                           "message": str(error)})
@@ -194,7 +210,8 @@ class AttributionHTTPServer:
     async def _dispatch(self, method: str, path: str,
                         raw: bytes) -> "tuple[int, dict]":
         if path == "/healthz" and method == "GET":
-            return 200, {"status": "ok"}
+            health = self.service.health()
+            return (503 if health["status"] == "unhealthy" else 200), health
         if path == "/stats" and method == "GET":
             return 200, self.service.stats()
         if path == "/v1/tenants" and method == "POST":

@@ -31,6 +31,8 @@ class ServiceMetrics:
         self._by_outcome: dict[str, int] = {}
         self._rejected_capacity = 0
         self._rejected_budget = 0
+        self._rejected_circuit = 0
+        self._breaker_degraded = 0
         self._deadline_exceeded = 0
         self._errors = 0
         self._wall_time_s = 0.0
@@ -56,14 +58,21 @@ class ServiceMetrics:
             self._wall_time_s += wall_time_s
 
     def record_rejection(self, reason: str) -> None:
-        """Count one admission refusal (``"capacity"`` or ``"budget"``)."""
+        """Count one refusal (``"capacity"``, ``"budget"`` or ``"circuit"``)."""
         with self._lock:
             self._requests += 1
             self._by_outcome["rejected"] = self._by_outcome.get("rejected", 0) + 1
             if reason == "capacity":
                 self._rejected_capacity += 1
+            elif reason == "circuit":
+                self._rejected_circuit += 1
             else:
                 self._rejected_budget += 1
+
+    def record_breaker_degraded(self) -> None:
+        """Count one request rerouted to the sampled lane by an open breaker."""
+        with self._lock:
+            self._breaker_degraded += 1
 
     def observe_inflight(self, inflight: int) -> None:
         """Track the high-water mark of concurrently admitted pool work."""
@@ -84,6 +93,8 @@ class ServiceMetrics:
                 "by_outcome": dict(self._by_outcome),
                 "rejected_capacity": self._rejected_capacity,
                 "rejected_budget": self._rejected_budget,
+                "rejected_circuit": self._rejected_circuit,
+                "breaker_degraded": self._breaker_degraded,
                 "deadline_exceeded": self._deadline_exceeded,
                 "errors": self._errors,
                 "wall_time_s": round(self._wall_time_s, 6),

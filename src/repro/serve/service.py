@@ -29,6 +29,12 @@ Three serving mechanisms live here:
   for a pool slot when its deadline passes never occupies a worker (the
   deadline *frees* the pool), and one already computing stops blocking its
   client.
+* **Circuit breakers** — repeated failures or deadline misses on one
+  ``tenant/lane`` trip that lane's breaker
+  (:mod:`repro.reliability.breaker`): further requests are rerouted to the
+  sampled lane when the client allows, or refused with a structured
+  :class:`~repro.errors.CircuitOpenError` carrying ``retry_after_s``.  After
+  a reset timeout the breaker half-opens and one probe decides recovery.
 
 Every served request emits one JSON line on the ``repro.serve.request``
 logger — tenant, query hash, verdict, lane, backend, shard axis,
@@ -53,12 +59,15 @@ from ..analysis.dichotomy import DichotomyVerdict, classify_svc
 from ..data.database import PartitionedDatabase
 from ..engine.svc_engine import engine_cache_stats
 from ..errors import (
+    CircuitOpenError,
     ConfigError,
     DeadlineExceededError,
     ServiceOverloadError,
     UnknownTenantError,
 )
 from ..queries.base import BooleanQuery
+from ..reliability import faults
+from ..reliability.breaker import BreakerRegistry
 from ..workspace.results import WhatIfBatch, WorkspaceRefresh
 from ..workspace.workspace import DELTA_PREFIXES, parse_delta_spec
 from ..workspace.store import (
@@ -68,7 +77,7 @@ from ..workspace.store import (
     query_content_text,
 )
 from ..workspace.workspace import AttributionWorkspace
-from .admission import AdmissionDecision, AdmissionPolicy, admit
+from .admission import AdmissionDecision, AdmissionPolicy, admit, degrade_decision
 from .metrics import ServiceMetrics
 from .results import ServedAttribution
 
@@ -160,6 +169,9 @@ class AttributionService:
         self._pending_pooled = 0
         self._slots: "asyncio.Semaphore | None" = None  # created lazily on a loop
         self._metrics = ServiceMetrics()
+        self._breakers = BreakerRegistry(
+            failure_threshold=self._policy.breaker_failure_threshold,
+            reset_timeout_s=self._policy.breaker_reset_s)
         workers = executor_workers if executor_workers is not None \
             else self._policy.max_inflight + 2
         self._executor = ThreadPoolExecutor(
@@ -304,6 +316,7 @@ class AttributionService:
         if deadline_at is not None and time.monotonic() >= deadline_at:
             raise DeadlineExceededError(
                 "request deadline elapsed before computation started")
+        faults.check("serve.compute")
         session = AttributionSession(query, snapshot,
                                      self._session_config(lane, index),
                                      store=self._store)
@@ -372,6 +385,45 @@ class AttributionService:
             "outcome": outcome,
         }, sort_keys=True))
 
+    def _breaker_gate(self, tenant: str, decision: AdmissionDecision, *,
+                      key: str, start: float, allow_degraded: bool,
+                      index: str) -> "tuple[AdmissionDecision, object, str | None]":
+        """Apply the per-tenant/lane circuit breaker to an admitted request.
+
+        Returns ``(decision, breaker, note)``: the (possibly rerouted)
+        decision, the breaker that will observe this request's outcome, and a
+        ``degradation_reason`` entry when an open breaker pushed the request
+        down to the sampled lane.  A request that can neither proceed nor
+        degrade raises :class:`~repro.errors.CircuitOpenError` (the 503 with
+        a real retry hint).
+        """
+        breaker = self._breakers.get(f"{tenant}/{decision.lane}")
+        if breaker.allow():
+            return decision, breaker, None
+        degraded_breaker = self._breakers.get(f"{tenant}/degraded")
+        can_degrade = (decision.lane in ("fast", "pooled")
+                       and allow_degraded and index == "shapley"
+                       and degraded_breaker.allow())
+        if can_degrade:
+            note = (f"breaker→sampled: circuit breaker open on lane "
+                    f"{decision.lane!r} for tenant {tenant!r} "
+                    f"({breaker.snapshot()['consecutive_failures']} consecutive "
+                    "failures); rerouted to the Monte-Carlo sampled lane")
+            self._metrics.record_breaker_degraded()
+            return degrade_decision(decision, note), degraded_breaker, note
+        retry_after = breaker.retry_after_s()
+        self._metrics.record_rejection("circuit")
+        self._log_request(tenant=tenant, key=key, decision=decision,
+                          lane=decision.lane, backend=None, shard_axis=None,
+                          coalesced=False,
+                          wall_time_s=time.perf_counter() - start,
+                          outcome="circuit_open")
+        raise CircuitOpenError(
+            f"circuit breaker open on lane {decision.lane!r} for tenant "
+            f"{tenant!r} after repeated failures; retry in "
+            f"{retry_after:.1f}s or send allow_degraded=true",
+            tenant=tenant, lane=decision.lane, retry_after_s=retry_after)
+
     async def attribute(self, tenant: str, query: BooleanQuery, *,
                         allow_degraded: bool = True,
                         deadline_s=_UNSET,
@@ -411,6 +463,13 @@ class AttributionService:
                               outcome="rejected")
             raise ServiceOverloadError(decision.reason, verdict=decision.verdict,
                                        reason="budget")
+        decision, breaker, breaker_note = self._breaker_gate(
+            tenant, decision, key=key, start=start,
+            allow_degraded=allow_degraded, index=effective_index)
+        if breaker_note is not None:
+            # The lane changed, so the coalescing identity changes with it.
+            key = request_key(tenant, query, snapshot, decision.lane,
+                              effective_index)
         deadline_s, deadline_at = self._resolve_deadline(deadline_s)
         if self._slots is None:
             self._slots = asyncio.Semaphore(self._policy.max_inflight)
@@ -471,13 +530,19 @@ class AttributionService:
                         deadline_s=deadline_s) from None
             backend = report.backend
             shard_axis = report.shard_axis
+            if not coalesced:
+                breaker.record_success()
         except DeadlineExceededError as error:
             if error.deadline_s is None and deadline_s is not None:
                 error.deadline_s = deadline_s
             outcome = "deadline"
+            if not coalesced:
+                breaker.record_failure()
             raise
-        except BaseException:
+        except BaseException as error:
             outcome = "error"
+            if not coalesced and not isinstance(error, asyncio.CancelledError):
+                breaker.record_failure()
             raise
         finally:
             wall = time.perf_counter() - start
@@ -489,6 +554,9 @@ class AttributionService:
                               lane=decision.lane, backend=backend,
                               shard_axis=shard_axis, coalesced=coalesced,
                               wall_time_s=wall, outcome=outcome)
+        if breaker_note is not None:
+            report = replace(report, degradation_reason=(
+                report.degradation_reason + (breaker_note,)))
         return ServedAttribution(tenant=tenant, query=str(query),
                                  request_key=key, lane=decision.lane,
                                  coalesced=coalesced, report=report,
@@ -505,6 +573,58 @@ class AttributionService:
         richer = getattr(self._store, "store_stats", None)
         return richer() if callable(richer) else dict(self._store.stats())
 
+    def health(self) -> dict:
+        """The rolled-up health verdict (what ``GET /healthz`` serves).
+
+        ``status`` is the worst of three component verdicts:
+
+        * **breakers** — ``unhealthy`` when every materialised breaker is
+          open (nothing can be served), ``degraded`` when any is open or
+          half-open, ``ok`` otherwise (including before any traffic);
+        * **pool** — ``unhealthy`` at full saturation (admitted pooled work
+          ≥ ``max_inflight + max_queued``: the next pooled request gets a
+          capacity 503), ``degraded`` at ≥ half;
+        * **store** — ``unhealthy`` when puts have failed but nothing was
+          ever stored (persistence is dead), ``degraded`` on any put
+          failure or quarantined/invalid entry.
+        """
+        order = ("ok", "degraded", "unhealthy")
+        breakers = self._breakers.snapshot()
+        states = [snap["state"] for snap in breakers.values()]
+        if states and all(state == "open" for state in states):
+            breaker_status = "unhealthy"
+        elif any(state != "closed" for state in states):
+            breaker_status = "degraded"
+        else:
+            breaker_status = "ok"
+        capacity = self._policy.max_inflight + self._policy.max_queued
+        saturation = self._pending_pooled / capacity if capacity else 0.0
+        pool_status = ("unhealthy" if saturation >= 1.0
+                       else "degraded" if saturation >= 0.5 else "ok")
+        store = self.store_stats()
+        damaged = store.get("quarantined", 0) + store.get("invalid", 0)
+        put_failures = store.get("put_failures", 0)
+        if put_failures and not store.get("stores", 0):
+            store_status = "unhealthy"
+        elif put_failures or damaged:
+            store_status = "degraded"
+        else:
+            store_status = "ok"
+        components = {
+            "breakers": {"status": breaker_status, "breakers": breakers},
+            "pool": {"status": pool_status,
+                     "pending_pooled": self._pending_pooled,
+                     "capacity": capacity,
+                     "saturation": round(saturation, 6)},
+            "store": {"status": store_status,
+                      "put_failures": put_failures,
+                      "quarantined": store.get("quarantined", 0),
+                      "invalid": store.get("invalid", 0)},
+        }
+        status = max((c["status"] for c in components.values()),
+                     key=order.index)
+        return {"status": status, "components": components}
+
     def stats(self) -> dict:
         """The live metrics surface (what ``GET /stats`` serves).
 
@@ -518,6 +638,7 @@ class AttributionService:
             "admission_policy": self._policy.to_json_dict(),
             "coalescing": {"enabled": self._coalesce,
                            "inflight": len(self._inflight)},
+            "breakers": self._breakers.snapshot(),
             "engine_cache": engine_cache_stats(),
             "store": self.store_stats(),
             "tenants": {

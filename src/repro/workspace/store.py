@@ -19,12 +19,20 @@ Two backends ship with the package:
 
 Robustness contract of every store: ``get`` returns ``None`` — a plain cache
 miss — for absent, corrupted, truncated or version-mismatched entries; it
-never raises.  ``put`` silently skips artifacts that cannot be serialised.
-The caller always recomputes on a miss and overwrites on the next ``put``, so
-a damaged store heals itself.  Values round-trip losslessly: every count and
-Shapley value derived from a stored artifact is a bitwise-identical
-``Fraction`` to one derived from a freshly computed artifact (exact integer /
-rational arithmetic pickles exactly).
+never raises.  ``put`` skips artifacts that cannot be serialised and *counts*
+write failures (``put_failures`` in ``store_stats()``) after a bounded
+deterministic retry.  The caller always recomputes on a miss and overwrites
+on the next ``put``, so a damaged store heals itself.  Values round-trip
+losslessly: every count and Shapley value derived from a stored artifact is a
+bitwise-identical ``Fraction`` to one derived from a freshly computed
+artifact (exact integer / rational arithmetic pickles exactly).
+
+No silent corruption: disk entries are checksummed envelopes (SHA-256 over
+the pickled payload, verified *before* deserialisation), so a bit flip that
+still unpickles cleanly can never surface as a wrong artifact — and corrupt
+files are moved to a ``quarantine/`` subdirectory exactly once, instead of
+being re-read and re-missed forever, so operators can inspect what the
+hardware did.
 """
 
 from __future__ import annotations
@@ -39,6 +47,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from ..reliability import faults
+from ..reliability.retry import RetryPolicy, call_with_retry
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..counting.lineage import Lineage
     from ..data.database import PartitionedDatabase
@@ -46,8 +57,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bumped whenever the pickled artifact layout changes incompatibly; stored
 #: entries carrying another version are treated as misses (recompute and
-#: overwrite), never deserialised into the wrong shape.
-ARTIFACT_SCHEMA_VERSION = 1
+#: overwrite), never deserialised into the wrong shape.  Version 2 nests the
+#: pickled payload as bytes under a SHA-256 checksum, so corruption is
+#: detected before deserialisation; version-1 entries read as stale misses.
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Field / record separators of the canonical content texts (control
 #: characters that cannot occur in relation or constant renderings).
@@ -242,11 +255,20 @@ class DiskStore:
     """A directory of pickled artifacts, one file per content key.
 
     Entries are written atomically (temp file + ``os.replace``) and wrapped in
-    a versioned envelope; ``get`` treats everything it cannot fully validate —
-    missing files, truncated or corrupted pickles, foreign payloads, schema
-    version mismatches — as a plain miss and (best-effort) deletes the damaged
-    file so the next ``put`` starts clean.  A ``DiskStore`` therefore never
-    fails a computation: at worst it degrades to recomputing.
+    a versioned, *checksummed* envelope: the payload pickle is nested as bytes
+    under its SHA-256, verified before deserialisation.  ``get`` treats
+    everything it cannot fully validate as a plain miss — stale schema
+    versions and foreign payloads are (best-effort) deleted; corrupted or
+    truncated entries are moved to a ``quarantine/`` subdirectory exactly
+    once, so damage is inspectable and is never re-read into a second miss.
+    A ``DiskStore`` therefore never fails a computation: at worst it degrades
+    to recomputing.
+
+    ``put`` retries transient ``OSError`` failures (full disk, flaky mount)
+    under a bounded deterministic :class:`~repro.reliability.RetryPolicy`
+    before giving up; exhausted writes are counted as ``put_failures``.  On
+    open, leftover ``*.tmp`` files from writers that crashed mid-``put`` are
+    swept (counted as ``tmp_swept``).
 
     ``max_bytes`` bounds the directory: after every successful ``put`` the
     least-recently-*used* entries (by file mtime — a ``get`` hit touches the
@@ -262,22 +284,65 @@ class DiskStore:
     """
 
     def __init__(self, directory: "str | os.PathLike[str]",
-                 max_bytes: "int | None" = None):
+                 max_bytes: "int | None" = None,
+                 retry: "RetryPolicy | None" = None):
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=3, backoff_s=0.005)
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._stores = 0
         self._invalid = 0
-        self._put_errors = 0
+        self._put_failures = 0
+        self._put_retries = 0
+        self._quarantined = 0
         self._evictions = 0
+        self._tmp_swept = self._sweep_tmp_files()
+
+    def _sweep_tmp_files(self) -> int:
+        """Remove ``*.tmp`` leftovers of writers that crashed mid-``put``.
+
+        Atomicity means a crashed writer can only ever leave a temp file, not
+        a half-written entry — sweeping at open keeps the directory from
+        accumulating dead bytes.  A concurrently *live* writer whose temp file
+        vanishes underneath it fails its ``os.replace``, which the retry
+        logic treats like any other transient write failure.
+        """
+        swept = 0
+        for tmp in self.directory.glob("*.tmp"):
+            try:
+                tmp.unlink()
+                swept += 1
+            except OSError:
+                continue
+        return swept
 
     def _path(self, key: ArtifactKey) -> Path:
         return self.directory / key.filename
+
+    @property
+    def quarantine_directory(self) -> Path:
+        """Where corrupt entries are moved (created on first quarantine)."""
+        return self.directory / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move one corrupt entry into ``quarantine/`` (fall back to unlink).
+
+        Either way the damaged file leaves the store directory exactly once:
+        it can never be re-read into an endless miss-again loop, and when the
+        move succeeds the evidence survives for inspection.
+        """
+        try:
+            self.quarantine_directory.mkdir(exist_ok=True)
+            os.replace(path, self.quarantine_directory / path.name)
+        except OSError:
+            self._discard(path)
+        self._count("_quarantined")
 
     def _count(self, counter: str, by: int = 1) -> None:
         with self._lock:
@@ -286,6 +351,7 @@ class DiskStore:
     def get(self, key: ArtifactKey) -> "object | None":
         path = self._path(key)
         try:
+            faults.check("store.get.read")
             raw = path.read_bytes()
         except OSError:
             self._count("_misses")
@@ -294,16 +360,34 @@ class DiskStore:
             envelope = pickle.loads(raw)
             version = envelope["version"]
             kind = envelope["kind"]
-            artifact = envelope["payload"]
+            payload_blob = envelope["payload"]
+            checksum = envelope["checksum"]
         except Exception:
-            # Truncated file, corrupted bytes, unknown classes, not even a
-            # dict: a damaged entry is a miss, never a crash.
-            self._discard(path)
+            # Truncated file, corrupted bytes, not even a dict: damage.
+            # Quarantined (not deleted): inspectable, and never re-read.
+            self._quarantine(path)
             self._count("_misses")
             self._count("_invalid")
             return None
         if version != ARTIFACT_SCHEMA_VERSION or kind != key.kind:
+            # Not damage — a stale schema or a foreign payload under our key.
+            # Discard so the next put starts clean.
             self._discard(path)
+            self._count("_misses")
+            self._count("_invalid")
+            return None
+        if (not isinstance(payload_blob, bytes)
+                or hashlib.sha256(payload_blob).hexdigest() != checksum):
+            # The envelope unpickled but the payload bytes are not what was
+            # written: the silent-corruption case the checksum exists for.
+            self._quarantine(path)
+            self._count("_misses")
+            self._count("_invalid")
+            return None
+        try:
+            artifact = pickle.loads(payload_blob)
+        except Exception:
+            self._quarantine(path)
             self._count("_misses")
             self._count("_invalid")
             return None
@@ -316,22 +400,34 @@ class DiskStore:
 
     def put(self, key: ArtifactKey, artifact: object) -> None:
         try:
-            blob = pickle.dumps({"version": ARTIFACT_SCHEMA_VERSION,
-                                 "kind": key.kind, "payload": artifact})
+            payload_blob = pickle.dumps(artifact)
         except Exception:
-            self._count("_put_errors")  # unpicklable artifact: skip, don't fail
+            self._count("_put_failures")  # unpicklable artifact: skip, don't fail
             return
-        try:
+        blob = pickle.dumps({"version": ARTIFACT_SCHEMA_VERSION,
+                             "kind": key.kind,
+                             "checksum": hashlib.sha256(payload_blob).hexdigest(),
+                             "payload": payload_blob})
+
+        def write_once() -> None:
+            faults.check("store.put.write")
+            # A "corrupt"/"truncate" fault mangles the bytes *silently* —
+            # the write succeeds; detection is get()'s checksum's job.
+            out = faults.mangle("store.put.write", blob)
             fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
+                    handle.write(out)
                 os.replace(tmp_name, self._path(key))
             except BaseException:
                 self._discard(Path(tmp_name))
                 raise
+
+        try:
+            call_with_retry(write_once, self.retry, retry_on=(OSError,),
+                            on_retry=lambda *_: self._count("_put_retries"))
         except OSError:
-            self._count("_put_errors")  # full/read-only disk: the store degrades
+            self._count("_put_failures")  # retries exhausted: the store degrades
             return
         self._count("_stores")
         self._evict_to_budget()
@@ -385,16 +481,26 @@ class DiskStore:
         """Current on-disk footprint of the store's entries."""
         return sum(size for _, size, _ in self._entries_by_recency())
 
+    def quarantine_entries(self) -> int:
+        """How many corrupt entries sit in ``quarantine/`` right now."""
+        if not self.quarantine_directory.is_dir():
+            return 0
+        return sum(1 for _ in self.quarantine_directory.glob("*.pkl"))
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             return {"hits": self._hits, "misses": self._misses,
                     "stores": self._stores, "invalid": self._invalid,
-                    "put_errors": self._put_errors,
+                    "put_failures": self._put_failures,
+                    "put_retries": self._put_retries,
+                    "quarantined": self._quarantined,
+                    "tmp_swept": self._tmp_swept,
                     "evictions": self._evictions}
 
     def store_stats(self) -> dict:
         """The counters plus the store's size and capacity configuration."""
         return {**self.stats(), "entries": len(self),
+                "quarantine_entries": self.quarantine_entries(),
                 "total_bytes": self.total_bytes(), "max_bytes": self.max_bytes}
 
 

@@ -586,8 +586,11 @@ class TestHTTP:
             server = await AttributionHTTPServer(service, port=0).start()
             port = server.port
             try:
-                health = await _call(port, "GET", "/healthz")
-                assert health == (200, {"status": "ok"})
+                status, health = await _call(port, "GET", "/healthz")
+                assert status == 200
+                assert health["status"] == "ok"
+                assert set(health["components"]) == {"breakers", "pool",
+                                                     "store"}
                 for name, body in (("acme", facts), ("globex", facts),
                                    ("big", big)):
                     status, _ = await _call(port, "POST", "/v1/tenants",

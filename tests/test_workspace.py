@@ -217,7 +217,7 @@ class TestDiskStore:
     def test_unpicklable_put_is_skipped_not_raised(self, tmp_path):
         store = DiskStore(tmp_path)
         store.put(plan_key(Q_HIER), lambda: None)  # lambdas don't pickle
-        assert store.stats()["put_errors"] == 1
+        assert store.stats()["put_failures"] == 1
         assert store.get(plan_key(Q_HIER)) is None
 
     def test_engine_recomputes_through_corruption(self, tmp_path):
@@ -362,7 +362,7 @@ class TestStoreThreadSafety:
         # Exact counter conservation despite the concurrency: every get was
         # a hit or a miss, every put was stored or failed.
         assert stats["hits"] + stats["misses"] == workers * rounds
-        assert stats["stores"] + stats["put_errors"] == workers * rounds
+        assert stats["stores"] + stats["put_failures"] == workers * rounds
         assert store.total_bytes() <= 16 * 1024
 
     def test_two_threads_hammering_one_memory_store(self):
