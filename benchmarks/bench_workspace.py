@@ -11,12 +11,17 @@ asserts the parity contract (bitwise-identical ``Fraction``s against a cold
 session on the final snapshot) on every run, and records the timings in
 ``BENCH_workspace.json``.
 
-The acceptance contract asserted here: at the largest size a **warm
-single-fact refresh is at least 2x faster than a cold recompute** (measured:
-orders of magnitude — the warm path does no counting work at all).  Both
-sides run serially on one core, so the floor is hardware-independent.  A
-second, subprocess-based check asserts that ``DiskStore`` artifacts written
-by this process are reused by a **fresh process** (store hits, no recompile).
+The acceptance contracts asserted here: at the largest size a **warm
+single-fact refresh whose delta stays outside the lineage support is at
+least 2x faster than a cold recompute** (measured: orders of magnitude — the
+warm path does no counting work at all), and on the island-rich shapes an
+**in-support single-fact refresh through the incremental patcher
+(:mod:`repro.incremental`) is at least 5x faster than the cold recompute**
+(measured: ~8-11x — the steady state re-prices one island and recombines,
+while cold recompiles every island).  Both sides of both contracts run
+serially on one core, so the floors are hardware-independent.  A further
+subprocess-based check asserts that ``DiskStore`` artifacts written by this
+process are reused by a **fresh process** (store hits, no recompile).
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.counting import clear_caches
 from repro.data import fact
 from repro.engine import clear_engine_cache
 from repro.experiments import format_table, q_rst, sparse_endogenous_instance
+from repro.experiments.batch_engine import island_attribution_instance
 from repro.workspace import AttributionWorkspace, DiskStore, MemoryStore
 
 QUERY = q_rst()
@@ -46,6 +52,12 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_workspace.json"
 #: hard-but-structured family, all facts endogenous.  The last shape is the
 #: acceptance instance of the >= 2x warm-refresh contract.
 SHAPES = ((7, 7, 0.35, 5), (9, 9, 0.33, 5), (11, 11, 0.27, 5))
+
+#: (n_islands, left, right) — variable-disjoint R/S/T islands, the shape
+#: where circuit patching pays: an in-support single-fact delta perturbs one
+#: island, the rest reload from the store.  The last shape is the acceptance
+#: instance of the >= 5x incremental-patch contract.
+ISLAND_SHAPES = ((4, 2, 2), (8, 3, 3), (10, 4, 3))
 
 
 def _assert_bitwise(left: dict, right: dict) -> None:
@@ -113,6 +125,60 @@ def _measure(shape: "tuple[int, int, float, int]") -> dict:
     }
 
 
+def _measure_incremental(shape: "tuple[int, int, int]") -> dict:
+    """Steady-state in-support refresh (incremental patch) vs cold session.
+
+    Alternates removing and re-inserting one island's ``R`` fact — every
+    refresh is in-support, so the workspace routes through the
+    :mod:`repro.incremental` patcher (asserted via ``refresh_reason``).  One
+    warm-up pair populates both snapshots' island artifacts; the steady
+    state is then best-of-4 pairs against a best-of-2 cold session on the
+    final snapshot, with caches cleared per cold rep.  Both sides serial.
+    """
+    n_islands, left, right = shape
+    pdb = island_attribution_instance(n_islands, left=left, right=right)
+
+    clear_caches()
+    clear_engine_cache()
+    ws = AttributionWorkspace(pdb, store=MemoryStore())
+    ws.register("q", QUERY)
+    start = time.perf_counter()
+    ws.refresh()
+    initial_s = time.perf_counter() - start
+
+    victim = fact("R", "i0l0")
+    ws.remove(victim)
+    ws.refresh()                       # warm-up: compiles the touched island
+    ws.insert(victim)
+    ws.refresh()
+
+    warm_incremental_s = None
+    for _ in range(4):
+        for mutate in (ws.remove, ws.insert):
+            mutate(victim)
+            start = time.perf_counter()
+            refresh = ws.refresh()
+            wall = time.perf_counter() - start
+            assert refresh["q"].refresh_reason == "incremental-patch", \
+                f"in-support delta must take the patch route: {refresh['q']}"
+            assert refresh["q"].maintenance == "incremental"
+            warm_incremental_s = wall if warm_incremental_s is None \
+                else min(warm_incremental_s, wall)
+
+    cold_s, cold_values = _cold_time(ws.pdb)
+    _assert_bitwise(ws.values("q"), cold_values)
+
+    return {
+        "n_islands": n_islands,
+        "n_endogenous": len(pdb.endogenous),
+        "initial_s": round(initial_s, 4),
+        "cold_s": round(cold_s, 4),
+        "warm_incremental_s": round(warm_incremental_s, 6),
+        "incremental_speedup": round(cold_s / warm_incremental_s, 1)
+        if warm_incremental_s else None,
+    }
+
+
 def _fresh_process_check(tmp_dir: Path) -> dict:
     """Warm a DiskStore here, then attribute in a fresh process against it."""
     store = DiskStore(tmp_dir)
@@ -155,12 +221,14 @@ def _fresh_process_check(tmp_dir: Path) -> dict:
 def test_workspace_benchmark(capsys, tmp_path):
     """Measure, assert the perf + parity contract, record ``BENCH_workspace.json``."""
     rows = [_measure(shape) for shape in SHAPES]
+    island_rows = [_measure_incremental(shape) for shape in ISLAND_SHAPES]
     cross_process = _fresh_process_check(tmp_path / "artifacts")
     payload = {
         "query": str(QUERY),
         "instances": "sparse bipartite q_RST, all facts endogenous",
         **environment(),
         "rows": rows,
+        "island_rows": island_rows,
         "cross_process": cross_process,
         "assertions": [
             assertion("bitwise parity: workspace values == cold session on "
@@ -168,6 +236,11 @@ def test_workspace_benchmark(capsys, tmp_path):
             assertion("warm single-fact refresh >= 2x cold recompute at the "
                       "largest size", hardware_independent=True, ran=True,
                       detail="both sides serial on one core"),
+            assertion("in-support single-fact refresh (incremental patch) "
+                      ">= 5x cold recompute at the largest island shape",
+                      hardware_independent=True, ran=True,
+                      detail="both sides serial on one core; route asserted "
+                             "via refresh_reason == 'incremental-patch'"),
             assertion("fresh process reuses DiskStore artifacts (hits, no "
                       "recompile)", hardware_independent=True, ran=True),
         ],
@@ -175,19 +248,27 @@ def test_workspace_benchmark(capsys, tmp_path):
                  "warm_reuse = workspace refresh after a single-fact delta "
                  "outside the lineage support (cached values provably valid); "
                  "warm_recompute = refresh after an in-support delta (full "
-                 "recompute through the artifact store); both serial on one "
-                 "core, so the >= 2x floor is hardware-independent"),
+                 "recompute through the artifact store); warm_incremental = "
+                 "steady-state in-support refresh through the repro.incremental "
+                 "patcher on the island shapes; all serial on one core, so "
+                 "the >= 2x and >= 5x floors are hardware-independent"),
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     with capsys.disabled():
         print()
         print(format_table(rows, title="Incremental workspace vs cold session (q_RST)"))
+        print(format_table(island_rows,
+                           title="Incremental patch vs cold session (island q_RST)"))
         print(f"fresh-process DiskStore reuse: {cross_process}")
         print(f"recorded: {RESULTS_PATH}")
 
     largest = rows[-1]
     assert largest["reuse_speedup"] >= 2.0, \
         f"warm refresh only {largest['reuse_speedup']}x faster at the largest size: {largest}"
+    largest_island = island_rows[-1]
+    assert largest_island["incremental_speedup"] >= 5.0, \
+        (f"incremental patch only {largest_island['incremental_speedup']}x "
+         f"faster at the largest island shape: {largest_island}")
 
 
 @pytest.mark.benchmark(group="workspace")

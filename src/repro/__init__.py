@@ -34,6 +34,10 @@ The package is organised as follows:
   :class:`~repro.workspace.ArtifactStore` (in-memory LRU or on-disk pickles
   keyed by content hashes) so plans, lineages and compiled circuits survive
   updates and process restarts;
+* :mod:`repro.incremental` — delta maintenance under the workspace: the
+  minimal support family as a materialised view advanced clause-by-clause
+  per delta, and circuit patching that re-prices only the lineage islands a
+  delta actually reaches, seeding recompiles from the previous circuit;
 * :mod:`repro.serve` — the serving tier above workspaces: an asyncio
   :class:`~repro.serve.AttributionService` with request coalescing,
   dichotomy-driven admission control, per-tenant workspaces over one shared
@@ -201,6 +205,29 @@ artifacts across process restarts::
     batch[0].probability                # Pr(q) under the scenario, exact
     batch[0].values                     # per-fact values by conditioning the
     batch.recompiled                    # standing circuit (() = no recompiles)
+
+Incremental maintenance — when a delta *does* reach a query's support, the
+workspace no longer recomputes from scratch by default.  The query's minimal
+support family is kept as a delta-maintained view (:mod:`repro.incremental`):
+an insert grounds only the clauses passing through the new fact, a removal
+drops exactly the touched clauses, and a repartition rewrites them in place.
+The refreshed lineage then re-prices **island by island** against the
+artifact store — untouched islands are store hits, and the one island the
+delta reached recompiles seeded from its previous circuit — so a single-fact
+update costs one island, not the database (>= 5x over the cold path on the
+island-rich shapes in ``BENCH_workspace.json``).  The route is audited per
+query in :attr:`~repro.workspace.AttributionDelta.refresh_reason`
+(``"incremental-patch"`` / ``"conservative-recompute"`` /
+``"patch-fallback"`` / ``"out-of-support-reuse"``) with per-island counters
+in ``patch_stats``; any surprise falls back to the cold recompute, which
+doubles as the parity oracle — both paths produce bitwise-identical
+``Fraction`` values (``examples/streaming_deltas.py`` walks through it)::
+
+    ws.insert(fact("S", "c", "d"))      # reaches one island's support
+    result = ws.refresh()
+    result["suspects"].refresh_reason   # "incremental-patch"
+    result["suspects"].patch_stats      # islands, store hits, seeded compiles
+    ws.store_stats()["patched"]         # patches vs "patch_fallbacks"
 
 When many callers hit the same process — the serving shape — wrap the
 workspaces in an :class:`~repro.serve.AttributionService` (or run

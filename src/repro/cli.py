@@ -451,7 +451,18 @@ def _apply_delta(ws: AttributionWorkspace, spec: str) -> str:
 def _print_attribution_delta(delta: AttributionDelta,
                              index: str = "shapley") -> None:
     status = "recomputed" if delta.recomputed else "reused cached values"
-    print(f"[{delta.name}] {status} — {delta.reason}")
+    route = f" [{delta.refresh_reason}]" if delta.refresh_reason else ""
+    print(f"[{delta.name}] {status}{route} — {delta.reason}")
+    if delta.maintenance == "incremental" and delta.patch_stats:
+        s = delta.patch_stats
+        print(f"  incremental patch: {s.get('islands', 0)} islands — "
+              f"{s.get('pairs_hits', 0)} pairs hits, "
+              f"{s.get('circuit_hits', 0)} circuit hits, "
+              f"{s.get('seeded_compiles', 0)} seeded + "
+              f"{s.get('fresh_compiles', 0)} fresh compiles, "
+              f"{s.get('counting_islands', 0)} counted")
+    elif delta.refresh_reason == "patch-fallback" and delta.patch_stats:
+        print(f"  patch fallback: {delta.patch_stats.get('fallback', '?')}")
     label = _value_label(index)
     rows = [{"fact": str(f), label: str(v), "≈": f"{float(v):.4f}"}
             for f, v in delta.ranking]
@@ -491,7 +502,7 @@ def _command_workspace(args: argparse.Namespace) -> int:
         payload = {"initial": initial.to_json_dict(),
                    "deltas": applied,
                    "refresh": None if refresh is None else refresh.to_json_dict(),
-                   "store": store.stats()}
+                   "store": ws.store_stats()}
         print(json.dumps(payload, indent=2))
         return 0
     _print_attribution_delta(initial["query"], args.index)
@@ -500,7 +511,7 @@ def _command_workspace(args: argparse.Namespace) -> int:
         print(f"applied deltas: {'; '.join(applied)}")
         _print_attribution_delta(refresh["query"], args.index)
         print(f"refresh wall time: {refresh.wall_time_s:.4f}s")
-    print(f"artifact store: {store.stats()}")
+    print(f"artifact store: {ws.store_stats()}")
     return 0
 
 

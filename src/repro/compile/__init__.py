@@ -12,6 +12,7 @@ from .compiler import (
     DEFAULT_NODE_BUDGET,
     ORDERINGS,
     CircuitBudgetError,
+    CompileSeed,
     CompiledDNF,
     CompiledLineage,
     ConditioningPlan,
@@ -27,6 +28,7 @@ __all__ = [
     "Circuit",
     "CircuitBudgetError",
     "CircuitInvariantError",
+    "CompileSeed",
     "CompiledDNF",
     "CompiledLineage",
     "ConditioningPlan",

@@ -59,7 +59,7 @@ from ..counting.dnf_counter import (
 )
 from ..errors import ReproError
 from ..reliability import faults
-from .circuit import AND, Circuit
+from .circuit import AND, DECISION, FALSE, FREE, TRUE, Circuit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..counting.lineage import Lineage
@@ -135,10 +135,49 @@ def _resolve_ordering(ordering: "str | OrderingHeuristic") -> OrderingHeuristic:
             f"pick one of {tuple(ORDERINGS)} or pass a callable") from None
 
 
+class CompileSeed:
+    """Warm-start material for recompiling a *changed* formula.
+
+    Holds a previously compiled circuit together with its retained formula
+    cache (``compile_dnf(..., retain_cache=True)``) and an **injective**
+    variable renumbering from the old circuit's variable ids to the new
+    formula's.  During the new compilation, any sub-formula whose renumbered
+    clause set already has a node in the old circuit is *grafted* — copied
+    node by node into the new circuit, renumbering variables on the way —
+    instead of being re-expanded through Shannon branching.  Correctness is
+    free: the graft is a verbatim subcircuit copy and every derived count is
+    a pure function of circuit semantics, so seeded and unseeded compilations
+    agree bitwise (they may differ in node layout, never in counts).
+    """
+
+    def __init__(self, compiled: "CompiledDNF",
+                 renumber: "Mapping[int, int]"):
+        if compiled.formula_cache is None:
+            raise ValueError(
+                "seeding needs a formula cache; compile the previous formula "
+                "with retain_cache=True")
+        if len(set(renumber.values())) != len(renumber):
+            raise ValueError("variable renumbering must be injective")
+        self.circuit = compiled.circuit
+        self.renumber = dict(renumber)
+        #: renumbered clause set -> node in the *old* circuit.  Cache entries
+        #: mentioning variables outside the renumbering cannot recur in the
+        #: new formula and are skipped.
+        self.lookup: dict[frozenset[frozenset[int]], int] = {}
+        for clauses, node in compiled.formula_cache.items():
+            try:
+                key = frozenset(frozenset(self.renumber[v] for v in clause)
+                                for clause in clauses)
+            except KeyError:
+                continue
+            self.lookup[key] = node
+
+
 class _Compiler:
     """One compilation run: holds the circuit under construction and the caches."""
 
-    def __init__(self, ordering: OrderingHeuristic, node_budget: int):
+    def __init__(self, ordering: OrderingHeuristic, node_budget: int,
+                 seed: "CompileSeed | None" = None):
         if node_budget < 1:
             raise ValueError(f"node_budget must be >= 1, got {node_budget}")
         self.circuit = Circuit()
@@ -146,6 +185,8 @@ class _Compiler:
         self.node_budget = node_budget
         #: formula cache: DNF clause set -> circuit node of its complement.
         self.cache: dict[frozenset[frozenset[int]], int] = {}
+        self.seed = seed
+        self._graft_memo: dict[int, int] = {}
 
     def _check_budget(self) -> None:
         if len(self.circuit) > self.node_budget:
@@ -169,6 +210,12 @@ class _Compiler:
         cached = self.cache.get(clauses)
         if cached is not None:
             return cached
+        if self.seed is not None:
+            old = self.seed.lookup.get(clauses)
+            if old is not None:
+                node = self._graft(old)
+                self.cache[clauses] = node
+                return node
         if frozenset() in clauses:      # F trivially true  -> complement false
             node = self.circuit.add_false()
         elif not clauses:               # F trivially false -> complement true
@@ -205,6 +252,43 @@ class _Compiler:
         self._check_budget()
         return node
 
+    def _graft(self, old_node: int) -> int:
+        """Copy an old subcircuit into this one, renumbering variables.
+
+        The old circuit's add order is topological and the formula cache only
+        exposes nodes whose full scope lies inside the renumbering (a cached
+        sub-formula's subcircuit never ranges outside the sub-formula's
+        variables), so every recursive lookup resolves.  Node construction
+        goes through the ordinary ``add_*`` builders, keeping deduplication
+        and the node budget in force.
+        """
+        memo = self._graft_memo
+        cached = memo.get(old_node)
+        if cached is not None:
+            return cached
+        seed = self.seed
+        assert seed is not None
+        old = seed.circuit
+        kind = old.kind[old_node]
+        if kind == FALSE:
+            node = self.circuit.add_false()
+        elif kind == TRUE:
+            node = self.circuit.add_true()
+        elif kind == FREE:
+            node = self.circuit.add_free(
+                frozenset(seed.renumber[v] for v in old.scope[old_node]))
+        elif kind == AND:
+            node = self.circuit.add_and(
+                tuple(self._graft(child) for child in old.children[old_node]))
+        else:
+            assert kind == DECISION
+            hi, lo = old.children[old_node]
+            node = self.circuit.add_decision(
+                seed.renumber[old.var[old_node]], self._graft(hi), self._graft(lo))
+        self._check_budget()
+        memo[old_node] = node
+        return node
+
 
 @dataclass(frozen=True)
 class CompiledDNF:
@@ -221,6 +305,11 @@ class CompiledDNF:
     circuit: Circuit
     #: Diagnostic only — which heuristic compiled this circuit.
     ordering: str = DEFAULT_ORDERING
+    #: Retained formula cache (``compile_dnf(..., retain_cache=True)``):
+    #: DNF clause set -> complement node, the raw material of a
+    #: :class:`CompileSeed` for patching this circuit after a formula delta.
+    formula_cache: "dict[frozenset[frozenset[int]], int] | None" = field(
+        default=None, compare=False, repr=False)
     _root_vector: "list[int] | None" = field(default=None, compare=False)
 
     @property
@@ -321,19 +410,26 @@ class CompiledDNF:
 
 
 def compile_dnf(dnf: MonotoneDNF, *, ordering: "str | OrderingHeuristic" = DEFAULT_ORDERING,
-                node_budget: int = DEFAULT_NODE_BUDGET) -> CompiledDNF:
+                node_budget: int = DEFAULT_NODE_BUDGET,
+                retain_cache: bool = False,
+                seed: "CompileSeed | None" = None) -> CompiledDNF:
     """Compile a monotone DNF into a smooth, decomposable decision circuit.
 
-    Raises :class:`CircuitBudgetError` when the circuit would exceed
-    ``node_budget`` nodes (the engine's cue to fall back to per-fact
-    conditioning) and ``ValueError`` on an unknown heuristic name.
+    ``retain_cache=True`` keeps the run's formula cache on the result, making
+    it seedable; ``seed`` warm-starts this compilation from a previously
+    compiled circuit (see :class:`CompileSeed`), so only sub-formulas whose
+    clause set actually changed are re-expanded.  Raises
+    :class:`CircuitBudgetError` when the circuit would exceed ``node_budget``
+    nodes (the engine's cue to fall back to per-fact conditioning) and
+    ``ValueError`` on an unknown heuristic name.
     """
     faults.check("compile.circuit")
     heuristic = _resolve_ordering(ordering)
-    compiler = _Compiler(heuristic, node_budget)
+    compiler = _Compiler(heuristic, node_budget, seed=seed)
     compiler.circuit.root = compiler.compile(dnf.clauses)
     return CompiledDNF(n_variables=dnf.n_variables, circuit=compiler.circuit,
-                       ordering=ordering if isinstance(ordering, str) else "custom")
+                       ordering=ordering if isinstance(ordering, str) else "custom",
+                       formula_cache=dict(compiler.cache) if retain_cache else None)
 
 
 class ConditioningPlan:
@@ -631,6 +727,7 @@ __all__ = [
     "DEFAULT_NODE_BUDGET",
     "DEFAULT_ORDERING",
     "CircuitBudgetError",
+    "CompileSeed",
     "CompiledDNF",
     "CompiledLineage",
     "ConditioningPlan",

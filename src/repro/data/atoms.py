@@ -25,7 +25,7 @@ def _term_key(term: Term) -> tuple[int, str]:
 class Atom:
     """A relational atom ``relation(terms...)`` over constants and variables."""
 
-    __slots__ = ("relation", "terms")
+    __slots__ = ("relation", "terms", "_sort_key")
 
     def __init__(self, relation: str, terms: Iterable[Term]):
         if not relation:
@@ -51,7 +51,14 @@ class Atom:
 
     # -- value semantics ---------------------------------------------------
     def _key(self) -> tuple:
-        return (self.relation, tuple(_term_key(t) for t in self.terms))
+        # Memoised: sorting large databases compares each atom many times,
+        # and the key tuple is immutable like everything else here.
+        try:
+            return self._sort_key
+        except AttributeError:
+            key = (self.relation, tuple(_term_key(t) for t in self.terms))
+            object.__setattr__(self, "_sort_key", key)
+            return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Atom):

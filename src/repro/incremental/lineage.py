@@ -1,0 +1,128 @@
+"""``MaintainedLineage`` — the lineage as a delta-updated materialised view.
+
+:func:`repro.counting.lineage.build_lineage` derives the lineage DNF from the
+minimal supports of the query in the *full* fact set ``Dn ∪ Dx``, then
+projects each support onto the endogenous part.  That enumeration is the
+expensive step of a cold refresh.  ``MaintainedLineage`` keeps the
+enumeration's result — the exact ⊆-minimal support family — alongside the
+partition, and advances it through :func:`repro.incremental.delta.apply_delta`
+instead of re-running it.  ``lineage()`` then replays the *cheap* projection
+step verbatim, so the maintained view is content-identical (same variable
+tuple, same clause sets, bitwise-equal counts) to a from-scratch build on the
+post-delta snapshot — the property ``tests/test_incremental.py`` pins down.
+
+The record is immutable and picklable: the workspace persists it in the
+artifact store under :func:`repro.workspace.store.maintained_key`, so a fresh
+process warm-starts the view from disk instead of enumerating homomorphisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..counting.dnf_counter import MonotoneDNF
+from ..counting.lineage import Lineage
+from ..data.atoms import Fact
+from ..data.database import PartitionedDatabase
+from ..queries.base import BooleanQuery
+from .delta import SnapshotDelta, apply_delta
+
+
+@dataclass(frozen=True)
+class MaintainedLineage:
+    """Materialised minimal-support view of one query over one snapshot.
+
+    Invariant: ``supports`` is exactly the family of ⊆-minimal supports of
+    ``query`` in ``endogenous | exogenous``.  Every :meth:`apply` preserves
+    it (see :mod:`repro.incremental.delta` for the per-op arguments), so
+    :meth:`lineage` always equals ``build_lineage`` on the same snapshot.
+    """
+
+    query: BooleanQuery
+    endogenous: frozenset[Fact]
+    exogenous: frozenset[Fact]
+    supports: frozenset[frozenset[Fact]]
+
+    @classmethod
+    def build(cls, query: BooleanQuery,
+              pdb: PartitionedDatabase) -> "MaintainedLineage":
+        """Materialise the view with one full enumeration (the cold path)."""
+        if not query.is_hom_closed:
+            raise ValueError(
+                "maintained lineage requires a (C-)hom-closed query; "
+                f"{type(query).__name__} is not")
+        supports = frozenset(query.minimal_supports_in(pdb.all_facts))
+        return cls(query=query, endogenous=frozenset(pdb.endogenous),
+                   exogenous=frozenset(pdb.exogenous), supports=supports)
+
+    @property
+    def all_facts(self) -> frozenset[Fact]:
+        """The full fact set the support family ranges over."""
+        return self.endogenous | self.exogenous
+
+    def matches(self, pdb: PartitionedDatabase) -> bool:
+        """Whether the view describes exactly this snapshot's partition."""
+        return (self.endogenous == frozenset(pdb.endogenous)
+                and self.exogenous == frozenset(pdb.exogenous))
+
+    def apply(self, delta: SnapshotDelta) -> "MaintainedLineage":
+        """The view after one delta — supports diffed, partition advanced."""
+        endogenous, exogenous = self.endogenous, self.exogenous
+        if delta.op == "insert":
+            if delta.endogenous:
+                endogenous = endogenous | {delta.fact}
+            else:
+                exogenous = exogenous | {delta.fact}
+        elif delta.op == "remove":
+            endogenous = endogenous - {delta.fact}
+            exogenous = exogenous - {delta.fact}
+        elif delta.op == "make_exogenous":
+            endogenous = endogenous - {delta.fact}
+            exogenous = exogenous | {delta.fact}
+        elif delta.op == "make_endogenous":
+            exogenous = exogenous - {delta.fact}
+            endogenous = endogenous | {delta.fact}
+        supports = apply_delta(self.query, self.supports,
+                               endogenous | exogenous, delta)
+        return MaintainedLineage(query=self.query, endogenous=endogenous,
+                                 exogenous=exogenous, supports=supports)
+
+    def apply_all(self, deltas: "tuple[SnapshotDelta, ...]") -> "MaintainedLineage":
+        """Fold a delta sequence through the view, left to right."""
+        view = self
+        for delta in deltas:
+            view = view.apply(delta)
+        return view
+
+    def support_union(self) -> frozenset[Fact]:
+        """Union of all minimal supports — the workspace's invalidation set."""
+        union: set[Fact] = set()
+        for support in self.supports:
+            union |= support
+        return frozenset(union)
+
+    def lineage(self) -> Lineage:
+        """The lineage DNF — the same projection ``build_lineage`` performs.
+
+        A support fully inside ``Dx`` projects to the empty clause, which
+        ``MonotoneDNF`` minimises to trivially-true; no supports at all give
+        the trivially-false DNF.  Both match ``build_lineage`` on the same
+        snapshot, clause set for clause set.
+
+        Memoised: the view is immutable, and a refresh may project it more
+        than once (content keys, patching, seeding).
+        """
+        try:
+            return self._lineage
+        except AttributeError:
+            pass
+        variables = tuple(sorted(self.endogenous))
+        index = {f: i for i, f in enumerate(variables)}
+        clauses = {frozenset(index[f] for f in support - self.exogenous)
+                   for support in self.supports}
+        lineage = Lineage(variables, MonotoneDNF(len(variables), clauses))
+        object.__setattr__(self, "_lineage", lineage)
+        return lineage
+
+
+__all__ = ["MaintainedLineage"]

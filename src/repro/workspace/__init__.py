@@ -39,6 +39,8 @@ from .store import (
     MemoryStore,
     circuit_key,
     lineage_key,
+    maintained_key,
+    pairs_key,
     plan_key,
     support_key,
 )
@@ -60,6 +62,8 @@ __all__ = [
     "WorkspaceRefresh",
     "circuit_key",
     "lineage_key",
+    "maintained_key",
+    "pairs_key",
     "parse_delta_spec",
     "plan_key",
     "support_key",

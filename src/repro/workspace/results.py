@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterator
 
-from ..api.results import _fact_json
+from ..api.results import _fact_from_json, _fact_json
+from ..api.results import _fraction_from_json as _exact_fraction_from_json
 from ..api.results import _fraction_json as _exact_fraction_json
 from ..data.atoms import Fact
 
@@ -25,6 +26,13 @@ def _fraction_json(value: "Fraction | None") -> "dict | None":
     if value is None:
         return None
     return _exact_fraction_json(value)
+
+
+def _fraction_from_json(payload: "dict | None") -> "Fraction | None":
+    """The inverse of :func:`_fraction_json` (``None`` passes through)."""
+    if payload is None:
+        return None
+    return _exact_fraction_from_json(payload)
 
 
 @dataclass(frozen=True)
@@ -49,6 +57,11 @@ class WorkspaceDelta:
         return {"op": self.op, **_fact_json(self.fact),
                 "endogenous": self.endogenous}
 
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "WorkspaceDelta":
+        return cls(op=payload["op"], fact=_fact_from_json(payload),
+                   endogenous=bool(payload["endogenous"]))
+
 
 @dataclass(frozen=True)
 class ValueChange:
@@ -67,6 +80,12 @@ class ValueChange:
         return {**_fact_json(self.fact), "old": _fraction_json(self.old),
                 "new": _fraction_json(self.new)}
 
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ValueChange":
+        return cls(fact=_fact_from_json(payload),
+                   old=_fraction_from_json(payload.get("old")),
+                   new=_fraction_from_json(payload.get("new")))
+
 
 @dataclass(frozen=True)
 class RankMove:
@@ -84,6 +103,12 @@ class RankMove:
         return {**_fact_json(self.fact), "old_rank": self.old_rank,
                 "new_rank": self.new_rank}
 
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "RankMove":
+        return cls(fact=_fact_from_json(payload),
+                   old_rank=payload.get("old_rank"),
+                   new_rank=payload.get("new_rank"))
+
 
 @dataclass(frozen=True)
 class AttributionDelta:
@@ -95,6 +120,16 @@ class AttributionDelta:
     membership changes); ``reason`` is the audit trail of that decision.
     ``ranking`` is the full post-refresh ranking (decreasing value, ties by
     the library's fact order), from which ``values`` is a derived view.
+
+    ``maintenance`` says *how* a recompute ran: ``"incremental"`` when the
+    lineage was delta-maintained and the circuit patched island-by-island,
+    ``"recompute"`` for a cold session, ``None`` when nothing ran (cache
+    reuse).  ``refresh_reason`` is the machine-readable audit tag behind the
+    decision — ``out-of-support-reuse`` / ``incremental-patch`` /
+    ``conservative-recompute`` / ``patch-fallback`` / ``initial-attribution``
+    — and ``patch_stats`` carries the island-level counters of an incremental
+    patch (or the fallback's error record).  All three default to ``None``
+    so pre-existing payloads keep loading.
     """
 
     name: str
@@ -107,6 +142,9 @@ class AttributionDelta:
     rank_moves: "tuple[RankMove, ...]"
     new_null_players: frozenset[Fact]
     dropped_null_players: frozenset[Fact]
+    maintenance: "str | None" = None
+    refresh_reason: "str | None" = None
+    patch_stats: "dict | None" = None
 
     @property
     def values(self) -> dict[Fact, Fraction]:
@@ -134,7 +172,40 @@ class AttributionDelta:
                                  for f in sorted(self.new_null_players)],
             "dropped_null_players": [_fact_json(f)
                                      for f in sorted(self.dropped_null_players)],
+            "maintenance": self.maintenance,
+            "refresh_reason": self.refresh_reason,
+            "patch_stats": self.patch_stats,
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "AttributionDelta":
+        """The inverse of :meth:`to_json_dict`, tolerant of older payloads.
+
+        Payloads written before the incremental subsystem carry neither
+        ``maintenance`` nor ``refresh_reason`` nor ``patch_stats``; they load
+        with those fields ``None`` — same for any other missing collection,
+        which loads empty.
+        """
+        return cls(
+            name=payload["name"], query=payload["query"],
+            backend=payload["backend"], recomputed=bool(payload["recomputed"]),
+            reason=payload["reason"],
+            ranking=tuple((_fact_from_json(entry),
+                           _fraction_from_json(entry["value"]))
+                          for entry in payload.get("ranking", ())),
+            changed_values=tuple(ValueChange.from_json_dict(entry)
+                                 for entry in payload.get("changed_values", ())),
+            rank_moves=tuple(RankMove.from_json_dict(entry)
+                             for entry in payload.get("rank_moves", ())),
+            new_null_players=frozenset(
+                _fact_from_json(entry)
+                for entry in payload.get("new_null_players", ())),
+            dropped_null_players=frozenset(
+                _fact_from_json(entry)
+                for entry in payload.get("dropped_null_players", ())),
+            maintenance=payload.get("maintenance"),
+            refresh_reason=payload.get("refresh_reason"),
+            patch_stats=payload.get("patch_stats"))
 
 
 @dataclass(frozen=True)
@@ -270,10 +341,32 @@ class WorkspaceRefresh:
             "deltas": [d.to_json_dict() for d in self.deltas],
         }
 
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "WorkspaceRefresh":
+        """The inverse of :meth:`to_json_dict`, tolerant of older payloads.
+
+        Missing collections load as ``()``; per-query entries written before
+        the incremental subsystem load with ``maintenance`` /
+        ``refresh_reason`` / ``patch_stats`` all ``None`` (see
+        :meth:`AttributionDelta.from_json_dict`).
+        """
+        return cls(
+            deltas=tuple(AttributionDelta.from_json_dict(entry)
+                         for entry in payload.get("deltas", ())),
+            applied=tuple(WorkspaceDelta.from_json_dict(entry)
+                          for entry in payload.get("applied", ())),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)))
+
     def to_json(self, indent: "int | None" = 2) -> str:
         import json
 
         return json.dumps(self.to_json_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkspaceRefresh":
+        import json
+
+        return cls.from_json_dict(json.loads(text))
 
 
 __all__ = [

@@ -44,6 +44,7 @@ import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
@@ -114,8 +115,15 @@ def query_content_text(query: "BooleanQuery") -> str:
     return _FIELD.join((type(query).__name__, str(query), relations, constants))
 
 
+@lru_cache(maxsize=128)
 def database_content_text(pdb: "PartitionedDatabase") -> str:
-    """A canonical rendering of a partitioned database (sorted facts per part)."""
+    """A canonical rendering of a partitioned database (sorted facts per part).
+
+    Memoised on the (immutable, hashable) snapshot: one refresh derives
+    several content keys from the same snapshot — lineage, support, and the
+    incremental path's maintained view — and sorting the fact sets dominates
+    the rendering.
+    """
     endo = _FIELD.join(_fact_text(f) for f in sorted(pdb.endogenous))
     exo = _FIELD.join(_fact_text(f) for f in sorted(pdb.exogenous))
     return f"Dn{_FIELD}{endo}{_RECORD}Dx{_FIELD}{exo}"
@@ -170,6 +178,31 @@ def circuit_key(query: "BooleanQuery", lineage: "Lineage") -> ArtifactKey:
                                           lineage_content_text(lineage)))
 
 
+def pairs_key(query: "BooleanQuery", lineage: "Lineage") -> ArtifactKey:
+    """The store key of one island's priced conditioned-pair record.
+
+    Same content as a :func:`circuit_key` — ``(query, sub-lineage)`` — but a
+    different kind: the stored artifact is the island's *swept* result
+    (:class:`repro.incremental.patch.IslandPairs`), not its circuit, so a
+    patched refresh whose delta left the island untouched skips the sweep
+    too, not just the compile.
+    """
+    return ArtifactKey("pairs", _digest(query_content_text(query),
+                                        lineage_content_text(lineage)))
+
+
+def maintained_key(query: "BooleanQuery", pdb: "PartitionedDatabase") -> ArtifactKey:
+    """The store key of a maintained minimal-support view.
+
+    Keyed like a lineage — ``(query, database)`` content — since the view
+    (:class:`repro.incremental.MaintainedLineage`) materialises exactly the
+    enumeration a lineage build performs; a fresh process warm-starts the
+    incremental path from this entry instead of re-enumerating.
+    """
+    return ArtifactKey("supports", _digest(query_content_text(query),
+                                           database_content_text(pdb)))
+
+
 @runtime_checkable
 class ArtifactStore(Protocol):
     """What the engine needs from a store: get, put, and observability.
@@ -215,6 +248,21 @@ class MemoryStore:
         self._misses = 0
         self._stores = 0
         self._evictions = 0
+        self._patched = 0
+        self._patch_fallbacks = 0
+
+    def record_patch(self, fallback: bool = False) -> None:
+        """Count one incremental refresh served against this store.
+
+        ``fallback=True`` records a patch attempt that degraded to a cold
+        recompute.  Kept out of :meth:`stats` (whose exact shape callers
+        assert) and surfaced by :meth:`store_stats` for operators.
+        """
+        with self._lock:
+            if fallback:
+                self._patch_fallbacks += 1
+            else:
+                self._patched += 1
 
     def get(self, key: ArtifactKey) -> "object | None":
         with self._lock:
@@ -248,7 +296,10 @@ class MemoryStore:
 
     def store_stats(self) -> dict:
         """The counters plus the store's capacity configuration."""
-        return {**self.stats(), "max_entries": self.max_entries}
+        with self._lock:
+            patched, fallbacks = self._patched, self._patch_fallbacks
+        return {**self.stats(), "max_entries": self.max_entries,
+                "patched": patched, "patch_fallbacks": fallbacks}
 
 
 class DiskStore:
@@ -302,7 +353,18 @@ class DiskStore:
         self._put_retries = 0
         self._quarantined = 0
         self._evictions = 0
+        self._patched = 0
+        self._patch_fallbacks = 0
         self._tmp_swept = self._sweep_tmp_files()
+
+    def record_patch(self, fallback: bool = False) -> None:
+        """Count one incremental refresh served against this store.
+
+        ``fallback=True`` records a patch attempt that degraded to a cold
+        recompute.  Kept out of :meth:`stats` (whose exact shape callers
+        assert) and surfaced by :meth:`store_stats` for operators.
+        """
+        self._count("_patch_fallbacks" if fallback else "_patched")
 
     def _sweep_tmp_files(self) -> int:
         """Remove ``*.tmp`` leftovers of writers that crashed mid-``put``.
@@ -499,9 +561,12 @@ class DiskStore:
 
     def store_stats(self) -> dict:
         """The counters plus the store's size and capacity configuration."""
+        with self._lock:
+            patched, fallbacks = self._patched, self._patch_fallbacks
         return {**self.stats(), "entries": len(self),
                 "quarantine_entries": self.quarantine_entries(),
-                "total_bytes": self.total_bytes(), "max_bytes": self.max_bytes}
+                "total_bytes": self.total_bytes(), "max_bytes": self.max_bytes,
+                "patched": patched, "patch_fallbacks": fallbacks}
 
 
 __all__ = [
@@ -515,6 +580,8 @@ __all__ = [
     "database_digest",
     "lineage_content_text",
     "lineage_key",
+    "maintained_key",
+    "pairs_key",
     "plan_key",
     "query_content_text",
     "support_key",

@@ -46,8 +46,9 @@ from ..api.config import EngineConfig
 from ..api.session import AttributionSession
 from ..data.atoms import Fact
 from ..data.database import PartitionedDatabase
-from ..engine.svc_engine import _ranking_key
+from ..engine.svc_engine import _ranking_key, _resolved_auto, resolve_auto_backend
 from ..errors import ConfigError
+from ..incremental import MaintainedLineage, SnapshotDelta, patch_attribution
 from ..queries.base import BooleanQuery
 from .results import (
     AttributionDelta,
@@ -64,6 +65,7 @@ from .store import (
     circuit_key,
     database_digest,
     lineage_key,
+    maintained_key,
     support_key,
 )
 
@@ -108,6 +110,10 @@ class _QueryState:
     #: exists (non-hom-closed queries) — the conservative "always recompute".
     support: "frozenset[Fact] | None"
     backend: str
+    #: The delta-maintained minimal-support view of this query on this
+    #: snapshot, or ``None`` when the query is ineligible for incremental
+    #: maintenance (non-hom-closed, or a backend the patcher cannot mirror).
+    maintained: "MaintainedLineage | None" = None
 
 
 def _ranked(values: dict[Fact, Fraction]) -> "tuple[tuple[Fact, Fraction], ...]":
@@ -154,6 +160,8 @@ class AttributionWorkspace:
         self._queries: dict[str, BooleanQuery] = {}
         self._states: dict[str, _QueryState] = {}
         self._pending: list[WorkspaceDelta] = []
+        self._patched = 0
+        self._patch_fallbacks = 0
 
     # -- introspection ----------------------------------------------------------
     @property
@@ -275,7 +283,9 @@ class AttributionWorkspace:
             return True
         return delta.fact in support
 
-    def _support(self, query: BooleanQuery) -> "frozenset[Fact] | None":
+    def _support(self, query: BooleanQuery,
+                 maintained: "MaintainedLineage | None" = None,
+                 ) -> "frozenset[Fact] | None":
         """The union of the query's minimal supports in the current snapshot.
 
         ``None`` — "no characterisation, recompute on every relevant delta" —
@@ -286,7 +296,9 @@ class AttributionWorkspace:
         The enumeration costs as much as a lineage build, so the result is
         cached in the artifact store under the same ``(query, database)``
         content key — repeat refreshes over one snapshot and store-warmed
-        fresh processes skip it entirely.
+        fresh processes skip it entirely.  A ``maintained`` view of the
+        current snapshot short-circuits the enumeration outright: its support
+        family is the same object the enumeration would rebuild.
         """
         if not query.is_hom_closed:
             return None
@@ -294,6 +306,10 @@ class AttributionWorkspace:
         cached = self._store.get(key)
         if isinstance(cached, frozenset):
             return cached
+        if maintained is not None and maintained.matches(self._pdb):
+            support = maintained.support_union()
+            self._store.put(key, support)
+            return support
         try:
             supports = query.minimal_supports_in(self._pdb.all_facts)
         except (NotImplementedError, ValueError):
@@ -302,23 +318,135 @@ class AttributionWorkspace:
         self._store.put(key, support)
         return support
 
+    # -- incremental maintenance --------------------------------------------------
+    def _incremental_mode(self, query: BooleanQuery) -> "str | None":
+        """The patch kernel mirroring this workspace's backend, or ``None``.
+
+        Incremental maintenance requires the minimal-support machinery
+        (hom-closed queries) and a backend the island patcher reproduces
+        exactly: the circuit backend, the lineage-counting backend, and
+        ``auto`` when it resolves to the circuit.  Everything else — safe
+        plans, brute force, non-hom-closed queries — recomputes
+        conservatively (``refresh_reason="conservative-recompute"``).
+        """
+        if not query.is_hom_closed:
+            return None
+        method = self._config.method
+        if method == "circuit":
+            return "circuit"
+        if method == "counting":
+            return ("counting"
+                    if self._config.counting_method in ("auto", "lineage")
+                    else None)
+        if method == "auto":
+            try:
+                resolved, _ = _resolved_auto(query)
+            except TypeError:       # unhashable query: resolve uncached
+                resolved, _ = resolve_auto_backend(query)
+            return "circuit" if resolved == "circuit" else None
+        return None
+
+    def _maintained(self, query: BooleanQuery) -> "MaintainedLineage | None":
+        """The maintained minimal-support view for the *current* snapshot.
+
+        Store-cached under the ``(query, database)`` content key, so repeat
+        builds and store-warmed fresh processes skip the enumeration; built
+        cold otherwise (the same enumeration ``_support`` would run).
+        """
+        key = maintained_key(query, self._pdb)
+        cached = self._store.get(key)
+        if isinstance(cached, MaintainedLineage) and cached.matches(self._pdb):
+            return cached
+        try:
+            view = MaintainedLineage.build(query, self._pdb)
+        except (NotImplementedError, ValueError):
+            return None
+        self._store.put(key, view)
+        return view
+
+    @staticmethod
+    def _snapshot_deltas(applied: "tuple[WorkspaceDelta, ...]",
+                         ) -> "tuple[SnapshotDelta, ...]":
+        return tuple(SnapshotDelta(d.op, d.fact, d.endogenous) for d in applied)
+
+    def _scenario_deltas(self, ops) -> "tuple[SnapshotDelta, ...]":
+        """What-if scenario ops as snapshot deltas for the maintained view."""
+        deltas = []
+        for op, f, _ in ops:
+            if op == "insert_exogenous":
+                deltas.append(SnapshotDelta("insert", f, False))
+            elif op == "insert":
+                deltas.append(SnapshotDelta("insert", f, True))
+            elif op == "remove":
+                deltas.append(SnapshotDelta(
+                    "remove", f, f in self._pdb.endogenous))
+            elif op == "make_exogenous":
+                deltas.append(SnapshotDelta("make_exogenous", f, False))
+            else:  # make_endogenous
+                deltas.append(SnapshotDelta("make_endogenous", f, True))
+        return tuple(deltas)
+
+    def _record_patch(self, fallback: bool) -> None:
+        if fallback:
+            self._patch_fallbacks += 1
+        else:
+            self._patched += 1
+        recorder = getattr(self._store, "record_patch", None)
+        if callable(recorder):
+            recorder(fallback)
+
+    def _patch_refresh(self, query: BooleanQuery, state: _QueryState,
+                       applied: "tuple[WorkspaceDelta, ...]",
+                       mode: str) -> "tuple[_QueryState, dict]":
+        """Re-attribute one query by delta-maintenance + circuit patching.
+
+        Advances the standing :class:`MaintainedLineage` through the applied
+        batch (clause-level diffs, no re-enumeration), persists the advanced
+        view and its lineage under the new snapshot's content keys, and
+        prices the attribution island-by-island against the store, seeding
+        recompiles from the pre-delta circuit.  Raises on *any* mismatch —
+        the caller treats every exception as "fall back to a cold session".
+        """
+        assert state.maintained is not None
+        maintained = state.maintained.apply_all(self._snapshot_deltas(applied))
+        if not maintained.matches(self._pdb):
+            raise ValueError(
+                "maintained view diverged from the snapshot partition")
+        lineage = maintained.lineage()
+        result = patch_attribution(
+            query, lineage, store=self._store, index=self._config.index,
+            mode=mode, node_budget=self._config.circuit_node_budget,
+            previous=state.maintained.lineage)
+        support = maintained.support_union()
+        self._store.put(maintained_key(query, self._pdb), maintained)
+        self._store.put(lineage_key(query, self._pdb), lineage)
+        self._store.put(support_key(query, self._pdb), support)
+        new_state = _QueryState(values=result.values,
+                                ranking=_ranked(result.values),
+                                support=support, backend=result.backend,
+                                maintained=maintained)
+        return new_state, result.stats.to_json_dict()
+
     # -- refresh ------------------------------------------------------------------
-    def _attribute(self, query: BooleanQuery) -> _QueryState:
+    def _attribute(self, query: BooleanQuery,
+                   maintained: "MaintainedLineage | None" = None) -> _QueryState:
         session = AttributionSession(query, self._pdb, self._config,
                                      store=self._store)
         values = session.values()
         return _QueryState(values=values, ranking=_ranked(values),
-                           support=self._support(query),
-                           backend=session.backend())
+                           support=self._support(query, maintained),
+                           backend=session.backend(), maintained=maintained)
 
-    @staticmethod
-    def _carry_forward(state: _QueryState,
+    def _carry_forward(self, query: BooleanQuery, state: _QueryState,
                        applied: "tuple[WorkspaceDelta, ...]") -> _QueryState:
         """Update cached values for membership changes only (no recompute).
 
         Every delta reaching this path is a dummy-player move: new endogenous
         facts enter with value 0, departing ones leave (their cached value was
         0 — they were in no support), everyone else's value is untouched.
+        The maintained view advances through the same deltas for free — a
+        dummy-player delta never touches the support family, only the
+        partition bookkeeping — so the incremental path stays armed.
         """
         values = dict(state.values)
         for delta in applied:
@@ -326,12 +454,26 @@ class AttributionWorkspace:
                 values[delta.fact] = Fraction(0)
             elif delta.op in ("remove", "make_exogenous"):
                 values.pop(delta.fact, None)
+        maintained = state.maintained
+        if maintained is not None and applied:
+            try:
+                maintained = maintained.apply_all(self._snapshot_deltas(applied))
+                if maintained.matches(self._pdb):
+                    self._store.put(maintained_key(query, self._pdb), maintained)
+                else:
+                    maintained = None
+            except Exception:
+                maintained = None
         return _QueryState(values=values, ranking=_ranked(values),
-                           support=state.support, backend=state.backend)
+                           support=state.support, backend=state.backend,
+                           maintained=maintained)
 
     @staticmethod
     def _diff(name: str, query: BooleanQuery, old: "_QueryState | None",
-              new: _QueryState, recomputed: bool, reason: str) -> AttributionDelta:
+              new: _QueryState, recomputed: bool, reason: str,
+              maintenance: "str | None" = None,
+              refresh_reason: "str | None" = None,
+              patch_stats: "dict | None" = None) -> AttributionDelta:
         old_values = {} if old is None else old.values
         changed = tuple(
             ValueChange(f, old_values.get(f), new.values.get(f))
@@ -352,7 +494,9 @@ class AttributionWorkspace:
             recomputed=recomputed, reason=reason, ranking=new.ranking,
             changed_values=changed, rank_moves=moves,
             new_null_players=frozenset(new_nulls - old_nulls),
-            dropped_null_players=frozenset(old_nulls - new_nulls))
+            dropped_null_players=frozenset(old_nulls - new_nulls),
+            maintenance=maintenance, refresh_reason=refresh_reason,
+            patch_stats=patch_stats)
 
     def refresh(self) -> WorkspaceRefresh:
         """Bring every registered query up to date with the current snapshot.
@@ -360,10 +504,15 @@ class AttributionWorkspace:
         Consumes the pending delta batch.  Per query: a first-ever refresh
         attributes cold; otherwise the batch is screened against the query's
         cached lineage support, and only a query some delta can actually reach
-        is re-attributed (through the artifact store, so unchanged lineages
-        and circuits are still reused) — the rest carry their values forward
-        untouched.  Returns one :class:`AttributionDelta` per query describing
-        exactly what changed.
+        is re-attributed — incrementally by default for eligible queries
+        (the maintained support view advances clause-by-clause and the
+        circuit is patched island-by-island, ``refresh_reason=
+        "incremental-patch"``), with the cold recompute as the fallback
+        (``"patch-fallback"``) and the only path for ineligible queries
+        (``"conservative-recompute"``) — the rest carry their values forward
+        untouched (``"out-of-support-reuse"``).  Returns one
+        :class:`AttributionDelta` per query describing exactly what changed,
+        including the ``maintenance`` route and the patcher's island stats.
 
         The refresh is transactional: cached states and the pending batch are
         only replaced once every query succeeded, so an attribution error (or
@@ -378,26 +527,57 @@ class AttributionWorkspace:
         for name in sorted(self._queries):
             query = self._queries[name]
             state = self._states.get(name)
+            mode = self._incremental_mode(query)
             if state is None:
-                new_state = self._attribute(query)
+                maintained = self._maintained(query) if mode else None
+                new_state = self._attribute(query, maintained)
                 delta = self._diff(name, query, None, new_state, True,
-                                   "initial attribution of a newly registered query")
+                                   "initial attribution of a newly registered query",
+                                   maintenance="recompute",
+                                   refresh_reason="initial-attribution")
             else:
                 triggering = [d for d in applied
                               if self._delta_invalidates(query, state.support, d)]
                 if triggering:
-                    new_state = self._attribute(query)
                     culprit = triggering[0]
-                    delta = self._diff(
-                        name, query, state, new_state, True,
-                        f"recomputed: {culprit} reaches the lineage support "
-                        f"({len(triggering)} of {len(applied)} deltas invalidate)")
+                    reason = (f"recomputed: {culprit} reaches the lineage support "
+                              f"({len(triggering)} of {len(applied)} deltas invalidate)")
+                    new_state = None
+                    if mode and state.maintained is not None:
+                        try:
+                            new_state, stats = self._patch_refresh(
+                                query, state, applied, mode)
+                            delta = self._diff(
+                                name, query, state, new_state, True, reason,
+                                maintenance="incremental",
+                                refresh_reason="incremental-patch",
+                                patch_stats=stats)
+                            self._record_patch(False)
+                        except Exception as error:
+                            self._record_patch(True)
+                            new_state = self._attribute(
+                                query, self._maintained(query))
+                            delta = self._diff(
+                                name, query, state, new_state, True, reason,
+                                maintenance="recompute",
+                                refresh_reason="patch-fallback",
+                                patch_stats={"fallback":
+                                             f"{type(error).__name__}: {error}"})
+                    else:
+                        new_state = self._attribute(
+                            query, self._maintained(query) if mode else None)
+                        delta = self._diff(
+                            name, query, state, new_state, True, reason,
+                            maintenance="recompute",
+                            refresh_reason="conservative-recompute")
                 else:
-                    new_state = self._carry_forward(state, applied)
+                    new_state = self._carry_forward(query, state, applied)
                     reason = ("reused: no pending deltas" if not applied else
                               f"reused: all {len(applied)} deltas lie outside "
                               "the lineage support (dummy players only)")
-                    delta = self._diff(name, query, state, new_state, False, reason)
+                    delta = self._diff(name, query, state, new_state, False,
+                                       reason, maintenance=None,
+                                       refresh_reason="out-of-support-reuse")
             new_states[name] = new_state
             deltas.append(delta)
         self._states.update(new_states)
@@ -602,16 +782,50 @@ class AttributionWorkspace:
                 recompiled = False
             else:
                 pdb = self._hypothetical_snapshot(ops)
-                session = AttributionSession(target, pdb, config,
-                                             store=self._store)
-                values = session.values()
-                satisfiable = target.evaluate(pdb.all_facts)
-                from ..probability.spqe import sppqe
-
-                prob = (sppqe(target, pdb, p, store=self._store)
-                        if pdb.endogenous else
-                        Fraction(1 if satisfiable else 0))
+                values = None
                 recompiled = True
+                mode = self._incremental_mode(target)
+                if lineage is not None and mode:
+                    # Fact-set-changing scenarios still patch incrementally
+                    # when the maintained view can mirror them: untouched
+                    # islands are store hits, and only islands the scenario
+                    # reaches recompile (seeded from the standing circuit).
+                    try:
+                        standing = self._maintained(target)
+                        if standing is not None:
+                            view = standing.apply_all(
+                                self._scenario_deltas(ops))
+                            if view.matches(pdb):
+                                result = patch_attribution(
+                                    target, view.lineage(),
+                                    store=self._store, index=index_name,
+                                    mode=mode,
+                                    node_budget=self._config.circuit_node_budget,
+                                    previous=lineage)
+                                values = result.values
+                                satisfiable = result.satisfiable
+                                from ..probability.interpolation import (
+                                    sppqe_from_fgmc_vector,
+                                )
+
+                                prob = (sppqe_from_fgmc_vector(result.models, p)
+                                        if pdb.endogenous else
+                                        Fraction(1 if satisfiable else 0))
+                                recompiled = False
+                    except Exception:
+                        values = None
+                        recompiled = True
+                if values is None:
+                    session = AttributionSession(target, pdb, config,
+                                                 store=self._store)
+                    values = session.values()
+                    satisfiable = target.evaluate(pdb.all_facts)
+                    from ..probability.spqe import sppqe
+
+                    prob = (sppqe(target, pdb, p, store=self._store)
+                            if pdb.endogenous else
+                            Fraction(1 if satisfiable else 0))
+                    recompiled = True
             results.append(WhatIfResult(
                 scenario=specs, description=description,
                 index=index_name, satisfiable=satisfiable,
@@ -648,7 +862,10 @@ class AttributionWorkspace:
         for custom implementations.
         """
         richer = getattr(self._store, "store_stats", None)
-        return richer() if callable(richer) else dict(self._store.stats())
+        stats = richer() if callable(richer) else dict(self._store.stats())
+        stats.setdefault("patched", self._patched)
+        stats.setdefault("patch_fallbacks", self._patch_fallbacks)
+        return stats
 
 
 __all__ = ["AttributionWorkspace"]
